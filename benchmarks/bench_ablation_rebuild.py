@@ -1,0 +1,100 @@
+"""Ablation: capacity-aware RAID-5 rebuild, with and without dedup.
+
+A capacity-aware rebuild (skip rows holding no live data -- what a
+TRIM-aware or FS-integrated rebuild does) finishes faster the less
+of the array is live.  Deduplication reduces the *live block count*
+(Fig. 10), but with POD's in-place home layout the freed blocks stay
+scattered inside otherwise-live rows, so at row granularity the
+recovery win is limited -- an honest negative result this bench
+records alongside the mechanism's correctness.  (A log-structured
+physical layout would compact the freed space and convert Fig. 10's
+savings into proportionally faster rebuilds.)
+"""
+
+import math
+
+from conftest import emit
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.experiments.runner import build_scheme, get_trace
+from repro.metrics.report import render_table
+from repro.sim.engine import Simulator
+from repro.sim.replay import ReplayConfig, _size_disks, replay_trace
+from repro.storage.disk import Disk
+from repro.storage.raid import RaidArray
+from repro.storage.rebuild import RebuildController
+from repro.traces.synthetic import paper_traces
+
+TRACE = "web-vm"
+BATCH_ROWS = 8
+
+
+def offline_rebuild_time(raid, params, controller) -> float:
+    """Rebuild with no foreground traffic; returns the makespan."""
+    disks = [Disk(params, disk_id=i) for i in range(raid.geometry.ndisks)]
+    sim = Simulator(disks, raid)
+    done = 0.0
+    while not controller.done:
+        batch = controller.next_batch(BATCH_ROWS)
+        if batch:
+            done = sim.service_disk_ops(done, batch)
+    return done
+
+
+def run_experiment(scale):
+    spec = paper_traces()[TRACE]
+    trace = get_trace(spec, scale=scale)
+    config = ReplayConfig()
+    geometry = config.geometry()
+
+    rows = []
+    for scheme_name in ("Native", "POD"):
+        scheme = build_scheme(scheme_name, spec, scale=scale)
+        replay_trace(trace, scheme, config)
+        params = _size_disks(scheme.regions.total_blocks, config)
+        # rebuild only the rows the volume actually occupies
+        row_blocks = geometry.data_disks * BLOCKS_PER_STRIPE_UNIT
+        disk_rows = math.ceil(scheme.regions.total_blocks / row_blocks)
+        raid = RaidArray(geometry)
+        live = scheme.map_table.live_pbas(scheme.written_lbas)
+
+        oblivious = RebuildController(raid, 1, disk_rows)
+        aware = RebuildController(raid, 1, disk_rows, live_pbas=live)
+        rows.append(
+            {
+                "scheme": scheme_name,
+                "live_blocks": len(live),
+                "t_oblivious": offline_rebuild_time(raid, params, oblivious),
+                "t_aware": offline_rebuild_time(raid, params, aware),
+                "rows_skipped": aware.rows_skipped,
+            }
+        )
+    return rows
+
+
+def test_ablation_rebuild(benchmark, scale):
+    rows = benchmark(run_experiment, scale)
+    text = render_table(
+        f"Ablation: capacity-aware RAID-5 rebuild ({TRACE})",
+        ["after scheme", "live blocks", "rebuild all (s)", "rebuild live (s)", "rows skipped"],
+        [
+            [r["scheme"], r["live_blocks"], r["t_oblivious"], r["t_aware"], r["rows_skipped"]]
+            for r in rows
+        ],
+        note="in-place layout: dedup frees blocks inside live rows, so "
+        "row-granular recovery gains little (see module docstring)",
+    )
+    emit("ablation_rebuild", text)
+
+    native, pod = rows
+    # The oblivious rebuild does not care about content.
+    assert pod["t_oblivious"] == native["t_oblivious"]
+    # Dedup holds fewer live blocks (Fig. 10's saving)...
+    assert pod["live_blocks"] < native["live_blocks"]
+    # ... and capacity awareness never slows a rebuild down.
+    for r in rows:
+        assert r["t_aware"] <= r["t_oblivious"]
+    # The honest row-granularity result: POD's rebuild is at parity
+    # with Native's (freed blocks hide inside live rows), never worse
+    # by more than scheduling noise.
+    assert pod["t_aware"] <= native["t_aware"] * 1.05

@@ -1,0 +1,37 @@
+"""Fig. 1: distribution of I/O redundancy among request sizes.
+
+Paper shape: small writes dominate the request population *and* carry
+the most redundant requests; large requests are mostly partially
+redundant (for the mixed traces).
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig1_redundancy_by_size(benchmark, scale):
+    data, text = benchmark(figures.fig1_redundancy_by_size, scale)
+    emit("fig1_redundancy_by_size", text)
+
+    for name, rows in data.items():
+        totals = [r.total for r in rows]
+        redundant = [r.redundant for r in rows]
+        # 4 KB bucket has the most requests and (essentially) the most
+        # redundant ones -- on mail, which is redundant at every size,
+        # the biggest bucket can tie it within a few percent.
+        assert totals[0] == max(totals), name
+        assert redundant[0] >= 0.9 * max(redundant), name
+        # every bucket shows some redundancy (the traces are far from
+        # unique-only at any size)
+        assert all(r.redundant > 0 for r in rows), name
+
+    # Large requests are mostly partially redundant on the two
+    # mixed-structure traces (Section II-A).
+    for name in ("web-vm", "homes"):
+        big = data[name][-1]
+        assert big.partially_redundant > big.fully_redundant, name
+
+    # mail is the fully-redundant-rich trace at every size.
+    for row in data["mail"]:
+        assert row.fully_redundant >= row.partially_redundant

@@ -1,0 +1,33 @@
+"""Fig. 3: read/write response time vs index-cache share.
+
+Paper shape (Section II-B, mail trace, fixed partitions): a larger
+index cache improves write latency (fewer in-disk index lookups) and
+degrades read latency (smaller read cache), and vice versa -- the
+motivation for iCache's dynamic repartitioning.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import figures
+
+FRACTIONS = (0.2, 0.35, 0.5, 0.65, 0.8)
+
+
+def test_fig3_cache_partition_sweep(benchmark, scale):
+    rows, text = benchmark(
+        figures.fig3_partition_sweep, "mail", FRACTIONS, scale
+    )
+    emit("fig3_cache_partition_sweep", text)
+
+    fracs = [r["index_fraction"] for r in rows]
+    writes = [r["write_mean_ms"] for r in rows]
+    reads = [r["read_mean_ms"] for r in rows]
+
+    # Write latency trends *down* as the index share grows; read
+    # latency trends *up*.  Assert the trend via the endpoints and a
+    # rank correlation rather than strict monotonicity (queueing noise).
+    assert writes[-1] < writes[0]
+    assert reads[-1] > reads[0]
+    assert np.corrcoef(fracs, writes)[0, 1] < 0
+    assert np.corrcoef(fracs, reads)[0, 1] > 0

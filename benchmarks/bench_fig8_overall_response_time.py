@@ -1,0 +1,39 @@
+"""Fig. 8: overall response time normalized to Native, 4-disk RAID-5.
+
+Paper shapes:
+
+* Select-Dedupe improves on Native on every trace (paper: 53.9% /
+  21.2% / 88.6% for web-vm / homes / mail), the gain being largest on
+  mail and smallest on homes;
+* iDedup improves only slightly (capacity-oriented dedup does not buy
+  performance);
+* Full-Dedupe *degrades* homes (read amplification + on-disk index
+  lookups beat its queue relief on scattered-partial redundancy).
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig8_overall_response_time(benchmark, scale):
+    data, text = benchmark(figures.fig8_overall_response, scale)
+    emit("fig8_overall_response_time", text)
+
+    for trace in ("web-vm", "homes", "mail"):
+        vals = data[trace]
+        # Select-Dedupe beats Native everywhere.
+        assert vals["Select-Dedupe"] < 90.0, trace
+        # ... and beats iDedup everywhere (paper: by 58.8% on average).
+        assert vals["Select-Dedupe"] < vals["iDedup"], trace
+        # iDedup is within a whisker of Native either way.
+        assert 80.0 < vals["iDedup"] < 115.0, trace
+
+    # Largest gain on mail, smallest on homes... mail must halve.
+    assert data["mail"]["Select-Dedupe"] < 55.0
+    # Full-Dedupe degrades homes but helps mail.
+    assert data["homes"]["Full-Dedupe"] > 95.0
+    assert data["mail"]["Full-Dedupe"] < 70.0
+    # Select-Dedupe always at least matches Full-Dedupe.
+    for trace in ("web-vm", "homes", "mail"):
+        assert data[trace]["Select-Dedupe"] <= data[trace]["Full-Dedupe"] * 1.02, trace

@@ -1,0 +1,44 @@
+"""Fig. 9: write (a) and read (b) response times, normalized to Native.
+
+Paper shapes:
+
+* (a) Select-Dedupe cuts write latency sharply on every trace (47.2%
+  / 20.2% / 91.6%), far more than iDedup (11.6% / 1.7% / 54.5%);
+  Full-Dedupe *increases* homes' write latency (+10.1%) despite
+  removing the most writes.
+* (b) Full-Dedupe degrades reads on web-vm and homes (read
+  amplification); Select-Dedupe never degrades reads materially and
+  helps most on mail.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_fig9_read_write_split(benchmark, scale):
+    data, text = benchmark(figures.fig9_read_write_split, scale)
+    emit("fig9_read_write_split", text)
+
+    write, read = data["write"], data["read"]
+
+    for trace in ("web-vm", "homes", "mail"):
+        # (a) writes: Select-Dedupe below Native and below iDedup.
+        assert write[trace]["Select-Dedupe"] < 85.0, trace
+        assert write[trace]["Select-Dedupe"] < write[trace]["iDedup"], trace
+
+    # (a) Full-Dedupe's write latency on homes is no better than
+    # Native's (the paper measures +10.1%).
+    assert write["homes"]["Full-Dedupe"] > 95.0
+    # (a) the mail write gain is dramatic.
+    assert write["mail"]["Select-Dedupe"] < 45.0
+
+    # (b) reads: Full-Dedupe amplification hurts homes clearly.
+    assert read["homes"]["Full-Dedupe"] > 110.0
+    # (b) Select-Dedupe never materially degrades reads...
+    for trace in ("web-vm", "homes", "mail"):
+        assert read[trace]["Select-Dedupe"] < 115.0, trace
+        # ... and always reads no worse than Full-Dedupe.
+        assert read[trace]["Select-Dedupe"] <= read[trace]["Full-Dedupe"] * 1.05, trace
+    # (b) the mail read-path gain from queue relief is large.
+    assert read["mail"]["Select-Dedupe"] < 90.0

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the hot substrate operations.
+
+These measure the simulator's own cost (not the paper's results):
+cache ops, disk service-time math, RAID mapping, categorisation and
+trace generation throughput.  They exist to keep the replay engine
+fast enough that the full-scale experiments stay tractable.
+"""
+
+import numpy as np
+
+from repro.cache.arc import ARCache
+from repro.cache.lru import LRUCache
+from repro.core.categorize import categorize_write
+from repro.sim.request import OpType
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.volume import VolumeOp, coalesce_extents
+from repro.traces.synthetic import WEB_VM, generate_trace
+
+
+def test_lru_put_get(benchmark):
+    cache = LRUCache(64 * 1024, default_entry_size=32)
+
+    def work():
+        for i in range(1000):
+            cache.put(i % 3000, i)
+            cache.get((i * 7) % 3000)
+
+    benchmark(work)
+
+
+def test_arc_mixed(benchmark):
+    cache = ARCache(1024)
+    keys = np.random.default_rng(0).integers(0, 4000, size=1000)
+
+    def work():
+        for k in keys:
+            if cache.get(int(k)) is None:
+                cache.put(int(k), k)
+
+    benchmark(work)
+
+
+def test_disk_service(benchmark):
+    disk = Disk(DiskParams())
+    pbas = np.random.default_rng(0).integers(0, 4_000_000, size=1000)
+
+    def work():
+        for pba in pbas:
+            disk.service(0.0, int(pba), 4)
+
+    benchmark(work)
+
+
+def test_raid5_map_write(benchmark):
+    raid = RaidArray(RaidGeometry(RaidLevel.RAID5, 4))
+    extents = [
+        VolumeOp(OpType.WRITE, int(s), int(l))
+        for s, l in zip(
+            np.random.default_rng(0).integers(0, 100_000, size=500),
+            np.random.default_rng(1).integers(1, 64, size=500),
+        )
+    ]
+
+    def work():
+        for op in extents:
+            raid.map_write(op)
+
+    benchmark(work)
+
+
+def test_categorize_mixed(benchmark):
+    rng = np.random.default_rng(0)
+    requests = []
+    for _ in range(500):
+        n = int(rng.integers(1, 17))
+        dups = [int(p) if rng.random() < 0.5 else None for p in rng.integers(0, 500, size=n)]
+        requests.append(dups)
+
+    def work():
+        for dups in requests:
+            categorize_write(dups)
+
+    benchmark(work)
+
+
+def test_coalesce(benchmark):
+    rng = np.random.default_rng(0)
+    batches = [list(rng.integers(0, 10_000, size=64)) for _ in range(200)]
+
+    def work():
+        for pbas in batches:
+            coalesce_extents(pbas)
+
+    benchmark(work)
+
+
+def test_trace_generation(benchmark):
+    benchmark(generate_trace, WEB_VM, 123, 0.02)

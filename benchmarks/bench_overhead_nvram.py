@@ -1,0 +1,24 @@
+"""Section IV-D.2: Map-table NVRAM overhead.
+
+Paper: 20 bytes per Map-table entry; peak NVRAM use of 0.8 / 0.3 /
+1.5 MB for web-vm / homes / mail.  Shape: small (single-digit MB at
+full scale), and mail > web-vm > homes -- the ordering follows how
+many redundant writes each trace deduplicates.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_overhead_nvram(benchmark, scale):
+    data, text = benchmark(figures.nvram_overhead, scale)
+    emit("overhead_nvram", text)
+
+    # Footprints are tiny: well under 16 MB even before descaling.
+    for trace, mb in data.items():
+        assert 0.0 < mb < 16.0, trace
+
+    # Ordering follows the deduplication volume (paper: mail 1.5 MB >
+    # web-vm 0.8 MB > homes 0.3 MB).
+    assert data["mail"] > data["web-vm"] > data["homes"]

@@ -1,0 +1,28 @@
+"""End-to-end replay throughput per scheme.
+
+Measures how many trace requests per second the simulator sustains
+for each scheme -- the practical limit on full-scale reproduction
+runs.  Dedup schemes are usually *faster* to simulate than Native
+because eliminated writes issue no disk ops.
+"""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.experiments.runner import SCHEME_CLASSES
+from repro.sim.replay import replay_trace
+from repro.traces.synthetic import WEB_VM, generate_trace
+
+TRACE = generate_trace(WEB_VM, scale=0.03)
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEME_CLASSES))
+def test_replay_throughput(benchmark, scheme_name):
+    def run():
+        scheme = SCHEME_CLASSES[scheme_name](
+            SchemeConfig(logical_blocks=TRACE.logical_blocks, memory_bytes=256 * 1024)
+        )
+        return replay_trace(TRACE, scheme)
+
+    result = benchmark(run)
+    assert result.metrics.requests > 0

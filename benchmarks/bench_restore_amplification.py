@@ -1,0 +1,141 @@
+"""Restore read amplification (Section I's motivating measurement).
+
+"Our preliminary evaluations on the VM disk images reveal that the
+restore (read) times with deduplication are much higher than those
+without deduplication, by an average of 2.9x and up to 4.2x."
+
+The bench builds VM-image-like data whose blocks partially duplicate a
+base image *scattered across the store*, writes it through Native
+(contiguous layout), Full-Dedupe (deduplicates everything, fragmenting
+the clone) and Select-Dedupe (bypasses the scattered partial
+redundancy), then measures a full sequential restore (read-back) of
+the clone with cold caches.
+
+Expected shape: Full-Dedupe's restore pays a multi-x amplification in
+the paper's 2-5x band; Select-Dedupe's restore stays near Native's.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.baselines.base import SchemeConfig
+from repro.baselines.full_dedupe import FullDedupe
+from repro.baselines.native import Native
+from repro.core.sar import SARDedupe
+from repro.core.select_dedupe import SelectDedupe
+from repro.metrics.report import render_table
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.sim.request import OpType
+from repro.storage.ssd import SsdParams
+from repro.traces.format import Trace, TraceRecord
+
+IMAGE_BLOCKS = 2048  # 8 MiB clone image
+BASE_IMAGES = 6      # scattered donors written before the clone
+
+
+def build_restore_trace(rng: np.random.Generator) -> Trace:
+    """Base images, interleaved churn, a part-duplicate clone, then a
+    full sequential restore of the clone."""
+    records = []
+    t = 0.0
+    fp = 1
+
+    # Base images: contiguous, unique content.
+    bases = []
+    lba = 0
+    for _ in range(BASE_IMAGES):
+        fps = tuple(range(fp, fp + IMAGE_BLOCKS))
+        fp += IMAGE_BLOCKS
+        for off in range(0, IMAGE_BLOCKS, 16):
+            t += 1e-3
+            records.append(
+                TraceRecord(t, OpType.WRITE, lba + off, 16, fps[off : off + 16])
+            )
+        bases.append((lba, fps))
+        lba += IMAGE_BLOCKS
+
+    # The clone: every second 16-block run duplicates a random run of
+    # a random base image (so the duplicates are scattered across the
+    # store), the rest is fresh data.
+    clone_lba = lba
+    clone_fps = []
+    for off in range(0, IMAGE_BLOCKS, 16):
+        if (off // 16) % 2 == 0:
+            b_lba, b_fps = bases[int(rng.integers(0, BASE_IMAGES))]
+            start = int(rng.integers(0, IMAGE_BLOCKS - 16))
+            chunk = b_fps[start : start + 16]
+        else:
+            chunk = tuple(range(fp, fp + 16))
+            fp += 16
+        clone_fps.extend(chunk)
+        t += 1e-3
+        records.append(TraceRecord(t, OpType.WRITE, clone_lba + off, 16, chunk))
+
+    # The restore: read the whole clone sequentially, cold.
+    t += 60.0  # long idle gap: queues drained, timing isolated
+    for off in range(0, IMAGE_BLOCKS, 64):
+        t += 1e-6
+        records.append(TraceRecord(t, OpType.READ, clone_lba + off, 64))
+
+    return Trace(
+        name="restore",
+        records=records,
+        logical_blocks=clone_lba + IMAGE_BLOCKS,
+        warmup_count=0,
+    )
+
+
+def restore_time(trace: Trace, cls) -> float:
+    extra = {"ssd_bytes": 16 * 1024 * 1024} if cls is SARDedupe else {}
+    scheme = cls(
+        SchemeConfig(
+            logical_blocks=trace.logical_blocks,
+            memory_bytes=64 * 1024,  # tiny: restores are cold reads
+            **extra,
+        )
+    )
+    config = ReplayConfig(
+        collect_warmup=True,
+        ssd_params=SsdParams() if cls is SARDedupe else None,
+    )
+    result = replay_trace(trace, scheme, config)
+    return result.metrics.read_summary().mean
+
+
+def run_experiment(_ignored=None):
+    rng = np.random.default_rng(99)
+    trace = build_restore_trace(rng)
+    return {
+        cls.name: restore_time(trace, cls)
+        for cls in (Native, FullDedupe, SelectDedupe, SARDedupe)
+    }
+
+
+def test_restore_amplification(benchmark):
+    times = benchmark(run_experiment)
+    amp_full = times["Full-Dedupe"] / times["Native"]
+    amp_select = times["Select-Dedupe"] / times["Native"]
+    text = render_table(
+        "Restore read amplification (Section I)",
+        ["scheme", "restore read mean (ms)", "vs Native"],
+        [
+            [name, value * 1e3, f"{value / times['Native']:.2f}x"]
+            for name, value in times.items()
+        ],
+        note="paper: dedup restores average 2.9x slower, up to 4.2x",
+    )
+    emit("restore_amplification", text)
+
+    # Full deduplication fragments the clone: multi-x amplification in
+    # the paper's reported band.
+    assert 1.5 <= amp_full <= 6.0
+    # Select-Dedupe deduplicates only the *large sequential* runs
+    # (category 3, 64 KB granularity here), so its restore pays at
+    # most a mild fragmentation cost -- far below Full-Dedupe's.
+    assert amp_select <= 2.0
+    assert amp_select < amp_full / 1.8
+    # SAR stages the remapped blocks on the SSD: the residual
+    # fragmentation cost disappears (reference [18]'s claim).
+    amp_sar = times["SAR"] / times["Native"]
+    assert amp_sar <= min(amp_select, 1.2)

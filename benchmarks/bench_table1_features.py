@@ -1,0 +1,34 @@
+"""Table I: qualitative feature comparison of the schemes."""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_table1_features(benchmark):
+    rows, text = benchmark(figures.table1_features)
+    emit("table1_features", text)
+
+    by_name = {r["scheme"]: r for r in rows}
+    # The paper's Table I, row by row.
+    assert by_name["POD"]["capacity_saving"] is True
+    assert by_name["POD"]["performance_enhancement"] is True
+    assert by_name["POD"]["small_writes_elimination"] is True
+    assert by_name["POD"]["large_writes_elimination"] is True
+    assert by_name["POD"]["cache_partitioning"] == "dynamic/adaptive"
+
+    assert by_name["iDedup"]["capacity_saving"] is True
+    assert by_name["iDedup"]["small_writes_elimination"] is False
+    assert by_name["iDedup"]["large_writes_elimination"] is True
+
+    assert by_name["I/O-Dedup"]["capacity_saving"] is False
+    assert by_name["I/O-Dedup"]["performance_enhancement"] is True
+
+    assert by_name["Post-Process"]["capacity_saving"] is True
+    assert by_name["Post-Process"]["performance_enhancement"] is False
+    assert by_name["Post-Process"]["small_writes_elimination"] is False
+
+    # Only POD partitions the cache dynamically.
+    for name, row in by_name.items():
+        if name != "POD":
+            assert row["cache_partitioning"] != "dynamic/adaptive"

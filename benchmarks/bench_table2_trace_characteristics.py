@@ -1,0 +1,23 @@
+"""Table II: characteristics of the three (synthetic) traces."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import figures
+
+#: Published Table II values: (write ratio, mean request KB).
+PAPER = {"web-vm": (0.698, 14.8), "homes": (0.805, 13.1), "mail": (0.785, 40.8)}
+
+
+def test_table2_trace_characteristics(benchmark, scale):
+    rows, text = benchmark(figures.table2_characteristics, scale)
+    emit("table2_trace_characteristics", text)
+
+    by_name = {r["trace"]: r for r in rows}
+    for name, (ratio, size_kb) in PAPER.items():
+        row = by_name[name]
+        assert row["write_ratio_pct"] / 100.0 == pytest.approx(ratio, abs=0.06)
+        assert row["mean_request_kb"] == pytest.approx(size_kb, rel=0.25)
+
+    # Relative volumes match the paper: mail >> web-vm > homes.
+    assert by_name["mail"]["io_count"] > by_name["web-vm"]["io_count"] > by_name["homes"]["io_count"]

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the per-figure benches.
+
+Every bench regenerates one table or figure of the paper, asserts its
+qualitative *shape* (who wins, by roughly what factor -- see DESIGN.md
+section 3) and records the rendered rows under ``benchmarks/out/`` so
+EXPERIMENTS.md can be assembled from one bench run.
+
+The replay scale is controlled with ``REPRO_BENCH_SCALE`` (default
+0.25: a full 3x5 scheme/trace matrix in well under a minute).  All
+replays are memoised process-wide, so the figure benches share one
+matrix instead of re-simulating per bench.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Default replay scale for benches.
+DEFAULT_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_SCALE)))
+
+
+def emit(name: str, text: str) -> None:
+    """Record a rendered figure both to stdout and to out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Watching iCache adapt to read/write burstiness.
+
+Drives POD with an artificial workload that alternates long
+write-intensive and read-intensive phases (Section II-B's premise),
+then plots -- in plain ASCII -- how the Swap Module moves DRAM between
+the index cache and the read cache, phase by phase.
+
+The workload is built so both caches are genuinely under pressure:
+write phases duplicate content from a window larger than the index
+cache (so a bigger index detects more duplicates), and read phases
+hammer a hot set about the size of the read cache (so a bigger read
+cache converts misses into hits).
+
+Run:  python examples/adaptive_cache_demo.py
+"""
+
+import numpy as np
+
+from repro import POD, SchemeConfig
+from repro.sim.request import IORequest
+
+PHASES = 10
+REQUESTS_PER_PHASE = 2500
+EPOCH = 0.3
+MEMORY = 256 * 1024  # 50/50 start: 4096 index entries / 32 read blocks
+
+
+def main() -> None:
+    pod = POD(
+        SchemeConfig(
+            logical_blocks=64 * 1024,
+            memory_bytes=MEMORY,
+            icache_epoch=EPOCH,
+            icache_step=0.08,
+        )
+    )
+    rng = np.random.default_rng(11)
+
+    now = 0.0
+    next_epoch = EPOCH
+    segments = []  # (lba, fps) written so far
+    next_lba = 0
+    fp_counter = 1
+
+    def tick(dt: float) -> float:
+        nonlocal now, next_epoch
+        now += dt
+        while now >= next_epoch:
+            pod.on_epoch(next_epoch)
+            next_epoch += EPOCH
+        return now
+
+    for phase in range(PHASES):
+        writing = phase % 2 == 0
+        for _ in range(REQUESTS_PER_PHASE):
+            t = tick(0.8e-3)
+            if writing or not segments:
+                n = int(rng.integers(1, 4))
+                # Duplicate from a *wide* window (more fingerprints
+                # than the index cache holds) or write fresh data.
+                if segments and rng.random() < 0.6:
+                    window = segments[-6000:]
+                    lba0, fps = window[int(rng.integers(0, len(window)))]
+                    n = min(n, len(fps))
+                    fps = fps[:n]
+                else:
+                    fps = tuple(range(fp_counter, fp_counter + n))
+                    fp_counter += n
+                lba = next_lba
+                next_lba = (next_lba + n) % (pod.regions.logical_blocks - 64)
+                segments.append((lba, tuple(fps)))
+                pod.process(IORequest.write(time=t, lba=lba, fingerprints=fps), t)
+            else:
+                # Hot-set reads: ~the size of the read cache.
+                hot = segments[-60:]
+                lba, fps = hot[int(rng.integers(0, len(hot)))]
+                pod.process(IORequest.read(time=t, lba=lba, nblocks=len(fps)), t)
+
+    print("index-cache share over time (each row = one epoch; W/R = phase type):")
+    phase_len_s = REQUESTS_PER_PHASE * 0.8e-3
+    shares = {"W": [], "R": []}
+    for when, index_bytes, _read_bytes in pod.cache.partition_history:
+        share = index_bytes / MEMORY
+        phase = min(PHASES - 1, int(when / phase_len_s))
+        kind = "W" if phase % 2 == 0 else "R"
+        shares[kind].append(share)
+        bar = "#" * int(share * 40)
+        print(f"  t={when:6.2f}s [{kind}] {bar:<40s} {share * 100:5.1f}%")
+
+    print(f"\nrepartitions: {pod.cache.repartitions}, "
+          f"swapped: {pod.cache.total_swapped_bytes / 1024:.0f} KiB")
+    mean_w = float(np.mean(shares["W"])) if shares["W"] else 0.0
+    mean_r = float(np.mean(shares["R"])) if shares["R"] else 0.0
+    print(f"mean index share in write phases: {mean_w * 100:.1f}%")
+    print(f"mean index share in read phases : {mean_r * 100:.1f}%")
+    print("expected shape: a larger index share during write phases than read phases.")
+
+
+if __name__ == "__main__":
+    main()

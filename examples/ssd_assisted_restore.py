@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""SSD-assisted restore (SAR): fixing dedup's read amplification.
+
+Section I of the POD paper measures that restores of deduplicated VM
+images run 2.9x-4.2x slower than undeduplicated ones; the authors'
+companion system SAR (reference [18]) parks the fragmented
+deduplicated blocks on an SSD. This example stores a set of cloned
+VM images under three schemes and times a full restore of the last
+clone:
+
+* Native        -- contiguous layout, the baseline restore speed;
+* Full-Dedupe   -- maximal space saving, badly fragmented restore;
+* SAR           -- Select-Dedupe + SSD staging: the space saving of
+                   selective dedup at (almost) Native restore speed.
+
+Run:  python examples/ssd_assisted_restore.py
+"""
+
+import numpy as np
+
+from repro import Native, FullDedupe, SchemeConfig, replay_trace
+from repro.core.sar import SARDedupe
+from repro.metrics.report import render_table
+from repro.sim.replay import ReplayConfig
+from repro.sim.request import OpType
+from repro.storage.ssd import SsdParams
+from repro.traces.format import Trace, TraceRecord
+
+IMAGE_BLOCKS = 1024  # 4 MiB images
+CLONES = 4
+
+
+def build_trace(rng: np.random.Generator) -> Trace:
+    """A base image, then clones that duplicate scattered parts of it,
+    then a cold sequential restore of the last clone."""
+    records, t, fp = [], 0.0, 1
+
+    base_fps = tuple(range(fp, fp + IMAGE_BLOCKS))
+    fp += IMAGE_BLOCKS
+    for off in range(0, IMAGE_BLOCKS, 16):
+        t += 1e-3
+        records.append(TraceRecord(t, OpType.WRITE, off, 16, base_fps[off : off + 16]))
+
+    clone_lba = 0
+    for clone in range(1, CLONES + 1):
+        clone_lba = clone * IMAGE_BLOCKS
+        for off in range(0, IMAGE_BLOCKS, 16):
+            if (off // 16) % 2 == 0:  # half duplicated, scattered donors
+                start = int(rng.integers(0, IMAGE_BLOCKS - 16))
+                chunk = base_fps[start : start + 16]
+            else:
+                chunk = tuple(range(fp, fp + 16))
+                fp += 16
+            t += 1e-3
+            records.append(TraceRecord(t, OpType.WRITE, clone_lba + off, 16, chunk))
+
+    t += 30.0  # idle: queues drain before the restore
+    for off in range(0, IMAGE_BLOCKS, 64):
+        t += 1e-6
+        records.append(TraceRecord(t, OpType.READ, clone_lba + off, 64))
+
+    return Trace(
+        name="sar-restore",
+        records=records,
+        logical_blocks=(CLONES + 1) * IMAGE_BLOCKS,
+    )
+
+
+def main() -> None:
+    trace = build_trace(np.random.default_rng(5))
+    rows = []
+    base_time = None
+    for cls in (Native, FullDedupe, SARDedupe):
+        extra = {"ssd_bytes": 16 * 1024 * 1024} if cls is SARDedupe else {}
+        scheme = cls(
+            SchemeConfig(
+                logical_blocks=trace.logical_blocks,
+                memory_bytes=256 * 1024,
+                **extra,
+            )
+        )
+        config = ReplayConfig(
+            collect_warmup=True,
+            ssd_params=SsdParams() if cls is SARDedupe else None,
+        )
+        result = replay_trace(trace, scheme, config)
+        restore_ms = result.metrics.read_summary().mean * 1e3
+        if base_time is None:
+            base_time = restore_ms
+        rows.append(
+            [
+                scheme.name,
+                restore_ms,
+                f"{restore_ms / base_time:.2f}x",
+                result.capacity_blocks,
+                scheme.stats().get("ssd_served_blocks", 0),
+            ]
+        )
+    print(
+        render_table(
+            "Restore of a deduplicated VM clone",
+            ["scheme", "restore read mean (ms)", "vs Native", "capacity (blocks)", "SSD-served blocks"],
+            rows,
+            note="the paper reports dedup restores 2.9x-4.2x slower; SAR removes the penalty",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Deduplicating real byte content: cloned VM images.
+
+The paper motivates POD with Cloud VM platforms, where images are
+"mostly identical but differ in a few data blocks" (Section III-A).
+This example builds three synthetic VM images as real byte buffers (a
+shared base image plus per-VM modifications), chunks and fingerprints
+them with the library's content-hashing API, and writes them through
+POD -- showing both the write-traffic elimination and the capacity
+saving, then verifying every image reads back intact.
+
+Run:  python examples/vm_image_dedupe.py
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro import POD, SchemeConfig
+from repro.constants import BLOCK_SIZE
+from repro.dedup.fingerprint import fingerprints_of
+from repro.sim.request import IORequest
+
+IMAGE_BLOCKS = 256  # 1 MiB images
+N_VMS = 3
+
+
+def make_base_image(rng: np.random.Generator) -> bytes:
+    """A base OS image: mostly structured, compressible-ish bytes."""
+    return rng.integers(0, 256, size=IMAGE_BLOCKS * BLOCK_SIZE, dtype=np.uint8).tobytes()
+
+
+def clone_with_changes(base: bytes, rng: np.random.Generator, changed_blocks: int) -> bytes:
+    """Clone an image and rewrite a few random blocks (per-VM state)."""
+    image = bytearray(base)
+    for block in rng.choice(IMAGE_BLOCKS, size=changed_blocks, replace=False):
+        start = int(block) * BLOCK_SIZE
+        image[start : start + BLOCK_SIZE] = rng.integers(
+            0, 256, size=BLOCK_SIZE, dtype=np.uint8
+        ).tobytes()
+    return bytes(image)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    base = make_base_image(rng)
+    images = [clone_with_changes(base, rng, changed_blocks=8 * (i + 1)) for i in range(N_VMS)]
+
+    pod = POD(
+        SchemeConfig(
+            logical_blocks=IMAGE_BLOCKS * (N_VMS + 1),
+            memory_bytes=512 * 1024,
+        )
+    )
+
+    # Store the base image, then each clone, as block-level writes
+    # carrying content fingerprints.
+    now = 0.0
+    layouts = {}
+    for idx, image in enumerate([base] + images):
+        lba = idx * IMAGE_BLOCKS
+        layouts[idx] = (lba, image)
+        fps = fingerprints_of(image)
+        # Write in 64 KB requests, like a hypervisor provisioning copy.
+        for off in range(0, IMAGE_BLOCKS, 16):
+            now += 1e-3
+            req = IORequest.write(time=now, lba=lba + off, fingerprints=fps[off : off + 16])
+            pod.process(req, now)
+
+    stats = pod.stats()
+    total_blocks = IMAGE_BLOCKS * (N_VMS + 1)
+    print(f"stored {N_VMS + 1} images of {IMAGE_BLOCKS} blocks each "
+          f"({total_blocks * BLOCK_SIZE // 1024} KiB logical)")
+    print(f"write blocks deduplicated : {stats['write_blocks_deduped']} / {stats['write_blocks']}")
+    print(f"physical capacity used    : {pod.capacity_blocks()} blocks "
+          f"({pod.capacity_blocks() / total_blocks * 100:.1f}% of logical)")
+    print(f"map-table NVRAM           : {pod.nvram.peak_bytes / 1024:.1f} KiB")
+
+    # Integrity: every image must read back as its own bytes, found by
+    # comparing per-block fingerprints through the dedup indirection.
+    for idx, (lba, image) in layouts.items():
+        fps = fingerprints_of(image)
+        for block in range(IMAGE_BLOCKS):
+            pba = pod.map_table.translate(lba + block)
+            stored = pod.content.read(pba)
+            assert stored == fps[block], f"image {idx} block {block} corrupted!"
+    print(f"verified: all {(N_VMS + 1) * IMAGE_BLOCKS} blocks read back correctly")
+
+    digest = hashlib.sha1(base[: 4 * BLOCK_SIZE]).hexdigest()[:12]
+    print(f"(base image prefix digest {digest} -- deterministic run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,498 @@
+"""The scheme interface and the shared write/read plumbing.
+
+Every deduplication scheme (Native, Full-Dedupe, iDedup, I/O-Dedup,
+Select-Dedupe, POD) implements :class:`DedupScheme`.  The base class
+owns the storage state common to all of them:
+
+* the :class:`~repro.core.map_table.MapTable` (LBA -> PBA indirection
+  with refcount consistency),
+* the :class:`~repro.storage.volume.ContentStore` (what is physically
+  on disk, used for integrity checking and capacity accounting),
+* the :class:`~repro.storage.allocator.LogAllocator` (copy-on-write
+  redirection when an in-place overwrite would corrupt a referenced
+  block),
+* the partitioned DRAM cache (fixed split or iCache),
+* the :class:`~repro.dedup.fingerprint.HashEngine` delay model.
+
+Subclasses customise two policy points on the write path:
+
+* :meth:`DedupScheme._lookup_fingerprint` -- how a chunk fingerprint
+  is resolved to a candidate duplicate PBA (in-memory-only lookup,
+  full index with on-disk lookups, ...), and
+* :meth:`DedupScheme._choose_dedupe` -- which redundant chunks to
+  actually deduplicate (none, all, long runs only, Figure-5
+  categories).
+
+The commit logic is shared and enforces the Request Redirector's
+consistency rule: a physical block referenced through the Map table is
+never overwritten in place; the write is redirected to a fresh log
+block instead.  A stale duplicate target (its content changed between
+lookup and commit, possible for intra-request duplicates) is detected
+by a content check and falls back to a normal write, so deduplication
+can never corrupt data.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constants import (
+    BLOCK_SIZE,
+    FINGERPRINT_DELAY,
+    IDEDUP_THRESHOLD,
+    SELECT_DEDUPE_THRESHOLD,
+)
+from repro.dedup.index_table import IndexTable
+from repro.dedup.map_table import MapTable
+from repro.dedup.fingerprint import HashEngine
+from repro.errors import ConfigError
+from repro.cache.partition import PartitionedCache
+from repro.sim.request import IORequest, OpType
+from repro.storage.allocator import LogAllocator, RegionMap
+from repro.storage.nvram import NvramMeter
+from repro.storage.volume import ContentStore, VolumeOp, extents_to_ops
+
+
+@dataclass
+class SchemeConfig:
+    """Configuration shared by all schemes.
+
+    Parameters mirror the paper's experimental setup (Section IV-A):
+    a DRAM budget per trace, a 50/50 fixed index/read split for the
+    non-POD schemes, a Select-Dedupe threshold of 3 chunks and an
+    iDedup sequence threshold of 8 chunks (32 KB).
+    """
+
+    #: Size of the logical address space, in 4 KB blocks.
+    logical_blocks: int
+    #: Total DRAM budget for index + read caches, bytes.
+    memory_bytes: int
+    #: Fixed index-cache share of the DRAM budget (Fig. 3 sweeps this).
+    index_fraction: float = 0.5
+    #: Select-Dedupe category-3 threshold, chunks.
+    select_threshold: int = SELECT_DEDUPE_THRESHOLD
+    #: iDedup minimum duplicate-sequence length, chunks.
+    idedup_threshold: int = IDEDUP_THRESHOLD
+    #: Fingerprint compute delay per 4 KB chunk, seconds.
+    fingerprint_delay: float = FINGERPRINT_DELAY
+    #: Mechanical cost charged for one on-disk index lookup is an
+    #: actual read in the index region, so no parameter is needed;
+    #: this flag lets tests disable those reads.
+    charge_index_io: bool = True
+    #: Log region size as a fraction of the logical space.  Sized for
+    #: the worst case (Full-Dedupe under heavy sharing redirects a
+    #: large share of the overwrites of referenced home blocks).
+    log_fraction: float = 0.50
+    #: iCache epoch length, simulated seconds (POD only).  Long
+    #: enough to integrate a few read/write phases per decision --
+    #: shorter epochs repartition on noise and churn the caches (see
+    #: benchmarks/bench_ablation_icache.py).
+    icache_epoch: float = 4.0
+    #: iCache repartition step, fraction of the DRAM budget (POD only).
+    icache_step: float = 0.05
+    #: iCache minimum share either cache keeps (POD only).
+    icache_min_fraction: float = 0.10
+    #: iCache benefit per ghost-read hit, seconds.  A re-cached block
+    #: usually shortens an extent that is fetched anyway, so the
+    #: marginal saving is about half a mechanical read.
+    icache_read_miss_cost: float = 6e-3
+    #: iCache benefit per ghost-index hit, seconds.  An additional
+    #: detected duplicate eliminates a RAID-5 small write: data and
+    #: parity read-modify-write, roughly four mechanical ops.
+    icache_write_saved_cost: float = 20e-3
+    #: SSD staging capacity for the SAR extension, bytes (0 = no SSD).
+    ssd_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.logical_blocks <= 0:
+            raise ConfigError("logical space must be positive")
+        if self.memory_bytes < 0:
+            raise ConfigError("negative memory budget")
+        if not (0.0 <= self.index_fraction <= 1.0):
+            raise ConfigError("index fraction outside [0, 1]")
+        if self.select_threshold < 1 or self.idedup_threshold < 1:
+            raise ConfigError("thresholds must be >= 1")
+
+    def make_regions(self) -> RegionMap:
+        """Physical region layout for this logical space."""
+        return RegionMap.for_logical_space(
+            self.logical_blocks, log_fraction=self.log_fraction
+        )
+
+
+@dataclass
+class PlannedIO:
+    """What one request costs: a delay plus physical extent ops.
+
+    Attributes
+    ----------
+    delay:
+        Processing time (fingerprinting) charged before any disk op
+        is issued.
+    volume_ops:
+        Extent operations the request must wait for.
+    background_ops:
+        Extent operations that load the disks but do not gate the
+        request's completion (iCache swap traffic).
+    eliminated:
+        True when a write request was fully deduplicated -- no data
+        write reaches the disks (the Fig. 11 metric).
+    cache_hit_blocks:
+        Read blocks served from the read cache.
+    """
+
+    delay: float = 0.0
+    volume_ops: List[VolumeOp] = field(default_factory=list)
+    background_ops: List[VolumeOp] = field(default_factory=list)
+    eliminated: bool = False
+    cache_hit_blocks: int = 0
+    #: Blocks served by the SSD tier (gates completion; SAR only).
+    ssd_read_blocks: int = 0
+    #: Blocks copied to the SSD tier in the background (SAR only).
+    ssd_write_blocks: int = 0
+
+
+class DedupScheme(abc.ABC):
+    """Base class for all deduplication schemes."""
+
+    #: Human-readable scheme name (used in reports).
+    name: str = "abstract"
+    #: Whether the write path computes fingerprints at all.
+    uses_fingerprints: bool = True
+    #: Table-I feature flags, overridden per scheme.
+    features: Dict[str, object] = {}
+    #: Simulated seconds between cache-management epochs, or ``None``.
+    epoch_interval: Optional[float] = None
+
+    def __init__(self, config: SchemeConfig) -> None:
+        self.config = config
+        self.regions = config.make_regions()
+        self.nvram = NvramMeter()
+        self.map_table = MapTable(self.regions, self.nvram)
+        self.content = ContentStore(self.regions.total_blocks)
+        self.log_alloc = LogAllocator(self.regions.log_base, self.regions.log_blocks)
+        self.hash_engine = HashEngine(config.fingerprint_delay)
+        self.cache = self._make_cache()
+        self.index_table: Optional[IndexTable] = (
+            IndexTable(self.cache.index) if self.uses_fingerprints else None
+        )
+        if self.index_table is not None and hasattr(self.cache, "attach_index_table"):
+            self.cache.attach_index_table(self.index_table)
+        self.written_lbas: Set[int] = set()
+        self._swap_cursor = 0
+        # ---- counters -------------------------------------------------
+        self.reads_total = 0
+        self.read_blocks_total = 0
+        self.read_cache_hit_blocks = 0
+        self.read_extents_issued = 0
+        self.writes_total = 0
+        self.write_blocks_total = 0
+        self.write_requests_removed = 0
+        self.write_blocks_deduped = 0
+        self.write_blocks_written = 0
+        self.redirected_writes = 0
+        self.stale_dedupe_avoided = 0
+        self.disk_index_lookups = 0
+
+    # ------------------------------------------------------------------
+    # construction hooks
+    # ------------------------------------------------------------------
+
+    def _make_cache(self):
+        """Build the DRAM cache organisation (fixed split by default)."""
+        return PartitionedCache(self.config.memory_bytes, self.config.index_fraction)
+
+    # ------------------------------------------------------------------
+    # the scheme interface
+    # ------------------------------------------------------------------
+
+    def process(self, request: IORequest, now: float) -> PlannedIO:
+        """Plan the physical I/O for one user request."""
+        if request.is_write:
+            return self._process_write(request, now)
+        return self._process_read(request, now)
+
+    def on_epoch(self, now: float) -> List[VolumeOp]:
+        """Periodic cache management; returns background swap traffic.
+
+        Only meaningful for schemes with ``epoch_interval`` set.
+        """
+        swapped_bytes = self.cache.on_epoch(now)
+        return self._swap_ops(swapped_bytes)
+
+    def capacity_blocks(self) -> int:
+        """Physical blocks in use backing all written logical blocks
+        (the Fig. 10 capacity measure)."""
+        return len(self.map_table.live_pbas(self.written_lbas))
+
+    # ------------------------------------------------------------------
+    # policy points
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _lookup_fingerprint(self, fingerprint: int) -> Tuple[Optional[int], List[VolumeOp]]:
+        """Resolve a chunk fingerprint to a candidate duplicate PBA.
+
+        Returns ``(pba_or_None, extra_ops)`` where ``extra_ops`` are
+        lookup costs charged to the request (e.g. an on-disk index
+        read for Full-Dedupe).
+        """
+
+    @abc.abstractmethod
+    def _choose_dedupe(
+        self, request: IORequest, duplicate_pbas: Sequence[Optional[int]]
+    ) -> Set[int]:
+        """Chunk indices (into the request) to deduplicate."""
+
+    def _admit_to_index(self, fingerprint: int, pba: int) -> None:
+        """Record a freshly written unique chunk in the index."""
+        if self.index_table is None:
+            return
+        self.index_table.insert(fingerprint, pba)
+        evicted = self.index_table.drain_evicted()
+        if evicted:
+            self.cache.note_index_evictions(evicted)
+
+    # ------------------------------------------------------------------
+    # shared read path
+    # ------------------------------------------------------------------
+
+    def _process_read(self, request: IORequest, now: float) -> PlannedIO:
+        self.reads_total += 1
+        self.read_blocks_total += request.nblocks
+        pbas = self.map_table.translate_many(request.blocks())
+        missing: List[int] = []
+        hits = 0
+        for pba in pbas:
+            if self.cache.read_lookup(pba):
+                hits += 1
+            else:
+                missing.append(pba)
+        self.read_cache_hit_blocks += hits
+        ops = extents_to_ops(OpType.READ, missing)
+        self.read_extents_issued += len(ops)
+        for pba in set(missing):
+            self.cache.read_insert(pba)
+        return PlannedIO(delay=0.0, volume_ops=ops, cache_hit_blocks=hits)
+
+    # ------------------------------------------------------------------
+    # shared write path
+    # ------------------------------------------------------------------
+
+    def _process_write(self, request: IORequest, now: float) -> PlannedIO:
+        self.writes_total += 1
+        self.write_blocks_total += request.nblocks
+        assert request.fingerprints is not None
+
+        delay = 0.0
+        extra_ops: List[VolumeOp] = []
+        if self.uses_fingerprints:
+            delay = self.hash_engine.delay_for(request.nblocks)
+            duplicate_pbas: List[Optional[int]] = []
+            for fp in request.fingerprints:
+                pba, ops = self._lookup_fingerprint(fp)
+                extra_ops.extend(ops)
+                duplicate_pbas.append(pba)
+        else:
+            duplicate_pbas = [None] * request.nblocks
+
+        dedupe_idx = self._choose_dedupe(request, duplicate_pbas)
+        write_ops, deduped_blocks = self._commit_write(request, duplicate_pbas, dedupe_idx)
+        eliminated = not write_ops and request.nblocks > 0
+        if eliminated:
+            self.write_requests_removed += 1
+        self.write_blocks_deduped += deduped_blocks
+        return PlannedIO(
+            delay=delay,
+            volume_ops=extra_ops + write_ops,
+            eliminated=eliminated,
+        )
+
+    def _commit_write(
+        self,
+        request: IORequest,
+        duplicate_pbas: Sequence[Optional[int]],
+        dedupe_idx: Set[int],
+    ) -> Tuple[List[VolumeOp], int]:
+        """Apply one write to the map table, content store and caches.
+
+        Returns ``(data_write_ops, deduped_block_count)``.
+        """
+        assert request.fingerprints is not None
+        write_pbas: List[int] = []
+        overwritten: Set[int] = set()
+        deduped = 0
+
+        for i, lba in enumerate(request.blocks()):
+            fp = request.fingerprints[i]
+            self.written_lbas.add(lba)
+
+            if i in dedupe_idx:
+                target = duplicate_pbas[i]
+                assert target is not None
+                # Safety net: the duplicate target must still hold the
+                # claimed content (an earlier chunk of this very
+                # request may have overwritten it).
+                if target in overwritten or self.content.read(target) != fp:
+                    self.stale_dedupe_avoided += 1
+                else:
+                    self._map_dedupe(lba, target)
+                    deduped += 1
+                    continue
+
+            # Normal (non-deduplicated) write.
+            target = self._write_target(lba)
+            overwritten.add(target)
+            if self.index_table is not None:
+                self.index_table.invalidate_pba(target)
+            self.content.write(target, fp)
+            self.cache.read_remove(target)
+            self._on_physical_write(target)
+            if self.uses_fingerprints:
+                self._admit_to_index(fp, target)
+            write_pbas.append(target)
+
+        ops = extents_to_ops(OpType.WRITE, write_pbas)
+        self.write_blocks_written += len(write_pbas)
+        return ops, deduped
+
+    def _map_dedupe(self, lba: int, target: int) -> None:
+        """Point ``lba`` at an existing duplicate block."""
+        if self.map_table.translate(lba) == target:
+            return  # same-location redundancy: nothing to update
+        if target == self.regions.home_of(lba):
+            freed = self.map_table.clear_mapping(lba)
+        else:
+            freed = self.map_table.set_mapping(lba, target)
+        self._reclaim(freed)
+
+    def _write_target(self, lba: int) -> int:
+        """Pick the physical block for an in-place or redirected write,
+        honouring the consistency rule."""
+        home = self.regions.home_of(lba)
+        current = self.map_table.translate(lba)
+        target = self.map_table.choose_write_target(lba)
+        if target is None:
+            target = self.log_alloc.allocate()
+            freed = self.map_table.set_mapping(lba, target)
+            self._reclaim(freed, keep=target)
+            self.redirected_writes += 1
+        elif target == home and current != home:
+            freed = self.map_table.clear_mapping(lba)
+            self._reclaim(freed, keep=target)
+        return target
+
+    def _reclaim(self, freed: Optional[int], keep: Optional[int] = None) -> None:
+        """Recycle a log block whose last reference went away."""
+        if freed is None or freed == keep:
+            return
+        if self.log_alloc.owns(freed) and self.log_alloc.is_allocated(freed):
+            self.log_alloc.free(freed)
+            self.content.discard(freed)
+            self.cache.read_remove(freed)
+            if self.index_table is not None:
+                self.index_table.invalidate_pba(freed)
+            self._on_physical_write(freed)
+
+    def _on_physical_write(self, pba: int) -> None:
+        """Hook: the content at ``pba`` changed or was discarded.
+        Subclasses with extra per-PBA state (e.g. SAR's SSD residency)
+        invalidate it here."""
+
+    # ------------------------------------------------------------------
+    # swap traffic (iCache)
+    # ------------------------------------------------------------------
+
+    def _swap_ops(self, swapped_bytes: float) -> List[VolumeOp]:
+        """Turn a repartition's byte movement into reserved-area I/O.
+
+        The Swap Module reads the swapped-in data from and writes the
+        swapped-out data to the reserved region (Section III-C); both
+        directions move the same number of bytes.
+        """
+        if swapped_bytes <= 0 or self.regions.swap_blocks == 0:
+            return []
+        nblocks = max(1, int(swapped_bytes) // BLOCK_SIZE)
+        nblocks = min(nblocks, self.regions.swap_blocks)
+        start = self.regions.swap_base + (self._swap_cursor % self.regions.swap_blocks)
+        nblocks = min(nblocks, self.regions.swap_base + self.regions.swap_blocks - start)
+        self._swap_cursor += nblocks
+        return [
+            VolumeOp(OpType.READ, start, nblocks),
+            VolumeOp(OpType.WRITE, start, nblocks),
+        ]
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def simulate_power_failure(self) -> None:
+        """Drop every piece of volatile (DRAM) state.
+
+        The paper stores the Map table in NVRAM precisely so this is
+        survivable (Sections III-B, IV-D.2): after a power failure the
+        Map table and the on-disk content are intact, while the DRAM
+        caches -- the read cache and the hot fingerprint Index table --
+        are lost.  Recovery therefore preserves *correctness* (every
+        LBA still resolves to its last-written content) and only
+        temporarily reduces the deduplication ratio until the hot
+        index re-warms.
+        """
+        self.cache = self._make_cache()
+        if self.uses_fingerprints:
+            self.index_table = IndexTable(self.cache.index)
+            if hasattr(self.cache, "attach_index_table"):
+                self.cache.attach_index_table(self.index_table)
+        self._volatile_reset()
+
+    def _volatile_reset(self) -> None:
+        """Hook for subclasses with extra volatile state."""
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot for reports and tests."""
+        out = {
+            "scheme": self.name,
+            "reads": self.reads_total,
+            "read_blocks": self.read_blocks_total,
+            "read_cache_hit_blocks": self.read_cache_hit_blocks,
+            "read_extents": self.read_extents_issued,
+            "writes": self.writes_total,
+            "write_blocks": self.write_blocks_total,
+            "write_requests_removed": self.write_requests_removed,
+            "write_blocks_deduped": self.write_blocks_deduped,
+            "write_blocks_written": self.write_blocks_written,
+            "redirected_writes": self.redirected_writes,
+            "stale_dedupe_avoided": self.stale_dedupe_avoided,
+            "disk_index_lookups": self.disk_index_lookups,
+            "capacity_blocks": self.capacity_blocks(),
+            "map_entries": len(self.map_table),
+            "nvram_peak_bytes": self.nvram.peak_bytes,
+            "chunks_hashed": self.hash_engine.chunks_hashed,
+        }
+        out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        if self.index_table is not None:
+            out.update({f"index_{k}": v for k, v in self.index_table.stats().items()})
+        return out
+
+    def check_integrity(self, expected: Dict[int, int]) -> List[str]:
+        """Verify that every LBA reads back its last-written content.
+
+        ``expected`` maps LBA -> fingerprint (maintained by the test
+        oracle).  Returns a list of violation descriptions (empty when
+        consistent).
+        """
+        problems: List[str] = []
+        for lba, fp in expected.items():
+            pba = self.map_table.translate(lba)
+            stored = self.content.read(pba)
+            if stored != fp:
+                problems.append(
+                    f"LBA {lba} -> PBA {pba}: expected fp {fp}, found {stored}"
+                )
+        return problems

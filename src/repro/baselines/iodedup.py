@@ -1,0 +1,100 @@
+"""I/O Deduplication (Koller & Rangaswami, FAST'10) -- extension
+baseline for Table I.
+
+This scheme never removes writes from the I/O path: "The write
+requests are still issued to disks even if their data has already been
+stored on disks" (Section V).  Instead it exploits *content
+similarity* on the read path: a content-addressed read cache means
+that blocks with identical content, cached under one fingerprint,
+serve hits for every LBA holding that content -- effectively enlarging
+the read cache by the workload's duplication factor.
+
+Our implementation reproduces the content-addressed caching component.
+The original system additionally keeps duplicated copies on disk and
+lets the head pick the nearest replica to cut seek latency; that
+head-scheduling optimisation is orthogonal to the cache and is *not*
+modelled (documented substitution -- it would require a continuous
+head-position model shared with the scheduler, and Table I only needs
+the scheme's policy profile: no write elimination, capacity
+unchanged, static cache).
+
+The index cache partition stores the LBA -> content fingerprint
+metadata that content-addressed caching requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.base import DedupScheme, PlannedIO
+from repro.sim.request import IORequest, OpType
+from repro.storage.volume import VolumeOp, extents_to_ops
+
+
+class IODedup(DedupScheme):
+    """Content-addressed read caching; writes pass through untouched."""
+
+    name = "I/O-Dedup"
+    features = {
+        "capacity_saving": False,
+        "performance_enhancement": True,
+        "small_writes_elimination": False,
+        "large_writes_elimination": False,
+        "cache_partitioning": "static",
+    }
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        #: Content fingerprint currently stored at each PBA (what the
+        #: original system tracks in its content-addressed metadata).
+        self._pba_content: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # write path: compute fingerprints (for the content metadata) but
+    # never deduplicate.
+    # ------------------------------------------------------------------
+
+    def _lookup_fingerprint(self, fingerprint: int) -> Tuple[Optional[int], List[VolumeOp]]:
+        assert self.index_table is not None
+        entry = self.index_table.lookup(fingerprint)
+        return (entry.pba if entry is not None else None), []
+
+    def _choose_dedupe(
+        self, request: IORequest, duplicate_pbas: Sequence[Optional[int]]
+    ) -> Set[int]:
+        return set()
+
+    def _commit_write(self, request, duplicate_pbas, dedupe_idx):
+        ops, deduped = super()._commit_write(request, duplicate_pbas, dedupe_idx)
+        # Track content at the written home locations for the
+        # content-addressed read cache.
+        assert request.fingerprints is not None
+        for i, lba in enumerate(request.blocks()):
+            self._pba_content[self.map_table.translate(lba)] = request.fingerprints[i]
+        return ops, deduped
+
+    # ------------------------------------------------------------------
+    # read path: content-addressed cache lookup
+    # ------------------------------------------------------------------
+
+    def _process_read(self, request: IORequest, now: float) -> PlannedIO:
+        self.reads_total += 1
+        self.read_blocks_total += request.nblocks
+        pbas = self.map_table.translate_many(request.blocks())
+        missing: List[int] = []
+        hits = 0
+        for pba in pbas:
+            fp = self._pba_content.get(pba)
+            key = ("c", fp) if fp is not None else ("p", pba)
+            if self.cache.read_lookup(key):
+                hits += 1
+            else:
+                missing.append(pba)
+        self.read_cache_hit_blocks += hits
+        ops = extents_to_ops(OpType.READ, missing)
+        self.read_extents_issued += len(ops)
+        for pba in set(missing):
+            fp = self._pba_content.get(pba)
+            key = ("c", fp) if fp is not None else ("p", pba)
+            self.cache.read_insert(key)
+        return PlannedIO(delay=0.0, volume_ops=ops, cache_hit_blocks=hits)

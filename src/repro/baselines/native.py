@@ -1,0 +1,43 @@
+"""Native: the HDD-based storage system without deduplication.
+
+The reference point every figure normalises to.  Writes land in place
+at their home physical address; no fingerprints are computed, no index
+exists, and the entire DRAM budget serves as a read cache (a system
+without deduplication has no index to cache).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.base import DedupScheme, SchemeConfig
+from repro.cache.partition import PartitionedCache
+from repro.sim.request import IORequest
+from repro.storage.volume import VolumeOp
+
+
+class Native(DedupScheme):
+    """No deduplication: every write goes to disk."""
+
+    name = "Native"
+    uses_fingerprints = False
+    features = {
+        "capacity_saving": False,
+        "performance_enhancement": False,
+        "small_writes_elimination": False,
+        "large_writes_elimination": False,
+        "cache_partitioning": "n/a",
+    }
+
+    def _make_cache(self) -> PartitionedCache:
+        # All DRAM is read cache: there is no index to store.
+        return PartitionedCache(self.config.memory_bytes, index_fraction=0.0)
+
+    def _lookup_fingerprint(self, fingerprint: int) -> Tuple[Optional[int], List[VolumeOp]]:
+        """Never called (``uses_fingerprints`` is False)."""
+        return None, []
+
+    def _choose_dedupe(
+        self, request: IORequest, duplicate_pbas: Sequence[Optional[int]]
+    ) -> Set[int]:
+        return set()

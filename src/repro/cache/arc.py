@@ -1,0 +1,129 @@
+"""ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+The paper cites ARC as the origin of the ghost-hit idea that iCache
+generalises to *heterogeneous* caches (index vs read).  We implement
+the full ARC algorithm over uniform-size entries: it is used by the
+I/O-Deduplication extension baseline's content-addressed read cache
+and serves as a reference implementation for the ghost-cache tests.
+
+ARC maintains four LRU lists:
+
+* ``T1`` -- recent entries seen once (with data),
+* ``T2`` -- frequent entries seen at least twice (with data),
+* ``B1`` / ``B2`` -- ghost histories of entries evicted from T1 / T2.
+
+A hit in B1 grows the target size ``p`` of T1 (recency pays off);
+a hit in B2 shrinks it (frequency pays off).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.errors import CacheError
+
+
+class ARCache:
+    """Adaptive Replacement Cache over ``capacity`` uniform entries."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheError("ARC capacity must be positive")
+        self.capacity = capacity
+        self.p = 0  # target size of T1
+        self.t1: "OrderedDict[Any, Any]" = OrderedDict()
+        self.t2: "OrderedDict[Any, Any]" = OrderedDict()
+        self.b1: "OrderedDict[Any, None]" = OrderedDict()
+        self.b2: "OrderedDict[Any, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.t1) + len(self.t2)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.t1 or key in self.t2
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Cache lookup; promotes on hit, adapts ``p`` implicitly via
+        :meth:`put` on ghost hits (ARC adapts on *insertion* after a
+        miss; plain gets only move between T1/T2)."""
+        if key in self.t1:
+            value = self.t1.pop(key)
+            self.t2[key] = value
+            self.hits += 1
+            return value
+        if key in self.t2:
+            self.t2.move_to_end(key)
+            self.hits += 1
+            return self.t2[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Any, value: Any = None) -> None:
+        """Insert *key* after a miss (the ARC ``REQUEST`` procedure)."""
+        if key in self.t1:
+            self.t1.pop(key)
+            self.t2[key] = value
+            return
+        if key in self.t2:
+            self.t2[key] = value
+            self.t2.move_to_end(key)
+            return
+        if key in self.b1:
+            # Recency ghost hit: grow T1's target.
+            delta = 1 if len(self.b1) >= len(self.b2) else max(1, len(self.b2) // max(1, len(self.b1)))
+            self.p = min(self.capacity, self.p + delta)
+            self._replace(in_b2=False)
+            del self.b1[key]
+            self.t2[key] = value
+            return
+        if key in self.b2:
+            # Frequency ghost hit: shrink T1's target.
+            delta = 1 if len(self.b2) >= len(self.b1) else max(1, len(self.b1) // max(1, len(self.b2)))
+            self.p = max(0, self.p - delta)
+            self._replace(in_b2=True)
+            del self.b2[key]
+            self.t2[key] = value
+            return
+        # Brand-new key.
+        l1 = len(self.t1) + len(self.b1)
+        if l1 == self.capacity:
+            if len(self.t1) < self.capacity:
+                self.b1.popitem(last=False)
+                self._replace(in_b2=False)
+            else:
+                self.t1.popitem(last=False)
+        else:
+            total = l1 + len(self.t2) + len(self.b2)
+            if total >= self.capacity:
+                if total == 2 * self.capacity:
+                    self.b2.popitem(last=False)
+                self._replace(in_b2=False)
+        self.t1[key] = value
+
+    def _replace(self, in_b2: bool) -> None:
+        """Evict one entry from T1 or T2 into its ghost list."""
+        if self.t1 and (len(self.t1) > self.p or (in_b2 and len(self.t1) == self.p)):
+            key, _ = self.t1.popitem(last=False)
+            self.b1[key] = None
+        elif self.t2:
+            key, _ = self.t2.popitem(last=False)
+            self.b2[key] = None
+        elif self.t1:  # pragma: no cover - defensive: T2 empty, T1 <= p
+            key, _ = self.t1.popitem(last=False)
+            self.b1[key] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def sizes(self) -> Dict[str, int]:
+        """List occupancies (for invariant tests)."""
+        return {"t1": len(self.t1), "t2": len(self.t2), "b1": len(self.b1), "b2": len(self.b2), "p": self.p}

@@ -1,0 +1,103 @@
+"""Metadata-only ghost cache.
+
+A ghost cache remembers the *keys* of recently evicted entries without
+their data (Section III-C: "ghost index and ghost read caches that
+store only metadata whose actual data are stored on the back-end
+storage devices").  A hit in a ghost cache means: *had this cache been
+larger, the access would have hit* -- the signal iCache's cost-benefit
+estimator is built on.
+
+The paper bounds ``actual + ghost`` by the total DRAM size, so the
+ghost capacity is expressed in the same bytes-of-actual-data units as
+the cache it shadows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, List, Optional
+
+from repro.errors import CacheError
+
+
+class GhostCache:
+    """Bounded LRU of keys with per-entry *represented* sizes.
+
+    ``capacity_bytes`` caps the sum of represented sizes, i.e. how
+    much actual cache the ghost stands in for.
+    """
+
+    def __init__(self, capacity_bytes: int, default_entry_size: int = 1) -> None:
+        if capacity_bytes < 0:
+            raise CacheError(f"negative ghost capacity {capacity_bytes}")
+        if default_entry_size <= 0:
+            raise CacheError("default entry size must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.default_entry_size = default_entry_size
+        self._keys: "OrderedDict[Any, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def record_eviction(self, key: Any, size: Optional[int] = None) -> List[Any]:
+        """Remember an evicted key; returns ghost keys aged out."""
+        size = self.default_entry_size if size is None else size
+        if size <= 0:
+            raise CacheError(f"entry size must be positive, got {size}")
+        if key in self._keys:
+            self._used -= self._keys.pop(key)
+        if size > self.capacity_bytes:
+            return [key]
+        self._keys[key] = size
+        self._used += size
+        dropped: List[Any] = []
+        while self._used > self.capacity_bytes and self._keys:
+            k, s = self._keys.popitem(last=False)
+            self._used -= s
+            dropped.append(k)
+        return dropped
+
+    def hit(self, key: Any) -> bool:
+        """Check for *key*; on a hit, count it and remove the key
+        (the caller is expected to re-admit the entry to the actual
+        cache, as ARC does)."""
+        if key in self._keys:
+            self._used -= self._keys.pop(key)
+            self.hits += 1
+            return True
+        return False
+
+    def remove(self, key: Any) -> bool:
+        """Silently drop *key* (no hit counted)."""
+        if key in self._keys:
+            self._used -= self._keys.pop(key)
+            return True
+        return False
+
+    def resize(self, new_capacity_bytes: int) -> List[Any]:
+        """Change capacity, aging out LRU ghosts as needed."""
+        if new_capacity_bytes < 0:
+            raise CacheError(f"negative ghost capacity {new_capacity_bytes}")
+        self.capacity_bytes = new_capacity_bytes
+        dropped: List[Any] = []
+        while self._used > self.capacity_bytes and self._keys:
+            k, s = self._keys.popitem(last=False)
+            self._used -= s
+            dropped.append(k)
+        return dropped
+
+    def keys_mru(self):
+        """Keys from most- to least-recently evicted (swap-in order)."""
+        return reversed(self._keys)
+
+    def reset_counters(self) -> None:
+        self.hits = 0

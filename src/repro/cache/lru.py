@@ -1,0 +1,140 @@
+"""Byte-capacity LRU cache.
+
+Entries carry an explicit size so one implementation serves both the
+read cache (4 KB data blocks) and the index cache (32 B fingerprint
+entries).  Evictions are returned to the caller, which lets owners
+feed ghost caches or write victims back to disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import CacheError
+
+#: (key, value, size) triple describing an evicted entry.
+Evicted = Tuple[Any, Any, int]
+
+
+class LRUCache:
+    """Least-recently-used cache bounded by total entry bytes."""
+
+    def __init__(self, capacity_bytes: int, default_entry_size: int = 1) -> None:
+        if capacity_bytes < 0:
+            raise CacheError(f"negative capacity {capacity_bytes}")
+        if default_entry_size <= 0:
+            raise CacheError("default entry size must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.default_entry_size = default_entry_size
+        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self._used = 0
+        # hit/miss accounting (the Access Monitor reads these).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate keys from most- to least-recently used."""
+        return reversed(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Look up *key*, promoting it to MRU.  Counts hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """Look up without promoting or counting."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[0]
+
+    def put(self, key: Any, value: Any = None, size: Optional[int] = None) -> List[Evicted]:
+        """Insert/update *key* as MRU; return entries evicted to fit.
+
+        An entry larger than the whole cache is rejected (returned as
+        if immediately evicted) rather than wiping the cache.
+        """
+        size = self.default_entry_size if size is None else size
+        if size <= 0:
+            raise CacheError(f"entry size must be positive, got {size}")
+        if key in self._entries:
+            _, old_size = self._entries.pop(key)
+            self._used -= old_size
+        if size > self.capacity_bytes:
+            return [(key, value, size)]
+        self._entries[key] = (value, size)
+        self._used += size
+        return self._evict_to_fit()
+
+    def remove(self, key: Any) -> bool:
+        """Drop *key* if present; returns whether it was there."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[1]
+        return True
+
+    def resize(self, new_capacity_bytes: int) -> List[Evicted]:
+        """Change capacity; returns LRU victims shed to fit."""
+        if new_capacity_bytes < 0:
+            raise CacheError(f"negative capacity {new_capacity_bytes}")
+        self.capacity_bytes = new_capacity_bytes
+        return self._evict_to_fit()
+
+    def pop_lru(self) -> Optional[Evicted]:
+        """Evict and return the LRU entry, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        key, (value, size) = self._entries.popitem(last=False)
+        self._used -= size
+        return (key, value, size)
+
+    def clear(self) -> List[Evicted]:
+        """Empty the cache, returning everything as victims."""
+        victims = [(k, v, s) for k, (v, s) in self._entries.items()]
+        self._entries.clear()
+        self._used = 0
+        return victims
+
+    def keys_lru_order(self) -> List[Any]:
+        """Keys from least- to most-recently used (for tests)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def _evict_to_fit(self) -> List[Evicted]:
+        victims: List[Evicted] = []
+        while self._used > self.capacity_bytes and self._entries:
+            victims.append(self.pop_lru())  # type: ignore[arg-type]
+        return victims

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --trace mail --scheme POD --scale 0.1
+    python -m repro compare --trace homes --scale 0.1
+    python -m repro figures --only fig8,fig11 --scale 0.25
+    python -m repro trace generate --trace web-vm --scale 0.05 --out w.trace
+    python -m repro trace analyze w.trace
+    python -m repro report --scale 0.25
+
+Everything the CLI does is also available as a library call; the CLI
+is a thin argparse layer over :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.metrics.report import render_table
+
+#: figure-name -> driver attribute on repro.experiments.figures
+FIGURES = {
+    "table1": "table1_features",
+    "table2": "table2_characteristics",
+    "fig1": "fig1_redundancy_by_size",
+    "fig2": "fig2_io_vs_capacity",
+    "fig3": "fig3_partition_sweep",
+    "fig8": "fig8_overall_response",
+    "fig9": "fig9_read_write_split",
+    "fig10": "fig10_capacity",
+    "fig11": "fig11_write_reduction",
+    "nvram": "nvram_overhead",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="POD (IPDPS'14) reproduction: trace-driven dedup experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="replay one trace through one scheme")
+    run.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
+    run.add_argument("--scheme", required=True)
+    run.add_argument("--scale", type=float, default=0.1)
+    run.add_argument("--index-fraction", type=float, default=None,
+                     help="fixed index-cache share (non-POD schemes)")
+    run.add_argument("--scheduler", choices=["fcfs", "clook"], default=None,
+                     help="event-driven disk queue discipline "
+                     "(default: fast analytic FCFS)")
+    run.add_argument("--failed-disk", type=int, default=None,
+                     help="run the RAID-5 array degraded with this member failed")
+    run.add_argument("--raid", choices=["raid5", "raid0", "single"], default="raid5")
+    run.add_argument("--ndisks", type=int, default=None,
+                     help="member disks (default 4 for raid5/raid0, 1 for single)")
+
+    compare = sub.add_parser("compare", help="replay one trace through every scheme")
+    compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
+    compare.add_argument("--scale", type=float, default=0.1)
+
+    figures_cmd = sub.add_parser("figures", help="regenerate the paper's tables/figures")
+    figures_cmd.add_argument("--only", default=None,
+                             help=f"comma list from: {','.join(FIGURES)}")
+    figures_cmd.add_argument("--scale", type=float, default=0.25)
+
+    trace = sub.add_parser("trace", help="generate or analyse trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    gen = trace_sub.add_parser("generate", help="write a synthetic trace file")
+    gen.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
+    gen.add_argument("--scale", type=float, default=0.1)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--out", required=True)
+    ana = trace_sub.add_parser("analyze", help="Table-II/Fig-1/Fig-2 stats of a trace file")
+    ana.add_argument("path")
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--scale", type=float, default=0.25)
+
+    export = sub.add_parser("export", help="write every figure's data as CSV/JSON")
+    export.add_argument("--out", default="figures_out")
+    export.add_argument("--scale", type=float, default=0.25)
+
+    return parser
+
+
+def _print_result(result) -> None:
+    s = result.summary()
+    rows = [
+        ["requests measured", s["requests"]],
+        ["mean response (ms)", s["mean_response"] * 1e3],
+        ["read mean (ms)", s["read_mean_response"] * 1e3],
+        ["write mean (ms)", s["write_mean_response"] * 1e3],
+        ["p95 (ms)", s["p95_response"] * 1e3],
+        ["write requests removed", f"{result.removed_write_pct:.1f}%"],
+        ["capacity (blocks)", result.capacity_blocks],
+        ["map entries", result.scheme_stats["map_entries"]],
+        ["NVRAM peak (bytes)", result.scheme_stats["nvram_peak_bytes"]],
+    ]
+    print(render_table(f"{result.scheme_name} on {result.trace_name}", ["metric", "value"], rows))
+
+
+def cmd_run(args) -> int:
+    from repro.experiments import runner
+    from repro.sim.replay import ReplayConfig
+    from repro.storage.raid import RaidLevel
+    from repro.storage.scheduler import SchedulingPolicy
+
+    overrides = {}
+    if args.index_fraction is not None:
+        overrides["index_fraction"] = args.index_fraction
+    level = {
+        "raid5": RaidLevel.RAID5,
+        "raid0": RaidLevel.RAID0,
+        "single": RaidLevel.SINGLE,
+    }[args.raid]
+    ndisks = args.ndisks if args.ndisks is not None else (1 if level is RaidLevel.SINGLE else 4)
+    replay_config = ReplayConfig(
+        raid_level=level,
+        ndisks=ndisks,
+        scheduler=SchedulingPolicy(args.scheduler) if args.scheduler else None,
+        failed_disk=args.failed_disk,
+    )
+    result = runner.run_single(
+        args.trace, args.scheme, scale=args.scale, replay_config=replay_config, **overrides
+    )
+    _print_result(result)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments import runner
+    from repro.experiments.runner import PAPER_SCHEMES
+
+    rows = []
+    for scheme in PAPER_SCHEMES:
+        result = runner.run_single(args.trace, scheme, scale=args.scale)
+        rows.append(
+            [
+                scheme,
+                result.metrics.overall_summary().mean * 1e3,
+                result.metrics.read_summary().mean * 1e3,
+                result.metrics.write_summary().mean * 1e3,
+                f"{result.removed_write_pct:.1f}%",
+                result.capacity_blocks,
+            ]
+        )
+    print(
+        render_table(
+            f"{args.trace} @ scale {args.scale} (4-disk RAID-5)",
+            ["scheme", "mean (ms)", "read (ms)", "write (ms)", "removed", "capacity"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.experiments import figures
+
+    names = list(FIGURES) if args.only is None else args.only.split(",")
+    for name in names:
+        attr = FIGURES.get(name.strip())
+        if attr is None:
+            print(f"unknown figure {name!r}; choose from {', '.join(FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        fn = getattr(figures, attr)
+        if name == "table1":
+            _rows, text = fn()
+        else:
+            _rows, text = fn(scale=args.scale)
+        print(text)
+        print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.traces import (
+        generate_trace,
+        io_vs_capacity_redundancy,
+        load_trace,
+        paper_traces,
+        redundancy_by_size,
+        save_trace,
+        trace_characteristics,
+    )
+
+    if args.trace_command == "generate":
+        spec = paper_traces()[args.trace]
+        trace = generate_trace(spec, seed=args.seed, scale=args.scale)
+        save_trace(trace, args.out)
+        print(f"wrote {args.out}: {len(trace)} requests "
+              f"({trace.warmup_count} warm-up), {trace.logical_blocks} logical blocks")
+        return 0
+
+    trace = load_trace(args.path)
+    ch = trace_characteristics(trace)
+    red = io_vs_capacity_redundancy(trace)
+    print(render_table(
+        f"trace {trace.name}",
+        ["metric", "value"],
+        [
+            ["requests (measured)", ch.io_count],
+            ["write ratio", f"{ch.write_ratio * 100:.1f}%"],
+            ["mean request size", f"{ch.mean_request_kb:.1f} KB"],
+            ["I/O redundancy", f"{red.io_redundancy_pct:.1f}%"],
+            ["capacity redundancy", f"{red.capacity_redundancy_pct:.1f}%"],
+        ],
+    ))
+    rows = redundancy_by_size(trace)
+    print()
+    print(render_table(
+        "write redundancy by size",
+        ["bucket", "total", "fully red.", "partially red."],
+        [[f"{r.bucket_kb} KB", r.total, r.fully_redundant, r.partially_redundant] for r in rows],
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report_md import build_report
+    from pathlib import Path
+
+    report = build_report(args.scale)
+    out = Path.cwd() / "EXPERIMENTS.md"
+    out.write_text(report + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.export import export_all
+
+    export_all(Path(args.out), args.scale)
+    print(f"wrote {args.out}/ (CSV per figure + figures.json) at scale {args.scale}")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figures": cmd_figures,
+    "trace": cmd_trace,
+    "report": cmd_report,
+    "export": cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

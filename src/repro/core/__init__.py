@@ -1,0 +1,36 @@
+"""The paper's contribution: Select-Dedupe, iCache, and POD.
+
+* :mod:`repro.core.map_table` -- the Map table: LBA -> PBA indirection
+  with m-to-1 reference counting and NVRAM accounting (Section III-B).
+* :mod:`repro.core.index_table` -- the Index table: in-memory LRU of
+  hot fingerprints with per-entry ``Count`` popularity (Section III-B).
+* :mod:`repro.core.categorize` -- the three-way write-request
+  categorisation of Figure 5.
+* :mod:`repro.core.select_dedupe` -- the request-based selective
+  deduplication scheme (Data Deduplicator + Request Redirector).
+* :mod:`repro.core.icache` -- the adaptive index/read cache partition
+  (Access Monitor + Swap Module, Section III-C).
+* :mod:`repro.core.pod` -- POD = Select-Dedupe + iCache.
+"""
+
+from repro.core.map_table import MapTable
+from repro.core.index_table import IndexTable, IndexEntry
+from repro.core.categorize import Category, CategoryDecision, categorize_write
+from repro.core.select_dedupe import SelectDedupe
+from repro.core.icache import ICache, ICacheConfig
+from repro.core.pod import POD
+from repro.core.sar import SARDedupe
+
+__all__ = [
+    "SARDedupe",
+    "MapTable",
+    "IndexTable",
+    "IndexEntry",
+    "Category",
+    "CategoryDecision",
+    "categorize_write",
+    "SelectDedupe",
+    "ICache",
+    "ICacheConfig",
+    "POD",
+]

@@ -1,0 +1,275 @@
+"""iCache: adaptive partitioning of DRAM between index and read caches.
+
+Section III-C.  A fixed index/read split serves bursty primary
+workloads badly: write bursts want a big index cache (more duplicates
+detected, more writes eliminated), read bursts want a big read cache
+(higher hit ratio).  iCache re-balances the split at run time:
+
+* Each actual cache is shadowed by a **ghost cache** holding only the
+  metadata of recently evicted entries; ``actual + ghost`` is bounded
+  by the total DRAM size, per the paper.
+* The **Access Monitor** counts, per epoch, the hits each ghost cache
+  receives.  A ghost hit is an access that *would* have hit had that
+  cache been larger, so ``ghost_hits x miss_penalty`` estimates the
+  benefit of growing the cache:
+
+  - a ghost *read* hit would have saved one disk read
+    (``read_miss_cost`` seconds);
+  - a ghost *index* hit would have detected one more duplicate write
+    chunk, saving its disk write (``write_saved_cost`` seconds).
+
+* The **Swap Module** moves one ``step`` of capacity from the
+  lower-benefit cache to the higher-benefit one and swaps the
+  displaced data to a reserved area on the back-end storage; the
+  replay harness charges that movement as background disk traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cache.ghost import GhostCache
+from repro.cache.lru import LRUCache
+from repro.constants import BLOCK_SIZE, INDEX_ENTRY_SIZE
+from repro.errors import CacheError
+
+
+@dataclass
+class ICacheConfig:
+    """Tunables of the adaptive partition."""
+
+    #: Total DRAM budget, bytes.
+    total_bytes: int
+    #: Starting index-cache share.
+    initial_index_fraction: float = 0.5
+    #: Fraction of the budget moved per repartition.
+    step_fraction: float = 0.05
+    #: Minimum share either cache keeps (avoids starving one side).
+    min_fraction: float = 0.10
+    #: Estimated seconds saved per avoided read miss (one average
+    #: random HDD read: seek + rotation + transfer, ~12 ms).
+    read_miss_cost: float = 12e-3
+    #: Estimated seconds saved per additional duplicate detected (one
+    #: average RAID-5 small write incl. parity RMW, ~15 ms).
+    write_saved_cost: float = 15e-3
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise CacheError("negative DRAM budget")
+        if not (0.0 <= self.initial_index_fraction <= 1.0):
+            raise CacheError("initial index fraction outside [0, 1]")
+        if not (0.0 < self.step_fraction <= 0.5):
+            raise CacheError("step fraction outside (0, 0.5]")
+        if not (0.0 <= self.min_fraction <= 0.5):
+            raise CacheError("min fraction outside [0, 0.5]")
+
+
+class ICache:
+    """Adaptive index/read cache with ghost-driven cost-benefit.
+
+    Exposes the same interface as
+    :class:`repro.cache.partition.PartitionedCache`, so schemes do not
+    care which organisation they were given.
+    """
+
+    def __init__(self, config: ICacheConfig) -> None:
+        self.config = config
+        index_bytes = int(config.total_bytes * config.initial_index_fraction)
+        read_bytes = config.total_bytes - index_bytes
+        self.index = LRUCache(index_bytes, default_entry_size=INDEX_ENTRY_SIZE)
+        self.read = LRUCache(read_bytes, default_entry_size=BLOCK_SIZE)
+        # actual + ghost bounded by total DRAM (Section III-C).
+        self.ghost_index = GhostCache(
+            config.total_bytes - index_bytes, default_entry_size=INDEX_ENTRY_SIZE
+        )
+        self.ghost_read = GhostCache(
+            config.total_bytes - read_bytes, default_entry_size=BLOCK_SIZE
+        )
+        #: (time, index_bytes, read_bytes) after each epoch.
+        self.partition_history: List[Tuple[float, int, int]] = []
+        self.repartitions = 0
+        self.total_swapped_bytes = 0.0
+        #: Swapped-out index entries parked in the reserved area,
+        #: keyed by fingerprint (pruned with the ghost index).
+        self._index_store: dict = {}
+        #: Set by the owning scheme so swap-in can restore entries
+        #: through the IndexTable (keeping its PBA reverse map sound).
+        self._index_table = None
+
+    def attach_index_table(self, index_table) -> None:
+        """Let swap-in restore evicted entries via the Index table."""
+        self._index_table = index_table
+
+    # ------------------------------------------------------------------
+    # read-cache interface
+    # ------------------------------------------------------------------
+
+    def read_lookup(self, key) -> bool:
+        """Actual-cache lookup; a miss probes the ghost read cache
+        (the Access Monitor's signal)."""
+        if self.read.get(key) is not None:
+            return True
+        self.ghost_read.hit(key)
+        return False
+
+    def read_insert(self, key) -> None:
+        for victim_key, _value, size in self.read.put(key, True):
+            self.ghost_read.record_eviction(victim_key, size)
+
+    def read_remove(self, key) -> bool:
+        self.ghost_read.remove(key)
+        return self.read.remove(key)
+
+    # ------------------------------------------------------------------
+    # index-cache interface (the IndexTable sits on ``self.index``)
+    # ------------------------------------------------------------------
+
+    def index_lookup(self, fingerprint: int):
+        return self.index.get(fingerprint)
+
+    def index_insert(self, fingerprint: int, pba) -> None:
+        self.index.put(fingerprint, pba)
+
+    def index_remove(self, fingerprint: int) -> bool:
+        return self.index.remove(fingerprint)
+
+    def on_index_miss(self, fingerprint: int) -> None:
+        """Called by the scheme when the hot index missed: probe the
+        ghost index (a hit = one duplicate we failed to detect)."""
+        self.ghost_index.hit(fingerprint)
+
+    def note_index_evictions(self, evicted) -> None:
+        """Feed IndexTable victims into the ghost index and park their
+        data in the reserved swap area for a later swap-in."""
+        for fingerprint, entry in evicted:
+            self._index_store[fingerprint] = entry
+            for dropped in self.ghost_index.record_eviction(fingerprint, INDEX_ENTRY_SIZE):
+                self._index_store.pop(dropped, None)
+
+    # ------------------------------------------------------------------
+    # the Access Monitor + Swap Module
+    # ------------------------------------------------------------------
+
+    def cost_benefit(self) -> Tuple[float, float]:
+        """(index_benefit, read_benefit) accumulated this epoch."""
+        index_benefit = self.ghost_index.hits * self.config.write_saved_cost
+        read_benefit = self.ghost_read.hits * self.config.read_miss_cost
+        return index_benefit, read_benefit
+
+    def on_epoch(self, now: float) -> float:
+        """Repartition based on this epoch's ghost hits.
+
+        Returns the number of bytes swapped between DRAM and the
+        reserved back-end area (0.0 when the split is unchanged); the
+        caller turns that into background disk traffic.
+        """
+        index_benefit, read_benefit = self.cost_benefit()
+        swapped = 0.0
+        if index_benefit != read_benefit:
+            total = self.config.total_bytes
+            step = int(total * self.config.step_fraction)
+            floor = int(total * self.config.min_fraction)
+            if index_benefit > read_benefit:
+                new_index = min(total - floor, self.index.capacity_bytes + step)
+            else:
+                new_index = max(floor, self.index.capacity_bytes - step)
+            swapped = float(abs(new_index - self.index.capacity_bytes))
+            if swapped:
+                self._resize(new_index)
+                self.repartitions += 1
+                self.total_swapped_bytes += swapped
+        self.ghost_index.reset_counters()
+        self.ghost_read.reset_counters()
+        self.partition_history.append(
+            (now, self.index.capacity_bytes, self.read.capacity_bytes)
+        )
+        return swapped
+
+    def _resize(self, new_index_bytes: int) -> None:
+        total = self.config.total_bytes
+        new_read_bytes = total - new_index_bytes
+        # Shrink first so victims land in the ghosts, then grow and
+        # swap the most recently displaced data of the grown cache
+        # back in from the reserved area (Section III-C: "swaps in the
+        # actual data of the ghost cache with the larger cost-benefit
+        # value into the memory").
+        if new_index_bytes < self.index.capacity_bytes:
+            if self._index_table is not None:
+                evicted = self._index_table.resize(new_index_bytes)
+            else:
+                evicted = [
+                    (fp, entry) for fp, entry, _size in self.index.resize(new_index_bytes)
+                ]
+            for fp, entry in evicted:
+                self._index_store[fp] = entry
+                for dropped in self.ghost_index.record_eviction(fp, INDEX_ENTRY_SIZE):
+                    self._index_store.pop(dropped, None)
+            self.read.resize(new_read_bytes)
+            self._swap_in_read()
+        else:
+            for key, _value, size in self.read.resize(new_read_bytes):
+                self.ghost_read.record_eviction(key, size)
+            self.index.resize(new_index_bytes)
+            self._swap_in_index()
+        # Ghost capacities track the complement of their actual cache.
+        self.ghost_index.resize(total - new_index_bytes)
+        self.ghost_read.resize(total - new_read_bytes)
+
+    def _swap_in_index(self) -> None:
+        """Refill grown index space from the ghost index.
+
+        Candidates are ordered by their ``Count`` popularity first and
+        eviction recency second -- the Index table keeps Count exactly
+        so the hot entries can be told apart (Section III-B).
+        """
+        candidates = sorted(
+            (
+                (fp, self._index_store[fp])
+                for fp in self.ghost_index.keys_mru()
+                if fp in self._index_store
+            ),
+            key=lambda item: item[1].count,
+            reverse=True,
+        )
+        restored = []
+        for fp, entry in candidates:
+            if self.index.free_bytes < INDEX_ENTRY_SIZE:
+                break
+            ok = (
+                self._index_table.restore(fp, entry)
+                if self._index_table is not None
+                else bool(self.index.put(fp, entry) or True)
+            )
+            if ok:
+                restored.append(fp)
+        for fp in restored:
+            self.ghost_index.remove(fp)
+            self._index_store.pop(fp, None)
+
+    def _swap_in_read(self) -> None:
+        """Refill grown read space with the most recent ghost blocks."""
+        restored = []
+        for key in self.ghost_read.keys_mru():
+            if self.read.free_bytes < BLOCK_SIZE:
+                break
+            self.read.put(key, True)
+            restored.append(key)
+        for key in restored:
+            self.ghost_read.remove(key)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "index_bytes": self.index.capacity_bytes,
+            "read_bytes": self.read.capacity_bytes,
+            "index_hits": self.index.hits,
+            "index_misses": self.index.misses,
+            "read_hits": self.read.hits,
+            "read_misses": self.read.misses,
+            "ghost_index_hits_epoch": self.ghost_index.hits,
+            "ghost_read_hits_epoch": self.ghost_read.hits,
+            "repartitions": self.repartitions,
+            "total_swapped_bytes": self.total_swapped_bytes,
+        }

@@ -1,0 +1,7 @@
+"""Re-export of the Index table (implementation lives in
+:mod:`repro.dedup.index_table` so that the scheme base class can
+import it without triggering this package's ``__init__``)."""
+
+from repro.dedup.index_table import IndexEntry, IndexTable
+
+__all__ = ["IndexEntry", "IndexTable"]

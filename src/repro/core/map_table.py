@@ -1,0 +1,7 @@
+"""Re-export of the Map table (implementation lives in
+:mod:`repro.dedup.map_table` so that the scheme base class can import
+it without triggering this package's ``__init__``)."""
+
+from repro.dedup.map_table import MapTable
+
+__all__ = ["MapTable"]

@@ -1,0 +1,14 @@
+"""Deduplication primitives shared by all schemes."""
+
+from repro.dedup.fingerprint import HashEngine, fingerprint_bytes, chunk_bytes
+from repro.dedup.index_table import IndexEntry, IndexTable
+from repro.dedup.map_table import MapTable
+
+__all__ = [
+    "HashEngine",
+    "fingerprint_bytes",
+    "chunk_bytes",
+    "IndexEntry",
+    "IndexTable",
+    "MapTable",
+]

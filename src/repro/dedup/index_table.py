@@ -1,0 +1,171 @@
+"""The Index table: in-memory LRU of *hot* fingerprint entries.
+
+From Section III-B:
+
+  "In order to reduce the memory space and processing overhead
+  required to store and query the huge hash index table, POD only
+  stores the hot hash index entries in memory.  The Index table [...]
+  is organized in an LRU form and maintains the frequency of write
+  requests by using the Count variable (initialized to 0).  When a
+  write request hits the Index table, the count value of the
+  corresponding hash index entry is incremented."
+
+A lookup miss therefore means "treat the chunk as unique" -- POD never
+does on-disk index lookups (that is Full-Dedupe's bottleneck, Section
+II-B).  The table keeps a reverse PBA -> fingerprint map so that
+overwriting a physical block invalidates any stale entry pointing at
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.lru import LRUCache
+from repro.constants import INDEX_ENTRY_SIZE
+from repro.errors import DedupError
+
+
+@dataclass
+class IndexEntry:
+    """One hot fingerprint: where its data lives and how popular it is."""
+
+    pba: int
+    count: int = 0
+
+
+class IndexTable:
+    """Fingerprint -> :class:`IndexEntry` over a shared LRU cache.
+
+    The byte budget of the underlying :class:`LRUCache` is owned by
+    the cache-partition object (fixed or iCache), so resizing the
+    partition transparently shrinks/grows this table.
+    """
+
+    def __init__(self, lru: LRUCache) -> None:
+        if lru.default_entry_size != INDEX_ENTRY_SIZE:
+            raise DedupError(
+                "index table expects an LRU sized in "
+                f"{INDEX_ENTRY_SIZE}-byte entries"
+            )
+        self.lru = lru
+        self._by_pba: Dict[int, int] = {}
+        #: Evicted fingerprints since last drain (fed to ghost caches).
+        self._evicted: List[Tuple[int, IndexEntry]] = []
+
+    def __len__(self) -> int:
+        return len(self.lru)
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return fingerprint in self.lru
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, fingerprint: int) -> Optional[IndexEntry]:
+        """Query a write chunk's fingerprint.
+
+        A hit promotes the entry and increments its ``Count``
+        (capturing the temporal locality and frequency of writes).
+        """
+        entry = self.lru.get(fingerprint)
+        if entry is None:
+            return None
+        entry.count += 1
+        return entry
+
+    def peek(self, fingerprint: int) -> Optional[IndexEntry]:
+        """Query without promoting or counting (stats/tests)."""
+        return self.lru.peek(fingerprint)
+
+    def insert(self, fingerprint: int, pba: int) -> IndexEntry:
+        """Insert a new hot entry with ``Count = 0``.
+
+        If another fingerprint already claims ``pba`` the stale claim
+        is dropped first (the block's content has changed).
+        """
+        self.invalidate_pba(pba)
+        stale = self.lru.peek(fingerprint)
+        if stale is not None:
+            self._by_pba.pop(stale.pba, None)
+        entry = IndexEntry(pba=pba, count=0)
+        victims = self.lru.put(fingerprint, entry)
+        self._by_pba[pba] = fingerprint
+        for key, value, _size in victims:
+            if key == fingerprint:
+                # Entry was larger than the cache; nothing was kept.
+                self._by_pba.pop(pba, None)
+            else:
+                self._by_pba.pop(value.pba, None)
+                self._evicted.append((key, value))
+        return entry
+
+    def remove(self, fingerprint: int) -> bool:
+        """Drop an entry (not counted as an eviction)."""
+        entry = self.lru.peek(fingerprint)
+        if entry is None:
+            return False
+        self._by_pba.pop(entry.pba, None)
+        return self.lru.remove(fingerprint)
+
+    def invalidate_pba(self, pba: int) -> bool:
+        """The content at ``pba`` is about to change: drop any entry
+        pointing at it so future lookups cannot dedupe onto stale data."""
+        fingerprint = self._by_pba.pop(pba, None)
+        if fingerprint is None:
+            return False
+        self.lru.remove(fingerprint)
+        return True
+
+    def resize(self, new_capacity_bytes: int) -> List[Tuple[int, IndexEntry]]:
+        """Change the table's byte budget (iCache repartitioning).
+
+        Returns the evicted ``(fingerprint, entry)`` pairs, with the
+        PBA reverse map kept consistent -- resizing the underlying LRU
+        directly would leave stale PBA claims behind that block later
+        swap-ins and invalidations.
+        """
+        out: List[Tuple[int, IndexEntry]] = []
+        for key, value, _size in self.lru.resize(new_capacity_bytes):
+            self._by_pba.pop(value.pba, None)
+            out.append((key, value))
+        return out
+
+    def restore(self, fingerprint: int, entry: IndexEntry) -> bool:
+        """Swap a previously evicted entry back in (iCache swap-in).
+
+        Unlike :meth:`insert`, restoring does not treat the entry as a
+        claim about fresh content: it only succeeds when the slot is
+        free, the fingerprint is not already present, and no other
+        fingerprint currently claims the entry's PBA.
+        """
+        if self.lru.free_bytes < self.lru.default_entry_size:
+            return False
+        if fingerprint in self.lru or entry.pba in self._by_pba:
+            return False
+        victims = self.lru.put(fingerprint, entry)
+        if victims:  # pragma: no cover - free space was checked above
+            for key, value, _size in victims:
+                self._by_pba.pop(value.pba, None)
+                self._evicted.append((key, value))
+        self._by_pba[entry.pba] = fingerprint
+        return True
+
+    def drain_evicted(self) -> List[Tuple[int, IndexEntry]]:
+        """Return and clear the evictions since the last drain.
+
+        The iCache feeds these into its ghost index cache.
+        """
+        out = self._evicted
+        self._evicted = []
+        return out
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.lru),
+            "hits": self.lru.hits,
+            "misses": self.lru.misses,
+            "hit_ratio": self.lru.hit_ratio,
+        }

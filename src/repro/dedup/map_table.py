@@ -1,0 +1,156 @@
+"""The Map table: LBA -> PBA indirection with reference counting.
+
+From Section III-B of the paper:
+
+  "The Map table keeps all the information of the deduplicated write
+  requests whose write data are already stored on disks. [...] The
+  mapping relationship between the items in Map table and the items in
+  Index table is m-to-1.  This means that an LBA can only be linked to
+  a unique and distinctive physical data block but multiple LBAs may
+  be linked to the same physical data block. [...] To prevent data
+  loss in case of a power failure, the Map table data structure is
+  stored in non-volatile RAM."
+
+Only *redirected* LBAs have entries; an LBA without an entry maps to
+its home physical block (in-place layout).  Reference counts on PBAs
+implement the Request Redirector's consistency rule: a physical block
+referenced by any LBA must never be overwritten in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import DedupError
+from repro.storage.allocator import RegionMap
+from repro.storage.nvram import NvramMeter
+
+
+class MapTable:
+    """LBA -> PBA indirection over a :class:`RegionMap` home layout."""
+
+    def __init__(self, regions: RegionMap, nvram: Optional[NvramMeter] = None) -> None:
+        self.regions = regions
+        self.nvram = nvram if nvram is not None else NvramMeter()
+        self._map: Dict[int, int] = {}
+        self._refs: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of explicit (redirected) entries."""
+        return len(self._map)
+
+    def translate(self, lba: int) -> int:
+        """Physical block currently backing ``lba``."""
+        pba = self._map.get(lba)
+        if pba is not None:
+            return pba
+        return self.regions.home_of(lba)
+
+    def translate_many(self, lbas: Iterable[int]) -> list:
+        """Translate a batch of LBAs (read-path helper)."""
+        return [self.translate(lba) for lba in lbas]
+
+    def is_redirected(self, lba: int) -> bool:
+        return lba in self._map
+
+    def refs(self, pba: int) -> int:
+        """Number of explicit map entries referencing ``pba``."""
+        return self._refs.get(pba, 0)
+
+    def is_referenced(self, pba: int) -> bool:
+        """True if overwriting ``pba`` in place would corrupt some LBA
+        other than its implicit home owner."""
+        return self.refs(pba) > 0
+
+    def referencing_lbas(self, pba: int) -> Set[int]:
+        """All LBAs explicitly mapped to ``pba`` (O(n); tests only)."""
+        return {lba for lba, p in self._map.items() if p == pba}
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def set_mapping(self, lba: int, pba: int) -> Optional[int]:
+        """Point ``lba`` at ``pba``.
+
+        Returns the previously mapped PBA whose reference count
+        dropped to zero (so the caller can reclaim it if it is a log
+        block), or ``None``.
+
+        Mapping an LBA to its own home block is stored as *no entry*
+        (identity), keeping the table minimal -- the paper sizes NVRAM
+        by deduplicated writes only.
+        """
+        self.regions.home_of(lba)  # validates the LBA range
+        if pba < 0 or pba >= self.regions.total_blocks:
+            raise DedupError(f"PBA {pba} outside the volume")
+        freed = self.clear_mapping(lba)
+        if pba != self.regions.home_of(lba):
+            self._map[lba] = pba
+            self._refs[pba] = self._refs.get(pba, 0) + 1
+            self.nvram.add(1)
+        return freed
+
+    def clear_mapping(self, lba: int) -> Optional[int]:
+        """Return ``lba`` to its identity (home) mapping.
+
+        Returns the PBA that became unreferenced, if any.
+        """
+        old = self._map.pop(lba, None)
+        if old is None:
+            return None
+        self.nvram.remove(1)
+        count = self._refs.get(old, 0)
+        if count <= 0:
+            raise DedupError(f"refcount underflow on PBA {old}")
+        if count == 1:
+            del self._refs[old]
+            return old
+        self._refs[old] = count - 1
+        return None
+
+    # ------------------------------------------------------------------
+    # write-target policy (the Request Redirector's consistency rule)
+    # ------------------------------------------------------------------
+
+    def choose_write_target(self, lba: int) -> Optional[int]:
+        """Where may a *non-deduplicated* write of ``lba`` land in place?
+
+        Returns a PBA safe to overwrite, or ``None`` if the caller
+        must allocate a fresh (log) block:
+
+        * the home block, when nothing references it -- the common
+          in-place case (also reclaims a stale redirection);
+        * the currently mapped block, when ``lba`` is its only
+          referencer *and* the block lives in the log region (a
+          private copy-on-write block, safe to update in place).  A
+          block in the home region is never updated through a foreign
+          mapping: it is some other LBA's home, and that LBA's
+          implicit claim is not visible to the reference counts;
+        * otherwise ``None`` -- every candidate is shared.
+        """
+        home = self.regions.home_of(lba)
+        current = self.translate(lba)
+        if not self.is_referenced(home):
+            return home
+        if (
+            current != home
+            and self.regions.is_log(current)
+            and self.refs(current) == 1
+            and self._map.get(lba) == current
+        ):
+            return current
+        return None
+
+    def live_pbas(self, written_lbas: Iterable[int]) -> Set[int]:
+        """Distinct physical blocks backing the given logical blocks.
+
+        This is the capacity-in-use measure of Figure 10: every
+        written LBA resolves to exactly one physical block; shared
+        blocks are counted once.
+        """
+        return {self.translate(lba) for lba in written_lbas}

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the POD reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (e.g. an
+    event scheduled in the past, or a completion for an unknown op)."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (out-of-range address,
+    overlapping allocation, bad RAID geometry)."""
+
+
+class CacheError(ReproError):
+    """A cache invariant was violated (negative capacity, duplicate
+    insert where forbidden)."""
+
+
+class DedupError(ReproError):
+    """A deduplication-layer invariant was violated (dangling map
+    entry, refcount underflow, overwrite of a referenced block)."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is invalid."""

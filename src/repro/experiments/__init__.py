@@ -1,0 +1,26 @@
+"""Experiment drivers: the paper's evaluation, runnable end-to-end.
+
+* :mod:`repro.experiments.runner` -- build (trace, scheme, array),
+  replay, and memoise results so every figure bench shares one run
+  matrix.
+* :mod:`repro.experiments.figures` -- one function per table/figure
+  of the paper, returning the rows and a rendered text table.
+"""
+
+from repro.experiments.runner import (
+    SCHEME_CLASSES,
+    build_scheme,
+    clear_run_cache,
+    run_matrix,
+    run_single,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "SCHEME_CLASSES",
+    "build_scheme",
+    "run_single",
+    "run_matrix",
+    "clear_run_cache",
+    "figures",
+]

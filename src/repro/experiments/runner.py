@@ -1,0 +1,178 @@
+"""Build-and-replay driver with a process-level result cache.
+
+Figures 8, 9a, 9b, 10 and 11 are all views of the same fifteen
+replays (3 traces x 5 schemes), so the runner memoises
+:class:`~repro.sim.replay.ReplayResult` by the full run key; the
+figure benches then share one matrix instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Type
+
+from repro.baselines.base import DedupScheme, SchemeConfig
+from repro.baselines.full_dedupe import FullDedupe
+from repro.baselines.idedup import IDedup
+from repro.baselines.iodedup import IODedup
+from repro.baselines.native import Native
+from repro.baselines.postprocess import PostProcessDedupe
+from repro.core.pod import POD
+from repro.core.select_dedupe import SelectDedupe
+from repro.errors import ConfigError
+from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace
+from repro.traces.format import Trace
+from repro.traces.synthetic import TraceSpec, generate_trace, paper_traces
+
+#: Every scheme the evaluation compares, by report name.
+SCHEME_CLASSES: Dict[str, Type[DedupScheme]] = {
+    "Native": Native,
+    "Full-Dedupe": FullDedupe,
+    "iDedup": IDedup,
+    "Select-Dedupe": SelectDedupe,
+    "POD": POD,
+    "I/O-Dedup": IODedup,
+    "Post-Process": PostProcessDedupe,
+}
+
+#: The four schemes of Figs. 8-10 plus POD (Fig. 11).
+PAPER_SCHEMES: Tuple[str, ...] = (
+    "Native",
+    "Full-Dedupe",
+    "iDedup",
+    "Select-Dedupe",
+    "POD",
+)
+
+#: Default replay scale for benches: small enough to run a full
+#: 3x5 matrix in seconds, large enough for stable shapes.
+DEFAULT_SCALE: float = 0.25
+
+_trace_cache: Dict[Tuple[str, float, Optional[int]], Trace] = {}
+_run_cache: Dict[tuple, ReplayResult] = {}
+
+
+def clear_run_cache() -> None:
+    """Forget all memoised traces and replays (tests use this)."""
+    _trace_cache.clear()
+    _run_cache.clear()
+
+
+def get_trace(spec: TraceSpec, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
+    """Generate (or fetch the memoised) trace for a spec."""
+    key = (spec.name, scale, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = generate_trace(spec, seed=seed, scale=scale)
+    return _trace_cache[key]
+
+
+def scheme_config_for(
+    spec: TraceSpec, scale: float = 1.0, **overrides
+) -> SchemeConfig:
+    """Per-trace scheme configuration (memory budgets of Section IV-A).
+
+    The iCache epoch scales with the generator scale: trace duration
+    and phase length grow proportionally with scale, and the epoch
+    must keep integrating the same number of read/write phases per
+    decision (see benchmarks/bench_ablation_icache.py).
+    """
+    scaled = spec.scaled(scale) if scale != 1.0 else spec
+    params = dict(
+        logical_blocks=scaled.logical_blocks,
+        memory_bytes=scaled.memory_bytes,
+        icache_epoch=max(1.0, 16.0 * scale),
+    )
+    params.update(overrides)
+    return SchemeConfig(**params)
+
+
+def build_scheme(
+    scheme_name: str, spec: TraceSpec, scale: float = 1.0, **overrides
+) -> DedupScheme:
+    """Instantiate a scheme configured for a trace."""
+    if scheme_name not in SCHEME_CLASSES:
+        raise ConfigError(
+            f"unknown scheme {scheme_name!r}; have {sorted(SCHEME_CLASSES)}"
+        )
+    return SCHEME_CLASSES[scheme_name](scheme_config_for(spec, scale, **overrides))
+
+
+def run_single(
+    trace_name: str,
+    scheme_name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    replay_config: Optional[ReplayConfig] = None,
+    **config_overrides,
+) -> ReplayResult:
+    """Replay one (trace, scheme) pair, memoised.
+
+    ``config_overrides`` are :class:`SchemeConfig` fields (e.g.
+    ``index_fraction=0.3`` for the Fig. 3 sweep).
+    """
+    specs = paper_traces()
+    if trace_name not in specs:
+        raise ConfigError(f"unknown trace {trace_name!r}; have {sorted(specs)}")
+    replay_config = replay_config if replay_config is not None else ReplayConfig()
+    key = (
+        trace_name,
+        scheme_name,
+        scale,
+        seed,
+        replay_config,
+        tuple(sorted(config_overrides.items())),
+    )
+    if key in _run_cache:
+        return _run_cache[key]
+    spec = specs[trace_name]
+    trace = get_trace(spec, scale=scale, seed=seed)
+    scheme = build_scheme(scheme_name, spec, scale=scale, **config_overrides)
+    result = replay_trace(trace, scheme, replay_config)
+    _run_cache[key] = result
+    return result
+
+
+def run_custom(
+    spec: TraceSpec,
+    scheme_name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    replay_config: Optional[ReplayConfig] = None,
+    **config_overrides,
+) -> ReplayResult:
+    """Replay a non-preset trace spec (e.g. a figure-specific variant).
+
+    Memoised by ``spec.name`` -- give variants distinct names.
+    """
+    replay_config = replay_config if replay_config is not None else ReplayConfig()
+    key = (
+        "custom",
+        spec.name,
+        scheme_name,
+        scale,
+        seed,
+        replay_config,
+        tuple(sorted(config_overrides.items())),
+    )
+    if key in _run_cache:
+        return _run_cache[key]
+    trace = get_trace(spec, scale=scale, seed=seed)
+    scheme = build_scheme(scheme_name, spec, scale=scale, **config_overrides)
+    result = replay_trace(trace, scheme, replay_config)
+    _run_cache[key] = result
+    return result
+
+
+def run_matrix(
+    trace_names: Optional[Iterable[str]] = None,
+    scheme_names: Optional[Iterable[str]] = None,
+    scale: float = DEFAULT_SCALE,
+    **kwargs,
+) -> Dict[Tuple[str, str], ReplayResult]:
+    """Replay every (trace, scheme) combination."""
+    traces = list(trace_names) if trace_names is not None else sorted(paper_traces())
+    schemes = list(scheme_names) if scheme_names is not None else list(PAPER_SCHEMES)
+    return {
+        (t, s): run_single(t, s, scale=scale, **kwargs)
+        for t in traces
+        for s in schemes
+    }

@@ -1,0 +1,12 @@
+"""Measurement and reporting.
+
+* :mod:`repro.metrics.collector` -- per-request response-time samples
+  and derived summaries (the paper's "user response times").
+* :mod:`repro.metrics.report` -- normalisation helpers and plain-text
+  table rendering for the per-figure benches.
+"""
+
+from repro.metrics.collector import MetricsCollector, ResponseSummary
+from repro.metrics.report import normalize_to, render_table
+
+__all__ = ["MetricsCollector", "ResponseSummary", "normalize_to", "render_table"]

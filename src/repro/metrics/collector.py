@@ -1,0 +1,131 @@
+"""Response-time collection.
+
+The paper "replayed the three traces at the block level and evaluated
+the user response times" (Section IV-A), reporting the average
+response time of all requests, and of reads and writes separately
+(Figs. 8, 9).  The collector records one sample per completed request
+and summarises with NumPy at the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.request import IORequest, OpType
+
+
+@dataclass(frozen=True)
+class ResponseSummary:
+    """Summary statistics over one class of requests."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    total_blocks: int
+
+    @staticmethod
+    def empty() -> "ResponseSummary":
+        return ResponseSummary(0, 0.0, 0.0, 0.0, 0.0, 0)
+
+    @staticmethod
+    def of(samples: np.ndarray, total_blocks: int) -> "ResponseSummary":
+        if samples.size == 0:
+            return ResponseSummary.empty()
+        return ResponseSummary(
+            count=int(samples.size),
+            mean=float(samples.mean()),
+            median=float(np.median(samples)),
+            p95=float(np.percentile(samples, 95)),
+            p99=float(np.percentile(samples, 99)),
+            total_blocks=total_blocks,
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-request completion records during a replay."""
+
+    def __init__(self) -> None:
+        self._read_rt: List[float] = []
+        self._write_rt: List[float] = []
+        self._read_blocks = 0
+        self._write_blocks = 0
+        self.read_cache_hit_blocks = 0
+        self.writes_eliminated = 0
+        self.first_arrival: Optional[float] = None
+        self.last_completion: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        request: IORequest,
+        arrival: float,
+        completion: float,
+        eliminated: bool = False,
+        cache_hit_blocks: int = 0,
+    ) -> None:
+        """Record one completed request."""
+        if completion < arrival:
+            raise SimulationError(
+                f"request {request.req_id} completed at {completion} "
+                f"before its arrival at {arrival}"
+            )
+        response = completion - arrival
+        if request.op is OpType.READ:
+            self._read_rt.append(response)
+            self._read_blocks += request.nblocks
+        else:
+            self._write_rt.append(response)
+            self._write_blocks += request.nblocks
+        if eliminated:
+            self.writes_eliminated += 1
+        self.read_cache_hit_blocks += cache_hit_blocks
+        if self.first_arrival is None or arrival < self.first_arrival:
+            self.first_arrival = arrival
+        if completion > self.last_completion:
+            self.last_completion = completion
+
+    # ------------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return len(self._read_rt) + len(self._write_rt)
+
+    def read_summary(self) -> ResponseSummary:
+        return ResponseSummary.of(np.asarray(self._read_rt), self._read_blocks)
+
+    def write_summary(self) -> ResponseSummary:
+        return ResponseSummary.of(np.asarray(self._write_rt), self._write_blocks)
+
+    def overall_summary(self) -> ResponseSummary:
+        samples = np.asarray(self._read_rt + self._write_rt)
+        return ResponseSummary.of(samples, self._read_blocks + self._write_blocks)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary used by benches and EXPERIMENTS.md."""
+        overall = self.overall_summary()
+        read = self.read_summary()
+        write = self.write_summary()
+        return {
+            "requests": overall.count,
+            "mean_response": overall.mean,
+            "median_response": overall.median,
+            "p95_response": overall.p95,
+            "read_requests": read.count,
+            "read_mean_response": read.mean,
+            "write_requests": write.count,
+            "write_mean_response": write.mean,
+            "writes_eliminated": self.writes_eliminated,
+            "read_cache_hit_blocks": self.read_cache_hit_blocks,
+            "makespan": (
+                self.last_completion - self.first_arrival
+                if self.first_arrival is not None
+                else 0.0
+            ),
+        }

@@ -1,0 +1,79 @@
+"""Report rendering: normalisation and plain-text tables.
+
+All of the paper's performance figures are *normalized to the Native
+system* (Figs. 8-11 captions); :func:`normalize_to` reproduces that
+convention, and :func:`render_table` prints the rows the benches emit
+so the output of ``pytest benchmarks/`` reads like the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+
+
+def normalize_to(
+    values: Mapping[str, float], baseline_key: str, percent: bool = True
+) -> Dict[str, float]:
+    """Normalise every value to the baseline entry.
+
+    With ``percent=True`` the baseline maps to 100.0 (the paper's
+    "Normalized ... (%)" axes); otherwise to 1.0.  A zero baseline is
+    a configuration error -- it means the reference run measured
+    nothing.
+    """
+    if baseline_key not in values:
+        raise ConfigError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    base = values[baseline_key]
+    if base == 0:
+        raise ConfigError(f"baseline {baseline_key!r} measured zero")
+    scale = 100.0 if percent else 1.0
+    return {k: v / base * scale for k, v in values.items()}
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Relative improvement of *improved* over *baseline*, in percent.
+
+    Positive means better (smaller response time).  This matches the
+    paper's phrasing, e.g. "reduces the write response times of the
+    Native system by 47.2%".
+    """
+    if baseline == 0:
+        raise ConfigError("cannot compute improvement over a zero baseline")
+    return (baseline - improved) / baseline * 100.0
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table (benches print these)."""
+    cells: List[List[str]] = [[_fmt(c) for c in columns]]
+    for row in rows:
+        if len(row) != len(columns):
+            raise ConfigError(
+                f"row has {len(row)} cells but table has {len(columns)} columns"
+            )
+        cells.append([_fmt(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(columns))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

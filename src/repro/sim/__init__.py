@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the event engine that all experiments run on:
+
+* :mod:`repro.sim.request` -- the I/O request model (block-granular
+  reads and writes carrying per-chunk fingerprints).
+* :mod:`repro.sim.events` -- the event queue.
+* :mod:`repro.sim.engine` -- the simulator core: clock, disk service
+  scheduling, request completion tracking.
+* :mod:`repro.sim.replay` -- the open-loop trace replay harness that
+  drives a deduplication scheme with a trace and collects metrics.
+"""
+
+from repro.sim.request import IORequest, OpType
+from repro.sim.events import Event, EventKind, EventQueue
+
+_LAZY_EXPORTS = {
+    # Lazy: the engine depends on repro.storage (which imports
+    # repro.sim.request) and replay depends on repro.baselines (which
+    # also imports repro.sim.request); importing either eagerly here
+    # would create a package-level cycle.
+    "Simulator": "repro.sim.engine",
+    "ReplayConfig": "repro.sim.replay",
+    "ReplayResult": "repro.sim.replay",
+    "replay_trace": "repro.sim.replay",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "IORequest",
+    "OpType",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Simulator",
+    "ReplayConfig",
+    "ReplayResult",
+    "replay_trace",
+]

@@ -1,0 +1,82 @@
+"""Event queue for the discrete-event engine.
+
+A tiny, allocation-light priority queue of :class:`Event` records.
+Ties on timestamp are broken by a monotonically increasing sequence
+number so event ordering is deterministic and FIFO among simultaneous
+events -- a requirement for reproducible simulations.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the engine understands."""
+
+    #: A user I/O request arrives at the storage node.
+    REQUEST_ARRIVAL = "arrival"
+    #: A member disk finished servicing a physical op.
+    DISK_COMPLETE = "disk_complete"
+    #: A scheme-internal delayed action (e.g. fingerprinting finished,
+    #: iCache epoch boundary).
+    CALLBACK = "callback"
+
+
+@dataclass(order=False)
+class Event:
+    """One scheduled event.
+
+    ``payload`` is interpreted by the handler for the event kind; the
+    queue itself never looks at it.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    seq: int = field(default=-1, compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of events keyed on ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> Event:
+        """Schedule *event*; assigns its sequence number."""
+        if event.time < 0:
+            raise SimulationError(f"event scheduled at negative time {event.time}")
+        event.seq = next(self._counter)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Create and push an event in one call."""
+        return self.push(Event(time=time, kind=kind, payload=payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        _, _, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest event, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

@@ -1,0 +1,146 @@
+"""I/O request model.
+
+An :class:`IORequest` is a block-granular read or write as seen at the
+block-device interface, i.e. *after* the file-system / buffer-cache
+layers (the FIU traces the paper replays were collected beneath the
+buffer cache).  Write requests carry one fingerprint per 4 KB chunk;
+the fingerprint stands in for the SHA-1 of the chunk's content, so two
+chunks are duplicates iff their fingerprints are equal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.constants import BLOCK_SIZE
+from repro.errors import TraceError
+
+
+class OpType(enum.Enum):
+    """Direction of an I/O request."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class IORequest:
+    """A single block-level I/O request.
+
+    Parameters
+    ----------
+    time:
+        Arrival timestamp, in seconds from the start of the trace.
+    op:
+        :attr:`OpType.READ` or :attr:`OpType.WRITE`.
+    lba:
+        First logical block address, in 4 KB blocks.
+    nblocks:
+        Request length in 4 KB blocks (>= 1).
+    fingerprints:
+        For writes, a tuple with one content fingerprint per block.
+        ``None`` for reads.
+    req_id:
+        Optional stable identifier (assigned by the replay harness).
+    """
+
+    time: float
+    op: OpType
+    lba: int
+    nblocks: int
+    fingerprints: Optional[Tuple[int, ...]] = None
+    req_id: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.nblocks < 1:
+            raise TraceError(f"request length must be >= 1 block, got {self.nblocks}")
+        if self.lba < 0:
+            raise TraceError(f"negative LBA {self.lba}")
+        if self.time < 0:
+            raise TraceError(f"negative timestamp {self.time}")
+        if self.op is OpType.WRITE:
+            if self.fingerprints is None:
+                raise TraceError("write request requires per-block fingerprints")
+            if len(self.fingerprints) != self.nblocks:
+                raise TraceError(
+                    f"write of {self.nblocks} blocks carries "
+                    f"{len(self.fingerprints)} fingerprints"
+                )
+        elif self.fingerprints is not None:
+            raise TraceError("read request must not carry fingerprints")
+
+    @property
+    def size_bytes(self) -> int:
+        """Request size in bytes."""
+        return self.nblocks * BLOCK_SIZE
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is OpType.READ
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last LBA touched by this request."""
+        return self.lba + self.nblocks
+
+    def blocks(self) -> range:
+        """Iterate the LBAs covered by this request."""
+        return range(self.lba, self.lba + self.nblocks)
+
+    @staticmethod
+    def write(time: float, lba: int, fingerprints: Sequence[int], req_id: int = -1) -> "IORequest":
+        """Convenience constructor for a write covering ``len(fingerprints)`` blocks."""
+        return IORequest(
+            time=time,
+            op=OpType.WRITE,
+            lba=lba,
+            nblocks=len(fingerprints),
+            fingerprints=tuple(fingerprints),
+            req_id=req_id,
+        )
+
+    @staticmethod
+    def read(time: float, lba: int, nblocks: int, req_id: int = -1) -> "IORequest":
+        """Convenience constructor for a read of ``nblocks`` blocks."""
+        return IORequest(time=time, op=OpType.READ, lba=lba, nblocks=nblocks, req_id=req_id)
+
+
+@dataclass(frozen=True)
+class DiskOp:
+    """A physical operation issued to one member disk.
+
+    Produced by the RAID layer when it translates a volume-level
+    extent operation; consumed by the engine, which serialises the
+    per-disk queue and computes mechanical service times.
+
+    Attributes
+    ----------
+    disk_id:
+        Index of the member disk.
+    op:
+        READ or WRITE (parity updates are writes).
+    pba:
+        First physical block address *on that disk*.
+    nblocks:
+        Length in blocks.
+    """
+
+    disk_id: int
+    op: OpType
+    pba: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        if self.nblocks < 1:
+            raise TraceError(f"disk op length must be >= 1, got {self.nblocks}")
+        if self.pba < 0:
+            raise TraceError(f"negative PBA {self.pba}")

@@ -1,0 +1,151 @@
+"""Single-HDD service-time model.
+
+The paper's testbed uses WDC WD1600AAJS SATA disks (7200 RPM).  We
+model the three mechanical components of a disk access:
+
+* **seek** -- a square-root curve ``seek(d) = a + b*sqrt(d/D)`` between
+  a track-to-track minimum and a full-stroke maximum, the standard
+  first-order model (Ruemmler & Wilkes).  ``d`` is the block distance
+  from the current head position; ``D`` the disk capacity in blocks.
+* **rotation** -- the expected half-rotation at 7200 RPM.  We charge
+  the deterministic expectation rather than sampling so simulations
+  are exactly reproducible.
+* **transfer** -- bytes moved at the sustained media rate.
+
+Strictly sequential accesses (the op starts exactly where the head
+stopped) skip both seek and rotation, which is what makes fragmented
+reads expensive relative to sequential ones -- the *read
+amplification* effect that motivates Select-Dedupe's category 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import BLOCK_SIZE
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Mechanical parameters of one member disk.
+
+    Defaults approximate the WDC WD1600AAJS (160 GB, 7200 RPM) used in
+    the paper, scaled to the simulated capacity.
+    """
+
+    #: Usable capacity in 4 KB blocks.
+    total_blocks: int = 4 * 1024 * 1024  # 16 GiB by default
+    #: Spindle speed in revolutions per minute.
+    rpm: int = 7200
+    #: Track-to-track (minimum non-zero) seek time, seconds.
+    seek_min: float = 0.8e-3
+    #: Full-stroke seek time, seconds.
+    seek_max: float = 17.0e-3
+    #: Sustained media transfer rate, bytes/second.
+    transfer_rate: float = 90e6
+    #: Fixed per-op controller/command overhead, seconds.
+    controller_overhead: float = 0.1e-3
+
+    def __post_init__(self) -> None:
+        if self.total_blocks <= 0:
+            raise StorageError("disk capacity must be positive")
+        if self.rpm <= 0:
+            raise StorageError("rpm must be positive")
+        if not (0 <= self.seek_min <= self.seek_max):
+            raise StorageError("need 0 <= seek_min <= seek_max")
+        if self.transfer_rate <= 0:
+            raise StorageError("transfer rate must be positive")
+
+    @property
+    def avg_rotational_latency(self) -> float:
+        """Expected rotational delay: half a revolution, seconds."""
+        return 60.0 / self.rpm / 2.0
+
+    def seek_time(self, distance_blocks: int) -> float:
+        """Seek time for a head movement of ``distance_blocks``.
+
+        Zero distance costs nothing; otherwise the square-root curve
+        interpolates between ``seek_min`` and ``seek_max``.
+        """
+        if distance_blocks < 0:
+            raise StorageError(f"negative seek distance {distance_blocks}")
+        if distance_blocks == 0:
+            return 0.0
+        frac = min(1.0, distance_blocks / self.total_blocks)
+        return self.seek_min + (self.seek_max - self.seek_min) * math.sqrt(frac)
+
+    def transfer_time(self, nblocks: int) -> float:
+        """Media transfer time for ``nblocks`` 4 KB blocks."""
+        if nblocks < 0:
+            raise StorageError(f"negative transfer length {nblocks}")
+        return nblocks * BLOCK_SIZE / self.transfer_rate
+
+
+class Disk:
+    """Mechanical state of one disk: head position and busy horizon.
+
+    The engine serialises ops FCFS per disk: an op issued at time *t*
+    starts at ``max(t, busy_until)``, runs for :meth:`service_time`,
+    and advances the head to the end of the accessed extent.
+
+    Attributes
+    ----------
+    params:
+        The mechanical parameter set.
+    head:
+        Current head position (block address) after the last op.
+    busy_until:
+        Simulation time at which the disk becomes idle.
+    """
+
+    def __init__(self, params: DiskParams, disk_id: int = 0) -> None:
+        self.params = params
+        self.disk_id = disk_id
+        self.head: int = 0
+        self.busy_until: float = 0.0
+        #: Counters for utilisation reporting.
+        self.ops_serviced: int = 0
+        self.blocks_moved: int = 0
+        self.busy_time: float = 0.0
+
+    def service_time(self, pba: int, nblocks: int) -> float:
+        """Mechanical time to service an access at ``pba`` of ``nblocks``.
+
+        Does not include queueing delay; the engine adds that.
+        """
+        if pba < 0 or pba + nblocks > self.params.total_blocks:
+            raise StorageError(
+                f"disk {self.disk_id}: access [{pba}, {pba + nblocks}) outside "
+                f"capacity {self.params.total_blocks}"
+            )
+        distance = abs(pba - self.head)
+        t = self.params.controller_overhead
+        if distance > 0:
+            t += self.params.seek_time(distance)
+            t += self.params.avg_rotational_latency
+        t += self.params.transfer_time(nblocks)
+        return t
+
+    def service(self, now: float, pba: int, nblocks: int) -> float:
+        """Schedule one op FCFS and return its *completion time*.
+
+        Mutates the disk state (head position, busy horizon, counters).
+        """
+        start = max(now, self.busy_until)
+        duration = self.service_time(pba, nblocks)
+        self.head = pba + nblocks
+        self.busy_until = start + duration
+        self.ops_serviced += 1
+        self.blocks_moved += nblocks
+        self.busy_time += duration
+        return self.busy_until
+
+    def reset(self) -> None:
+        """Return the disk to its initial idle state."""
+        self.head = 0
+        self.busy_until = 0.0
+        self.ops_serviced = 0
+        self.blocks_moved = 0
+        self.busy_time = 0.0

@@ -1,0 +1,297 @@
+"""RAID address mapping and small-write handling.
+
+The paper evaluates on a 4-disk software RAID-5 with a 64 KB stripe
+unit (Section IV-B).  This module maps volume extents to per-disk
+operations:
+
+* **RAID-0** -- pure striping, no redundancy.
+* **RAID-5** -- left-symmetric parity rotation.  Partial-stripe writes
+  pay the classic read-modify-write penalty (read old data + old
+  parity, write new data + new parity); writes covering a full stripe
+  compute parity in memory and issue one write per member disk.
+
+The small-write parity penalty is a first-order reason why removing
+small redundant writes (what POD does) helps so much on RAID-5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.errors import StorageError
+from repro.sim.request import DiskOp, OpType
+from repro.storage.volume import VolumeOp
+
+
+class RaidLevel(enum.Enum):
+    """Supported array layouts."""
+
+    RAID0 = 0
+    RAID5 = 5
+    #: A single disk, no striping -- used by unit tests and for the
+    #: single-spindle sanity experiments.
+    SINGLE = 1
+
+
+@dataclass(frozen=True)
+class RaidGeometry:
+    """Static geometry of an array."""
+
+    level: RaidLevel
+    ndisks: int
+    stripe_unit_blocks: int = BLOCKS_PER_STRIPE_UNIT
+
+    def __post_init__(self) -> None:
+        if self.ndisks < 1:
+            raise StorageError("array needs at least one disk")
+        if self.level is RaidLevel.RAID5 and self.ndisks < 3:
+            raise StorageError("RAID-5 needs at least 3 disks")
+        if self.level is RaidLevel.SINGLE and self.ndisks != 1:
+            raise StorageError("SINGLE level means exactly one disk")
+        if self.stripe_unit_blocks < 1:
+            raise StorageError("stripe unit must be >= 1 block")
+
+    @property
+    def data_disks(self) -> int:
+        """Number of stripe units per row that hold data."""
+        if self.level is RaidLevel.RAID5:
+            return self.ndisks - 1
+        return self.ndisks
+
+
+class RaidArray:
+    """Maps volume extents to member-disk operations.
+
+    ``volume_blocks(disk_blocks)`` tells how much user-visible volume
+    space an array of disks with the given per-disk capacity exposes.
+    """
+
+    def __init__(self, geometry: RaidGeometry) -> None:
+        self.geometry = geometry
+
+    # ------------------------------------------------------------------
+    # address arithmetic
+    # ------------------------------------------------------------------
+
+    def volume_capacity_blocks(self, per_disk_blocks: int) -> int:
+        """User-visible capacity for the given member-disk size."""
+        g = self.geometry
+        rows = per_disk_blocks // g.stripe_unit_blocks
+        return rows * g.data_disks * g.stripe_unit_blocks
+
+    def parity_disk_of_row(self, row: int) -> int:
+        """Member disk holding the parity unit of ``row`` (left-symmetric)."""
+        g = self.geometry
+        if g.level is not RaidLevel.RAID5:
+            raise StorageError("parity only exists on RAID-5")
+        return (g.ndisks - 1) - (row % g.ndisks)
+
+    def locate(self, pba: int) -> Tuple[int, int, int]:
+        """Map a volume block to ``(disk_id, disk_pba, row)``.
+
+        The mapping is bijective from volume blocks to non-parity
+        ``(disk, block)`` slots, which the property tests verify.
+        """
+        g = self.geometry
+        if pba < 0:
+            raise StorageError(f"negative volume PBA {pba}")
+        unit, offset = divmod(pba, g.stripe_unit_blocks)
+        row, lane = divmod(unit, g.data_disks)
+        if g.level is RaidLevel.RAID5:
+            parity = self.parity_disk_of_row(row)
+            # Left-symmetric: data lanes start just after the parity
+            # disk and wrap around the array.
+            disk = (parity + 1 + lane) % g.ndisks
+        else:
+            disk = lane % g.ndisks
+        disk_pba = row * g.stripe_unit_blocks + offset
+        return disk, disk_pba, row
+
+    # ------------------------------------------------------------------
+    # op translation
+    # ------------------------------------------------------------------
+
+    def map_read(self, op: VolumeOp) -> List[DiskOp]:
+        """Translate a volume read extent into per-disk reads.
+
+        Contiguous fragments on the same disk row merge into a single
+        disk op.
+        """
+        if op.op is not OpType.READ:
+            raise StorageError("map_read called with a write op")
+        return self._split(op.pba, op.nblocks, OpType.READ)
+
+    def map_write(self, op: VolumeOp) -> List[DiskOp]:
+        """Translate a volume write extent, including parity traffic.
+
+        For RAID-5, rows fully covered by the write become full-stripe
+        writes (data writes plus one parity write, no reads).  Rows
+        partially covered pay read-modify-write: for each touched
+        fragment, read old data and old parity, then write new data
+        and new parity.
+        """
+        if op.op is not OpType.WRITE:
+            raise StorageError("map_write called with a read op")
+        g = self.geometry
+        data_ops = self._split(op.pba, op.nblocks, OpType.WRITE)
+        if g.level is not RaidLevel.RAID5:
+            return data_ops
+
+        row_blocks = g.data_disks * g.stripe_unit_blocks
+        ops: List[DiskOp] = []
+        # Group the write by parity row.
+        by_row: Dict[int, List[Tuple[int, int]]] = {}
+        pba, remaining = op.pba, op.nblocks
+        while remaining > 0:
+            row = pba // row_blocks
+            row_end = (row + 1) * row_blocks
+            take = min(remaining, row_end - pba)
+            by_row.setdefault(row, []).append((pba, take))
+            pba += take
+            remaining -= take
+
+        for row, frags in sorted(by_row.items()):
+            covered = sum(n for _, n in frags)
+            parity = self.parity_disk_of_row(row)
+            row_base_disk_pba = row * g.stripe_unit_blocks
+            if covered == row_blocks:
+                # Full-stripe write: parity computed in memory.
+                for start, n in frags:
+                    ops.extend(self._split(start, n, OpType.WRITE))
+                ops.append(
+                    DiskOp(parity, OpType.WRITE, row_base_disk_pba, g.stripe_unit_blocks)
+                )
+                continue
+            # Read-modify-write: per fragment, read+write the data and
+            # the corresponding parity byte range.
+            parity_ranges: List[Tuple[int, int]] = []
+            for start, n in frags:
+                for dop in self._split(start, n, OpType.WRITE):
+                    ops.append(DiskOp(dop.disk_id, OpType.READ, dop.pba, dop.nblocks))
+                    ops.append(dop)
+                    parity_ranges.append((dop.pba, dop.nblocks))
+            for p_start, p_len in _merge_ranges(parity_ranges):
+                ops.append(DiskOp(parity, OpType.READ, p_start, p_len))
+                ops.append(DiskOp(parity, OpType.WRITE, p_start, p_len))
+        return ops
+
+    def map(self, op: VolumeOp) -> List[DiskOp]:
+        """Translate any volume op."""
+        if op.op is OpType.READ:
+            return self.map_read(op)
+        return self.map_write(op)
+
+    # ------------------------------------------------------------------
+    # degraded mode (one failed member)
+    # ------------------------------------------------------------------
+
+    def map_read_degraded(self, op: VolumeOp, failed_disk: int) -> List[DiskOp]:
+        """Translate a read with one member disk failed.
+
+        Fragments on surviving disks read normally; every fragment
+        that would land on the failed disk is *reconstructed*: the
+        same block range is read from every other member of its row
+        (data peers + parity) and XOR-ed -- the classic RAID-5
+        degraded read, which multiplies the read traffic of affected
+        rows by ``ndisks - 1``.
+        """
+        g = self.geometry
+        if g.level is not RaidLevel.RAID5:
+            raise StorageError("degraded reads only exist on RAID-5")
+        if not (0 <= failed_disk < g.ndisks):
+            raise StorageError(f"no member disk {failed_disk}")
+        ops: List[DiskOp] = []
+        for fragment in self._split(op.pba, op.nblocks, OpType.READ):
+            if fragment.disk_id != failed_disk:
+                ops.append(fragment)
+                continue
+            for disk in range(g.ndisks):
+                if disk != failed_disk:
+                    ops.append(
+                        DiskOp(disk, OpType.READ, fragment.pba, fragment.nblocks)
+                    )
+        return ops
+
+    def map_degraded(self, op: VolumeOp, failed_disk: int) -> List[DiskOp]:
+        """Translate any op with one failed member.
+
+        Degraded writes: fragments for surviving disks proceed as
+        read-modify-write where possible; a fragment addressed to the
+        failed disk updates *parity only*, computed by
+        reconstruct-write (read the surviving data blocks of the row,
+        write the new parity).  Parity fragments on the failed disk
+        are simply dropped.
+        """
+        if op.op is OpType.READ:
+            return self.map_read_degraded(op, failed_disk)
+        g = self.geometry
+        if g.level is not RaidLevel.RAID5:
+            raise StorageError("degraded writes only exist on RAID-5")
+        if not (0 <= failed_disk < g.ndisks):
+            raise StorageError(f"no member disk {failed_disk}")
+        ops: List[DiskOp] = []
+        for full_op in self.map_write(op):
+            if full_op.disk_id != failed_disk:
+                ops.append(full_op)
+                continue
+            if full_op.op is OpType.READ:
+                # Old value needed for RMW but the disk is gone:
+                # reconstruct it from the row's survivors.
+                for disk in range(g.ndisks):
+                    if disk != failed_disk:
+                        ops.append(
+                            DiskOp(disk, OpType.READ, full_op.pba, full_op.nblocks)
+                        )
+            # Writes to the failed disk are dropped: the data lives
+            # implicitly in the (updated) parity until rebuild.
+        return ops
+
+    # ------------------------------------------------------------------
+
+    def _split(self, pba: int, nblocks: int, op: OpType) -> List[DiskOp]:
+        """Split a volume extent at stripe-unit boundaries and merge
+        contiguous same-disk fragments."""
+        g = self.geometry
+        raw: List[DiskOp] = []
+        remaining = nblocks
+        cur = pba
+        while remaining > 0:
+            disk, disk_pba, _row = self.locate(cur)
+            unit_end = (cur // g.stripe_unit_blocks + 1) * g.stripe_unit_blocks
+            take = min(remaining, unit_end - cur)
+            raw.append(DiskOp(disk, op, disk_pba, take))
+            cur += take
+            remaining -= take
+        # Merge fragments contiguous on the same disk (happens when a
+        # large extent wraps around a row back to the same disk).
+        merged: List[DiskOp] = []
+        for dop in raw:
+            if (
+                merged
+                and merged[-1].disk_id == dop.disk_id
+                and merged[-1].pba + merged[-1].nblocks == dop.pba
+            ):
+                prev = merged.pop()
+                merged.append(DiskOp(prev.disk_id, op, prev.pba, prev.nblocks + dop.nblocks))
+            else:
+                merged.append(dop)
+        return merged
+
+
+def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent ``(start, length)`` ranges."""
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    out: List[Tuple[int, int]] = [ordered[0]]
+    for start, length in ordered[1:]:
+        last_start, last_len = out[-1]
+        if start <= last_start + last_len:
+            end = max(last_start + last_len, start + length)
+            out[-1] = (last_start, end - last_start)
+        else:
+            out.append((start, length))
+    return out

@@ -1,0 +1,69 @@
+"""A small SSD model for the SAR extension.
+
+SAR (Mao et al., NAS'12 -- the paper's reference [18]) parks the
+*fragmented* deduplicated blocks on an SSD so that restores and other
+reads of deduplicated data stop paying HDD seeks.  The SSD model here
+is deliberately first-order, mirroring the HDD model's level of
+detail: a fixed per-op command overhead plus a per-block transfer
+time, no mechanical positioning, FCFS service against a busy horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import BLOCK_SIZE
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class SsdParams:
+    """First-order SSD service model (SATA-class defaults)."""
+
+    #: Capacity in 4 KB blocks.
+    total_blocks: int = 262_144  # 1 GiB
+    #: Fixed per-command overhead, seconds (~a SATA round trip).
+    command_overhead: float = 60e-6
+    #: Sustained transfer rate, bytes/second.
+    transfer_rate: float = 400e6
+
+    def __post_init__(self) -> None:
+        if self.total_blocks <= 0:
+            raise StorageError("SSD capacity must be positive")
+        if self.command_overhead < 0:
+            raise StorageError("negative command overhead")
+        if self.transfer_rate <= 0:
+            raise StorageError("transfer rate must be positive")
+
+    def service_time(self, nblocks: int) -> float:
+        """Latency of one op moving ``nblocks`` 4 KB blocks."""
+        if nblocks < 1:
+            raise StorageError("SSD op must move at least one block")
+        return self.command_overhead + nblocks * BLOCK_SIZE / self.transfer_rate
+
+
+class Ssd:
+    """FCFS SSD device with an analytic busy horizon (like Disk)."""
+
+    def __init__(self, params: SsdParams) -> None:
+        self.params = params
+        self.busy_until = 0.0
+        self.ops_serviced = 0
+        self.blocks_moved = 0
+        self.busy_time = 0.0
+
+    def service(self, now: float, nblocks: int) -> float:
+        """Serve one op of ``nblocks``; returns its completion time."""
+        start = max(now, self.busy_until)
+        duration = self.params.service_time(nblocks)
+        self.busy_until = start + duration
+        self.ops_serviced += 1
+        self.blocks_moved += nblocks
+        self.busy_time += duration
+        return self.busy_until
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.ops_serviced = 0
+        self.blocks_moved = 0
+        self.busy_time = 0.0

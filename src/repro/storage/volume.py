@@ -1,0 +1,132 @@
+"""Logical-volume primitives.
+
+A deduplication scheme plans I/O against the *volume* address space
+(physical block addresses, PBAs, spanning the whole array) as a list
+of :class:`VolumeOp` extents.  The RAID layer then maps each extent to
+per-disk operations.
+
+The :class:`ContentStore` records which fingerprint lives at each PBA.
+It is the data-integrity oracle of the simulation: after any sequence
+of deduplicated writes, reading back an LBA through a scheme's map
+must return the fingerprint most recently written to that LBA.
+
+:func:`coalesce_extents` merges adjacent PBAs into maximal contiguous
+runs -- this is where deduplication-induced *fragmentation* becomes
+visible: a logically contiguous read whose blocks were deduplicated to
+scattered physical locations coalesces into many small extents, each
+paying its own seek.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.sim.request import OpType
+
+
+@dataclass(frozen=True)
+class VolumeOp:
+    """One contiguous extent operation against the volume.
+
+    Attributes
+    ----------
+    op:
+        READ or WRITE.
+    pba:
+        First physical block address (volume-wide, in 4 KB blocks).
+    nblocks:
+        Extent length in blocks.
+    """
+
+    op: OpType
+    pba: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        if self.pba < 0:
+            raise StorageError(f"negative PBA {self.pba}")
+        if self.nblocks < 1:
+            raise StorageError(f"extent length must be >= 1, got {self.nblocks}")
+
+    @property
+    def end_pba(self) -> int:
+        return self.pba + self.nblocks
+
+
+def coalesce_extents(pbas: Sequence[int]) -> List[Tuple[int, int]]:
+    """Merge a sorted-or-not sequence of PBAs into ``(start, length)`` runs.
+
+    Consecutive addresses merge; duplicates are kept once.  The input
+    order does not matter -- a disk read of a set of blocks is planned
+    as the minimal set of contiguous extents.
+
+    >>> coalesce_extents([7, 3, 4, 5, 9])
+    [(3, 3), (7, 1), (9, 1)]
+    """
+    if not pbas:
+        return []
+    ordered = sorted(set(pbas))
+    runs: List[Tuple[int, int]] = []
+    start = prev = ordered[0]
+    for pba in ordered[1:]:
+        if pba == prev + 1:
+            prev = pba
+            continue
+        runs.append((start, prev - start + 1))
+        start = prev = pba
+    runs.append((start, prev - start + 1))
+    return runs
+
+
+def extents_to_ops(op: OpType, pbas: Sequence[int]) -> List[VolumeOp]:
+    """Plan the minimal list of :class:`VolumeOp` covering ``pbas``."""
+    return [VolumeOp(op, start, length) for start, length in coalesce_extents(pbas)]
+
+
+class ContentStore:
+    """Fingerprint-at-PBA bookkeeping for integrity checking.
+
+    This models *what is on the platters*.  It is not consulted for
+    timing -- only for correctness assertions in tests and for
+    capacity accounting.
+    """
+
+    def __init__(self, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise StorageError("volume capacity must be positive")
+        self.total_blocks = total_blocks
+        self._content: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Number of physically occupied blocks."""
+        return len(self._content)
+
+    def write(self, pba: int, fingerprint: int) -> None:
+        """Record that ``fingerprint`` now lives at ``pba``."""
+        self._check(pba)
+        self._content[pba] = fingerprint
+
+    def write_run(self, pba: int, fingerprints: Iterable[int]) -> None:
+        """Write a contiguous run starting at ``pba``."""
+        for i, fp in enumerate(fingerprints):
+            self.write(pba + i, fp)
+
+    def read(self, pba: int) -> Optional[int]:
+        """Fingerprint stored at ``pba``, or ``None`` if never written."""
+        self._check(pba)
+        return self._content.get(pba)
+
+    def discard(self, pba: int) -> None:
+        """Mark ``pba`` free (e.g. after space reclamation)."""
+        self._check(pba)
+        self._content.pop(pba, None)
+
+    def occupied_blocks(self) -> int:
+        """Capacity-in-use, in blocks (what Fig. 10 reports)."""
+        return len(self._content)
+
+    def _check(self, pba: int) -> None:
+        if not (0 <= pba < self.total_blocks):
+            raise StorageError(f"PBA {pba} outside volume of {self.total_blocks} blocks")

@@ -1,0 +1,54 @@
+"""Trace infrastructure.
+
+The paper replays three FIU SyLab traces (web-vm, homes, mail)
+collected beneath the buffer cache, with per-chunk content hashes in
+the records.  Those traces are not redistributable, so this package
+provides:
+
+* :mod:`repro.traces.format` -- a trace record/container and an
+  FIU-blkparse-like text serialisation;
+* :mod:`repro.traces.workload` -- reusable workload primitives
+  (bounded Zipf popularity, burst-phase arrival process, size
+  distributions);
+* :mod:`repro.traces.synthetic` -- seeded generators calibrated to
+  every published statistic of the three traces (Table II, Fig. 1,
+  Fig. 2, Section IV);
+* :mod:`repro.traces.stats` -- the workload-analysis code that
+  recomputes those statistics from any trace (used both to validate
+  the generators and to regenerate Figs. 1-2 and Table II).
+"""
+
+from repro.traces.fiu import load_fiu_trace, reconstruct_requests, write_fiu
+from repro.traces.format import Trace, TraceRecord, load_trace, save_trace
+from repro.traces.synthetic import (
+    HOMES,
+    MAIL,
+    TraceSpec,
+    WEB_VM,
+    generate_trace,
+    paper_traces,
+)
+from repro.traces.stats import (
+    io_vs_capacity_redundancy,
+    redundancy_by_size,
+    trace_characteristics,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "load_trace",
+    "save_trace",
+    "load_fiu_trace",
+    "write_fiu",
+    "reconstruct_requests",
+    "TraceSpec",
+    "WEB_VM",
+    "HOMES",
+    "MAIL",
+    "generate_trace",
+    "paper_traces",
+    "trace_characteristics",
+    "redundancy_by_size",
+    "io_vs_capacity_redundancy",
+]

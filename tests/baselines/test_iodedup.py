@@ -1,0 +1,69 @@
+"""Behavioural tests for the I/O-Deduplication extension baseline."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.baselines.iodedup import IODedup
+from tests.conftest import Oracle
+
+
+@pytest.fixture
+def iod():
+    return IODedup(SchemeConfig(logical_blocks=2048, memory_bytes=256 * 1024))
+
+
+class TestIODedup:
+    def test_never_removes_writes(self, iod):
+        o = Oracle(iod)
+        o.write(0, [1])
+        planned = o.write(100, [1])
+        assert not planned.eliminated
+        assert iod.write_requests_removed == 0
+        o.check()
+
+    def test_no_capacity_saving(self, iod):
+        o = Oracle(iod)
+        o.write(0, [1])
+        o.write(100, [1])
+        assert iod.capacity_blocks() == 2
+
+    def test_content_addressed_cache_shares_entries(self, iod):
+        """Reading LBA A caches its *content*; reading LBA B with the
+        same content hits without a disk access."""
+        o = Oracle(iod)
+        o.write(0, [777])
+        o.write(100, [777])
+        o.read(0, 1)  # miss, caches content 777
+        planned = o.read(100, 1)  # different LBA, same content
+        assert planned.cache_hit_blocks == 1
+        assert planned.volume_ops == []
+
+    def test_lba_cache_would_have_missed(self, iod):
+        """Contrast: different content at the other LBA still misses."""
+        o = Oracle(iod)
+        o.write(0, [777])
+        o.write(100, [888])
+        o.read(0, 1)
+        planned = o.read(100, 1)
+        assert planned.cache_hit_blocks == 0
+
+    def test_overwrite_switches_content_key(self, iod):
+        o = Oracle(iod)
+        o.write(0, [1])
+        o.read(0, 1)
+        o.write(0, [2])
+        planned = o.read(0, 1)  # content changed: must miss
+        assert planned.cache_hit_blocks == 0
+        o.check()
+
+    def test_features_match_table1(self, iod):
+        assert iod.features["capacity_saving"] is False
+        assert iod.features["performance_enhancement"] is True
+        assert iod.features["small_writes_elimination"] is False
+
+    def test_integrity(self, iod, rng):
+        o = Oracle(iod)
+        for _ in range(200):
+            lba = int(rng.integers(0, 400))
+            o.write(lba, [int(rng.integers(1, 30))])
+        o.check()

@@ -1,0 +1,119 @@
+"""Behavioural tests for the post-processing dedup baseline."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.baselines.postprocess import PostProcessDedupe
+from repro.sim.request import OpType
+from tests.conftest import Oracle
+
+
+@pytest.fixture
+def pp():
+    return PostProcessDedupe(
+        SchemeConfig(logical_blocks=4096, memory_bytes=128 * 1024)
+    )
+
+
+class TestForegroundPath:
+    def test_writes_are_native_speed(self, pp):
+        o = Oracle(pp)
+        planned = o.write(0, [1, 2])
+        assert planned.delay == 0.0  # no inline fingerprinting
+        assert pp.hash_engine.chunks_hashed == 0
+
+    def test_no_foreground_write_elimination(self, pp):
+        o = Oracle(pp)
+        o.write(0, [1])
+        planned = o.write(100, [1])  # duplicate content, still written
+        assert not planned.eliminated
+        assert pp.write_requests_removed == 0
+
+
+class TestBackgroundPass:
+    def test_duplicates_reclaimed_offline(self, pp):
+        o = Oracle(pp)
+        o.write(0, [1, 2])
+        o.write(100, [1, 2])
+        assert pp.capacity_blocks() == 4  # both copies on disk
+        pp.on_epoch(1.0)
+        assert pp.capacity_blocks() == 2  # the copy was reclaimed
+        assert pp.offline_deduped_blocks == 2
+        o.check()
+
+    def test_scan_returns_read_traffic(self, pp):
+        o = Oracle(pp)
+        o.write(0, [1, 2, 3])
+        ops = pp.on_epoch(1.0)
+        assert ops and all(op.op is OpType.READ for op in ops)
+        assert sum(op.nblocks for op in ops) == 3
+
+    def test_second_pass_scans_only_new_writes(self, pp):
+        o = Oracle(pp)
+        o.write(0, [1, 2])
+        pp.on_epoch(1.0)
+        assert pp.on_epoch(2.0) == []  # nothing dirty
+        o.write(50, [9])
+        ops = pp.on_epoch(3.0)
+        assert sum(op.nblocks for op in ops) == 1
+
+    def test_same_location_redundancy_reclaims_nothing(self, pp):
+        """Section II-A: a rewrite of identical content to the same
+        LBA leaves nothing for an offline pass to reclaim -- the I/O
+        redundancy post-processing cannot harvest."""
+        o = Oracle(pp)
+        o.write(0, [1])
+        pp.on_epoch(1.0)
+        o.write(0, [1])  # same location, same content
+        pp.on_epoch(2.0)
+        assert pp.offline_deduped_blocks == 0
+        assert pp.capacity_blocks() == 1
+
+    def test_overwrite_after_dedupe_respects_consistency(self, pp):
+        o = Oracle(pp)
+        o.write(0, [7])
+        o.write(100, [7])
+        pp.on_epoch(1.0)  # LBA 100 now shares LBA 0's block
+        o.write(0, [8])  # must redirect, not clobber the shared block
+        assert pp.content.read(pp.map_table.translate(100)) == 7
+        o.check()
+
+    def test_canonical_overwritten_between_passes(self, pp):
+        """If the canonical copy changes before a duplicate is found,
+        the stale index entry must not cause a false dedup."""
+        o = Oracle(pp)
+        o.write(0, [5])
+        pp.on_epoch(1.0)  # fp 5 canonical at block 0
+        o.write(0, [6])  # canonical content replaced
+        o.write(100, [5])  # duplicate of the *old* content
+        pp.on_epoch(2.0)
+        assert pp.content.read(pp.map_table.translate(100)) == 5
+        o.check()
+
+    def test_integrity_under_churn(self, pp, rng):
+        o = Oracle(pp)
+        for step in range(300):
+            lba = int(rng.integers(0, 800))
+            n = int(rng.integers(1, 5))
+            o.write(lba, [int(rng.integers(1, 50)) for _ in range(n)])
+            if step % 20 == 0:
+                pp.on_epoch(float(step))
+        pp.on_epoch(1e6)
+        o.check()
+
+
+class TestTable1Profile:
+    def test_features(self, pp):
+        assert pp.features["capacity_saving"] is True
+        assert pp.features["performance_enhancement"] is False
+        assert pp.features["small_writes_elimination"] is False
+        assert pp.features["cache_partitioning"] == "static"
+
+    def test_stats_keys(self, pp):
+        o = Oracle(pp)
+        o.write(0, [1])
+        pp.on_epoch(1.0)
+        s = pp.stats()
+        assert s["offline_scans"] == 1
+        assert s["offline_scan_blocks"] == 1
+        assert "offline_index_entries" in s

@@ -1,0 +1,113 @@
+"""Unit tests for the ARC replacement policy."""
+
+import pytest
+
+from repro.cache.arc import ARCache
+from repro.errors import CacheError
+
+
+class TestARCBasics:
+    def test_put_get(self):
+        c = ARCache(4)
+        c.put("a", 1)
+        assert c.get("a") == 1
+
+    def test_first_get_moves_t1_to_t2(self):
+        c = ARCache(4)
+        c.put("a", 1)
+        assert "a" in c.t1
+        c.get("a")
+        assert "a" in c.t2 and "a" not in c.t1
+
+    def test_capacity_bound(self):
+        c = ARCache(4)
+        for i in range(50):
+            c.put(i, i)
+        assert len(c) <= 4
+
+    def test_ghost_lists_bounded(self):
+        c = ARCache(4)
+        for i in range(100):
+            c.put(i, i)
+        s = c.sizes()
+        assert s["t1"] + s["t2"] <= 4
+        assert s["t1"] + s["t2"] + s["b1"] + s["b2"] <= 2 * 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CacheError):
+            ARCache(0)
+
+
+class TestARCAdaptation:
+    def test_b1_hit_grows_p(self):
+        c = ARCache(4)
+        c.put("hot", 1)
+        c.get("hot")  # one entry in T2 so evictions go through _replace
+        for i in range(8):  # recency traffic overflows T1 into B1
+            c.put(i, i)
+        assert c.b1, "recency evictions should populate B1"
+        ghost = next(iter(c.b1))
+        p_before = c.p
+        c.put(ghost, "again")
+        assert c.p >= p_before
+        assert ghost in c.t2
+
+    def test_b2_hit_shrinks_p(self):
+        c = ARCache(4)
+        # Build frequent entries, then push them out to B2.
+        for i in range(4):
+            c.put(i, i)
+            c.get(i)  # promote to T2
+        for i in range(10, 20):
+            c.put(i, i)
+            c.get(i)
+        if not c.b2:
+            pytest.skip("workload did not populate B2")
+        ghost = next(iter(c.b2))
+        # Force p up first so the shrink is observable.
+        c.p = 3
+        c.put(ghost, "again")
+        assert c.p <= 3
+        assert ghost in c.t2
+
+    def test_scan_resistance(self):
+        """A one-pass scan must not wipe the frequent working set."""
+        c = ARCache(8)
+        hot = list(range(4))
+        for k in hot:
+            c.put(k, k)
+            c.get(k)
+            c.get(k)
+        for k in range(100, 200):  # the scan
+            c.put(k, k)
+        # Re-reference the hot set: ARC should still do better than
+        # "everything was evicted" thanks to B-list adaptation.
+        c.hits = c.misses = 0
+        for k in hot:
+            if c.get(k) is None:
+                c.put(k, k)
+        assert c.hits >= 1
+
+    def test_hit_ratio_reporting(self):
+        c = ARCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zz")
+        assert c.hit_ratio == 0.5
+
+
+class TestARCStress:
+    def test_mixed_workload_invariants(self):
+        c = ARCache(16)
+        import random
+
+        r = random.Random(7)
+        for _ in range(3000):
+            k = r.randrange(60)
+            if c.get(k) is None:
+                c.put(k, k)
+            s = c.sizes()
+            assert s["t1"] + s["t2"] <= 16
+            assert 0 <= s["p"] <= 16
+            assert s["t1"] + s["b1"] <= 16
+            assert s["t1"] + s["t2"] + s["b1"] + s["b2"] <= 32

@@ -1,0 +1,73 @@
+"""Unit tests for the fixed index/read cache partition."""
+
+import pytest
+
+from repro.cache.partition import PartitionedCache, PartitionSizes, split_budget
+from repro.constants import BLOCK_SIZE, INDEX_ENTRY_SIZE
+from repro.errors import CacheError
+
+
+class TestSplitBudget:
+    def test_even_split(self):
+        s = split_budget(1000, 0.5)
+        assert s.index_bytes == 500 and s.read_bytes == 500
+
+    def test_extremes(self):
+        assert split_budget(1000, 0.0).index_bytes == 0
+        assert split_budget(1000, 1.0).read_bytes == 0
+
+    def test_total_preserved(self):
+        for frac in (0.2, 0.33, 0.8):
+            s = split_budget(1001, frac)
+            assert s.total_bytes == 1001
+
+    def test_invalid(self):
+        with pytest.raises(CacheError):
+            split_budget(-1, 0.5)
+        with pytest.raises(CacheError):
+            split_budget(100, 1.5)
+        with pytest.raises(CacheError):
+            PartitionSizes(-1, 0)
+
+
+class TestPartitionedCache:
+    def test_entry_sizes(self):
+        pc = PartitionedCache(1 << 20, 0.5)
+        assert pc.index.default_entry_size == INDEX_ENTRY_SIZE
+        assert pc.read.default_entry_size == BLOCK_SIZE
+
+    def test_index_roundtrip(self):
+        pc = PartitionedCache(1 << 20)
+        pc.index_insert(111, 5)
+        assert pc.index_lookup(111) == 5
+        assert pc.index_remove(111)
+        assert pc.index_lookup(111) is None
+
+    def test_read_roundtrip(self):
+        pc = PartitionedCache(1 << 20)
+        assert pc.read_lookup(7) is False
+        pc.read_insert(7)
+        assert pc.read_lookup(7) is True
+        assert pc.read_remove(7)
+        assert pc.read_lookup(7) is False
+
+    def test_on_epoch_is_noop(self):
+        pc = PartitionedCache(1 << 20)
+        assert pc.on_epoch(1.0) == 0.0
+
+    def test_ghost_hooks_are_noops(self):
+        pc = PartitionedCache(1 << 20)
+        pc.on_index_miss(123)
+        pc.note_index_evictions([(1, None)])
+
+    def test_stats_keys(self):
+        pc = PartitionedCache(1 << 20, 0.25)
+        stats = pc.stats()
+        assert stats["index_bytes"] == (1 << 20) // 4
+        assert {"read_hits", "read_misses", "index_hits", "index_misses"} <= set(stats)
+
+    def test_index_capacity_in_entries(self):
+        pc = PartitionedCache(64 * INDEX_ENTRY_SIZE * 2, 0.5)
+        for fp in range(100):
+            pc.index_insert(fp, fp)
+        assert len(pc.index) == 64

@@ -1,0 +1,108 @@
+"""Unit tests for the Figure-5 write categorisation."""
+
+import pytest
+
+from repro.core.categorize import (
+    Category,
+    categorize_write,
+    sequential_runs,
+)
+from repro.errors import DedupError
+
+
+class TestSequentialRuns:
+    def test_all_unique(self):
+        assert sequential_runs([None, None]) == []
+
+    def test_single_run(self):
+        assert sequential_runs([10, 11, 12]) == [(0, 3)]
+
+    def test_run_broken_by_unique(self):
+        assert sequential_runs([10, 11, None, 12]) == [(0, 2), (3, 1)]
+
+    def test_run_broken_by_non_consecutive_pba(self):
+        assert sequential_runs([10, 11, 20, 21]) == [(0, 2), (2, 2)]
+
+    def test_isolated_duplicates(self):
+        assert sequential_runs([5, None, 9, None, 3]) == [(0, 1), (2, 1), (4, 1)]
+
+    def test_doctest_example(self):
+        assert sequential_runs([10, 11, 12, None, 7, 9]) == [(0, 3), (4, 1), (5, 1)]
+
+    def test_descending_pbas_not_a_run(self):
+        assert sequential_runs([12, 11, 10]) == [(0, 1), (1, 1), (2, 1)]
+
+
+class TestCategorize:
+    def test_unique_request(self):
+        d = categorize_write([None, None, None])
+        assert d.category is Category.UNIQUE
+        assert d.dedupe_chunks == []
+
+    def test_category1_fully_redundant_sequential(self):
+        d = categorize_write([20, 21, 22, 23])
+        assert d.category is Category.FULLY_REDUNDANT
+        assert d.dedupe_chunks == [0, 1, 2, 3]
+
+    def test_category1_single_small_write(self):
+        """A 4 KB fully redundant write is eliminated -- the key
+        difference from iDedup."""
+        d = categorize_write([42])
+        assert d.category is Category.FULLY_REDUNDANT
+        assert d.dedupe_chunks == [0]
+
+    def test_fully_redundant_but_scattered_is_not_category1(self):
+        d = categorize_write([10, 20, 30])
+        assert d.category is Category.SCATTERED_PARTIAL
+        assert d.dedupe_chunks == []
+
+    def test_category2_below_threshold(self):
+        d = categorize_write([10, 11, None, None], threshold=3)
+        assert d.category is Category.SCATTERED_PARTIAL
+        assert d.dedupe_chunks == []
+        assert d.redundant_chunks == [0, 1]
+
+    def test_category3_sequential_run_meets_threshold(self):
+        d = categorize_write([10, 11, 12, None, None], threshold=3)
+        assert d.category is Category.SEQUENTIAL_PARTIAL
+        assert d.dedupe_chunks == [0, 1, 2]
+
+    def test_category3_only_qualifying_runs_deduplicated(self):
+        # One 3-run and one isolated duplicate: only the run dedupes.
+        d = categorize_write([10, 11, 12, None, 55, None], threshold=3)
+        assert d.category is Category.SEQUENTIAL_PARTIAL
+        assert d.dedupe_chunks == [0, 1, 2]
+        assert 4 in d.redundant_chunks
+
+    def test_scattered_many_short_runs_stay_category2(self):
+        # Three isolated duplicates: redundant count meets the
+        # threshold but no run does, so nothing is deduplicated.
+        d = categorize_write([10, None, 30, None, 50, None], threshold=3)
+        assert d.category is Category.SCATTERED_PARTIAL
+
+    def test_threshold_respected(self):
+        dup = [10, 11, None, None]
+        assert categorize_write(dup, threshold=2).category is Category.SEQUENTIAL_PARTIAL
+        assert categorize_write(dup, threshold=3).category is Category.SCATTERED_PARTIAL
+
+    def test_fully_redundant_with_two_runs_uses_threshold_rule(self):
+        # All chunks redundant but split across two sequential runs:
+        # not category 1; each 2-run is below threshold 3 -> bypass.
+        d = categorize_write([10, 11, 30, 31], threshold=3)
+        assert d.category is Category.SCATTERED_PARTIAL
+        # With threshold 2 both runs qualify -> category 3.
+        d = categorize_write([10, 11, 30, 31], threshold=2)
+        assert d.category is Category.SEQUENTIAL_PARTIAL
+        assert d.dedupe_chunks == [0, 1, 2, 3]
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(DedupError):
+            categorize_write([])
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(DedupError):
+            categorize_write([None], threshold=0)
+
+    def test_runs_reported(self):
+        d = categorize_write([10, 11, None, 50])
+        assert d.runs == [(0, 2), (3, 1)]

@@ -1,0 +1,137 @@
+"""Behavioural tests for Select-Dedupe's write path."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.core.categorize import Category
+from repro.core.select_dedupe import SelectDedupe
+from tests.conftest import Oracle
+
+
+@pytest.fixture
+def scheme():
+    return SelectDedupe(
+        SchemeConfig(logical_blocks=4096, memory_bytes=256 * 1024, index_fraction=0.5)
+    )
+
+
+class TestFullyRedundantWrites:
+    def test_small_redundant_write_eliminated(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [111])
+        planned = o.write(100, [111])  # same content elsewhere
+        assert planned.eliminated is True
+        assert planned.volume_ops == []
+        assert scheme.write_requests_removed == 1
+        o.check()
+
+    def test_same_location_rewrite_eliminated(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [111, 112])
+        planned = o.write(0, [111, 112])
+        assert planned.eliminated is True
+        assert len(scheme.map_table) == 0  # same-location: no map entry
+        o.check()
+
+    def test_sequential_duplicate_run_eliminated(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1, 2, 3, 4])
+        planned = o.write(500, [1, 2, 3, 4])
+        assert planned.eliminated
+        assert scheme.category_counts[Category.FULLY_REDUNDANT] == 1
+        # LBAs 500..503 must now resolve to the donor blocks 0..3.
+        assert scheme.map_table.translate_many(range(500, 504)) == [0, 1, 2, 3]
+        o.check()
+
+    def test_eliminated_write_pays_only_fingerprint_delay(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [9])
+        planned = o.write(50, [9])
+        assert planned.delay == pytest.approx(scheme.config.fingerprint_delay)
+
+
+class TestScatteredPartialWrites:
+    def test_scattered_partial_bypassed(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1])
+        o.write(2, [2])
+        # 4-block write with two isolated duplicates -> category 2.
+        planned = o.write(100, [1, 50, 2, 51])
+        assert not planned.eliminated
+        assert scheme.category_counts[Category.SCATTERED_PARTIAL] == 1
+        # Everything written in place: one contiguous extent, no map
+        # entries -- reads stay sequential.
+        data_ops = [op for op in planned.volume_ops]
+        assert len(data_ops) == 1 and data_ops[0].nblocks == 4
+        assert len(scheme.map_table) == 0
+        o.check()
+
+
+class TestSequentialPartialWrites:
+    def test_category3_dedupes_run_writes_rest(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1, 2, 3, 4])
+        planned = o.write(200, [1, 2, 3, 90, 91])
+        assert scheme.category_counts[Category.SEQUENTIAL_PARTIAL] == 1
+        written = sum(op.nblocks for op in planned.volume_ops)
+        assert written == 2  # only the unique tail hits the disk
+        assert scheme.map_table.translate_many(range(200, 203)) == [0, 1, 2]
+        o.check()
+
+
+class TestConsistencyRules:
+    def test_referenced_block_never_overwritten(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1])      # donor at home 0
+        o.write(100, [1])    # LBA 100 -> PBA 0
+        o.write(0, [2])      # new content for LBA 0: must redirect
+        assert scheme.map_table.translate(100) == 0
+        assert scheme.content.read(0) == 1  # referenced data intact
+        assert scheme.map_table.translate(0) != 0
+        o.check()
+
+    def test_log_block_reclaimed_when_dereferenced(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1])
+        o.write(100, [1])    # pin home 0
+        o.write(0, [2])      # LBA 0 redirected to a log block
+        log_pba = scheme.map_table.translate(0)
+        assert scheme.log_alloc.is_allocated(log_pba)
+        o.write(100, [3])    # unpin home 0
+        o.write(0, [4])      # home free again: write home, free log
+        assert scheme.map_table.translate(0) == 0
+        assert not scheme.log_alloc.is_allocated(log_pba)
+        o.check()
+
+    def test_stale_intra_request_duplicate_falls_back(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [7])
+        # One request that overwrites the donor AND tries to dedupe
+        # onto it: chunk 0 rewrites LBA 0 with new content, and a
+        # second request dedupes onto the now-stale index entry.
+        o.write(0, [8])            # invalidates fp 7 at PBA 0
+        planned = o.write(50, [7])  # index miss now -> unique write
+        assert not planned.eliminated
+        o.check()
+
+    def test_integrity_after_mixed_workload(self, scheme, rng):
+        o = Oracle(scheme)
+        fps = list(range(1, 40))
+        for step in range(300):
+            lba = int(rng.integers(0, 1000))
+            n = int(rng.integers(1, 6))
+            content = [int(rng.choice(fps)) for _ in range(n)]
+            o.write(lba, content)
+            if step % 5 == 0:
+                o.read(lba, n)
+        o.check()
+
+
+class TestStats:
+    def test_category_counts_in_stats(self, scheme):
+        o = Oracle(scheme)
+        o.write(0, [1])
+        o.write(10, [1])
+        s = scheme.stats()
+        assert s["category_1_fully_redundant"] == 1
+        assert s["scheme"] == "Select-Dedupe"

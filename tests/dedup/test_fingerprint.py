@@ -1,0 +1,78 @@
+"""Unit tests for the hash engine and content fingerprinting."""
+
+import pytest
+
+from repro.constants import BLOCK_SIZE, FINGERPRINT_DELAY
+from repro.dedup.fingerprint import (
+    HashEngine,
+    chunk_bytes,
+    fingerprint_bytes,
+    fingerprints_of,
+)
+from repro.errors import DedupError
+
+
+class TestHashEngine:
+    def test_paper_delay_constant(self):
+        assert FINGERPRINT_DELAY == pytest.approx(32e-6)
+
+    def test_delay_linear_in_chunks(self):
+        e = HashEngine()
+        assert e.delay_for(10) == pytest.approx(10 * FINGERPRINT_DELAY)
+
+    def test_counts_chunks(self):
+        e = HashEngine()
+        e.delay_for(3)
+        e.delay_for(4)
+        assert e.chunks_hashed == 7
+
+    def test_zero_chunks_free(self):
+        assert HashEngine().delay_for(0) == 0.0
+
+    def test_custom_delay(self):
+        assert HashEngine(per_chunk_delay=1e-3).delay_for(2) == pytest.approx(2e-3)
+
+    def test_invalid(self):
+        with pytest.raises(DedupError):
+            HashEngine(per_chunk_delay=-1)
+        with pytest.raises(DedupError):
+            HashEngine().delay_for(-1)
+
+
+class TestFingerprintBytes:
+    def test_deterministic(self):
+        assert fingerprint_bytes(b"hello") == fingerprint_bytes(b"hello")
+
+    def test_different_content_differs(self):
+        assert fingerprint_bytes(b"hello") != fingerprint_bytes(b"world")
+
+    def test_64_bit_range(self):
+        fp = fingerprint_bytes(b"x" * 1000)
+        assert 0 <= fp < 2**64
+
+
+class TestChunking:
+    def test_exact_chunks(self):
+        data = b"a" * (2 * BLOCK_SIZE)
+        chunks = list(chunk_bytes(data))
+        assert len(chunks) == 2
+        assert all(len(c) == BLOCK_SIZE for c in chunks)
+
+    def test_tail_zero_padded(self):
+        data = b"a" * (BLOCK_SIZE + 10)
+        chunks = list(chunk_bytes(data))
+        assert len(chunks) == 2
+        assert chunks[1][:10] == b"a" * 10
+        assert chunks[1][10:] == b"\x00" * (BLOCK_SIZE - 10)
+
+    def test_custom_chunk_size(self):
+        assert len(list(chunk_bytes(b"abcdef", chunk_size=2))) == 3
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(DedupError):
+            list(chunk_bytes(b"abc", chunk_size=0))
+
+    def test_fingerprints_of_duplicate_chunks_match(self):
+        data = b"A" * BLOCK_SIZE + b"B" * BLOCK_SIZE + b"A" * BLOCK_SIZE
+        fps = fingerprints_of(data)
+        assert fps[0] == fps[2] != fps[1]

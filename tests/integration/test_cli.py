@@ -1,0 +1,117 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner.clear_run_cache()
+    yield
+    runner.clear_run_cache()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "mail", "--scheme", "POD", "--scale", "0.02"]
+        )
+        assert args.trace == "mail" and args.scheme == "POD" and args.scale == 0.02
+
+    def test_bad_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "nope", "--scheme", "POD"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["run", "--trace", "web-vm", "--scheme", "POD", "--scale", "0.02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "POD on web-vm" in out
+        assert "mean response" in out
+
+    def test_run_with_index_fraction(self, capsys):
+        rc = main(
+            [
+                "run", "--trace", "web-vm", "--scheme", "Full-Dedupe",
+                "--scale", "0.02", "--index-fraction", "0.3",
+            ]
+        )
+        assert rc == 0
+
+    def test_run_unknown_scheme_is_an_error(self, capsys):
+        rc = main(["run", "--trace", "web-vm", "--scheme", "nope", "--scale", "0.02"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--trace", "homes", "--scale", "0.02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for scheme in ("Native", "Full-Dedupe", "iDedup", "Select-Dedupe", "POD"):
+            assert scheme in out
+
+    def test_figures_selected(self, capsys):
+        rc = main(["figures", "--only", "table1,fig2", "--scale", "0.02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table I" in out and "Fig. 2" in out
+
+    def test_figures_unknown_name(self, capsys):
+        rc = main(["figures", "--only", "fig99", "--scale", "0.02"])
+        assert rc == 2
+
+    def test_figures_registry_complete(self):
+        from repro.experiments import figures
+
+        for attr in FIGURES.values():
+            assert hasattr(figures, attr)
+
+    def test_trace_generate_and_analyze(self, capsys, tmp_path):
+        out_file = tmp_path / "t.trace"
+        rc = main(
+            ["trace", "generate", "--trace", "web-vm", "--scale", "0.02",
+             "--out", str(out_file)]
+        )
+        assert rc == 0 and out_file.exists()
+        rc = main(["trace", "analyze", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "write ratio" in out and "I/O redundancy" in out
+
+    def test_report(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["report", "--scale", "0.02"])
+        assert rc == 0
+        assert (tmp_path / "EXPERIMENTS.md").exists()
+        content = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert "Fig. 11" in content and "Table II" in content
+
+    def test_run_with_scheduler_and_raid(self, capsys):
+        rc = main(
+            ["run", "--trace", "web-vm", "--scheme", "Native", "--scale", "0.02",
+             "--scheduler", "clook", "--raid", "raid0", "--ndisks", "2"]
+        )
+        assert rc == 0
+        assert "Native on web-vm" in capsys.readouterr().out
+
+    def test_run_degraded(self, capsys):
+        rc = main(
+            ["run", "--trace", "web-vm", "--scheme", "Native", "--scale", "0.02",
+             "--failed-disk", "1"]
+        )
+        assert rc == 0
+
+    def test_export(self, capsys, tmp_path):
+        out = tmp_path / "figs"
+        rc = main(["export", "--out", str(out), "--scale", "0.02"])
+        assert rc == 0
+        assert (out / "figures.json").exists()
+        assert (out / "fig8_overall_response.csv").exists()

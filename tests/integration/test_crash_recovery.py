@@ -1,0 +1,92 @@
+"""Crash-recovery tests: the NVRAM Map table is sufficient metadata.
+
+The paper stores the Map table in non-volatile RAM "to prevent data
+loss in case of a power failure" (Section III-B).  These tests verify
+that claim end-to-end: after dropping all DRAM state, every scheme
+still resolves every LBA to its last-written content, keeps honouring
+the consistency rules, and resumes deduplicating as the hot index
+re-warms.
+"""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.core.pod import POD
+from repro.core.select_dedupe import SelectDedupe
+from tests.conftest import ALL_SCHEMES, Oracle
+
+
+@pytest.mark.parametrize("cls", ALL_SCHEMES, ids=lambda c: c.name)
+class TestPowerFailure:
+    def test_reads_survive(self, cls, small_config, rng):
+        scheme = cls(small_config)
+        o = Oracle(scheme)
+        for _ in range(150):
+            lba = int(rng.integers(0, 800))
+            n = int(rng.integers(1, 5))
+            o.write(lba, [int(rng.integers(1, 40)) for _ in range(n)])
+        scheme.simulate_power_failure()
+        o.check()  # every LBA still reads its last-written content
+
+    def test_writes_after_recovery_stay_consistent(self, cls, small_config, rng):
+        scheme = cls(small_config)
+        o = Oracle(scheme)
+        for _ in range(100):
+            o.write(int(rng.integers(0, 500)), [int(rng.integers(1, 30))])
+        scheme.simulate_power_failure()
+        for _ in range(100):
+            o.write(int(rng.integers(0, 500)), [int(rng.integers(1, 30))])
+        o.check()
+
+    def test_caches_are_cold_after_failure(self, cls, small_config):
+        scheme = cls(small_config)
+        o = Oracle(scheme)
+        o.write(0, [1, 2, 3])
+        o.read(0, 3)
+        o.read(0, 3)
+        scheme.simulate_power_failure()
+        planned = o.read(0, 3)
+        assert planned.cache_hit_blocks == 0  # read cache was volatile
+
+
+class TestDedupReWarming:
+    def test_hot_index_lost_then_rebuilt(self, small_config):
+        scheme = SelectDedupe(small_config)
+        o = Oracle(scheme)
+        o.write(0, [42])
+        assert o.write(100, [42]).eliminated  # warm index detects it
+        scheme.simulate_power_failure()
+        # The fingerprint is gone from DRAM: the duplicate goes
+        # undetected (correct, just not space-optimal)...
+        assert not o.write(200, [42]).eliminated
+        # ... but the new write re-warms the index, so the next
+        # duplicate is eliminated again.
+        assert o.write(300, [42]).eliminated
+        o.check()
+
+    def test_map_table_referenced_blocks_still_protected(self, small_config):
+        scheme = SelectDedupe(small_config)
+        o = Oracle(scheme)
+        o.write(0, [7])
+        o.write(100, [7])  # LBA 100 -> block 0 via the map table
+        scheme.simulate_power_failure()
+        o.write(0, [8])  # must still redirect, not clobber block 0
+        assert scheme.content.read(scheme.map_table.translate(100)) == 7
+        o.check()
+
+    def test_pod_icache_reattached(self, small_config):
+        pod = POD(small_config)
+        pod.simulate_power_failure()
+        assert pod.cache._index_table is pod.index_table
+        # epochs keep working on the fresh cache
+        pod.on_epoch(1.0)
+
+    def test_nvram_entries_preserved(self, small_config):
+        scheme = SelectDedupe(small_config)
+        o = Oracle(scheme)
+        o.write(0, [1])
+        o.write(100, [1])
+        entries_before = scheme.nvram.entries
+        assert entries_before > 0
+        scheme.simulate_power_failure()
+        assert scheme.nvram.entries == entries_before

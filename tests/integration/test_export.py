@@ -1,0 +1,66 @@
+"""Tests for the CSV/JSON figure export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.export import export_all
+
+SCALE = 0.02
+
+EXPECTED_FILES = [
+    "table1_features.csv",
+    "table2_characteristics.csv",
+    "fig1_redundancy_by_size.csv",
+    "fig2_io_vs_capacity.csv",
+    "fig3_partition_sweep.csv",
+    "fig8_overall_response.csv",
+    "fig9_read_write_split.csv",
+    "fig10_capacity.csv",
+    "fig11_write_reduction.csv",
+    "nvram_overhead.csv",
+    "figures.json",
+]
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    runner.clear_run_cache()
+    out = tmp_path_factory.mktemp("export")
+    doc = export_all(out, scale=SCALE)
+    yield out, doc
+    runner.clear_run_cache()
+
+
+def test_all_files_written(exported):
+    out, _doc = exported
+    for name in EXPECTED_FILES:
+        assert (out / name).exists(), name
+        assert (out / name).stat().st_size > 0, name
+
+
+def test_json_document_complete(exported):
+    out, doc = exported
+    loaded = json.loads((out / "figures.json").read_text())
+    for key in ("table2", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "nvram"):
+        assert key in loaded and loaded[key], key
+    assert loaded["scale"] == SCALE
+    assert doc["scale"] == SCALE
+
+
+def test_csv_roundtrip_fig8(exported):
+    out, doc = exported
+    with (out / "fig8_overall_response.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(doc["fig8"])
+    native = [r for r in rows if r["scheme"] == "Native"]
+    assert all(float(r["normalized_pct"]) == pytest.approx(100.0) for r in native)
+
+
+def test_fig1_rows_cover_all_buckets(exported):
+    out, _doc = exported
+    with (out / "fig1_redundancy_by_size.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 3 * 5  # 3 traces x 5 buckets

@@ -1,0 +1,46 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.parallel import run_matrix_parallel
+
+SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner.clear_run_cache()
+    yield
+    runner.clear_run_cache()
+
+
+def test_parallel_matches_serial():
+    """The parallel matrix is bit-identical to the serial one."""
+    serial = runner.run_matrix(["web-vm"], ["Native", "POD"], scale=SCALE)
+    runner.clear_run_cache()
+    parallel = run_matrix_parallel(
+        ["web-vm"], ["Native", "POD"], scale=SCALE, max_workers=2
+    )
+    assert set(parallel) == set(serial)
+    for key in serial:
+        assert parallel[key].metrics.as_dict() == serial[key].metrics.as_dict()
+        assert parallel[key].capacity_blocks == serial[key].capacity_blocks
+
+
+def test_results_folded_into_memo_cache():
+    run_matrix_parallel(["homes"], ["Native"], scale=SCALE, max_workers=2)
+    # a subsequent serial call must not resimulate: same object back
+    cached = runner.run_single("homes", "Native", scale=SCALE)
+    assert cached.trace_name == "homes"
+    assert len(runner._run_cache) == 1
+
+
+def test_single_worker_path():
+    out = run_matrix_parallel(["homes"], ["Native"], scale=SCALE, max_workers=1)
+    assert out[("homes", "Native")].metrics.requests > 0
+
+
+def test_defaults_cover_paper_grid():
+    out = run_matrix_parallel(scale=0.01, max_workers=2)
+    assert len(out) == 3 * len(runner.PAPER_SCHEMES)

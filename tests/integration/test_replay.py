@@ -1,0 +1,125 @@
+"""Integration tests: full trace replay through every scheme."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.sim.request import OpType
+from repro.storage.raid import RaidLevel
+from repro.traces.format import Trace, TraceRecord
+from repro.traces.synthetic import WEB_VM, generate_trace
+from tests.conftest import ALL_SCHEMES
+
+
+def tiny_trace():
+    return generate_trace(WEB_VM, scale=0.01)
+
+
+def scheme_for(cls, trace):
+    return cls(SchemeConfig(logical_blocks=trace.logical_blocks, memory_bytes=128 * 1024))
+
+
+class TestReplayAllSchemes:
+    @pytest.mark.parametrize("cls", ALL_SCHEMES, ids=lambda c: c.name)
+    def test_replay_completes_and_measures(self, cls):
+        trace = tiny_trace()
+        result = replay_trace(trace, scheme_for(cls, trace))
+        measured = len(trace) - trace.warmup_count
+        assert result.metrics.requests == measured
+        assert result.metrics.overall_summary().mean > 0
+        assert result.capacity_blocks > 0
+        assert result.scheme_name == cls.name
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES, ids=lambda c: c.name)
+    def test_raid0_and_single_also_work(self, cls):
+        trace = tiny_trace()
+        for config in (
+            ReplayConfig(raid_level=RaidLevel.RAID0, ndisks=2),
+            ReplayConfig(raid_level=RaidLevel.SINGLE, ndisks=1),
+        ):
+            result = replay_trace(trace, scheme_for(cls, trace), config)
+            assert result.metrics.requests > 0
+
+
+class TestReplayMechanics:
+    def test_warmup_excluded_from_metrics(self):
+        trace = tiny_trace()
+        result = replay_trace(trace, scheme_for(ALL_SCHEMES[0], trace))
+        assert result.metrics.requests == len(trace) - trace.warmup_count
+
+    def test_collect_warmup_includes_everything(self):
+        trace = tiny_trace()
+        result = replay_trace(
+            trace, scheme_for(ALL_SCHEMES[0], trace), ReplayConfig(collect_warmup=True)
+        )
+        assert result.metrics.requests == len(trace)
+
+    def test_removed_write_pct_counts_measured_day_only(self):
+        from repro.core.select_dedupe import SelectDedupe
+
+        trace = tiny_trace()
+        scheme = scheme_for(SelectDedupe, trace)
+        result = replay_trace(trace, scheme)
+        measured_writes = sum(1 for r in trace.measured_records if r.is_write)
+        assert result.writes_total == measured_writes
+        assert 0.0 <= result.removed_write_pct <= 100.0
+
+    def test_response_times_nonnegative_and_bounded(self):
+        trace = tiny_trace()
+        result = replay_trace(trace, scheme_for(ALL_SCHEMES[0], trace))
+        s = result.metrics.overall_summary()
+        assert 0 <= s.median <= s.p95 <= s.p99
+        assert s.mean < 10.0  # seconds; sanity bound
+
+    def test_trace_larger_than_scheme_rejected(self):
+        trace = tiny_trace()
+        small = ALL_SCHEMES[0](
+            SchemeConfig(logical_blocks=64, memory_bytes=1024)
+        )
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            replay_trace(trace, small)
+
+    def test_pod_epochs_fire_during_replay(self):
+        from repro.core.pod import POD
+
+        trace = tiny_trace()
+        scheme = POD(
+            SchemeConfig(
+                logical_blocks=trace.logical_blocks,
+                memory_bytes=128 * 1024,
+                icache_epoch=0.5,
+            )
+        )
+        replay_trace(trace, scheme)
+        duration = trace.records[-1].time - trace.records[0].time
+        assert len(scheme.cache.partition_history) >= int(duration / 0.5) - 1
+
+    def test_summary_dict(self):
+        trace = tiny_trace()
+        result = replay_trace(trace, scheme_for(ALL_SCHEMES[0], trace))
+        s = result.summary()
+        assert s["trace"] == "web-vm"
+        assert "mean_response" in s and "removed_write_pct" in s
+
+
+class TestQueueingBehaviour:
+    @staticmethod
+    def _mean_response(gap):
+        records = [
+            TraceRecord(i * gap, OpType.WRITE, i * 8, 4, tuple(range(i * 10, i * 10 + 4)))
+            for i in range(20)
+        ]
+        trace = Trace(name="burst", records=records, logical_blocks=4096)
+        scheme = scheme_for(ALL_SCHEMES[0], trace)
+        result = replay_trace(trace, scheme, ReplayConfig(collect_warmup=True))
+        return result.metrics.write_summary().mean
+
+    def test_bursts_cause_queueing(self):
+        """The same 20 writes cost much more per request when they
+        arrive as one burst than when spaced out -- the queue-pressure
+        premise behind POD's read-latency benefit."""
+        bursty = self._mean_response(gap=0.0)
+        spaced = self._mean_response(gap=10.0)
+        assert bursty > 3 * spaced

@@ -1,0 +1,50 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.report_md import build_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    runner.clear_run_cache()
+    try:
+        return build_report(scale=0.02)
+    finally:
+        runner.clear_run_cache()
+
+
+REQUIRED_SECTIONS = [
+    "## Table I",
+    "## Table II",
+    "## Fig. 1",
+    "## Fig. 2",
+    "## Fig. 3",
+    "## Figs. 8 & 9",
+    "## Fig. 10",
+    "## Fig. 11",
+    "## Section IV-D.2",
+    "## Ablations",
+]
+
+
+def test_all_sections_present(report):
+    for section in REQUIRED_SECTIONS:
+        assert section in report, section
+
+
+def test_paper_numbers_quoted(report):
+    # the published headline values appear for side-by-side reading
+    for quoted in ("70.7", "21.9", "91.6", "+53.9"):
+        assert quoted in report, quoted
+
+
+def test_markdown_tables_wellformed(report):
+    for line in report.splitlines():
+        if line.startswith("|") and not line.startswith("|-"):
+            assert line.rstrip().endswith("|"), line
+
+
+def test_deviations_recorded(report):
+    assert "Deviations" in report

@@ -1,0 +1,56 @@
+"""Replay-level validation of the event-driven scheduling modes."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.baselines.native import Native
+from repro.core.pod import POD
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.storage.scheduler import SchedulingPolicy
+from repro.traces.synthetic import WEB_VM, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(WEB_VM, scale=0.01)
+
+
+def run(trace, cls, scheduler):
+    scheme = cls(
+        SchemeConfig(logical_blocks=trace.logical_blocks, memory_bytes=128 * 1024)
+    )
+    return replay_trace(trace, scheme, ReplayConfig(scheduler=scheduler))
+
+
+class TestEquivalence:
+    def test_event_fcfs_matches_analytic(self, trace):
+        """The event-driven FCFS replay must reproduce the analytic
+        path's response times exactly (same order, same math)."""
+        analytic = run(trace, Native, None).metrics
+        event = run(trace, Native, SchedulingPolicy.FCFS).metrics
+        assert event.requests == analytic.requests
+        assert event.overall_summary().mean == pytest.approx(
+            analytic.overall_summary().mean, rel=1e-9
+        )
+        assert event.read_summary().mean == pytest.approx(
+            analytic.read_summary().mean, rel=1e-9
+        )
+
+    def test_pod_works_in_event_mode(self, trace):
+        result = run(trace, POD, SchedulingPolicy.CLOOK)
+        assert result.metrics.requests == len(trace) - trace.warmup_count
+        assert result.metrics.overall_summary().mean > 0
+
+
+class TestElevator:
+    def test_clook_no_slower_than_fcfs_under_load(self, trace):
+        fcfs = run(trace, Native, SchedulingPolicy.FCFS).metrics.overall_summary().mean
+        clook = run(trace, Native, SchedulingPolicy.CLOOK).metrics.overall_summary().mean
+        assert clook <= fcfs * 1.05
+
+    def test_clook_moves_head_less(self, trace):
+        fcfs = run(trace, Native, SchedulingPolicy.FCFS)
+        clook = run(trace, Native, SchedulingPolicy.CLOOK)
+        busy_fcfs = sum(d["busy_time"] for d in fcfs.utilisation.values())
+        busy_clook = sum(d["busy_time"] for d in clook.utilisation.values())
+        assert busy_clook <= busy_fcfs

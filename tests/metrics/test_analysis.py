@@ -1,0 +1,112 @@
+"""Tests for the result-analysis helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.analysis import (
+    DetailedCollector,
+    latency_by_size,
+    latency_timeseries,
+    slowdown_profile,
+)
+from repro.sim.request import IORequest, OpType
+
+
+def rec(collector, op, nblocks, arrival, response, rid=0):
+    req = (
+        IORequest.write(arrival, 0, [1] * nblocks, req_id=rid)
+        if op is OpType.WRITE
+        else IORequest.read(arrival, 0, nblocks, req_id=rid)
+    )
+    collector.record(req, arrival, arrival + response)
+
+
+class TestDetailedCollector:
+    def test_samples_recorded_alongside_summaries(self):
+        c = DetailedCollector()
+        rec(c, OpType.READ, 1, 0.0, 0.010)
+        rec(c, OpType.WRITE, 4, 1.0, 0.020)
+        assert c.requests == 2
+        assert len(c.samples) == 2
+        assert c.samples[0].response == pytest.approx(0.010)
+        assert c.read_summary().mean == pytest.approx(0.010)
+
+    def test_sample_fields(self):
+        c = DetailedCollector()
+        rec(c, OpType.WRITE, 8, 2.0, 0.005, rid=42)
+        s = c.samples[0]
+        assert s.req_id == 42 and s.op is OpType.WRITE and s.nblocks == 8
+
+
+class TestLatencyBySize:
+    def test_buckets_and_means(self):
+        c = DetailedCollector()
+        rec(c, OpType.WRITE, 1, 0.0, 0.010)  # 4 KB
+        rec(c, OpType.WRITE, 1, 0.0, 0.030)  # 4 KB
+        rec(c, OpType.WRITE, 4, 0.0, 0.050)  # 16 KB
+        out = latency_by_size(c)
+        assert out[4] == (2, pytest.approx(0.020))
+        assert out[16] == (1, pytest.approx(0.050))
+        assert 8 not in out
+
+    def test_op_filter(self):
+        c = DetailedCollector()
+        rec(c, OpType.WRITE, 1, 0.0, 0.010)
+        rec(c, OpType.READ, 1, 0.0, 0.090)
+        out = latency_by_size(c, op=OpType.READ)
+        assert out[4] == (1, pytest.approx(0.090))
+
+
+class TestTimeseries:
+    def test_windows(self):
+        c = DetailedCollector()
+        rec(c, OpType.READ, 1, 0.5, 0.010)
+        rec(c, OpType.READ, 1, 0.9, 0.030)
+        rec(c, OpType.READ, 1, 7.0, 0.050)
+        rows = latency_timeseries(c, window=5.0)
+        assert rows[0] == (0.0, 2, pytest.approx(0.020))
+        assert rows[1] == (5.0, 1, pytest.approx(0.050))
+
+    def test_empty(self):
+        assert latency_timeseries(DetailedCollector()) == []
+
+    def test_bad_window(self):
+        with pytest.raises(SimulationError):
+            latency_timeseries(DetailedCollector(), window=0)
+
+
+class TestSlowdown:
+    def test_profile(self):
+        c = DetailedCollector()
+        rec(c, OpType.READ, 1, 0.0, 0.010)
+        rec(c, OpType.READ, 1, 0.0, 0.030)
+        profile = slowdown_profile(c, service_estimate=0.010)
+        assert profile.mean == pytest.approx(2.0)
+        assert profile.median == pytest.approx(2.0)
+
+    def test_empty(self):
+        p = slowdown_profile(DetailedCollector())
+        assert p.mean == 0.0
+
+    def test_bad_estimate(self):
+        with pytest.raises(SimulationError):
+            slowdown_profile(DetailedCollector(), service_estimate=0)
+
+
+class TestReplayIntegration:
+    def test_detailed_collector_through_replay(self):
+        from repro.baselines.base import SchemeConfig
+        from repro.baselines.native import Native
+        from repro.sim.replay import replay_trace
+        from repro.traces.synthetic import WEB_VM, generate_trace
+
+        trace = generate_trace(WEB_VM, scale=0.005)
+        collector = DetailedCollector()
+        scheme = Native(
+            SchemeConfig(logical_blocks=trace.logical_blocks, memory_bytes=64 * 1024)
+        )
+        result = replay_trace(trace, scheme, collector=collector)
+        assert result.metrics is collector
+        assert len(collector.samples) == result.metrics.requests
+        by_size = latency_by_size(collector)
+        assert sum(count for count, _mean in by_size.values()) == len(collector.samples)

@@ -1,0 +1,89 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricsCollector, ResponseSummary
+from repro.sim.request import IORequest
+
+
+def wreq(t=0.0):
+    return IORequest.write(time=t, lba=0, fingerprints=[1])
+
+
+def rreq(t=0.0, n=1):
+    return IORequest.read(time=t, lba=0, nblocks=n)
+
+
+class TestRecord:
+    def test_split_by_op(self):
+        m = MetricsCollector()
+        m.record(wreq(), 0.0, 0.010)
+        m.record(rreq(), 0.0, 0.002)
+        assert m.write_summary().mean == pytest.approx(0.010)
+        assert m.read_summary().mean == pytest.approx(0.002)
+        assert m.overall_summary().mean == pytest.approx(0.006)
+
+    def test_counts(self):
+        m = MetricsCollector()
+        for i in range(3):
+            m.record(rreq(), float(i), float(i) + 0.001)
+        assert m.requests == 3
+        assert m.read_summary().count == 3
+        assert m.write_summary().count == 0
+
+    def test_completion_before_arrival_rejected(self):
+        m = MetricsCollector()
+        with pytest.raises(SimulationError):
+            m.record(rreq(), 1.0, 0.5)
+
+    def test_eliminated_and_cache_hits_accumulate(self):
+        m = MetricsCollector()
+        m.record(wreq(), 0.0, 0.0, eliminated=True)
+        m.record(rreq(n=4), 0.0, 0.0, cache_hit_blocks=3)
+        assert m.writes_eliminated == 1
+        assert m.read_cache_hit_blocks == 3
+
+    def test_makespan(self):
+        m = MetricsCollector()
+        m.record(rreq(), 1.0, 2.0)
+        m.record(rreq(), 3.0, 7.0)
+        assert m.as_dict()["makespan"] == pytest.approx(6.0)
+
+    def test_percentiles(self):
+        m = MetricsCollector()
+        for i in range(1, 101):
+            m.record(rreq(), 0.0, i / 1000.0)
+        s = m.read_summary()
+        assert s.median == pytest.approx(0.0505, rel=0.02)
+        assert s.p95 >= s.median
+        assert s.p99 >= s.p95
+
+    def test_block_totals(self):
+        m = MetricsCollector()
+        m.record(rreq(n=4), 0.0, 0.001)
+        assert m.read_summary().total_blocks == 4
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        s = ResponseSummary.empty()
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_as_dict_keys(self):
+        m = MetricsCollector()
+        m.record(wreq(), 0.0, 0.001)
+        d = m.as_dict()
+        for key in (
+            "requests",
+            "mean_response",
+            "read_mean_response",
+            "write_mean_response",
+            "writes_eliminated",
+            "makespan",
+        ):
+            assert key in d
+
+    def test_empty_collector_as_dict(self):
+        d = MetricsCollector().as_dict()
+        assert d["requests"] == 0 and d["makespan"] == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for normalisation and table rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.report import improvement_pct, normalize_to, render_table
+
+
+class TestNormalize:
+    def test_baseline_is_100(self):
+        out = normalize_to({"Native": 0.05, "POD": 0.025}, "Native")
+        assert out["Native"] == pytest.approx(100.0)
+        assert out["POD"] == pytest.approx(50.0)
+
+    def test_unit_normalisation(self):
+        out = normalize_to({"a": 4.0, "b": 2.0}, "a", percent=False)
+        assert out["b"] == pytest.approx(0.5)
+
+    def test_missing_baseline(self):
+        with pytest.raises(ConfigError):
+            normalize_to({"a": 1.0}, "zz")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ConfigError):
+            normalize_to({"a": 0.0}, "a")
+
+
+class TestImprovement:
+    def test_positive_means_faster(self):
+        assert improvement_pct(100.0, 50.0) == pytest.approx(50.0)
+
+    def test_negative_means_slower(self):
+        assert improvement_pct(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ConfigError):
+            improvement_pct(0.0, 1.0)
+
+
+class TestRenderTable:
+    def test_contains_title_and_cells(self):
+        text = render_table("My Table", ["a", "b"], [[1, 2.5], ["x", True]])
+        assert "== My Table ==" in text
+        assert "2.50" in text
+        assert "yes" in text
+
+    def test_note_rendered(self):
+        text = render_table("T", ["a"], [[1]], note="hello")
+        assert "note: hello" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            render_table("T", ["a", "b"], [[1]])
+
+    def test_alignment(self):
+        text = render_table("T", ["col"], [["verylongcell"], ["s"]])
+        lines = text.splitlines()
+        # all body lines padded to equal width
+        assert len(lines[2]) == len(lines[3])

@@ -1,0 +1,141 @@
+"""Property-based tests for the cache substrate (LRU, ghost, ARC)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.arc import ARCache
+from repro.cache.ghost import GhostCache
+from repro.cache.lru import LRUCache
+
+keys = st.integers(min_value=0, max_value=30)
+ops = st.lists(
+    st.tuples(st.sampled_from(["put", "get", "remove", "pop"]), keys),
+    max_size=200,
+)
+
+
+class TestLRUProperties:
+    @given(ops=ops, capacity=st.integers(min_value=0, max_value=20))
+    def test_capacity_invariant(self, ops, capacity):
+        """used_bytes never exceeds capacity and always equals the sum
+        of resident entry sizes."""
+        c = LRUCache(capacity, default_entry_size=1)
+        for op, k in ops:
+            if op == "put":
+                c.put(k)
+            elif op == "get":
+                c.get(k)
+            elif op == "remove":
+                c.remove(k)
+            else:
+                c.pop_lru()
+            assert c.used_bytes <= max(capacity, 0)
+            assert c.used_bytes == len(c)  # unit-size entries
+
+    @given(ops=ops)
+    def test_model_equivalence(self, ops):
+        """LRU behaves like the obvious ordered-dict model."""
+        from collections import OrderedDict
+
+        cap = 5
+        c = LRUCache(cap, default_entry_size=1)
+        model = OrderedDict()
+        for op, k in ops:
+            if op == "put":
+                c.put(k, k)
+                if k in model:
+                    model.pop(k)
+                model[k] = k
+                while len(model) > cap:
+                    model.popitem(last=False)
+            elif op == "get":
+                got = c.get(k)
+                if k in model:
+                    model.move_to_end(k)
+                    assert got == k
+                else:
+                    assert got is None
+            elif op == "remove":
+                c.remove(k)
+                model.pop(k, None)
+            else:
+                popped = c.pop_lru()
+                if model:
+                    mk, _ = model.popitem(last=False)
+                    assert popped[0] == mk
+                else:
+                    assert popped is None
+            assert c.keys_lru_order() == list(model)
+
+    @given(
+        puts=st.lists(keys, max_size=60),
+        new_cap=st.integers(min_value=0, max_value=10),
+    )
+    def test_resize_preserves_mru(self, puts, new_cap):
+        c = LRUCache(30, default_entry_size=1)
+        for k in puts:
+            c.put(k)
+        survivors_expected = c.keys_lru_order()[max(0, len(c) - new_cap):]
+        c.resize(new_cap)
+        assert c.keys_lru_order() == survivors_expected
+
+
+class TestGhostProperties:
+    @given(evictions=st.lists(keys, max_size=100), cap=st.integers(min_value=0, max_value=15))
+    def test_bounded_and_most_recent_kept(self, evictions, cap):
+        g = GhostCache(cap, default_entry_size=1)
+        for k in evictions:
+            g.record_eviction(k)
+            assert g.used_bytes <= cap
+        # every key still present must be among the most recent
+        # distinct evictions
+        recent = []
+        for k in reversed(evictions):
+            if k not in recent:
+                recent.append(k)
+        kept = set(list(g.keys_mru()))
+        assert kept <= set(recent[:cap]) if cap else kept == set()
+
+    @given(evictions=st.lists(keys, max_size=50))
+    def test_hit_is_one_shot(self, evictions):
+        g = GhostCache(100, default_entry_size=1)
+        for k in evictions:
+            g.record_eviction(k)
+        for k in set(evictions):
+            assert g.hit(k) is True
+            assert g.hit(k) is False
+
+
+class TestARCProperties:
+    @given(
+        accesses=st.lists(keys, min_size=1, max_size=300),
+        cap=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50)
+    def test_structural_invariants(self, accesses, cap):
+        """The four ARC list-size invariants hold at every step."""
+        c = ARCache(cap)
+        for k in accesses:
+            if c.get(k) is None:
+                c.put(k, k)
+            s = c.sizes()
+            assert s["t1"] + s["t2"] <= cap
+            assert s["t1"] + s["b1"] <= cap
+            assert s["t1"] + s["t2"] + s["b1"] + s["b2"] <= 2 * cap
+            assert 0 <= s["p"] <= cap
+            # an entry is never in two lists at once
+            lists = [set(c.t1), set(c.t2), set(c.b1), set(c.b2)]
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    assert not (lists[i] & lists[j])
+
+    @given(accesses=st.lists(keys, min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_cached_value_correct(self, accesses):
+        c = ARCache(8)
+        for k in accesses:
+            got = c.get(k)
+            if got is None:
+                c.put(k, k * 7)
+            else:
+                assert got == k * 7

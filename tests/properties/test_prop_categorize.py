@@ -1,0 +1,92 @@
+"""Property-based tests for the Figure-5 categoriser."""
+
+from typing import List, Optional
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.categorize import Category, categorize_write, sequential_runs
+
+dup_lists = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=60)),
+    min_size=1,
+    max_size=24,
+)
+thresholds = st.integers(min_value=1, max_value=6)
+
+
+class TestRunsProperties:
+    @given(dups=dup_lists)
+    def test_runs_partition_redundant_chunks(self, dups):
+        runs = sequential_runs(dups)
+        covered: List[int] = []
+        for start, length in runs:
+            covered.extend(range(start, start + length))
+        redundant = [i for i, d in enumerate(dups) if d is not None]
+        assert covered == redundant
+
+    @given(dups=dup_lists)
+    def test_runs_are_sequential_on_disk(self, dups):
+        for start, length in sequential_runs(dups):
+            base = dups[start]
+            for j in range(length):
+                assert dups[start + j] == base + j
+
+    @given(dups=dup_lists)
+    def test_runs_are_maximal(self, dups):
+        runs = sequential_runs(dups)
+        for start, length in runs:
+            if start > 0 and dups[start - 1] is not None:
+                assert dups[start - 1] != dups[start] - 1
+            end = start + length
+            if end < len(dups) and dups[end] is not None:
+                assert dups[end] != dups[end - 1] + 1
+
+
+class TestCategorizeProperties:
+    @given(dups=dup_lists, threshold=thresholds)
+    def test_totality_and_consistency(self, dups, threshold):
+        d = categorize_write(dups, threshold)
+        # decision fields are mutually consistent
+        assert set(d.dedupe_chunks) <= set(d.redundant_chunks)
+        assert d.redundant_chunks == [i for i, x in enumerate(dups) if x is not None]
+        if d.category in (Category.UNIQUE, Category.SCATTERED_PARTIAL):
+            assert d.dedupe_chunks == []
+        if d.category is Category.FULLY_REDUNDANT:
+            assert d.dedupe_chunks == list(range(len(dups)))
+
+    @given(dups=dup_lists, threshold=thresholds)
+    def test_deduped_chunks_always_sequential_runs(self, dups, threshold):
+        """Whatever is deduplicated lies on sequentially stored
+        duplicates -- the anti-fragmentation guarantee."""
+        d = categorize_write(dups, threshold)
+        i = 0
+        chunks = sorted(d.dedupe_chunks)
+        while i < len(chunks):
+            j = i
+            while (
+                j + 1 < len(chunks)
+                and chunks[j + 1] == chunks[j] + 1
+                and dups[chunks[j + 1]] == dups[chunks[j]] + 1
+            ):
+                j += 1
+            run_len = j - i + 1
+            # each deduped run is either the whole request (cat 1) or
+            # at least `threshold` long (cat 3)
+            assert run_len == len(dups) or run_len >= threshold
+            i = j + 1
+
+    @given(dups=dup_lists)
+    def test_threshold_monotonicity(self, dups):
+        """Raising the threshold never dedupes more chunks."""
+        previous = None
+        for threshold in (1, 2, 3, 4, 5):
+            count = len(categorize_write(dups, threshold).dedupe_chunks)
+            if previous is not None:
+                assert count <= previous
+            previous = count
+
+    @given(dups=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=24))
+    def test_all_redundant_never_unique(self, dups):
+        d = categorize_write(list(dups))
+        assert d.category is not Category.UNIQUE

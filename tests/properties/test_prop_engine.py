@@ -1,0 +1,106 @@
+"""Property-based tests for the engine and the SSD model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.request import DiskOp, OpType
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.scheduler import DiskScheduler, SchedulingPolicy
+from repro.storage.ssd import Ssd, SsdParams
+
+CAP = 1 << 18
+
+op_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=CAP - 64),  # pba
+        st.integers(min_value=1, max_value=64),  # nblocks
+        st.booleans(),  # write?
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _ops(raw):
+    return [
+        DiskOp(0, OpType.WRITE if w else OpType.READ, pba, n) for pba, n, w in raw
+    ]
+
+
+class TestEngineProperties:
+    @given(raw=op_lists)
+    @settings(max_examples=60)
+    def test_completion_monotone_and_busy_conserved(self, raw):
+        disk = Disk(DiskParams(total_blocks=CAP))
+        sim = Simulator([disk], RaidArray(RaidGeometry(RaidLevel.SINGLE, 1)))
+        done_prev = 0.0
+        for op in _ops(raw):
+            done = sim.service_disk_ops(0.0, [op])
+            # FCFS: completions never go backwards
+            assert done >= done_prev
+            done_prev = done
+        # busy accounting: the disk was busy exactly busy_time, and the
+        # last completion equals the accumulated busy time (all ops
+        # were issued at t=0, no idling).
+        assert done_prev == sum(
+            [disk.busy_time]
+        )  # single disk: completion == total service
+
+    @given(raw=op_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_event_fcfs_equals_analytic(self, raw):
+        ops = _ops(raw)
+        disk_a = Disk(DiskParams(total_blocks=CAP))
+        sim_a = Simulator([disk_a], RaidArray(RaidGeometry(RaidLevel.SINGLE, 1)))
+        analytic = sim_a.service_disk_ops(0.0, ops)
+
+        disk_e = Disk(DiskParams(total_blocks=CAP))
+        sched = DiskScheduler(disk_e, SchedulingPolicy.FCFS)
+        sim_e = Simulator(
+            [disk_e], RaidArray(RaidGeometry(RaidLevel.SINGLE, 1)), schedulers=[sched]
+        )
+        got = []
+        sim_e.issue_disk_ops(ops, got.append)
+        sim_e.run()
+        assert got and abs(got[0] - analytic) < 1e-9
+        assert disk_e.head == disk_a.head
+
+    @given(raw=op_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_clook_serves_everything(self, raw):
+        ops = _ops(raw)
+        disk = Disk(DiskParams(total_blocks=CAP))
+        sched = DiskScheduler(disk, SchedulingPolicy.CLOOK)
+        sim = Simulator(
+            [disk], RaidArray(RaidGeometry(RaidLevel.SINGLE, 1)), schedulers=[sched]
+        )
+        got = []
+        sim.issue_disk_ops(ops, got.append)
+        sim.run()
+        assert len(got) == 1
+        assert disk.ops_serviced == len(ops)
+        assert disk.blocks_moved == sum(op.nblocks for op in ops)
+        # completion equals the accumulated service time (no idling:
+        # everything was submitted at t=0).  NOTE: C-LOOK is a greedy
+        # heuristic and can lose to FCFS on adversarial tiny instances
+        # (hypothesis found one), so no per-instance FCFS comparison
+        # here -- the aggregate advantage is asserted on realistic
+        # workloads in tests/integration/test_scheduling_replay.py.
+        assert abs(got[0] - disk.busy_time) < 1e-9
+
+
+class TestSsdProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=50)
+    )
+    def test_fcfs_accumulates(self, sizes):
+        ssd = Ssd(SsdParams())
+        total = 0.0
+        for n in sizes:
+            done = ssd.service(0.0, n)
+            total += ssd.params.service_time(n)
+            assert done == sum([ssd.busy_time])
+        assert ssd.blocks_moved == sum(sizes)
+        assert abs(ssd.busy_time - total) < 1e-12

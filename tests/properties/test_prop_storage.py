@@ -1,0 +1,120 @@
+"""Property-based tests for RAID mapping, coalescing and allocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.sim.request import OpType
+from repro.storage.allocator import LogAllocator
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.volume import VolumeOp, coalesce_extents
+
+SU = BLOCKS_PER_STRIPE_UNIT
+
+geometries = st.sampled_from(
+    [
+        RaidGeometry(RaidLevel.RAID5, 3),
+        RaidGeometry(RaidLevel.RAID5, 4),
+        RaidGeometry(RaidLevel.RAID5, 8),
+        RaidGeometry(RaidLevel.RAID0, 2),
+        RaidGeometry(RaidLevel.RAID0, 4),
+        RaidGeometry(RaidLevel.SINGLE, 1),
+    ]
+)
+extents = st.tuples(
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=1, max_value=200),
+)
+
+
+class TestRaidProperties:
+    @given(geometry=geometries, extent=extents)
+    def test_read_block_conservation(self, geometry, extent):
+        """A read extent maps to disk ops covering exactly its blocks."""
+        start, length = extent
+        ops = RaidArray(geometry).map_read(VolumeOp(OpType.READ, start, length))
+        assert sum(op.nblocks for op in ops) == length
+        for op in ops:
+            assert 0 <= op.disk_id < geometry.ndisks
+
+    @given(geometry=geometries, extent=extents)
+    def test_read_roundtrip_locate(self, geometry, extent):
+        """Every block of the extent locates inside one of the ops."""
+        start, length = extent
+        r = RaidArray(geometry)
+        ops = r.map_read(VolumeOp(OpType.READ, start, length))
+        slots = set()
+        for op in ops:
+            for i in range(op.nblocks):
+                slots.add((op.disk_id, op.pba + i))
+        assert len(slots) == length
+        for pba in range(start, start + length):
+            disk, dpba, _ = r.locate(pba)
+            assert (disk, dpba) in slots
+
+    @given(extent=extents, ndisks=st.integers(min_value=3, max_value=8))
+    @settings(max_examples=60)
+    def test_raid5_write_parity_on_parity_disk_only(self, extent, ndisks):
+        start, length = extent
+        r = RaidArray(RaidGeometry(RaidLevel.RAID5, ndisks))
+        ops = r.map_write(VolumeOp(OpType.WRITE, start, length))
+        data_written = 0
+        for op in ops:
+            row = op.pba // SU
+            parity = r.parity_disk_of_row(row)
+            if op.op is OpType.WRITE and op.disk_id != parity:
+                data_written += op.nblocks
+        assert data_written == length
+
+    @given(extent=extents, ndisks=st.integers(min_value=3, max_value=6))
+    @settings(max_examples=60)
+    def test_raid5_small_write_amplification_bounded(self, extent, ndisks):
+        """Total traffic of a write is bounded by 4x the data (RMW
+        worst case) plus a stripe unit per touched row."""
+        start, length = extent
+        r = RaidArray(RaidGeometry(RaidLevel.RAID5, ndisks))
+        ops = r.map_write(VolumeOp(OpType.WRITE, start, length))
+        total = sum(op.nblocks for op in ops)
+        rows = (start + length - 1) // ((ndisks - 1) * SU) - start // ((ndisks - 1) * SU) + 1
+        assert total <= 4 * length + rows * SU
+
+
+class TestCoalesceProperties:
+    @given(pbas=st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_runs_cover_exactly_the_input_set(self, pbas):
+        runs = coalesce_extents(pbas)
+        covered = set()
+        for start, length in runs:
+            covered.update(range(start, start + length))
+        assert covered == set(pbas)
+
+    @given(pbas=st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_runs_are_maximal_and_disjoint(self, pbas):
+        runs = coalesce_extents(pbas)
+        for (s1, l1), (s2, l2) in zip(runs, runs[1:]):
+            assert s1 + l1 < s2  # disjoint and non-adjacent
+
+
+class TestAllocatorProperties:
+    @given(
+        ops=st.lists(st.sampled_from(["alloc", "free"]), max_size=150),
+        size=st.integers(min_value=1, max_value=40),
+    )
+    def test_no_double_allocation(self, ops, size):
+        a = LogAllocator(base=100, nblocks=size)
+        live = set()
+        freed_order = []
+        for op in ops:
+            if op == "alloc":
+                if a.free_count == 0:
+                    continue
+                b = a.allocate()
+                assert b not in live
+                assert a.owns(b)
+                live.add(b)
+            elif live:
+                b = live.pop()
+                a.free(b)
+                freed_order.append(b)
+            assert a.allocated_count == len(live)
+            assert a.free_count == size - len(live)

@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.request import DiskOp, OpType
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.volume import VolumeOp
+
+
+def make_sim(ndisks=1, level=RaidLevel.SINGLE, blocks=65536):
+    geometry = RaidGeometry(level=level, ndisks=ndisks)
+    params = DiskParams(total_blocks=blocks)
+    disks = [Disk(params, disk_id=i) for i in range(ndisks)]
+    return Simulator(disks, RaidArray(geometry))
+
+
+class TestSimulatorBasics:
+    def test_disk_count_must_match_geometry(self):
+        geometry = RaidGeometry(level=RaidLevel.RAID0, ndisks=4)
+        with pytest.raises(SimulationError):
+            Simulator([Disk(DiskParams())], RaidArray(geometry))
+
+    def test_callbacks_run_in_order(self):
+        sim = make_sim()
+        order = []
+        sim.schedule_callback(2.0, order.append, "late")
+        sim.schedule_callback(1.0, order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_callback_in_past_rejected(self):
+        sim = make_sim()
+        sim.schedule_callback(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_callback(0.5, lambda: None)
+
+    def test_arrival_without_handler_raises(self):
+        sim = make_sim()
+        sim.schedule_arrival(0.0, "x")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_arrival_handler_called(self):
+        sim = make_sim()
+        got = []
+        sim.schedule_arrival(1.5, "payload")
+        sim.run(arrival_handler=lambda now, p: got.append((now, p)))
+        assert got == [(1.5, "payload")]
+
+    def test_until_stops_early(self):
+        sim = make_sim()
+        fired = []
+        sim.schedule_callback(1.0, fired.append, 1)
+        sim.schedule_callback(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert len(sim.queue) == 1
+
+    def test_max_events_safety_valve(self):
+        sim = make_sim()
+        count = []
+
+        def reschedule():
+            count.append(1)
+            sim.schedule_callback(sim.now + 1.0, reschedule)
+
+        sim.schedule_callback(0.0, reschedule)
+        sim.run(max_events=25)
+        assert len(count) == 25
+
+
+class TestDiskService:
+    def test_single_op_completion_time(self):
+        sim = make_sim()
+        done = sim.service_disk_ops(0.0, [DiskOp(0, OpType.READ, 100, 4)])
+        expected = sim.disks[0].params.controller_overhead
+        expected += sim.disks[0].params.seek_time(100)
+        expected += sim.disks[0].params.avg_rotational_latency
+        expected += sim.disks[0].params.transfer_time(4)
+        assert done == pytest.approx(expected)
+
+    def test_empty_ops_complete_immediately(self):
+        sim = make_sim()
+        assert sim.service_disk_ops(3.0, []) == 3.0
+
+    def test_fcfs_queueing_on_one_disk(self):
+        sim = make_sim()
+        first = sim.service_disk_ops(0.0, [DiskOp(0, OpType.READ, 1000, 1)])
+        second = sim.service_disk_ops(0.0, [DiskOp(0, OpType.READ, 50000, 1)])
+        # The second op waits for the first even though both were
+        # issued at t=0.
+        assert second > first
+
+    def test_parallel_disks_overlap(self):
+        sim = make_sim(ndisks=2, level=RaidLevel.RAID0)
+        both = sim.service_disk_ops(
+            0.0,
+            [DiskOp(0, OpType.READ, 1000, 1), DiskOp(1, OpType.READ, 1000, 1)],
+        )
+        solo = Disk(sim.disks[0].params).service(0.0, 1000, 1)
+        # Two disks in parallel take as long as one op, not two.
+        assert both == pytest.approx(solo)
+
+    def test_unknown_disk_rejected(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.service_disk_ops(0.0, [DiskOp(5, OpType.READ, 0, 1)])
+
+    def test_volume_ops_route_through_raid(self):
+        sim = make_sim(ndisks=4, level=RaidLevel.RAID0)
+        done = sim.service_volume_ops(0.0, [VolumeOp(OpType.READ, 0, 64)])
+        assert done > 0.0
+        # A 64-block read at stripe unit 16 touches all four disks.
+        assert sum(d.ops_serviced for d in sim.disks) == 4
+
+    def test_utilisation_reporting(self):
+        sim = make_sim()
+        sim.service_disk_ops(0.0, [DiskOp(0, OpType.WRITE, 0, 8)])
+        util = sim.utilisation()
+        assert util[0]["ops"] == 1
+        assert util[0]["blocks"] == 8
+        assert util[0]["busy_time"] > 0

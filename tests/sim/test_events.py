@@ -1,0 +1,57 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, EventKind.CALLBACK, "c")
+        q.schedule(1.0, EventKind.CALLBACK, "a")
+        q.schedule(2.0, EventKind.CALLBACK, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous_events(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(5.0, EventKind.CALLBACK, i)
+        assert [q.pop().payload for _ in range(10)] == list(range(10))
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.schedule(0.0, EventKind.CALLBACK)
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(7.5, EventKind.CALLBACK)
+        q.schedule(2.5, EventKind.CALLBACK)
+        assert q.peek_time() == 2.5
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, EventKind.CALLBACK)
+
+    def test_push_assigns_sequence(self):
+        q = EventQueue()
+        e1 = q.push(Event(time=0.0, kind=EventKind.CALLBACK))
+        e2 = q.push(Event(time=0.0, kind=EventKind.CALLBACK))
+        assert e2.seq > e1.seq
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.CALLBACK, 1)
+        q.schedule(5.0, EventKind.CALLBACK, 5)
+        assert q.pop().payload == 1
+        q.schedule(3.0, EventKind.CALLBACK, 3)
+        assert q.pop().payload == 3
+        assert q.pop().payload == 5

@@ -1,0 +1,69 @@
+"""Unit tests for the I/O request model."""
+
+import pytest
+
+from repro.constants import BLOCK_SIZE
+from repro.errors import TraceError
+from repro.sim.request import DiskOp, IORequest, OpType
+
+
+class TestIORequest:
+    def test_write_constructor(self):
+        req = IORequest.write(time=1.0, lba=10, fingerprints=[1, 2, 3])
+        assert req.op is OpType.WRITE
+        assert req.nblocks == 3
+        assert req.fingerprints == (1, 2, 3)
+        assert req.is_write and not req.is_read
+
+    def test_read_constructor(self):
+        req = IORequest.read(time=0.5, lba=7, nblocks=2)
+        assert req.op is OpType.READ
+        assert req.fingerprints is None
+        assert req.is_read and not req.is_write
+
+    def test_size_bytes(self):
+        req = IORequest.read(time=0.0, lba=0, nblocks=4)
+        assert req.size_bytes == 4 * BLOCK_SIZE
+
+    def test_end_lba_and_blocks(self):
+        req = IORequest.read(time=0.0, lba=5, nblocks=3)
+        assert req.end_lba == 8
+        assert list(req.blocks()) == [5, 6, 7]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(TraceError):
+            IORequest.read(time=0.0, lba=0, nblocks=0)
+
+    def test_negative_lba_rejected(self):
+        with pytest.raises(TraceError):
+            IORequest.read(time=0.0, lba=-1, nblocks=1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            IORequest.read(time=-0.1, lba=0, nblocks=1)
+
+    def test_write_requires_fingerprints(self):
+        with pytest.raises(TraceError):
+            IORequest(time=0.0, op=OpType.WRITE, lba=0, nblocks=2)
+
+    def test_write_fingerprint_count_must_match(self):
+        with pytest.raises(TraceError):
+            IORequest(time=0.0, op=OpType.WRITE, lba=0, nblocks=2, fingerprints=(1,))
+
+    def test_read_must_not_carry_fingerprints(self):
+        with pytest.raises(TraceError):
+            IORequest(time=0.0, op=OpType.READ, lba=0, nblocks=1, fingerprints=(1,))
+
+
+class TestDiskOp:
+    def test_valid(self):
+        op = DiskOp(disk_id=0, op=OpType.READ, pba=4, nblocks=2)
+        assert op.pba == 4
+
+    def test_invalid_length(self):
+        with pytest.raises(TraceError):
+            DiskOp(disk_id=0, op=OpType.READ, pba=0, nblocks=0)
+
+    def test_negative_pba(self):
+        with pytest.raises(TraceError):
+            DiskOp(disk_id=0, op=OpType.WRITE, pba=-3, nblocks=1)

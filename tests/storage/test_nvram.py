@@ -1,0 +1,44 @@
+"""Unit tests for the NVRAM meter."""
+
+import pytest
+
+from repro.constants import MAP_ENTRY_SIZE
+from repro.errors import DedupError
+from repro.storage.nvram import NvramMeter
+
+
+class TestNvramMeter:
+    def test_entry_size_default_matches_paper(self):
+        assert NvramMeter().entry_size == MAP_ENTRY_SIZE == 20
+
+    def test_add_remove(self):
+        m = NvramMeter()
+        m.add(3)
+        m.remove(1)
+        assert m.entries == 2
+        assert m.bytes_used == 2 * 20
+
+    def test_peak_tracks_high_water(self):
+        m = NvramMeter()
+        m.add(5)
+        m.remove(4)
+        m.add(2)
+        assert m.peak_entries == 5
+        assert m.peak_bytes == 100
+
+    def test_underflow_rejected(self):
+        m = NvramMeter()
+        m.add(1)
+        with pytest.raises(DedupError):
+            m.remove(2)
+
+    def test_negative_args_rejected(self):
+        m = NvramMeter()
+        with pytest.raises(DedupError):
+            m.add(-1)
+        with pytest.raises(DedupError):
+            m.remove(-1)
+
+    def test_invalid_entry_size(self):
+        with pytest.raises(DedupError):
+            NvramMeter(entry_size=0)

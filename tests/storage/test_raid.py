@@ -1,0 +1,174 @@
+"""Unit tests for the RAID address mapping and small-write handling."""
+
+import pytest
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.errors import StorageError
+from repro.sim.request import OpType
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel, _merge_ranges
+from repro.storage.volume import VolumeOp
+
+SU = BLOCKS_PER_STRIPE_UNIT  # 16 blocks = 64 KB
+
+
+def raid5(ndisks=4):
+    return RaidArray(RaidGeometry(level=RaidLevel.RAID5, ndisks=ndisks))
+
+
+def raid0(ndisks=4):
+    return RaidArray(RaidGeometry(level=RaidLevel.RAID0, ndisks=ndisks))
+
+
+class TestGeometry:
+    def test_raid5_needs_three_disks(self):
+        with pytest.raises(StorageError):
+            RaidGeometry(level=RaidLevel.RAID5, ndisks=2)
+
+    def test_single_means_one_disk(self):
+        with pytest.raises(StorageError):
+            RaidGeometry(level=RaidLevel.SINGLE, ndisks=2)
+
+    def test_data_disks(self):
+        assert RaidGeometry(RaidLevel.RAID5, 4).data_disks == 3
+        assert RaidGeometry(RaidLevel.RAID0, 4).data_disks == 4
+        assert RaidGeometry(RaidLevel.SINGLE, 1).data_disks == 1
+
+    def test_volume_capacity(self):
+        r = raid5(4)
+        # 4 disks of 160 blocks = 10 rows; 3 data units/row.
+        assert r.volume_capacity_blocks(160) == 10 * 3 * SU
+
+
+class TestParityRotation:
+    def test_left_symmetric_rotation(self):
+        r = raid5(4)
+        assert [r.parity_disk_of_row(row) for row in range(4)] == [3, 2, 1, 0]
+        assert r.parity_disk_of_row(4) == 3
+
+    def test_parity_only_on_raid5(self):
+        with pytest.raises(StorageError):
+            raid0().parity_disk_of_row(0)
+
+
+class TestLocate:
+    def test_data_never_lands_on_parity_disk(self):
+        r = raid5(4)
+        for pba in range(0, 3 * SU * 8):
+            disk, _dpba, row = r.locate(pba)
+            assert disk != r.parity_disk_of_row(row)
+
+    def test_mapping_is_injective(self):
+        r = raid5(5)
+        seen = set()
+        for pba in range(4 * SU * 10):
+            disk, dpba, _ = r.locate(pba)
+            assert (disk, dpba) not in seen
+            seen.add((disk, dpba))
+
+    def test_negative_pba_rejected(self):
+        with pytest.raises(StorageError):
+            raid5().locate(-1)
+
+    def test_raid0_round_robin(self):
+        r = raid0(4)
+        disks = [r.locate(unit * SU)[0] for unit in range(8)]
+        assert disks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestReads:
+    def test_small_read_single_op(self):
+        ops = raid5().map_read(VolumeOp(OpType.READ, 0, 4))
+        assert len(ops) == 1
+        assert ops[0].nblocks == 4
+
+    def test_read_spanning_units_splits(self):
+        ops = raid5().map_read(VolumeOp(OpType.READ, SU - 2, 4))
+        assert len(ops) == 2
+        assert {op.nblocks for op in ops} == {2}
+        assert ops[0].disk_id != ops[1].disk_id
+
+    def test_read_preserves_block_count(self):
+        for start in (0, 3, SU, 5 * SU + 7):
+            for length in (1, SU, 3 * SU, 100):
+                ops = raid5().map_read(VolumeOp(OpType.READ, start, length))
+                assert sum(op.nblocks for op in ops) == length
+
+    def test_map_read_rejects_write(self):
+        with pytest.raises(StorageError):
+            raid5().map_read(VolumeOp(OpType.WRITE, 0, 1))
+
+
+class TestWrites:
+    def test_raid0_write_no_parity(self):
+        ops = raid0().map_write(VolumeOp(OpType.WRITE, 0, 4))
+        assert all(op.op is OpType.WRITE for op in ops)
+        assert sum(op.nblocks for op in ops) == 4
+
+    def test_small_write_pays_rmw(self):
+        """A sub-stripe write on RAID-5 needs 2 reads + 2 writes."""
+        ops = raid5().map_write(VolumeOp(OpType.WRITE, 0, 4))
+        reads = [op for op in ops if op.op is OpType.READ]
+        writes = [op for op in ops if op.op is OpType.WRITE]
+        assert len(reads) == 2 and len(writes) == 2
+        parity = raid5().parity_disk_of_row(0)
+        assert {op.disk_id for op in ops} == {0, parity}
+
+    def test_full_stripe_write_has_no_reads(self):
+        row_blocks = 3 * SU
+        ops = raid5().map_write(VolumeOp(OpType.WRITE, 0, row_blocks))
+        assert all(op.op is OpType.WRITE for op in ops)
+        # 3 data writes + 1 parity write.
+        assert len(ops) == 4
+        assert sum(op.nblocks for op in ops) == row_blocks + SU
+
+    def test_partial_plus_full_rows(self):
+        row_blocks = 3 * SU
+        # Half a row then a full row.
+        ops = raid5().map_write(VolumeOp(OpType.WRITE, row_blocks // 2, row_blocks + row_blocks // 2))
+        data_written = sum(
+            op.nblocks for op in ops if op.op is OpType.WRITE
+        )
+        # All data blocks written plus at least one parity unit.
+        assert data_written > row_blocks
+
+    def test_write_data_block_count_preserved(self):
+        r = raid5()
+        for start in (0, 5, SU + 3):
+            for length in (1, 7, SU, 2 * SU + 5):
+                ops = r.map_write(VolumeOp(OpType.WRITE, start, length))
+                parity_disks = {
+                    r.parity_disk_of_row(row)
+                    for row in range(start // (3 * SU), (start + length) // (3 * SU) + 1)
+                }
+                data_writes = sum(
+                    op.nblocks
+                    for op in ops
+                    if op.op is OpType.WRITE and not _is_parity(r, op)
+                )
+                assert data_writes == length
+
+    def test_map_write_rejects_read(self):
+        with pytest.raises(StorageError):
+            raid5().map_write(VolumeOp(OpType.READ, 0, 1))
+
+
+def _is_parity(r, op):
+    row = op.pba // SU
+    return op.disk_id == r.parity_disk_of_row(row)
+
+
+class TestMergeRanges:
+    def test_disjoint(self):
+        assert _merge_ranges([(0, 2), (5, 1)]) == [(0, 2), (5, 1)]
+
+    def test_adjacent_merge(self):
+        assert _merge_ranges([(0, 2), (2, 3)]) == [(0, 5)]
+
+    def test_overlap_merge(self):
+        assert _merge_ranges([(0, 4), (2, 5)]) == [(0, 7)]
+
+    def test_unsorted_input(self):
+        assert _merge_ranges([(5, 2), (0, 3)]) == [(0, 3), (5, 2)]
+
+    def test_empty(self):
+        assert _merge_ranges([]) == []

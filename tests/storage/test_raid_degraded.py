@@ -1,0 +1,121 @@
+"""Unit tests for RAID-5 degraded-mode translation."""
+
+import pytest
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.errors import StorageError
+from repro.sim.request import OpType
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.volume import VolumeOp
+
+SU = BLOCKS_PER_STRIPE_UNIT
+
+
+def raid5(ndisks=4):
+    return RaidArray(RaidGeometry(RaidLevel.RAID5, ndisks))
+
+
+class TestDegradedReads:
+    def test_surviving_fragment_reads_normally(self):
+        r = raid5()
+        op = VolumeOp(OpType.READ, 0, 4)
+        healthy_disk = r.locate(0)[0]
+        failed = (healthy_disk + 1) % 4
+        ops = r.map_read_degraded(op, failed)
+        assert ops == r.map_read(op)
+
+    def test_failed_fragment_reconstructs_from_all_survivors(self):
+        r = raid5()
+        op = VolumeOp(OpType.READ, 0, 4)
+        failed = r.locate(0)[0]
+        ops = r.map_read_degraded(op, failed)
+        # one read per surviving member of the row
+        assert len(ops) == 3
+        assert {o.disk_id for o in ops} == set(range(4)) - {failed}
+        assert all(o.op is OpType.READ and o.nblocks == 4 for o in ops)
+        assert not any(o.disk_id == failed for o in ops)
+
+    def test_mixed_read_spanning_failed_and_healthy(self):
+        r = raid5()
+        # two stripe units: one on the failed disk, one not
+        failed = r.locate(0)[0]
+        ops = r.map_read_degraded(VolumeOp(OpType.READ, 0, 2 * SU), failed)
+        assert not any(o.disk_id == failed for o in ops)
+        # the healthy unit reads once; the failed one fans out 3x
+        assert len(ops) == 1 + 3
+
+    def test_read_amplification_factor(self):
+        """Degraded reads of failed-disk data cost ndisks-1 reads."""
+        for ndisks in (3, 4, 6):
+            r = raid5(ndisks)
+            failed = r.locate(0)[0]
+            ops = r.map_read_degraded(VolumeOp(OpType.READ, 0, 1), failed)
+            assert len(ops) == ndisks - 1
+
+    def test_invalid_args(self):
+        with pytest.raises(StorageError):
+            raid5().map_read_degraded(VolumeOp(OpType.READ, 0, 1), 9)
+        r0 = RaidArray(RaidGeometry(RaidLevel.RAID0, 4))
+        with pytest.raises(StorageError):
+            r0.map_read_degraded(VolumeOp(OpType.READ, 0, 1), 0)
+
+
+class TestDegradedWrites:
+    def test_never_touches_failed_disk(self):
+        r = raid5()
+        for start in (0, 5, SU, 3 * SU + 2):
+            for failed in range(4):
+                ops = r.map_degraded(VolumeOp(OpType.WRITE, start, 7), failed)
+                assert not any(o.disk_id == failed for o in ops)
+
+    def test_healthy_rows_unchanged(self):
+        r = raid5()
+        op = VolumeOp(OpType.WRITE, 0, 4)
+        data_disk = r.locate(0)[0]
+        parity = r.parity_disk_of_row(0)
+        failed = next(d for d in range(4) if d not in (data_disk, parity))
+        assert r.map_degraded(op, failed) == r.map_write(op)
+
+    def test_write_to_failed_data_disk_reconstructs_for_parity(self):
+        r = raid5()
+        op = VolumeOp(OpType.WRITE, 0, 4)
+        failed = r.locate(0)[0]
+        ops = r.map_degraded(op, failed)
+        # No data write happens (data disk gone); parity is still
+        # read+written, with reconstruction reads replacing the lost
+        # old-data read.
+        parity = r.parity_disk_of_row(0)
+        writes = [o for o in ops if o.op is OpType.WRITE]
+        assert writes and all(o.disk_id == parity for o in writes)
+        reads = [o for o in ops if o.op is OpType.READ]
+        assert len(reads) >= 2  # survivors consulted
+
+    def test_failed_parity_write_dropped(self):
+        r = raid5()
+        op = VolumeOp(OpType.WRITE, 0, 4)
+        failed = r.parity_disk_of_row(0)
+        ops = r.map_degraded(op, failed)
+        data_disk = r.locate(0)[0]
+        # data still written in place, no parity traffic at all
+        assert any(o.disk_id == data_disk and o.op is OpType.WRITE for o in ops)
+        assert not any(o.disk_id == failed for o in ops)
+
+
+class TestDegradedReplay:
+    def test_degraded_replay_slower_than_healthy(self):
+        from repro.baselines.base import SchemeConfig
+        from repro.baselines.native import Native
+        from repro.sim.replay import ReplayConfig, replay_trace
+        from repro.traces.synthetic import WEB_VM, generate_trace
+
+        trace = generate_trace(WEB_VM, scale=0.01)
+
+        def mean(config):
+            scheme = Native(
+                SchemeConfig(logical_blocks=trace.logical_blocks, memory_bytes=64 * 1024)
+            )
+            return replay_trace(trace, scheme, config).metrics.overall_summary().mean
+
+        healthy = mean(ReplayConfig())
+        degraded = mean(ReplayConfig(failed_disk=1))
+        assert degraded > healthy

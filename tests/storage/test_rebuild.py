@@ -1,0 +1,90 @@
+"""Unit tests for the RAID-5 rebuild controller."""
+
+import pytest
+
+from repro.constants import BLOCKS_PER_STRIPE_UNIT
+from repro.errors import StorageError
+from repro.sim.request import OpType
+from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.storage.rebuild import RebuildController
+
+SU = BLOCKS_PER_STRIPE_UNIT
+
+
+def raid5(ndisks=4):
+    return RaidArray(RaidGeometry(RaidLevel.RAID5, ndisks))
+
+
+class TestBatches:
+    def test_one_row_traffic(self):
+        rc = RebuildController(raid5(), failed_disk=2, disk_rows=10)
+        ops = rc.next_batch(1)
+        reads = [o for o in ops if o.op is OpType.READ]
+        writes = [o for o in ops if o.op is OpType.WRITE]
+        assert len(reads) == 3 and len(writes) == 1
+        assert writes[0].disk_id == 2
+        assert {o.disk_id for o in reads} == {0, 1, 3}
+        assert all(o.nblocks == SU for o in ops)
+
+    def test_rows_advance(self):
+        rc = RebuildController(raid5(), failed_disk=0, disk_rows=3)
+        for expected_pba in (0, SU, 2 * SU):
+            ops = rc.next_batch(1)
+            assert all(o.pba == expected_pba for o in ops)
+        assert rc.done
+        assert rc.next_batch(1) == []
+        assert rc.progress == 1.0
+
+    def test_multi_row_batch(self):
+        rc = RebuildController(raid5(), failed_disk=1, disk_rows=8)
+        ops = rc.next_batch(4)
+        assert len(ops) == 4 * 4  # (3 reads + 1 write) x 4 rows
+        assert rc.progress == pytest.approx(0.5)
+
+    def test_full_rebuild_covers_every_row_once(self):
+        rc = RebuildController(raid5(), failed_disk=3, disk_rows=17)
+        pbas = []
+        while not rc.done:
+            for op in rc.next_batch(5):
+                if op.op is OpType.WRITE:
+                    pbas.append(op.pba)
+        assert pbas == [row * SU for row in range(17)]
+        assert rc.rows_rebuilt == 17
+
+
+class TestCapacityAware:
+    def test_dead_rows_skipped(self):
+        # live data only in rows 0 and 2 (row = 3 data units of SU)
+        row_blocks = 3 * SU
+        live = {5, row_blocks * 2 + 7}
+        rc = RebuildController(raid5(), failed_disk=1, disk_rows=4, live_pbas=live)
+        pbas = []
+        while not rc.done:
+            for op in rc.next_batch(1):
+                if op.op is OpType.WRITE:
+                    pbas.append(op.pba)
+        assert pbas == [0, 2 * SU]
+        assert rc.rows_rebuilt == 2 and rc.rows_skipped == 2
+
+    def test_empty_live_set_skips_everything(self):
+        rc = RebuildController(raid5(), failed_disk=1, disk_rows=5, live_pbas=[])
+        assert rc.next_batch(10) == []
+        assert rc.done and rc.rows_skipped == 5
+
+
+class TestGuards:
+    def test_raid0_rejected(self):
+        r0 = RaidArray(RaidGeometry(RaidLevel.RAID0, 4))
+        with pytest.raises(StorageError):
+            RebuildController(r0, 0, 10)
+
+    def test_bad_disk_rejected(self):
+        with pytest.raises(StorageError):
+            RebuildController(raid5(), 7, 10)
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(StorageError):
+            RebuildController(raid5(), 0, 0)
+        rc = RebuildController(raid5(), 0, 5)
+        with pytest.raises(StorageError):
+            rc.next_batch(0)

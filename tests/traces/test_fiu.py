@@ -1,0 +1,121 @@
+"""Tests for FIU-style per-block records and request reconstruction."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.request import OpType
+from repro.traces.fiu import (
+    FiuRecord,
+    explode_trace,
+    load_fiu_trace,
+    read_fiu,
+    reconstruct_requests,
+    write_fiu,
+)
+from repro.traces.format import Trace, TraceRecord
+from repro.traces.synthetic import WEB_VM, generate_trace
+
+
+def sample_trace():
+    return Trace(
+        name="s",
+        records=[
+            TraceRecord(0.0, OpType.WRITE, 0, 3, (10, 11, 12)),
+            TraceRecord(0.5, OpType.READ, 0, 2),
+            TraceRecord(1.0, OpType.WRITE, 100, 1, (55,)),
+        ],
+        logical_blocks=256,
+    )
+
+
+class TestExplode:
+    def test_one_record_per_block(self):
+        records = list(explode_trace(sample_trace()))
+        assert len(records) == 3 + 2 + 1
+
+    def test_write_records_carry_hashes(self):
+        records = list(explode_trace(sample_trace()))
+        assert [r.fingerprint for r in records[:3]] == [10, 11, 12]
+        assert records[3].fingerprint is None  # read
+
+
+class TestReconstruct:
+    def test_roundtrip(self):
+        trace = sample_trace()
+        rebuilt = reconstruct_requests(explode_trace(trace))
+        assert rebuilt == trace.records
+
+    def test_roundtrip_through_file(self, tmp_path):
+        trace = generate_trace(WEB_VM, scale=0.005)
+        path = tmp_path / "t.fiu"
+        lines = write_fiu(trace, path)
+        assert lines == sum(r.nblocks for r in trace.records)
+        loaded = load_fiu_trace(path, logical_blocks=trace.logical_blocks)
+        assert loaded.records == trace.records
+
+    def test_non_consecutive_blocks_split(self):
+        records = [
+            FiuRecord(0.0, 1, "p", 0, OpType.WRITE, 1),
+            FiuRecord(0.0, 1, "p", 5, OpType.WRITE, 2),  # gap
+        ]
+        rebuilt = reconstruct_requests(records)
+        assert len(rebuilt) == 2
+
+    def test_different_ops_split(self):
+        records = [
+            FiuRecord(0.0, 1, "p", 0, OpType.WRITE, 1),
+            FiuRecord(0.0, 1, "p", 1, OpType.READ, None),
+        ]
+        assert len(reconstruct_requests(records)) == 2
+
+    def test_time_epsilon_groups_near_records(self):
+        records = [
+            FiuRecord(0.000, 1, "p", 0, OpType.READ, None),
+            FiuRecord(0.001, 1, "p", 1, OpType.READ, None),
+        ]
+        assert len(reconstruct_requests(records, time_epsilon=0.0)) == 2
+        assert len(reconstruct_requests(records, time_epsilon=0.01)) == 1
+
+
+class TestParsing:
+    def test_read_rejects_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.fiu"
+        path.write_text("0.0 1 p 0 1 W\n")
+        with pytest.raises(TraceError):
+            read_fiu(path)
+
+    def test_read_rejects_write_without_hash(self, tmp_path):
+        path = tmp_path / "bad.fiu"
+        path.write_text("0.0 1 p 0 1 W 8 0 -\n")
+        with pytest.raises(TraceError):
+            read_fiu(path)
+
+    def test_sector_addressing_converted(self, tmp_path):
+        path = tmp_path / "s.fiu"
+        path.write_text("0.0 1 p 16 1 W 8 0 ff\n")  # sector 16 = block 2
+        records = read_fiu(path, sector_addressing=True)
+        assert records[0].lba == 2
+
+    def test_sector_addressing_misaligned_rejected(self, tmp_path):
+        path = tmp_path / "s.fiu"
+        path.write_text("0.0 1 p 3 1 W 8 0 ff\n")
+        with pytest.raises(TraceError):
+            read_fiu(path, sector_addressing=True)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.fiu"
+        path.write_text("# header\n0.0 1 p 0 1 R 8 0 -\n")
+        assert len(read_fiu(path)) == 1
+
+    def test_loaded_trace_is_replayable(self, tmp_path):
+        from repro.baselines.base import SchemeConfig
+        from repro.core.pod import POD
+        from repro.sim.replay import replay_trace
+
+        trace = generate_trace(WEB_VM, scale=0.005)
+        path = tmp_path / "t.fiu"
+        write_fiu(trace, path)
+        loaded = load_fiu_trace(path, logical_blocks=trace.logical_blocks)
+        scheme = POD(SchemeConfig(logical_blocks=loaded.logical_blocks, memory_bytes=64 * 1024))
+        result = replay_trace(loaded, scheme)
+        assert result.metrics.requests == len(loaded)

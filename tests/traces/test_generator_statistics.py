@@ -1,0 +1,123 @@
+"""Statistical validation of the synthetic generators.
+
+Beyond the Table-II-level checks, these tests verify that the
+generator's *internal* distributions actually follow the spec: size
+mixes, redundancy-class composition, same-location share, and the
+temporal-locality skew that the cache results depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traces.format import Trace
+from repro.traces.stats import io_vs_capacity_redundancy
+from repro.traces.synthetic import HOMES, MAIL, WEB_VM, generate_trace
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def webvm() -> Trace:
+    return generate_trace(WEB_VM, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def mail() -> Trace:
+    return generate_trace(MAIL, scale=SCALE)
+
+
+class TestSizeDistributions:
+    def test_write_size_mix_tracks_spec(self, webvm):
+        spec = WEB_VM.scaled(SCALE)
+        writes = [r for r in webvm.records if r.is_write]
+        sizes, counts = np.unique([r.nblocks for r in writes], return_counts=True)
+        observed = dict(zip(sizes.tolist(), (counts / counts.sum()).tolist()))
+        for size, prob in spec.write_sizes.items():
+            # partial-class redraws and donor truncation perturb the
+            # raw mix; sizes of 1-2 blocks must still match closely
+            if size <= 2:
+                assert observed.get(size, 0.0) == pytest.approx(prob, abs=0.08), size
+
+    def test_small_requests_dominate(self, webvm, mail):
+        for trace in (webvm, mail):
+            writes = [r.nblocks for r in trace.records if r.is_write]
+            assert np.mean(np.asarray(writes) <= 2) > 0.40
+
+
+class TestRedundancyComposition:
+    def test_mail_mostly_fully_redundant(self, mail):
+        """The class mix shows through: most of mail's redundant
+        writes duplicate whole earlier requests."""
+        seen = set()
+        full = partial = 0
+        for r in mail.records:
+            if not r.is_write:
+                continue
+            dup = sum(1 for fp in r.fingerprints if fp in seen)
+            seen.update(r.fingerprints)
+            if dup == r.nblocks:
+                full += 1
+            elif dup:
+                partial += 1
+        assert full > 4 * partial
+
+    def test_same_location_share_tracks_p_same_lba(self):
+        """Raising p_same_lba must raise the same-location share."""
+        from dataclasses import replace
+
+        lo = generate_trace(replace(WEB_VM, p_same_lba=0.1), scale=0.1)
+        hi = generate_trace(replace(WEB_VM, p_same_lba=0.8), scale=0.1)
+        assert (
+            io_vs_capacity_redundancy(hi).same_location_pct
+            > io_vs_capacity_redundancy(lo).same_location_pct + 5.0
+        )
+
+
+class TestTemporalLocality:
+    def test_reads_prefer_recent_writes(self, webvm):
+        """Read targets are recency-skewed: the median age (in
+        requests) of the last write covering a read target is small
+        relative to the trace length."""
+        last_writer = {}
+        ages = []
+        for i, rec in enumerate(webvm.records):
+            if rec.is_write:
+                for lba in range(rec.lba, rec.lba + rec.nblocks):
+                    last_writer[lba] = i
+            elif rec.lba in last_writer:
+                ages.append(i - last_writer[rec.lba])
+        assert ages, "no reads hit written data at all"
+        assert np.median(ages) < len(webvm) * 0.05
+
+    def test_duplicates_prefer_recent_content(self, webvm):
+        """Donor choice is recency-skewed too (what makes a hot LRU
+        index effective)."""
+        first_seen = {}
+        gaps = []
+        for i, rec in enumerate(webvm.records):
+            if not rec.is_write:
+                continue
+            for fp in rec.fingerprints:
+                if fp in first_seen:
+                    gaps.append(i - first_seen[fp])
+                else:
+                    first_seen[fp] = i
+        assert gaps
+        assert np.median(gaps) < len(webvm) * 0.10
+
+
+class TestBurstStructure:
+    def test_interarrival_bimodality(self, mail):
+        times = np.array([r.time for r in mail.records])
+        gaps = np.diff(times)
+        assert np.median(gaps) < 2e-3  # intra-burst
+        assert np.percentile(gaps, 99) > 0.05  # inter-burst pauses
+
+    def test_homes_lighter_than_mail(self):
+        """The per-trace burst models differ deliberately: homes runs
+        at a lighter sustained load than mail."""
+        homes = generate_trace(HOMES, scale=0.1)
+        mail = generate_trace(MAIL, scale=0.1)
+        rate_h = len(homes) / homes.records[-1].time
+        rate_m = len(mail) / mail.records[-1].time
+        assert rate_m > 1.5 * rate_h

@@ -1,0 +1,120 @@
+"""Unit tests for the workload primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.workload import (
+    ArrivalProcess,
+    BurstModel,
+    PhaseModel,
+    PhaseProcess,
+    SizeDistribution,
+    ZipfChooser,
+)
+
+
+class TestZipfChooser:
+    def test_skews_to_low_ranks(self, rng):
+        z = ZipfChooser(100, s=1.2)
+        draws = z.draw_many(rng, 5000)
+        assert np.mean(draws < 10) > np.mean((draws >= 10) & (draws < 20))
+
+    def test_uniform_when_s_zero(self, rng):
+        z = ZipfChooser(10, s=0.0)
+        draws = z.draw_many(rng, 20000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_resize_grows(self, rng):
+        z = ZipfChooser(4)
+        z.resize(100)
+        assert z.n == 100
+        assert 0 <= z.draw(rng) < 100
+
+    def test_invalid(self):
+        with pytest.raises(TraceError):
+            ZipfChooser(0)
+        with pytest.raises(TraceError):
+            ZipfChooser(4, s=-1)
+
+
+class TestSizeDistribution:
+    def test_mean(self):
+        d = SizeDistribution.of({1: 0.5, 4: 0.5})
+        assert d.mean_blocks == pytest.approx(2.5)
+        assert d.mean_kb == pytest.approx(10.0)
+
+    def test_draws_only_listed_sizes(self, rng):
+        d = SizeDistribution.of({2: 0.3, 8: 0.7})
+        draws = {d.draw(rng) for _ in range(200)}
+        assert draws <= {2, 8}
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(TraceError):
+            SizeDistribution.of({1: 0.4, 2: 0.4})
+
+    def test_sizes_positive(self):
+        with pytest.raises(TraceError):
+            SizeDistribution.of({0: 1.0})
+
+
+class TestArrivalProcess:
+    def test_times_are_increasing(self, rng):
+        ap = ArrivalProcess(BurstModel(), rng)
+        times = [ap.next_time() for _ in range(500)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_burstiness_visible(self, rng):
+        """Intra-burst gaps must be much smaller than inter-burst
+        gaps: the gap distribution should be strongly bimodal."""
+        ap = ArrivalProcess(BurstModel(mean_burst_size=10, intra_gap=1e-4, inter_gap=0.5), rng)
+        times = np.array([ap.next_time() for _ in range(2000)])
+        gaps = np.diff(times)
+        assert np.median(gaps) < 1e-3  # most gaps are intra-burst
+        assert gaps.max() > 0.1  # but long pauses exist
+
+    def test_invalid_model(self):
+        with pytest.raises(TraceError):
+            BurstModel(mean_burst_size=0.5)
+        with pytest.raises(TraceError):
+            BurstModel(intra_gap=-1)
+
+
+class TestPhaseProcess:
+    def test_long_run_write_ratio(self):
+        for wr in (0.6, 0.698, 0.805):
+            rng = np.random.default_rng(1)
+            pp = PhaseProcess(PhaseModel(write_ratio=wr, mean_phase_len=100), rng)
+            xs = [pp.next_is_write() for _ in range(20000)]
+            assert np.mean(xs) == pytest.approx(wr, abs=0.03)
+
+    def test_phases_alternate(self, rng):
+        pp = PhaseProcess(PhaseModel(write_ratio=0.7, mean_phase_len=50), rng)
+        kinds = []
+        last = None
+        for _ in range(2000):
+            pp.next_is_write()
+            if pp.in_write_phase != last:
+                kinds.append(pp.in_write_phase)
+                last = pp.in_write_phase
+        # strict alternation: no two consecutive phases the same type
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+        assert pp.phases_seen > 5
+
+    def test_write_phase_is_write_heavy(self, rng):
+        pp = PhaseProcess(PhaseModel(write_ratio=0.7, mean_phase_len=200), rng)
+        by_phase = {True: [], False: []}
+        for _ in range(5000):
+            w = pp.next_is_write()
+            by_phase[pp.in_write_phase].append(w)
+        assert np.mean(by_phase[True]) > 0.85
+        assert np.mean(by_phase[False]) < 0.3
+
+    def test_invalid_model(self):
+        with pytest.raises(TraceError):
+            PhaseModel(write_ratio=1.5)
+        with pytest.raises(TraceError):
+            PhaseModel(write_ratio=0.5, mean_phase_len=0)
+        with pytest.raises(TraceError):
+            PhaseModel(write_ratio=0.5, write_phase_bias=0.2)
