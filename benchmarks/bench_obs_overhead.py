@@ -1,0 +1,92 @@
+"""Cost of the observability layer on the hot replay path.
+
+The design contract (docs/observability.md): with tracing *off* every
+instrumentation site costs one attribute read plus one integer
+compare, so an un-instrumented replay and a replay with an attached
+``OFF``-level recorder must run at the same speed -- the assertion
+here allows <5% median slowdown.  A second (informational, printed)
+measurement shows what REQUEST/CHUNK-level recording costs, which is
+allowed to be expensive: you only pay for what you watch.
+
+Runnable two ways::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.baselines.base import SchemeConfig
+from repro.core.pod import POD
+from repro.obs import TraceLevel, TraceRecorder
+from repro.sim.replay import replay_trace
+from repro.traces.synthetic import WEB_VM, generate_trace
+
+#: Replay repeats per configuration; medians of 5 are stable enough
+#: for a 5% bound while keeping CI under a minute.
+REPEATS = 5
+TRACE = generate_trace(WEB_VM, scale=0.05, seed=1234)
+MAX_OFF_OVERHEAD = 0.05
+
+
+def _scheme() -> POD:
+    return POD(
+        SchemeConfig(logical_blocks=TRACE.logical_blocks, memory_bytes=256 * 1024)
+    )
+
+
+def _time_replay(recorder) -> float:
+    scheme = _scheme()
+    t0 = time.perf_counter()
+    replay_trace(TRACE, scheme, recorder=recorder)
+    return time.perf_counter() - t0
+
+
+def _median_runtime(make_recorder) -> float:
+    return statistics.median(_time_replay(make_recorder()) for _ in range(REPEATS))
+
+
+def measure() -> dict:
+    """Median replay wall times for: no recorder, OFF recorder, and
+    (informational) REQUEST / CHUNK recorders."""
+    # Warm-up run: JIT-free Python still benefits from warmed caches
+    # (allocator arenas, branch-predictable dict layouts).
+    _time_replay(None)
+    out = {
+        "baseline": _median_runtime(lambda: None),
+        "off": _median_runtime(lambda: TraceRecorder(level=TraceLevel.OFF)),
+        "request": _median_runtime(lambda: TraceRecorder(level=TraceLevel.REQUEST)),
+        "chunk": _median_runtime(lambda: TraceRecorder(level=TraceLevel.CHUNK)),
+    }
+    out["off_overhead"] = out["off"] / out["baseline"] - 1.0
+    return out
+
+
+def test_tracing_off_overhead_below_5pct():
+    m = measure()
+    assert m["off_overhead"] < MAX_OFF_OVERHEAD, (
+        f"OFF-level recorder costs {m['off_overhead'] * 100:.1f}% "
+        f"(baseline {m['baseline'] * 1e3:.1f} ms, off {m['off'] * 1e3:.1f} ms); "
+        f"the contract is <{MAX_OFF_OVERHEAD * 100:.0f}%"
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    m = measure()
+    print(f"requests per replay : {len(TRACE)}")
+    print(f"baseline (no rec)   : {m['baseline'] * 1e3:8.1f} ms")
+    print(f"recorder level off  : {m['off'] * 1e3:8.1f} ms "
+          f"({m['off_overhead'] * +100:+.1f}%)")
+    print(f"recorder level req  : {m['request'] * 1e3:8.1f} ms "
+          f"({(m['request'] / m['baseline'] - 1) * 100:+.1f}%)")
+    print(f"recorder level chunk: {m['chunk'] * 1e3:8.1f} ms "
+          f"({(m['chunk'] / m['baseline'] - 1) * 100:+.1f}%)")
+    status = "OK" if m["off_overhead"] < MAX_OFF_OVERHEAD else "FAIL"
+    print(f"off-level contract (<{MAX_OFF_OVERHEAD * 100:.0f}%): {status}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -49,6 +49,8 @@ from repro.dedup.map_table import MapTable
 from repro.dedup.fingerprint import HashEngine
 from repro.errors import ConfigError
 from repro.cache.partition import PartitionedCache
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.request import IORequest, OpType
 from repro.storage.allocator import LogAllocator, RegionMap
 from repro.storage.nvram import NvramMeter
@@ -139,6 +141,11 @@ class PlannedIO:
     eliminated:
         True when a write request was fully deduplicated -- no data
         write reaches the disks (the Fig. 11 metric).
+    deduped_blocks:
+        Individual 4 KB blocks of this request whose write was
+        eliminated by deduplication (accrues from partially
+        deduplicated requests too -- distinct from ``eliminated``,
+        which is a whole-request flag).
     cache_hit_blocks:
         Read blocks served from the read cache.
     """
@@ -147,6 +154,7 @@ class PlannedIO:
     volume_ops: List[VolumeOp] = field(default_factory=list)
     background_ops: List[VolumeOp] = field(default_factory=list)
     eliminated: bool = False
+    deduped_blocks: int = 0
     cache_hit_blocks: int = 0
     #: Blocks served by the SSD tier (gates completion; SAR only).
     ssd_read_blocks: int = 0
@@ -182,6 +190,14 @@ class DedupScheme(abc.ABC):
             self.cache.attach_index_table(self.index_table)
         self.written_lbas: Set[int] = set()
         self._swap_cursor = 0
+        # ---- observability -------------------------------------------
+        #: Attached trace recorder (NULL_RECORDER = disabled; every
+        #: emission site guards on ``self.obs.level`` so the disabled
+        #: path costs one integer compare).
+        self.obs: TraceRecorder = NULL_RECORDER
+        #: Simulated time of the request currently being processed
+        #: (timestamp source for events emitted below ``process``).
+        self._obs_now: float = 0.0
         # ---- counters -------------------------------------------------
         self.reads_total = 0
         self.read_blocks_total = 0
@@ -205,11 +221,31 @@ class DedupScheme(abc.ABC):
         return PartitionedCache(self.config.memory_bytes, self.config.index_fraction)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, recorder: TraceRecorder) -> None:
+        """Attach a trace recorder to this scheme and its cache.
+
+        Observation only: attaching a recorder (at any level) must
+        never change simulation behaviour -- the integration tests
+        assert byte-identical results with tracing on and off.
+        """
+        self.obs = recorder
+        if hasattr(self.cache, "attach_observer"):
+            self.cache.attach_observer(recorder, clock=self._obs_clock)
+
+    def _obs_clock(self) -> float:
+        """Current simulated time for events emitted by owned caches."""
+        return self._obs_now
+
+    # ------------------------------------------------------------------
     # the scheme interface
     # ------------------------------------------------------------------
 
     def process(self, request: IORequest, now: float) -> PlannedIO:
         """Plan the physical I/O for one user request."""
+        self._obs_now = now
         if request.is_write:
             return self._process_write(request, now)
         return self._process_read(request, now)
@@ -271,6 +307,15 @@ class DedupScheme(abc.ABC):
             else:
                 missing.append(pba)
         self.read_cache_hit_blocks += hits
+        if self.obs.level >= TraceLevel.CHUNK:
+            self.obs.emit(
+                TraceLevel.CHUNK,
+                now,
+                EventType.CACHE_READ,
+                req_id=request.req_id,
+                hits=hits,
+                misses=len(missing),
+            )
         ops = extents_to_ops(OpType.READ, missing)
         self.read_extents_issued += len(ops)
         for pba in set(missing):
@@ -308,6 +353,7 @@ class DedupScheme(abc.ABC):
             delay=delay,
             volume_ops=extra_ops + write_ops,
             eliminated=eliminated,
+            deduped_blocks=deduped_blocks,
         )
 
     def _commit_write(

@@ -38,6 +38,9 @@ class ARCache:
         self.b2: "OrderedDict[Any, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Ghost-list hit counters (the adaptation signal, observable).
+        self.b1_hits = 0
+        self.b2_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -75,6 +78,7 @@ class ARCache:
             return
         if key in self.b1:
             # Recency ghost hit: grow T1's target.
+            self.b1_hits += 1
             delta = 1 if len(self.b1) >= len(self.b2) else max(1, len(self.b2) // max(1, len(self.b1)))
             self.p = min(self.capacity, self.p + delta)
             self._replace(in_b2=False)
@@ -83,6 +87,7 @@ class ARCache:
             return
         if key in self.b2:
             # Frequency ghost hit: shrink T1's target.
+            self.b2_hits += 1
             delta = 1 if len(self.b2) >= len(self.b1) else max(1, len(self.b1) // max(1, len(self.b2)))
             self.p = max(0, self.p - delta)
             self._replace(in_b2=True)
@@ -127,3 +132,14 @@ class ARCache:
     def sizes(self) -> Dict[str, int]:
         """List occupancies (for invariant tests)."""
         return {"t1": len(self.t1), "t2": len(self.t2), "b1": len(self.b1), "b2": len(self.b2), "p": self.p}
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for the observability registry."""
+        out = dict(self.sizes())
+        out.update(
+            hits=self.hits,
+            misses=self.misses,
+            b1_hits=self.b1_hits,
+            b2_hits=self.b2_hits,
+        )
+        return out

@@ -36,7 +36,13 @@ class GhostCache:
         self.default_entry_size = default_entry_size
         self._keys: "OrderedDict[Any, int]" = OrderedDict()
         self._used = 0
+        #: Hits this epoch (the Access Monitor resets these).
         self.hits = 0
+        #: Hits over the ghost cache's whole lifetime (observability;
+        #: survives :meth:`reset_counters`).
+        self.hits_total = 0
+        #: Evictions recorded over the lifetime.
+        self.evictions_recorded = 0
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -53,6 +59,7 @@ class GhostCache:
         size = self.default_entry_size if size is None else size
         if size <= 0:
             raise CacheError(f"entry size must be positive, got {size}")
+        self.evictions_recorded += 1
         if key in self._keys:
             self._used -= self._keys.pop(key)
         if size > self.capacity_bytes:
@@ -73,6 +80,7 @@ class GhostCache:
         if key in self._keys:
             self._used -= self._keys.pop(key)
             self.hits += 1
+            self.hits_total += 1
             return True
         return False
 

@@ -32,6 +32,9 @@ class LRUCache:
         # hit/miss accounting (the Access Monitor reads these).
         self.hits = 0
         self.misses = 0
+        #: Entries evicted to make room (capacity pressure signal
+        #: surfaced by the observability registry; lifetime counter).
+        self.evictions = 0
 
     # ------------------------------------------------------------------
 
@@ -137,4 +140,5 @@ class LRUCache:
         victims: List[Evicted] = []
         while self._used > self.capacity_bytes and self._entries:
             victims.append(self.pop_lru())  # type: ignore[arg-type]
+        self.evictions += len(victims)
         return victims

@@ -61,6 +61,18 @@ class PartitionedCache:
         self.total_bytes = total_bytes
         self.index = LRUCache(sizes.index_bytes, default_entry_size=INDEX_ENTRY_SIZE)
         self.read = LRUCache(sizes.read_bytes, default_entry_size=BLOCK_SIZE)
+        #: Interface parity with :class:`repro.core.icache.ICache`
+        #: (fixed partitions never repartition, so this stays empty).
+        self.epoch_timeline: list = []
+
+    def attach_observer(self, recorder, clock=None) -> None:
+        """Accept an observer for interface parity with iCache.
+
+        The fixed partition emits no micro-events of its own (its
+        hit/miss counters are surfaced through :meth:`stats`), but
+        accepting the attachment keeps the scheme-side wiring uniform.
+        """
+        self.obs = recorder
 
     # -- index side ----------------------------------------------------
 
@@ -106,4 +118,6 @@ class PartitionedCache:
             "index_misses": self.index.misses,
             "read_hits": self.read.hits,
             "read_misses": self.read.misses,
+            "index_evictions": self.index.evictions,
+            "read_evictions": self.read.evictions,
         }

@@ -3,7 +3,11 @@
 ::
 
     python -m repro run --trace mail --scheme POD --scale 0.1
-    python -m repro compare --trace homes --scale 0.1
+    python -m repro run --trace web-vm --scheme pod \
+        --report-out r.json --trace-out t.jsonl --seed 7
+    python -m repro compare --trace homes --scale 0.1 --report-out all.json
+    python -m repro stats r.json            # pretty-print one report
+    python -m repro stats a.json b.json     # diff two reports
     python -m repro figures --only fig8,fig11 --scale 0.25
     python -m repro trace generate --trace web-vm --scale 0.05 --out w.trace
     python -m repro trace analyze w.trace
@@ -58,10 +62,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--raid", choices=["raid5", "raid0", "single"], default="raid5")
     run.add_argument("--ndisks", type=int, default=None,
                      help="member disks (default 4 for raid5/raid0, 1 for single)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="trace-generator seed (recorded in the run report)")
+    run.add_argument("--trace-level", choices=["off", "summary", "request", "chunk"],
+                     default=None,
+                     help="event-recording verbosity (default: request when "
+                     "--trace-out is given, off otherwise)")
+    run.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                     help="write the recorded simulation events as JSON Lines")
+    run.add_argument("--report-out", default=None, metavar="FILE.json",
+                     help="write the versioned machine-readable run report")
 
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
     compare.add_argument("--scale", type=float, default=0.1)
+    compare.add_argument("--seed", type=int, default=None,
+                         help="trace-generator seed (recorded in the report)")
+    compare.add_argument("--report-out", default=None, metavar="FILE.json",
+                         help="write a compare report bundling every run report")
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print a run report, or diff two of them"
+    )
+    stats.add_argument("paths", nargs="+", metavar="REPORT.json",
+                       help="one report to render, or two run reports to diff")
+    stats.add_argument("--buckets", action="store_true",
+                       help="also dump non-zero histogram buckets")
 
     figures_cmd = sub.add_parser("figures", help="regenerate the paper's tables/figures")
     figures_cmd.add_argument("--only", default=None,
@@ -104,8 +130,27 @@ def _print_result(result) -> None:
     print(render_table(f"{result.scheme_name} on {result.trace_name}", ["metric", "value"], rows))
 
 
+def _effective_trace_level(args):
+    """Resolve the recording verbosity from the CLI flags.
+
+    Explicit ``--trace-level`` wins; otherwise ``--trace-out`` implies
+    ``request`` (a trace file with no events would be useless) and the
+    default is ``off`` (no recording cost at all).
+    """
+    from repro.obs import TraceLevel
+
+    if getattr(args, "trace_level", None) is not None:
+        return TraceLevel.parse(args.trace_level)
+    if getattr(args, "trace_out", None) is not None:
+        return TraceLevel.REQUEST
+    return TraceLevel.OFF
+
+
 def cmd_run(args) -> int:
+    import time
+
     from repro.experiments import runner
+    from repro.obs import TraceLevel, TraceRecorder, build_run_report, write_report
     from repro.sim.replay import ReplayConfig
     from repro.storage.raid import RaidLevel
     from repro.storage.scheduler import SchedulingPolicy
@@ -125,10 +170,58 @@ def cmd_run(args) -> int:
         scheduler=SchedulingPolicy(args.scheduler) if args.scheduler else None,
         failed_disk=args.failed_disk,
     )
-    result = runner.run_single(
-        args.trace, args.scheme, scale=args.scale, replay_config=replay_config, **overrides
+
+    observed = (
+        args.seed is not None
+        or args.trace_level is not None
+        or args.trace_out is not None
+        or args.report_out is not None
     )
+    if not observed:
+        # Plain run: share the memoised fast path with the figure benches.
+        result = runner.run_single(
+            args.trace, args.scheme, scale=args.scale,
+            replay_config=replay_config, **overrides,
+        )
+        _print_result(result)
+        return 0
+
+    trace_level = _effective_trace_level(args)
+    recorder = (
+        TraceRecorder(level=trace_level)
+        if (trace_level > TraceLevel.OFF or args.trace_out is not None)
+        else None
+    )
+    t0 = time.perf_counter()
+    result = runner.run_observed(
+        args.trace, args.scheme, scale=args.scale, seed=args.seed,
+        replay_config=replay_config, recorder=recorder, **overrides,
+    )
+    wall = time.perf_counter() - t0
     _print_result(result)
+
+    if args.trace_out is not None:
+        lines = recorder.write_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out}: {lines - 1} events "
+              f"(level {trace_level.name.lower()}, {recorder.dropped} dropped)")
+    if args.report_out is not None:
+        report = build_run_report(
+            result,
+            seed=args.seed,
+            scale=args.scale,
+            trace_level=trace_level.name.lower(),
+            recorder=recorder,
+            config={
+                "raid": args.raid,
+                "ndisks": ndisks,
+                "scheduler": args.scheduler,
+                "failed_disk": args.failed_disk,
+                "index_fraction": args.index_fraction,
+            },
+            overhead={"replay_wall_s": wall},
+        )
+        write_report(report, args.report_out)
+        print(f"wrote {args.report_out}")
     return 0
 
 
@@ -136,9 +229,16 @@ def cmd_compare(args) -> int:
     from repro.experiments import runner
     from repro.experiments.runner import PAPER_SCHEMES
 
+    observed = args.seed is not None or args.report_out is not None
     rows = []
+    reports = []
     for scheme in PAPER_SCHEMES:
-        result = runner.run_single(args.trace, scheme, scale=args.scale)
+        if observed:
+            result = runner.run_observed(
+                args.trace, scheme, scale=args.scale, seed=args.seed
+            )
+        else:
+            result = runner.run_single(args.trace, scheme, scale=args.scale)
         rows.append(
             [
                 scheme,
@@ -149,6 +249,12 @@ def cmd_compare(args) -> int:
                 result.capacity_blocks,
             ]
         )
+        if args.report_out is not None:
+            from repro.obs import build_run_report
+
+            reports.append(
+                build_run_report(result, seed=args.seed, scale=args.scale)
+            )
     print(
         render_table(
             f"{args.trace} @ scale {args.scale} (4-disk RAID-5)",
@@ -156,6 +262,40 @@ def cmd_compare(args) -> int:
             rows,
         )
     )
+    if args.report_out is not None:
+        from repro.obs import build_compare_report, write_report
+
+        write_report(build_compare_report(reports), args.report_out)
+        print(f"\nwrote {args.report_out}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import diff_reports, load_report, render_report
+
+    if len(args.paths) > 2:
+        print("stats takes one report (render) or two (diff)", file=sys.stderr)
+        return 2
+    if len(args.paths) == 2:
+        a, b = (load_report(p) for p in args.paths)
+        print(diff_reports(a, b))
+        return 0
+    report = load_report(args.paths[0])
+    print(render_report(report))
+    if args.buckets:
+        docs = report.get("runs", [report]) if report.get("kind") else [report]
+        for doc in docs:
+            for name, hist in sorted(doc.get("histograms", {}).items()):
+                buckets = hist.get("buckets")
+                if not buckets:
+                    continue
+                print()
+                print(render_table(
+                    f"{doc.get('scheme')}/{doc.get('trace')} {name} buckets (s)",
+                    ["lower", "upper", "count"],
+                    [[f"{lo:.3g}", hi if isinstance(hi, str) else f"{hi:.3g}", c]
+                     for lo, hi, c in buckets],
+                ))
     return 0
 
 
@@ -246,6 +386,7 @@ def cmd_export(args) -> int:
 COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
+    "stats": cmd_stats,
     "figures": cmd_figures,
     "trace": cmd_trace,
     "report": cmd_report,
@@ -260,6 +401,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `repro stats r.json | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

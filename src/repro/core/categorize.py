@@ -72,6 +72,22 @@ class CategoryDecision:
     redundant_chunks: List[int] = field(default_factory=list)
     runs: List[Tuple[int, int]] = field(default_factory=list)
 
+    def to_fields(self, nchunks: int) -> dict:
+        """Flat payload for ``request.classify`` trace events
+        (part of the stable event schema -- see docs/observability.md).
+
+        ``nchunks`` is the request length in chunks (the decision
+        itself only stores indices, not the request size).
+        """
+        return {
+            "category": self.category.value,
+            "category_name": self.category.name,
+            "nchunks": nchunks,
+            "redundant_chunks": len(self.redundant_chunks),
+            "deduped_chunks": len(self.dedupe_chunks),
+            "runs": [[s, l] for s, l in self.runs],
+        }
+
 
 def sequential_runs(duplicate_pbas: Sequence[Optional[int]]) -> List[Tuple[int, int]]:
     """Maximal runs of chunks whose duplicate targets are consecutive.

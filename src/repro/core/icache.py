@@ -27,12 +27,56 @@ detected, more writes eliminated), read bursts want a big read cache
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cache.ghost import GhostCache
 from repro.cache.lru import LRUCache
 from repro.constants import BLOCK_SIZE, INDEX_ENTRY_SIZE
 from repro.errors import CacheError
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One row of the iCache epoch timeline (Section III-C, observable).
+
+    Captures the Access Monitor's inputs (ghost hits), the cost-benefit
+    values it derived, and the Swap Module's decision -- everything
+    needed to replay *why* the partition moved the way it did.
+    """
+
+    #: Epoch ordinal (0-based).
+    epoch: int
+    #: Simulated time of the decision.
+    t: float
+    #: Partition sizes *after* the decision, bytes.
+    index_bytes: int
+    read_bytes: int
+    #: Ghost hits accumulated over the epoch (the Monitor's counters).
+    ghost_index_hits: int
+    ghost_read_hits: int
+    #: Estimated seconds saved by growing each cache.
+    index_benefit: float
+    read_benefit: float
+    #: ``grow_index`` / ``grow_read`` / ``hold``.
+    direction: str
+    #: Bytes moved through the reserved swap area (0 when holding).
+    swapped_bytes: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "t": self.t,
+            "index_bytes": self.index_bytes,
+            "read_bytes": self.read_bytes,
+            "ghost_index_hits": self.ghost_index_hits,
+            "ghost_read_hits": self.ghost_read_hits,
+            "index_benefit": self.index_benefit,
+            "read_benefit": self.read_benefit,
+            "direction": self.direction,
+            "swapped_bytes": self.swapped_bytes,
+        }
 
 
 @dataclass
@@ -88,8 +132,14 @@ class ICache:
         )
         #: (time, index_bytes, read_bytes) after each epoch.
         self.partition_history: List[Tuple[float, int, int]] = []
+        #: Full per-epoch decision records (run reports serialise
+        #: these as the iCache timeline).
+        self.epoch_timeline: List[EpochRecord] = []
         self.repartitions = 0
         self.total_swapped_bytes = 0.0
+        #: Attached observability recorder + clock (set by the scheme).
+        self.obs: TraceRecorder = NULL_RECORDER
+        self._obs_clock: Optional[Callable[[], float]] = None
         #: Swapped-out index entries parked in the reserved area,
         #: keyed by fingerprint (pruned with the ghost index).
         self._index_store: dict = {}
@@ -101,6 +151,15 @@ class ICache:
         """Let swap-in restore evicted entries via the Index table."""
         self._index_table = index_table
 
+    def attach_observer(
+        self, recorder: TraceRecorder, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        """Attach a trace recorder (observation only -- never affects
+        the partitioning decisions).  ``clock`` supplies simulated time
+        for ghost-hit events emitted outside an epoch callback."""
+        self.obs = recorder
+        self._obs_clock = clock
+
     # ------------------------------------------------------------------
     # read-cache interface
     # ------------------------------------------------------------------
@@ -110,7 +169,14 @@ class ICache:
         (the Access Monitor's signal)."""
         if self.read.get(key) is not None:
             return True
-        self.ghost_read.hit(key)
+        if self.ghost_read.hit(key) and self.obs.level >= TraceLevel.CHUNK:
+            self.obs.emit(
+                TraceLevel.CHUNK,
+                self._obs_clock() if self._obs_clock is not None else 0.0,
+                EventType.CACHE_GHOST_HIT,
+                cache="read",
+                key=key,
+            )
         return False
 
     def read_insert(self, key) -> None:
@@ -137,7 +203,14 @@ class ICache:
     def on_index_miss(self, fingerprint: int) -> None:
         """Called by the scheme when the hot index missed: probe the
         ghost index (a hit = one duplicate we failed to detect)."""
-        self.ghost_index.hit(fingerprint)
+        if self.ghost_index.hit(fingerprint) and self.obs.level >= TraceLevel.CHUNK:
+            self.obs.emit(
+                TraceLevel.CHUNK,
+                self._obs_clock() if self._obs_clock is not None else 0.0,
+                EventType.CACHE_GHOST_HIT,
+                cache="index",
+                key=fingerprint,
+            )
 
     def note_index_evictions(self, evicted) -> None:
         """Feed IndexTable victims into the ghost index and park their
@@ -165,7 +238,10 @@ class ICache:
         caller turns that into background disk traffic.
         """
         index_benefit, read_benefit = self.cost_benefit()
+        ghost_index_hits = self.ghost_index.hits
+        ghost_read_hits = self.ghost_read.hits
         swapped = 0.0
+        direction = "hold"
         if index_benefit != read_benefit:
             total = self.config.total_bytes
             step = int(total * self.config.step_fraction)
@@ -176,6 +252,9 @@ class ICache:
                 new_index = max(floor, self.index.capacity_bytes - step)
             swapped = float(abs(new_index - self.index.capacity_bytes))
             if swapped:
+                direction = (
+                    "grow_index" if new_index > self.index.capacity_bytes else "grow_read"
+                )
                 self._resize(new_index)
                 self.repartitions += 1
                 self.total_swapped_bytes += swapped
@@ -184,6 +263,23 @@ class ICache:
         self.partition_history.append(
             (now, self.index.capacity_bytes, self.read.capacity_bytes)
         )
+        record = EpochRecord(
+            epoch=len(self.epoch_timeline),
+            t=now,
+            index_bytes=self.index.capacity_bytes,
+            read_bytes=self.read.capacity_bytes,
+            ghost_index_hits=ghost_index_hits,
+            ghost_read_hits=ghost_read_hits,
+            index_benefit=index_benefit,
+            read_benefit=read_benefit,
+            direction=direction,
+            swapped_bytes=swapped,
+        )
+        self.epoch_timeline.append(record)
+        if self.obs.level >= TraceLevel.SUMMARY:
+            fields = record.as_dict()
+            fields.pop("t")  # carried by the event envelope
+            self.obs.emit(TraceLevel.SUMMARY, now, EventType.ICACHE_EPOCH, **fields)
         return swapped
 
     def _resize(self, new_index_bytes: int) -> None:
@@ -268,8 +364,13 @@ class ICache:
             "index_misses": self.index.misses,
             "read_hits": self.read.hits,
             "read_misses": self.read.misses,
+            "index_evictions": self.index.evictions,
+            "read_evictions": self.read.evictions,
             "ghost_index_hits_epoch": self.ghost_index.hits,
             "ghost_read_hits_epoch": self.ghost_read.hits,
+            "ghost_index_hits_total": self.ghost_index.hits_total,
+            "ghost_read_hits_total": self.ghost_read.hits_total,
             "repartitions": self.repartitions,
             "total_swapped_bytes": self.total_swapped_bytes,
+            "epochs": len(self.epoch_timeline),
         }

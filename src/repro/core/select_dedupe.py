@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.base import DedupScheme
 from repro.core.categorize import Category, categorize_write
+from repro.obs.events import EventType, TraceLevel
 from repro.sim.request import IORequest
 from repro.storage.volume import VolumeOp
 
@@ -59,6 +60,14 @@ class SelectDedupe(DedupScheme):
     ) -> Set[int]:
         decision = categorize_write(duplicate_pbas, self.config.select_threshold)
         self.category_counts[decision.category] += 1
+        if self.obs.level >= TraceLevel.CHUNK:
+            self.obs.emit(
+                TraceLevel.CHUNK,
+                self._obs_now,
+                EventType.REQUEST_CLASSIFY,
+                req_id=request.req_id,
+                **decision.to_fields(request.nblocks),
+            )
         return set(decision.dedupe_chunks)
 
     def stats(self) -> dict:

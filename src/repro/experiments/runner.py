@@ -19,6 +19,7 @@ from repro.baselines.postprocess import PostProcessDedupe
 from repro.core.pod import POD
 from repro.core.select_dedupe import SelectDedupe
 from repro.errors import ConfigError
+from repro.obs.trace import TraceRecorder
 from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace
 from repro.traces.format import Trace
 from repro.traces.synthetic import TraceSpec, generate_trace, paper_traces
@@ -85,15 +86,29 @@ def scheme_config_for(
     return SchemeConfig(**params)
 
 
+def resolve_scheme_name(scheme_name: str) -> str:
+    """Map a user-typed scheme name to its canonical report name.
+
+    The lookup is case-insensitive (``pod`` -> ``POD``), so CLI users
+    do not have to remember the paper's exact capitalisation.
+    """
+    if scheme_name in SCHEME_CLASSES:
+        return scheme_name
+    folded = scheme_name.casefold()
+    for name in SCHEME_CLASSES:
+        if name.casefold() == folded:
+            return name
+    raise ConfigError(
+        f"unknown scheme {scheme_name!r}; have {sorted(SCHEME_CLASSES)}"
+    )
+
+
 def build_scheme(
     scheme_name: str, spec: TraceSpec, scale: float = 1.0, **overrides
 ) -> DedupScheme:
     """Instantiate a scheme configured for a trace."""
-    if scheme_name not in SCHEME_CLASSES:
-        raise ConfigError(
-            f"unknown scheme {scheme_name!r}; have {sorted(SCHEME_CLASSES)}"
-        )
-    return SCHEME_CLASSES[scheme_name](scheme_config_for(spec, scale, **overrides))
+    name = resolve_scheme_name(scheme_name)
+    return SCHEME_CLASSES[name](scheme_config_for(spec, scale, **overrides))
 
 
 def run_single(
@@ -112,6 +127,7 @@ def run_single(
     specs = paper_traces()
     if trace_name not in specs:
         raise ConfigError(f"unknown trace {trace_name!r}; have {sorted(specs)}")
+    scheme_name = resolve_scheme_name(scheme_name)
     replay_config = replay_config if replay_config is not None else ReplayConfig()
     key = (
         trace_name,
@@ -131,6 +147,35 @@ def run_single(
     return result
 
 
+def run_observed(
+    trace_name: str,
+    scheme_name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    replay_config: Optional[ReplayConfig] = None,
+    recorder: Optional[TraceRecorder] = None,
+    **config_overrides,
+) -> ReplayResult:
+    """Replay one (trace, scheme) pair with observability attached.
+
+    Unlike :func:`run_single` this never consults or populates the
+    memo cache: an instrumented run must actually *run* so the
+    recorder sees the events and the result carries fresh per-replay
+    state (epoch timeline, recorder, scheme stats).  The trace cache
+    is still shared -- trace generation is deterministic in (spec,
+    scale, seed) and observation does not perturb it.
+    """
+    specs = paper_traces()
+    if trace_name not in specs:
+        raise ConfigError(f"unknown trace {trace_name!r}; have {sorted(specs)}")
+    scheme_name = resolve_scheme_name(scheme_name)
+    replay_config = replay_config if replay_config is not None else ReplayConfig()
+    spec = specs[trace_name]
+    trace = get_trace(spec, scale=scale, seed=seed)
+    scheme = build_scheme(scheme_name, spec, scale=scale, **config_overrides)
+    return replay_trace(trace, scheme, replay_config, recorder=recorder)
+
+
 def run_custom(
     spec: TraceSpec,
     scheme_name: str,
@@ -143,6 +188,7 @@ def run_custom(
 
     Memoised by ``spec.name`` -- give variants distinct names.
     """
+    scheme_name = resolve_scheme_name(scheme_name)
     replay_config = replay_config if replay_config is not None else ReplayConfig()
     key = (
         "custom",

@@ -1,12 +1,21 @@
 """Measurement and reporting.
 
-* :mod:`repro.metrics.collector` -- per-request response-time samples
-  and derived summaries (the paper's "user response times").
+* :mod:`repro.metrics.collector` -- per-request response-time
+  accounting, streamed into :mod:`repro.obs.registry` histograms
+  (the paper's "user response times").
 * :mod:`repro.metrics.report` -- normalisation helpers and plain-text
   table rendering for the per-figure benches.
 """
 
 from repro.metrics.collector import MetricsCollector, ResponseSummary
 from repro.metrics.report import normalize_to, render_table
+from repro.obs.registry import Histogram, MetricsRegistry
 
-__all__ = ["MetricsCollector", "ResponseSummary", "normalize_to", "render_table"]
+__all__ = [
+    "MetricsCollector",
+    "ResponseSummary",
+    "normalize_to",
+    "render_table",
+    "Histogram",
+    "MetricsRegistry",
+]

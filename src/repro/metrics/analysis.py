@@ -58,8 +58,11 @@ class DetailedCollector(MetricsCollector):
         completion: float,
         eliminated: bool = False,
         cache_hit_blocks: int = 0,
+        deduped_blocks: int = 0,
     ) -> None:
-        super().record(request, arrival, completion, eliminated, cache_hit_blocks)
+        super().record(
+            request, arrival, completion, eliminated, cache_hit_blocks, deduped_blocks
+        )
         self.samples.append(
             RequestSample(
                 req_id=request.req_id,

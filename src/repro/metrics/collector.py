@@ -3,18 +3,26 @@
 The paper "replayed the three traces at the block level and evaluated
 the user response times" (Section IV-A), reporting the average
 response time of all requests, and of reads and writes separately
-(Figs. 8, 9).  The collector records one sample per completed request
-and summarises with NumPy at the end of the run.
+(Figs. 8, 9).
+
+The collector is built on :mod:`repro.obs.registry`: per-request
+samples stream into fixed-bucket latency histograms (p50/p95/p99/p999
+without storing every sample) and named counters, so memory stays
+O(buckets) on production-size replays and two collectors' registries
+can be merged for sharded runs.  :class:`ResponseSummary` keeps its
+historical API; callers that need exact per-request samples use
+:class:`repro.metrics.analysis.DetailedCollector`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.sim.request import IORequest, OpType
 
 
@@ -28,6 +36,9 @@ class ResponseSummary:
     p95: float
     p99: float
     total_blocks: int
+    #: Tail percentile (added with the observability layer; defaults
+    #: keep older positional constructions working).
+    p999: float = 0.0
 
     @staticmethod
     def empty() -> "ResponseSummary":
@@ -35,6 +46,7 @@ class ResponseSummary:
 
     @staticmethod
     def of(samples: np.ndarray, total_blocks: int) -> "ResponseSummary":
+        """Exact summary from raw samples (analysis helpers use this)."""
         if samples.size == 0:
             return ResponseSummary.empty()
         return ResponseSummary(
@@ -44,19 +56,46 @@ class ResponseSummary:
             p95=float(np.percentile(samples, 95)),
             p99=float(np.percentile(samples, 99)),
             total_blocks=total_blocks,
+            p999=float(np.percentile(samples, 99.9)),
+        )
+
+    @staticmethod
+    def of_histogram(hist: Histogram, total_blocks: int) -> "ResponseSummary":
+        """Streaming summary from a fixed-bucket histogram."""
+        if hist.count == 0:
+            return ResponseSummary.empty()
+        return ResponseSummary(
+            count=hist.count,
+            mean=hist.mean,
+            median=hist.p50,
+            p95=hist.p95,
+            p99=hist.p99,
+            total_blocks=total_blocks,
+            p999=hist.p999,
         )
 
 
 class MetricsCollector:
-    """Accumulates per-request completion records during a replay."""
+    """Accumulates per-request completion records during a replay.
 
-    def __init__(self) -> None:
-        self._read_rt: List[float] = []
-        self._write_rt: List[float] = []
-        self._read_blocks = 0
-        self._write_blocks = 0
-        self.read_cache_hit_blocks = 0
-        self.writes_eliminated = 0
+    All state lives in a :class:`~repro.obs.registry.MetricsRegistry`
+    (exposed as :attr:`registry`), which the run report serialises
+    directly.
+    """
+
+    #: Histogram series names (one per request class).
+    HIST_READ = "response.read"
+    HIST_WRITE = "response.write"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._read_hist = self.registry.histogram(self.HIST_READ)
+        self._write_hist = self.registry.histogram(self.HIST_WRITE)
+        self._read_blocks = self.registry.counter("read.blocks")
+        self._write_blocks = self.registry.counter("write.blocks")
+        self._cache_hit_blocks = self.registry.counter("read.cache_hit_blocks")
+        self._elim_requests = self.registry.counter("write.eliminated_requests")
+        self._elim_blocks = self.registry.counter("write.eliminated_blocks")
         self.first_arrival: Optional[float] = None
         self.last_completion: float = 0.0
 
@@ -69,8 +108,17 @@ class MetricsCollector:
         completion: float,
         eliminated: bool = False,
         cache_hit_blocks: int = 0,
+        deduped_blocks: int = 0,
     ) -> None:
-        """Record one completed request."""
+        """Record one completed request.
+
+        ``eliminated`` marks a write request that was *fully*
+        deduplicated (no data op reached the disks); ``deduped_blocks``
+        counts the individual 4 KB blocks whose write was eliminated,
+        which also accrues from partially deduplicated requests -- the
+        two are distinct metrics (requests vs blocks) and are reported
+        separately.
+        """
         if completion < arrival:
             raise SimulationError(
                 f"request {request.req_id} completed at {completion} "
@@ -78,14 +126,17 @@ class MetricsCollector:
             )
         response = completion - arrival
         if request.op is OpType.READ:
-            self._read_rt.append(response)
-            self._read_blocks += request.nblocks
+            self._read_hist.observe(response)
+            self._read_blocks.inc(request.nblocks)
         else:
-            self._write_rt.append(response)
-            self._write_blocks += request.nblocks
+            self._write_hist.observe(response)
+            self._write_blocks.inc(request.nblocks)
         if eliminated:
-            self.writes_eliminated += 1
-        self.read_cache_hit_blocks += cache_hit_blocks
+            self._elim_requests.inc()
+        if deduped_blocks:
+            self._elim_blocks.inc(deduped_blocks)
+        if cache_hit_blocks:
+            self._cache_hit_blocks.inc(cache_hit_blocks)
         if self.first_arrival is None or arrival < self.first_arrival:
             self.first_arrival = arrival
         if completion > self.last_completion:
@@ -95,20 +146,49 @@ class MetricsCollector:
 
     @property
     def requests(self) -> int:
-        return len(self._read_rt) + len(self._write_rt)
+        return self._read_hist.count + self._write_hist.count
+
+    @property
+    def writes_eliminated_requests(self) -> int:
+        """Write *requests* fully removed (the Fig. 11 numerator)."""
+        return self._elim_requests.value
+
+    @property
+    def writes_eliminated_blocks(self) -> int:
+        """Individual write *blocks* eliminated by deduplication."""
+        return self._elim_blocks.value
+
+    @property
+    def writes_eliminated(self) -> int:
+        """Back-compat alias for :attr:`writes_eliminated_requests`."""
+        return self._elim_requests.value
+
+    @property
+    def read_cache_hit_blocks(self) -> int:
+        return self._cache_hit_blocks.value
 
     def read_summary(self) -> ResponseSummary:
-        return ResponseSummary.of(np.asarray(self._read_rt), self._read_blocks)
+        return ResponseSummary.of_histogram(self._read_hist, self._read_blocks.value)
 
     def write_summary(self) -> ResponseSummary:
-        return ResponseSummary.of(np.asarray(self._write_rt), self._write_blocks)
+        return ResponseSummary.of_histogram(self._write_hist, self._write_blocks.value)
 
     def overall_summary(self) -> ResponseSummary:
-        samples = np.asarray(self._read_rt + self._write_rt)
-        return ResponseSummary.of(samples, self._read_blocks + self._write_blocks)
+        merged = self._read_hist.merge(self._write_hist)
+        return ResponseSummary.of_histogram(
+            merged, self._read_blocks.value + self._write_blocks.value
+        )
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Named histograms, including the derived overall series."""
+        return {
+            "overall": self._read_hist.merge(self._write_hist),
+            "read": self._read_hist,
+            "write": self._write_hist,
+        }
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat summary used by benches and EXPERIMENTS.md."""
+        """Flat summary used by benches, reports and EXPERIMENTS.md."""
         overall = self.overall_summary()
         read = self.read_summary()
         write = self.write_summary()
@@ -117,11 +197,15 @@ class MetricsCollector:
             "mean_response": overall.mean,
             "median_response": overall.median,
             "p95_response": overall.p95,
+            "p99_response": overall.p99,
+            "p999_response": overall.p999,
             "read_requests": read.count,
             "read_mean_response": read.mean,
             "write_requests": write.count,
             "write_mean_response": write.mean,
-            "writes_eliminated": self.writes_eliminated,
+            "writes_eliminated": self.writes_eliminated_requests,
+            "writes_eliminated_requests": self.writes_eliminated_requests,
+            "writes_eliminated_blocks": self.writes_eliminated_blocks,
             "read_cache_hit_blocks": self.read_cache_hit_blocks,
             "makespan": (
                 self.last_completion - self.first_arrival

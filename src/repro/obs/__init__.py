@@ -1,0 +1,78 @@
+"""repro.obs -- the zero-dependency observability subsystem.
+
+Three cooperating pieces, threaded through every layer of the replay
+pipeline:
+
+* :mod:`repro.obs.trace` -- :class:`TraceRecorder`, a level-guarded,
+  ring-buffer-bounded recorder of typed simulation events
+  (:mod:`repro.obs.events`) with JSONL serialisation;
+* :mod:`repro.obs.registry` -- :class:`MetricsRegistry` of named
+  counters, gauges and fixed-bucket latency histograms
+  (p50/p95/p99/p999 without storing samples);
+* :mod:`repro.obs.report` -- the versioned machine-readable run
+  report written by ``repro run --report-out`` and consumed by
+  ``repro stats``.
+
+Everything is guarded so that a replay with tracing *off* pays one
+integer compare per instrumentation site and allocates nothing.
+"""
+
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENT_SCHEMA_VERSION,
+    EventType,
+    TraceEvent,
+    TraceLevel,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds,
+)
+from repro.obs.trace import (
+    DEFAULT_MAX_EVENTS,
+    NULL_RECORDER,
+    TraceRecorder,
+    read_jsonl,
+)
+from repro.obs.report import (
+    REPORT_KIND_COMPARE,
+    REPORT_KIND_RUN,
+    REPORT_VERSION,
+    build_compare_report,
+    build_run_report,
+    diff_reports,
+    load_report,
+    render_report,
+    render_run_report,
+    write_report,
+)
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_SCHEMA_VERSION",
+    "EventType",
+    "TraceEvent",
+    "TraceLevel",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+    "DEFAULT_MAX_EVENTS",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "read_jsonl",
+    "REPORT_KIND_COMPARE",
+    "REPORT_KIND_RUN",
+    "REPORT_VERSION",
+    "build_compare_report",
+    "build_run_report",
+    "diff_reports",
+    "load_report",
+    "render_report",
+    "render_run_report",
+    "write_report",
+]

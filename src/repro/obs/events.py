@@ -1,0 +1,136 @@
+"""Typed simulation trace events and verbosity levels.
+
+The event *schema* is a contract between the data plane and its
+observers (tests snapshot it, external tools parse it), so every event
+type has a stable name and a documented field set, and the whole
+vocabulary carries a version number that is bumped on any breaking
+change (DedupFS's M4 hardening applies the same discipline to its
+fsck/report formats).
+
+Levels form a strict ladder -- an event is recorded iff its level is
+at or below the recorder's configured level:
+
+=========  ====================================================
+level      what is emitted
+=========  ====================================================
+OFF        nothing (the default; guards are single int compares)
+SUMMARY    per-epoch iCache decisions, replay lifecycle marks
+REQUEST    request arrival / completion records
+CHUNK      per-chunk dedup decisions, cache and disk micro-events
+=========  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Bumped whenever an existing event type changes meaning or drops a
+#: field.  Adding a new event type or a new optional field is not a
+#: breaking change.
+EVENT_SCHEMA_VERSION = 1
+
+
+class TraceLevel(enum.IntEnum):
+    """Recorder verbosity ladder (higher = more events)."""
+
+    OFF = 0
+    SUMMARY = 1
+    REQUEST = 2
+    CHUNK = 3
+
+    @classmethod
+    def parse(cls, name: "str | int | TraceLevel") -> "TraceLevel":
+        """Parse a CLI string (``off``/``summary``/``request``/``chunk``)."""
+        if isinstance(name, cls):
+            return name
+        if isinstance(name, int):
+            return cls(name)
+        try:
+            return cls[str(name).upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown trace level {name!r}; "
+                f"choose from {', '.join(l.name.lower() for l in cls)}"
+            ) from None
+
+
+class EventType:
+    """Stable event-type names (the ``etype`` field of every event).
+
+    Grouped by emitting layer; the docstring of each constant is the
+    field contract (see docs/observability.md for the full schema).
+    """
+
+    # -- replay lifecycle (SUMMARY) ------------------------------------
+    RUN_START = "run.start"            # trace, scheme, requests, warmup
+    RUN_END = "run.end"                # events_processed, makespan
+
+    # -- request path (REQUEST) ----------------------------------------
+    REQUEST_ARRIVE = "request.arrive"      # req_id, op, lba, nblocks
+    REQUEST_COMPLETE = "request.complete"  # req_id, op, nblocks, response,
+    #                                        eliminated, deduped_blocks,
+    #                                        cache_hit_blocks, measured
+
+    # -- write classification (CHUNK) ----------------------------------
+    REQUEST_CLASSIFY = "request.classify"  # req_id, category, category_name,
+    #                                        nchunks, redundant_chunks,
+    #                                        deduped_chunks, runs
+
+    # -- cache micro-events (CHUNK) ------------------------------------
+    CACHE_READ = "cache.read"          # req_id, hits, misses
+    CACHE_GHOST_HIT = "cache.ghost_hit"    # cache ("index"|"read"), key
+
+    # -- iCache epochs (SUMMARY) ---------------------------------------
+    ICACHE_EPOCH = "icache.epoch"      # epoch, index_bytes, read_bytes,
+    #                                    ghost_index_hits, ghost_read_hits,
+    #                                    index_benefit, read_benefit,
+    #                                    direction, swapped_bytes
+
+    # -- disk layer (CHUNK) --------------------------------------------
+    DISK_OP = "disk.op"                # disk, op, pba, nblocks, start, done
+
+
+#: Event type -> required field names (schema-stability tests check
+#: emitted events against this table).
+EVENT_FIELDS: Dict[str, tuple] = {
+    EventType.RUN_START: ("trace", "scheme", "requests", "warmup"),
+    EventType.RUN_END: ("events_processed", "makespan"),
+    EventType.REQUEST_ARRIVE: ("req_id", "op", "lba", "nblocks"),
+    EventType.REQUEST_COMPLETE: (
+        "req_id", "op", "nblocks", "response", "eliminated",
+        "deduped_blocks", "cache_hit_blocks", "measured",
+    ),
+    EventType.REQUEST_CLASSIFY: (
+        "req_id", "category", "category_name", "nchunks",
+        "redundant_chunks", "deduped_chunks", "runs",
+    ),
+    EventType.CACHE_READ: ("req_id", "hits", "misses"),
+    EventType.CACHE_GHOST_HIT: ("cache", "key"),
+    EventType.ICACHE_EPOCH: (
+        "epoch", "index_bytes", "read_bytes", "ghost_index_hits",
+        "ghost_read_hits", "index_benefit", "read_benefit",
+        "direction", "swapped_bytes",
+    ),
+    EventType.DISK_OP: ("disk", "op", "pba", "nblocks", "start", "done"),
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event.
+
+    ``t`` is *simulated* seconds; ``fields`` is the per-type payload
+    (see :data:`EVENT_FIELDS`).
+    """
+
+    t: float
+    etype: str
+    fields: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSONL-ready representation (stable key order: t, etype, ...)."""
+        out: Dict[str, Any] = {"t": self.t, "etype": self.etype}
+        out.update(self.fields)
+        return out

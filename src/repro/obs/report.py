@@ -1,0 +1,271 @@
+"""Machine-readable run reports: build, save, load, render, diff.
+
+One replay produces one versioned JSON document holding everything an
+observer needs to answer "*why* was this run fast or slow": the
+configuration and effective seed, every counter, the response-time
+histograms (p50/p95/p99/p999), the per-epoch iCache timeline and the
+recorder's own accounting (so the cost of watching is itself
+watched).  ``repro stats`` renders one report or diffs two.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError, ReproError
+from repro.metrics.report import render_table
+
+#: Bumped on any breaking change to the report document layout.
+REPORT_VERSION = 1
+REPORT_KIND_RUN = "pod-run-report"
+REPORT_KIND_COMPARE = "pod-compare-report"
+
+
+def build_run_report(
+    result,
+    *,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    trace_level: str = "off",
+    recorder=None,
+    config: Optional[Dict[str, Any]] = None,
+    overhead: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Assemble the versioned report document for one replay.
+
+    ``result`` is a :class:`repro.sim.replay.ReplayResult`; the report
+    is a plain JSON-serialisable dict (no repro objects inside).
+    """
+    metrics = result.metrics
+    counters: Dict[str, Any] = dict(metrics.as_dict())
+    counters["capacity_blocks"] = result.capacity_blocks
+    counters["removed_write_pct"] = result.removed_write_pct
+    for key, value in result.scheme_stats.items():
+        if isinstance(value, (int, float, str, bool)):
+            counters[f"scheme.{key}"] = value
+
+    histograms = {
+        name: hist.as_dict(include_buckets=True)
+        for name, hist in metrics.histograms().items()
+    }
+
+    report: Dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "kind": REPORT_KIND_RUN,
+        "generated_unix": time.time(),
+        "trace": result.trace_name,
+        "scheme": result.scheme_name,
+        "seed": seed,
+        "scale": scale,
+        "config": config or {},
+        "counters": counters,
+        "histograms": histograms,
+        "icache_timeline": list(result.epoch_timeline),
+        "utilisation": {str(k): v for k, v in result.utilisation.items()},
+        "tracing": (
+            recorder.summary()
+            if recorder is not None
+            else {"level": trace_level, "events_recorded": 0, "events_dropped": 0}
+        ),
+        "overhead": overhead or {},
+    }
+    return report
+
+
+def build_compare_report(runs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Bundle several run reports into one compare document."""
+    return {
+        "version": REPORT_VERSION,
+        "kind": REPORT_KIND_COMPARE,
+        "generated_unix": time.time(),
+        "runs": runs,
+    }
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+
+def write_report(report: Dict[str, Any], path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_report(path) -> Dict[str, Any]:
+    """Read and validate a report file (version/kind checked)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read report {path}: {exc}") from exc
+    if not isinstance(doc, dict) or "version" not in doc or "kind" not in doc:
+        raise ConfigError(f"{path} is not a repro report (missing version/kind)")
+    if doc["version"] > REPORT_VERSION:
+        raise ConfigError(
+            f"{path} has report version {doc['version']}; "
+            f"this build understands <= {REPORT_VERSION}"
+        )
+    if doc["kind"] not in (REPORT_KIND_RUN, REPORT_KIND_COMPARE):
+        raise ConfigError(f"{path}: unknown report kind {doc['kind']!r}")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+#: Headline counters rendered first, in this order.
+_HEADLINE = (
+    "requests",
+    "mean_response",
+    "read_mean_response",
+    "write_mean_response",
+    "p95_response",
+    "writes_eliminated_requests",
+    "writes_eliminated_blocks",
+    "removed_write_pct",
+    "capacity_blocks",
+)
+
+
+def _fmt_val(v: Any) -> Any:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return v
+
+
+def render_run_report(report: Dict[str, Any]) -> str:
+    """Human-readable view of one run report."""
+    parts: List[str] = []
+    title = (
+        f"{report.get('scheme')} on {report.get('trace')} "
+        f"(seed={report.get('seed')}, scale={report.get('scale')}, "
+        f"report v{report.get('version')})"
+    )
+    counters = report.get("counters", {})
+    rows = [[k, _fmt_val(counters[k])] for k in _HEADLINE if k in counters]
+    rows += [
+        [k, _fmt_val(v)]
+        for k, v in sorted(counters.items())
+        if k not in _HEADLINE
+    ]
+    parts.append(render_table(title, ["counter", "value"], rows))
+
+    hists = report.get("histograms", {})
+    if hists:
+        hrows = [
+            [
+                name,
+                h.get("count", 0),
+                _fmt_val(h.get("mean", 0.0) * 1e3),
+                _fmt_val(h.get("p50", 0.0) * 1e3),
+                _fmt_val(h.get("p95", 0.0) * 1e3),
+                _fmt_val(h.get("p99", 0.0) * 1e3),
+                _fmt_val(h.get("p999", 0.0) * 1e3),
+            ]
+            for name, h in sorted(hists.items())
+        ]
+        parts.append(
+            render_table(
+                "response-time histograms (ms)",
+                ["series", "count", "mean", "p50", "p95", "p99", "p999"],
+                hrows,
+            )
+        )
+
+    timeline = report.get("icache_timeline", [])
+    if timeline:
+        trows = [
+            [
+                e.get("epoch"),
+                _fmt_val(e.get("t")),
+                e.get("index_bytes"),
+                e.get("read_bytes"),
+                e.get("ghost_index_hits"),
+                e.get("ghost_read_hits"),
+                e.get("direction"),
+                e.get("swapped_bytes"),
+            ]
+            for e in timeline
+        ]
+        parts.append(
+            render_table(
+                "iCache epoch timeline",
+                ["epoch", "t", "index B", "read B", "ghost idx", "ghost rd",
+                 "direction", "swapped B"],
+                trows,
+            )
+        )
+
+    tracing = report.get("tracing", {})
+    if tracing:
+        parts.append(
+            render_table(
+                "tracing",
+                ["field", "value"],
+                [[k, _fmt_val(v)] for k, v in sorted(tracing.items())
+                 if not isinstance(v, dict)],
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Render a run or compare report."""
+    if report.get("kind") == REPORT_KIND_COMPARE:
+        return "\n\n".join(render_run_report(r) for r in report.get("runs", []))
+    return render_run_report(report)
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+
+
+def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Side-by-side diff of two *run* reports (counters + percentiles).
+
+    Relative change is computed b vs a; counters present in only one
+    report show ``--`` on the missing side.
+    """
+    for doc, name in ((a, "first"), (b, "second")):
+        if doc.get("kind") != REPORT_KIND_RUN:
+            raise ConfigError(f"stats diff needs two run reports; {name} is "
+                              f"{doc.get('kind')!r}")
+    rows = []
+    ca, cb = a.get("counters", {}), b.get("counters", {})
+    for key in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(key), cb.get(key)
+        if va == vb:
+            continue
+        delta = ""
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)) and va:
+            delta = f"{(vb - va) / abs(va) * 100.0:+.1f}%"
+        rows.append([
+            key,
+            "--" if va is None else _fmt_val(va),
+            "--" if vb is None else _fmt_val(vb),
+            delta,
+        ])
+    title = (
+        f"{a.get('scheme')}/{a.get('trace')}  vs  "
+        f"{b.get('scheme')}/{b.get('trace')}"
+    )
+    parts = [render_table(title, ["counter", "A", "B", "delta"], rows or
+                          [["(identical counters)", "", "", ""]])]
+
+    ha, hb = a.get("histograms", {}), b.get("histograms", {})
+    hrows = []
+    for name in sorted(set(ha) & set(hb)):
+        for q in ("p50", "p95", "p99", "p999"):
+            va, vb = ha[name].get(q, 0.0), hb[name].get(q, 0.0)
+            delta = f"{(vb - va) / va * 100.0:+.1f}%" if va else ""
+            hrows.append([f"{name}.{q}", _fmt_val(va * 1e3), _fmt_val(vb * 1e3), delta])
+    if hrows:
+        parts.append(render_table("histogram percentiles (ms)",
+                                  ["series", "A", "B", "delta"], hrows))
+    return "\n\n".join(parts)

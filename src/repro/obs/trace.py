@@ -1,0 +1,162 @@
+"""The TraceRecorder: bounded, level-guarded event capture.
+
+Design constraints (the hot replay path runs millions of requests):
+
+* **no-op when disabled** -- every emission site guards with a single
+  integer compare (``recorder.level >= TraceLevel.X``); the shared
+  :data:`NULL_RECORDER` has level ``OFF`` so un-instrumented runs pay
+  one attribute read + compare per site and allocate nothing;
+* **bounded memory** -- events land in a ring buffer
+  (``collections.deque(maxlen=...)``); overflow drops the *oldest*
+  events and counts them in :attr:`TraceRecorder.dropped`;
+* **machine readable** -- :meth:`TraceRecorder.write_jsonl` emits one
+  JSON object per line with a leading header line carrying the schema
+  version, so consumers can validate before parsing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import ConfigError
+from repro.obs.events import EVENT_SCHEMA_VERSION, TraceEvent, TraceLevel
+
+#: Default ring-buffer bound: enough for a full small-scale replay at
+#: CHUNK level without unbounded growth on production-size runs.
+DEFAULT_MAX_EVENTS = 1_000_000
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects up to a verbosity level.
+
+    Parameters
+    ----------
+    level:
+        Maximum :class:`TraceLevel` to record (``OFF`` records nothing).
+    max_events:
+        Ring-buffer bound; ``None`` means unbounded (tests only).
+    """
+
+    __slots__ = ("level", "_events", "dropped")
+
+    def __init__(
+        self,
+        level: Union[TraceLevel, str, int] = TraceLevel.REQUEST,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ConfigError(f"max_events must be positive, got {max_events}")
+        #: Plain int for the cheapest possible guard at emission sites.
+        self.level: int = int(TraceLevel.parse(level))
+        self._events: "deque[TraceEvent]" = deque(maxlen=max_events)
+        #: Events lost to the ring buffer (oldest-first overwrite).
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.level > TraceLevel.OFF
+
+    def wants(self, level: int) -> bool:
+        """True when events of ``level`` would be recorded."""
+        return self.level >= level
+
+    def emit(self, level: int, t: float, etype: str, **fields: Any) -> None:
+        """Record one event if ``level`` is enabled.
+
+        Emission sites on hot paths should guard with
+        ``if recorder.level >= level`` *before* building ``fields`` so
+        the disabled case does zero allocation.
+        """
+        if self.level < level:
+            return
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(t=t, etype=etype, fields=fields))
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the recorded events (oldest first)."""
+        return list(self._events)
+
+    def events_of(self, etype: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.etype == etype]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def counts_by_type(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.etype] = out.get(e.etype, 0) + 1
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """Recorder self-description for run reports."""
+        return {
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "level": TraceLevel(self.level).name.lower(),
+            "events_recorded": len(self._events),
+            "events_dropped": self.dropped,
+            "events_by_type": self.counts_by_type(),
+        }
+
+    # ------------------------------------------------------------------
+    # JSONL serialisation
+    # ------------------------------------------------------------------
+
+    def header(self) -> Dict[str, Any]:
+        """The JSONL header line (first line of every trace file)."""
+        return {
+            "etype": "trace.header",
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "level": TraceLevel(self.level).name.lower(),
+            "events": len(self._events),
+            "dropped": self.dropped,
+        }
+
+    def write_jsonl(self, path_or_file) -> int:
+        """Write header + events as JSON Lines; returns lines written."""
+        if hasattr(path_or_file, "write"):
+            return self._write(path_or_file)
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            return self._write(fh)
+
+    def _write(self, fh: io.TextIOBase) -> int:
+        lines = 1
+        fh.write(json.dumps(self.header(), sort_keys=True) + "\n")
+        for event in self._events:
+            fh.write(json.dumps(event.as_dict()) + "\n")
+            lines += 1
+        return lines
+
+
+def read_jsonl(path_or_file) -> Iterator[Dict[str, Any]]:
+    """Parse a trace file back into dicts (header line included)."""
+    if hasattr(path_or_file, "read"):
+        yield from _read(path_or_file)
+        return
+    with open(path_or_file, "r", encoding="utf-8") as fh:
+        yield from _read(fh)
+
+
+def _read(fh: Iterable[str]) -> Iterator[Dict[str, Any]]:
+    for line in fh:
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+#: Shared disabled recorder: emission guards against it are a single
+#: int compare and it never stores anything.
+NULL_RECORDER = TraceRecorder(level=TraceLevel.OFF, max_events=1)

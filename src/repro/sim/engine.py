@@ -23,6 +23,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import SimulationError
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.request import DiskOp
 from repro.storage.disk import Disk
@@ -66,6 +68,13 @@ class Simulator:
         self.queue = EventQueue()
         self.now: float = 0.0
         self.events_processed: int = 0
+        #: Attached trace recorder (observation only; the disabled
+        #: default costs one integer compare per guarded site).
+        self.obs: TraceRecorder = NULL_RECORDER
+
+    def attach_observer(self, recorder: TraceRecorder) -> None:
+        """Attach a trace recorder for disk-level micro-events."""
+        self.obs = recorder
 
     def _translate(self, vop: VolumeOp) -> List[DiskOp]:
         if self.failed_disk is not None:
@@ -102,10 +111,25 @@ class Simulator:
                 "schedulers; use issue_disk_ops"
             )
         completion = now
+        trace_ops = self.obs.level >= TraceLevel.CHUNK
         for op in ops:
             if not (0 <= op.disk_id < len(self.disks)):
                 raise SimulationError(f"op addressed to unknown disk {op.disk_id}")
-            done = self.disks[op.disk_id].service(now, op.pba, op.nblocks)
+            disk = self.disks[op.disk_id]
+            busy_before = disk.busy_until if trace_ops else 0.0
+            done = disk.service(now, op.pba, op.nblocks)
+            if trace_ops:
+                self.obs.emit(
+                    TraceLevel.CHUNK,
+                    now,
+                    EventType.DISK_OP,
+                    disk=op.disk_id,
+                    op=op.op.value,
+                    pba=op.pba,
+                    nblocks=op.nblocks,
+                    start=max(now, busy_before),
+                    done=done,
+                )
             if done > completion:
                 completion = done
         return completion
@@ -211,6 +235,9 @@ class Simulator:
                 "ops": disk.ops_serviced,
                 "blocks": disk.blocks_moved,
                 "busy_time": disk.busy_time,
+                "seek_time": disk.seek_time_total,
+                "rotation_time": disk.rotation_time_total,
+                "transfer_time": disk.transfer_time_total,
             }
             for disk in self.disks
         }

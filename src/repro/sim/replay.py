@@ -23,6 +23,8 @@ from repro.baselines.base import DedupScheme, PlannedIO
 from repro.constants import BLOCKS_PER_STRIPE_UNIT
 from repro.errors import ConfigError
 from repro.metrics.collector import MetricsCollector
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.request import IORequest
 from repro.storage.disk import Disk, DiskParams
@@ -77,6 +79,11 @@ class ReplayResult:
     capacity_blocks: int
     writes_total: int
     write_requests_removed: int
+    #: Per-epoch iCache decision records (list of dicts; empty for
+    #: schemes without an adaptive cache).
+    epoch_timeline: List[dict] = field(default_factory=list)
+    #: The trace recorder used for this replay, when one was attached.
+    recorder: Optional[TraceRecorder] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -119,12 +126,19 @@ def replay_trace(
     scheme: DedupScheme,
     config: ReplayConfig = ReplayConfig(),
     collector: Optional[MetricsCollector] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> ReplayResult:
     """Replay ``trace`` through ``scheme`` on the configured array.
 
     ``collector`` lets callers supply a richer collector (e.g.
     :class:`repro.metrics.analysis.DetailedCollector` for per-request
     samples); the default records summary statistics only.
+
+    ``recorder`` attaches a :class:`~repro.obs.trace.TraceRecorder` to
+    every layer (scheme, cache, engine).  Recording is observation
+    only -- with any level, including ``OFF``, the simulated results
+    are identical to an un-instrumented replay; the disabled path
+    costs one integer compare per instrumentation site.
     """
     if trace.logical_blocks > scheme.regions.logical_blocks:
         raise ConfigError(
@@ -148,11 +162,26 @@ def replay_trace(
     metrics = collector if collector is not None else MetricsCollector()
     ssd = Ssd(config.ssd_params) if config.ssd_params is not None else None
 
+    obs = recorder if recorder is not None else NULL_RECORDER
+    if recorder is not None:
+        scheme.attach_observer(recorder)
+        sim.attach_observer(recorder)
+
     requests: List[IORequest] = list(trace.requests())
     for request in requests:
         sim.schedule_arrival(request.time, request)
 
     measured_from = trace.warmup_count
+    if obs.level >= TraceLevel.SUMMARY:
+        obs.emit(
+            TraceLevel.SUMMARY,
+            requests[0].time if requests else 0.0,
+            EventType.RUN_START,
+            trace=trace.name,
+            scheme=scheme.name,
+            requests=len(requests),
+            warmup=measured_from,
+        )
 
     def finish(request: IORequest, planned: PlannedIO, arrival: float) -> None:
         issue_time = sim.now
@@ -171,13 +200,30 @@ def replay_trace(
 
         def complete(completion: float) -> None:
             completion = max(completion, ssd_done)
-            if config.collect_warmup or request.req_id >= measured_from:
+            measured = config.collect_warmup or request.req_id >= measured_from
+            completed_at = max(completion, issue_time)
+            if measured:
                 metrics.record(
                     request,
                     arrival,
-                    max(completion, issue_time),
+                    completed_at,
                     eliminated=planned.eliminated,
                     cache_hit_blocks=planned.cache_hit_blocks,
+                    deduped_blocks=planned.deduped_blocks,
+                )
+            if obs.level >= TraceLevel.REQUEST:
+                obs.emit(
+                    TraceLevel.REQUEST,
+                    completed_at,
+                    EventType.REQUEST_COMPLETE,
+                    req_id=request.req_id,
+                    op=request.op.value,
+                    nblocks=request.nblocks,
+                    response=completed_at - arrival,
+                    eliminated=planned.eliminated,
+                    deduped_blocks=planned.deduped_blocks,
+                    cache_hit_blocks=planned.cache_hit_blocks,
+                    measured=measured,
                 )
 
         sim.issue_volume_ops(planned.volume_ops, complete)
@@ -193,6 +239,16 @@ def replay_trace(
             boundary["writes"] = scheme.writes_total
             boundary["removed"] = scheme.write_requests_removed
             boundary["taken"] = True
+        if obs.level >= TraceLevel.REQUEST:
+            obs.emit(
+                TraceLevel.REQUEST,
+                now,
+                EventType.REQUEST_ARRIVE,
+                req_id=request.req_id,
+                op=request.op.value,
+                lba=request.lba,
+                nblocks=request.nblocks,
+            )
         planned = scheme.process(request, now)
         if planned.delay > 0:
             sim.schedule_callback(now + planned.delay, finish, request, planned, now)
@@ -218,6 +274,16 @@ def replay_trace(
 
     sim.run(arrival_handler=on_arrival)
 
+    if obs.level >= TraceLevel.SUMMARY:
+        obs.emit(
+            TraceLevel.SUMMARY,
+            sim.now,
+            EventType.RUN_END,
+            events_processed=sim.events_processed,
+            makespan=metrics.as_dict()["makespan"],
+        )
+
+    timeline = getattr(scheme.cache, "epoch_timeline", [])
     return ReplayResult(
         trace_name=trace.name,
         scheme_name=scheme.name,
@@ -227,4 +293,8 @@ def replay_trace(
         capacity_blocks=scheme.capacity_blocks(),
         writes_total=scheme.writes_total - boundary["writes"],
         write_requests_removed=scheme.write_requests_removed - boundary["removed"],
+        epoch_timeline=[
+            e.as_dict() if hasattr(e, "as_dict") else dict(e) for e in timeline
+        ],
+        recorder=recorder,
     )

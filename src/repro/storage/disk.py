@@ -109,24 +109,35 @@ class Disk:
         self.ops_serviced: int = 0
         self.blocks_moved: int = 0
         self.busy_time: float = 0.0
+        #: Mechanical-time decomposition (observability): where the
+        #: busy time actually went.  ``seek_time_total`` +
+        #: ``rotation_time_total`` + ``transfer_time_total`` +
+        #: per-op controller overhead == ``busy_time``.
+        self.seek_time_total: float = 0.0
+        self.rotation_time_total: float = 0.0
+        self.transfer_time_total: float = 0.0
 
-    def service_time(self, pba: int, nblocks: int) -> float:
-        """Mechanical time to service an access at ``pba`` of ``nblocks``.
-
-        Does not include queueing delay; the engine adds that.
-        """
+    def _components(self, pba: int, nblocks: int) -> "tuple[float, float, float]":
+        """(seek, rotation, transfer) seconds for one access."""
         if pba < 0 or pba + nblocks > self.params.total_blocks:
             raise StorageError(
                 f"disk {self.disk_id}: access [{pba}, {pba + nblocks}) outside "
                 f"capacity {self.params.total_blocks}"
             )
         distance = abs(pba - self.head)
-        t = self.params.controller_overhead
+        seek = rotation = 0.0
         if distance > 0:
-            t += self.params.seek_time(distance)
-            t += self.params.avg_rotational_latency
-        t += self.params.transfer_time(nblocks)
-        return t
+            seek = self.params.seek_time(distance)
+            rotation = self.params.avg_rotational_latency
+        return seek, rotation, self.params.transfer_time(nblocks)
+
+    def service_time(self, pba: int, nblocks: int) -> float:
+        """Mechanical time to service an access at ``pba`` of ``nblocks``.
+
+        Does not include queueing delay; the engine adds that.
+        """
+        seek, rotation, transfer = self._components(pba, nblocks)
+        return self.params.controller_overhead + seek + rotation + transfer
 
     def service(self, now: float, pba: int, nblocks: int) -> float:
         """Schedule one op FCFS and return its *completion time*.
@@ -134,12 +145,16 @@ class Disk:
         Mutates the disk state (head position, busy horizon, counters).
         """
         start = max(now, self.busy_until)
-        duration = self.service_time(pba, nblocks)
+        seek, rotation, transfer = self._components(pba, nblocks)
+        duration = self.params.controller_overhead + seek + rotation + transfer
         self.head = pba + nblocks
         self.busy_until = start + duration
         self.ops_serviced += 1
         self.blocks_moved += nblocks
         self.busy_time += duration
+        self.seek_time_total += seek
+        self.rotation_time_total += rotation
+        self.transfer_time_total += transfer
         return self.busy_until
 
     def reset(self) -> None:
@@ -149,3 +164,6 @@ class Disk:
         self.ops_serviced = 0
         self.blocks_moved = 0
         self.busy_time = 0.0
+        self.seek_time_total = 0.0
+        self.rotation_time_total = 0.0
+        self.transfer_time_total = 0.0

@@ -26,6 +26,7 @@ import enum
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.events import EventType, TraceLevel
 from repro.sim.request import DiskOp
 from repro.storage.disk import Disk
 
@@ -89,14 +90,31 @@ class DiskScheduler:
             return
         self._busy = True
         op, on_done = self._pending.pop(self._pick())
-        duration = self.disk.service_time(op.pba, op.nblocks)
+        seek, rotation, transfer = self.disk._components(op.pba, op.nblocks)
+        duration = self.disk.params.controller_overhead + seek + rotation + transfer
         # Advance the mechanical state; the busy horizon is driven by
         # the event clock here, not by the analytic max().
         self.disk.head = op.pba + op.nblocks
         self.disk.ops_serviced += 1
         self.disk.blocks_moved += op.nblocks
         self.disk.busy_time += duration
+        self.disk.seek_time_total += seek
+        self.disk.rotation_time_total += rotation
+        self.disk.transfer_time_total += transfer
         self.disk.busy_until = sim.now + duration
+        obs = getattr(sim, "obs", None)
+        if obs is not None and obs.level >= TraceLevel.CHUNK:
+            obs.emit(
+                TraceLevel.CHUNK,
+                sim.now,
+                EventType.DISK_OP,
+                disk=self.disk.disk_id,
+                op=op.op.value,
+                pba=op.pba,
+                nblocks=op.nblocks,
+                start=sim.now,
+                done=sim.now + duration,
+            )
         sim.schedule_callback(sim.now + duration, self._finish, sim, on_done)
 
     def _finish(self, sim, on_done: Callable[[], None]) -> None:

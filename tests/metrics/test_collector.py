@@ -44,6 +44,32 @@ class TestRecord:
         assert m.writes_eliminated == 1
         assert m.read_cache_hit_blocks == 3
 
+    def test_eliminated_requests_vs_blocks_are_distinct(self):
+        """An eliminated *request* skips its whole extent; a partially
+        deduplicated write only removes some blocks.  The collector
+        tracks the two separately."""
+        m = MetricsCollector()
+        # Whole write request eliminated: 1 request, its 1 block gone
+        # (schemes report both the flag and the block count).
+        m.record(wreq(), 0.0, 0.0, eliminated=True, deduped_blocks=1)
+        # Partial dedup: request still issued, 2 of its blocks removed.
+        partial = IORequest.write(time=0.0, lba=0, fingerprints=[1, 2, 3, 4])
+        m.record(partial, 0.0, 0.001, deduped_blocks=2)
+        assert m.writes_eliminated_requests == 1
+        assert m.writes_eliminated_blocks == 1 + 2
+        # Back-compat alias keeps the request meaning.
+        assert m.writes_eliminated == m.writes_eliminated_requests
+        d = m.as_dict()
+        assert d["writes_eliminated_requests"] == 1
+        assert d["writes_eliminated_blocks"] == 3
+        assert d["writes_eliminated"] == 1
+
+    def test_eliminated_read_does_not_count_as_write(self):
+        m = MetricsCollector()
+        m.record(rreq(n=2), 0.0, 0.0, cache_hit_blocks=2)
+        assert m.writes_eliminated_requests == 0
+        assert m.writes_eliminated_blocks == 0
+
     def test_makespan(self):
         m = MetricsCollector()
         m.record(rreq(), 1.0, 2.0)

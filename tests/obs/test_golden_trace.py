@@ -1,0 +1,102 @@
+"""Event-schema stability: a golden JSONL snapshot.
+
+A tiny hand-crafted trace is replayed at CHUNK verbosity and the full
+JSONL output is compared byte-for-byte against a committed golden
+file.  Any change to event names, field sets, field order or the
+emission logic shows up as a diff here -- if the change is
+intentional, bump :data:`repro.obs.events.EVENT_SCHEMA_VERSION` and
+regenerate with::
+
+    PYTHONPATH=src:tests python -c \
+        "from obs.test_golden_trace import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.obs.events import EVENT_FIELDS, EVENT_SCHEMA_VERSION
+from repro.obs.trace import TraceRecorder, read_jsonl
+from repro.obs.events import TraceLevel
+from repro.baselines.base import SchemeConfig
+from repro.core.pod import POD
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.sim.request import OpType
+from repro.traces.format import Trace, TraceRecord
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.jsonl"
+
+
+def _golden_trace() -> Trace:
+    """Small, fully deterministic trace exercising every event type.
+
+    Duplicate fingerprints make the dedup path fire (classify events
+    with redundant chunks), a re-read hits the read cache, and the
+    1-second epoch interval makes the iCache tick twice.
+    """
+    w = OpType.WRITE
+    r = OpType.READ
+    records = [
+        TraceRecord(0.00, w, 0, 4, (11, 12, 13, 14)),     # unique
+        TraceRecord(0.10, w, 8, 4, (11, 12, 13, 14)),     # fully redundant
+        TraceRecord(0.20, r, 0, 4),                        # read them back
+        TraceRecord(0.30, w, 16, 4, (11, 12, 99, 98)),    # partial
+        TraceRecord(0.40, r, 0, 4),                        # repeat read
+        TraceRecord(1.50, w, 32, 2, (50, 51)),            # after epoch 1
+        TraceRecord(2.50, r, 16, 4),                       # after epoch 2
+    ]
+    return Trace(name="golden", records=records, logical_blocks=64, warmup_count=0)
+
+
+def _golden_replay() -> TraceRecorder:
+    recorder = TraceRecorder(level=TraceLevel.CHUNK)
+    scheme = POD(
+        SchemeConfig(logical_blocks=64, memory_bytes=8192, icache_epoch=1.0)
+    )
+    replay_trace(
+        _golden_trace(), scheme, ReplayConfig(), recorder=recorder
+    )
+    return recorder
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        _golden_replay().write_jsonl(fh)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+def test_golden_jsonl_snapshot():
+    buf = io.StringIO()
+    _golden_replay().write_jsonl(buf)
+    got = buf.getvalue()
+    want = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert got == want, (
+        "trace JSONL drifted from the golden snapshot -- if the schema "
+        "change is intentional, bump EVENT_SCHEMA_VERSION and regenerate "
+        "(see module docstring)"
+    )
+
+
+def test_golden_covers_every_event_type():
+    """The golden replay emits every event type in the vocabulary, so
+    the snapshot really does pin the whole schema."""
+    etypes = {e.etype for e in _golden_replay().events}
+    assert etypes == set(EVENT_FIELDS)
+
+
+def test_emitted_events_match_field_contract():
+    """Every emitted event carries exactly its documented field set."""
+    for event in _golden_replay().events:
+        assert event.etype in EVENT_FIELDS, f"undocumented event {event.etype}"
+        assert set(event.fields) == set(EVENT_FIELDS[event.etype]), (
+            f"{event.etype} fields {sorted(event.fields)} != documented "
+            f"{sorted(EVENT_FIELDS[event.etype])}"
+        )
+
+
+def test_golden_header_matches_schema_version():
+    header = next(iter(read_jsonl(GOLDEN_PATH)))
+    assert header["etype"] == "trace.header"
+    assert header["schema_version"] == EVENT_SCHEMA_VERSION

@@ -1,0 +1,244 @@
+"""Counter / gauge / histogram registry unit tests.
+
+The histogram tests pin down the contract the response-time summaries
+rely on: bucket boundary placement, percentile interpolation (and its
+clamping to the observed range), and merge semantics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds,
+)
+
+
+# ----------------------------------------------------------------------
+# counters / gauges
+# ----------------------------------------------------------------------
+
+
+def test_counter_monotonic():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ConfigError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_max():
+    g = Gauge("depth")
+    g.set(3)
+    g.set(10)
+    g.set(4)
+    assert g.value == 4
+    assert g.max_value == 10
+
+
+# ----------------------------------------------------------------------
+# histogram: bucket boundaries
+# ----------------------------------------------------------------------
+
+
+def test_default_bounds_are_log_spaced_and_sorted():
+    bounds = default_latency_bounds()
+    assert bounds == sorted(bounds)
+    assert bounds[0] == pytest.approx(1e-6)
+    assert bounds[-1] == pytest.approx(1e3)
+    # 40 buckets per decade: consecutive ratio == 10**(1/40).
+    ratio = 10 ** (1 / 40)
+    for lo, hi in zip(bounds, bounds[1:]):
+        assert hi / lo == pytest.approx(ratio, rel=1e-9)
+
+
+def test_bucket_boundary_placement():
+    h = Histogram("t", bounds=[1.0, 2.0, 4.0])
+    # A sample exactly on a bound lands in that bound's bucket
+    # (bisect_left: bucket i covers (bounds[i-1], bounds[i]]).
+    h.observe(1.0)
+    h.observe(1.5)
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.counts == [1, 2, 1]
+    assert h.overflow == 0
+    h.observe(4.5)  # beyond the last bound -> overflow bucket
+    assert h.overflow == 1
+    assert h.count == 5
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ConfigError):
+        Histogram("t", bounds=[])
+    with pytest.raises(ConfigError):
+        Histogram("t", bounds=[2.0, 1.0])
+    with pytest.raises(ConfigError):
+        Histogram("t", bounds=[1.0, 1.0])
+
+
+def test_histogram_rejects_negative_sample():
+    h = Histogram("t", bounds=[1.0])
+    with pytest.raises(ConfigError):
+        h.observe(-0.5)
+
+
+def test_mean_min_max_are_exact():
+    h = Histogram("t")
+    samples = [0.001, 0.010, 0.100, 0.003]
+    for s in samples:
+        h.observe(s)
+    assert h.mean == pytest.approx(sum(samples) / len(samples))
+    assert h.min == pytest.approx(min(samples))
+    assert h.max == pytest.approx(max(samples))
+
+
+# ----------------------------------------------------------------------
+# histogram: percentile interpolation
+# ----------------------------------------------------------------------
+
+
+def test_percentile_empty_is_zero():
+    h = Histogram("t")
+    assert h.percentile(50) == 0.0
+    assert h.p999 == 0.0
+
+
+def test_percentile_single_sample_is_that_sample():
+    h = Histogram("t")
+    h.observe(0.0123)
+    for q in (0, 50, 95, 99, 99.9, 100):
+        assert h.percentile(q) == pytest.approx(0.0123)
+
+
+def test_percentile_interpolation_accuracy():
+    """Against exact numpy-style percentiles of a log-uniform sample."""
+    rng = random.Random(7)
+    samples = [10 ** rng.uniform(-4, 0) for _ in range(5000)]
+    h = Histogram("t")
+    for s in samples:
+        h.observe(s)
+    ordered = sorted(samples)
+
+    def exact(q):
+        idx = q / 100 * (len(ordered) - 1)
+        lo = int(math.floor(idx))
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (idx - lo)
+
+    # 40 buckets/decade => bucket width ~6%; interpolation should land
+    # within a bucket of the exact value.
+    for q in (50, 90, 95, 99, 99.9):
+        assert h.percentile(q) == pytest.approx(exact(q), rel=0.07)
+
+
+def test_percentiles_are_monotone_and_clamped():
+    h = Histogram("t")
+    for v in (0.002, 0.004, 0.008, 0.016, 0.5):
+        h.observe(v)
+    ps = [h.percentile(q) for q in (10, 50, 90, 95, 99, 99.9)]
+    assert ps == sorted(ps)
+    assert all(h.min <= p <= h.max for p in ps)
+    assert h.percentile(100) == pytest.approx(h.max)
+    assert h.percentile(0) == pytest.approx(h.min)
+
+
+def test_percentile_rejects_out_of_range_q():
+    h = Histogram("t")
+    h.observe(1.0)
+    with pytest.raises(ConfigError):
+        h.percentile(-1)
+    with pytest.raises(ConfigError):
+        h.percentile(101)
+
+
+# ----------------------------------------------------------------------
+# histogram: merge
+# ----------------------------------------------------------------------
+
+
+def test_merge_is_equivalent_to_observing_everything_in_one():
+    a, b, both = Histogram("a"), Histogram("b"), Histogram("both")
+    xs = [0.001 * (i + 1) for i in range(50)]
+    ys = [0.05 * (i + 1) for i in range(50)]
+    for x in xs:
+        a.observe(x)
+        both.observe(x)
+    for y in ys:
+        b.observe(y)
+        both.observe(y)
+    m = a.merge(b)
+    assert m.count == both.count == 100
+    assert m.counts == both.counts
+    assert m.mean == pytest.approx(both.mean)
+    assert m.min == pytest.approx(both.min)
+    assert m.max == pytest.approx(both.max)
+    for q in (50, 95, 99, 99.9):
+        assert m.percentile(q) == pytest.approx(both.percentile(q))
+    # Merge does not mutate its inputs.
+    assert a.count == 50 and b.count == 50
+
+
+def test_merge_requires_identical_bounds():
+    a = Histogram("a", bounds=[1.0, 2.0])
+    b = Histogram("b", bounds=[1.0, 3.0])
+    with pytest.raises(ConfigError):
+        a.merge(b)
+
+
+def test_as_dict_buckets_only_nonzero():
+    h = Histogram("t", bounds=[1.0, 2.0, 4.0, 8.0])
+    h.observe(1.5)
+    h.observe(1.6)
+    h.observe(100.0)
+    d = h.as_dict(include_buckets=True)
+    assert d["count"] == 3
+    assert [c for _lo, _hi, c in d["buckets"]] == [2, 1]
+    assert d["buckets"][-1][1] == "inf"
+    assert "buckets" not in h.as_dict()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_as_dict():
+    reg = MetricsRegistry()
+    reg.inc("reads", 2)
+    reg.inc("reads")
+    reg.set("queue.depth", 4)
+    reg.observe("lat", 0.004)
+    assert reg.counter("reads").value == 3
+    assert reg.gauge("queue.depth").value == 4
+    assert reg.histogram("lat").count == 1
+    d = reg.as_dict()
+    assert d["counters"]["reads"] == 3
+    assert d["gauges"]["queue.depth"]["value"] == 4
+    assert d["histograms"]["lat"]["count"] == 1
+
+
+def test_registry_merge():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("n", 1)
+    b.inc("n", 2)
+    b.inc("only_b", 5)
+    a.observe("lat", 0.001)
+    b.observe("lat", 0.010)
+    a.set("depth", 3)
+    b.set("depth", 9)
+    m = a.merge(b)
+    assert m.counter("n").value == 3
+    assert m.counter("only_b").value == 5
+    assert m.histogram("lat").count == 2
+    assert m.gauge("depth").max_value == 9
+    # merge() returns a new registry; inputs are untouched.
+    assert a.counter("n").value == 1 and b.counter("n").value == 2

@@ -1,0 +1,149 @@
+"""Run-report build / save / load / render / diff tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.metrics.collector import MetricsCollector
+from repro.obs.report import (
+    REPORT_KIND_COMPARE,
+    REPORT_KIND_RUN,
+    REPORT_VERSION,
+    build_compare_report,
+    build_run_report,
+    diff_reports,
+    load_report,
+    render_report,
+    write_report,
+)
+from repro.obs.trace import TraceRecorder
+from repro.obs.events import EventType, TraceLevel
+from repro.sim.replay import ReplayResult
+from repro.sim.request import IORequest
+
+
+def _result(scheme="POD", mean=0.010) -> ReplayResult:
+    metrics = MetricsCollector()
+    metrics.record(IORequest.read(time=0.0, lba=0, nblocks=2), 0.0, mean)
+    metrics.record(
+        IORequest.write(time=0.0, lba=0, fingerprints=[1, 2]),
+        0.0, mean * 2, eliminated=True, deduped_blocks=2,
+    )
+    return ReplayResult(
+        trace_name="unit",
+        scheme_name=scheme,
+        metrics=metrics,
+        scheme_stats={"map_entries": 5, "nvram_peak_bytes": 100, "scheme": scheme,
+                      "nested": {"ignored": True}},
+        utilisation={0: {"ops": 2, "blocks": 4, "busy_time": 0.01,
+                         "seek_time": 0.0, "rotation_time": 0.0,
+                         "transfer_time": 0.01}},
+        capacity_blocks=42,
+        writes_total=1,
+        write_requests_removed=1,
+        epoch_timeline=[{"epoch": 0, "t": 1.0, "index_bytes": 10, "read_bytes": 20,
+                         "ghost_index_hits": 0, "ghost_read_hits": 1,
+                         "index_benefit": 0.0, "read_benefit": 1.0,
+                         "direction": "grow_read", "swapped_bytes": 5}],
+    )
+
+
+def test_build_run_report_shape():
+    rec = TraceRecorder(level=TraceLevel.SUMMARY)
+    rec.emit(TraceLevel.SUMMARY, 0.0, EventType.RUN_END, events_processed=1,
+             makespan=1.0)
+    rep = build_run_report(
+        _result(), seed=7, scale=0.1, trace_level="summary", recorder=rec,
+        config={"raid": "raid5"}, overhead={"replay_wall_s": 0.5},
+    )
+    assert rep["version"] == REPORT_VERSION
+    assert rep["kind"] == REPORT_KIND_RUN
+    assert rep["seed"] == 7 and rep["scale"] == 0.1
+    assert rep["counters"]["writes_eliminated_requests"] == 1
+    assert rep["counters"]["writes_eliminated_blocks"] == 2
+    assert rep["counters"]["capacity_blocks"] == 42
+    assert rep["counters"]["scheme.map_entries"] == 5
+    assert "scheme.nested" not in rep["counters"]  # scalars only
+    assert set(rep["histograms"]) == {"overall", "read", "write"}
+    for h in rep["histograms"].values():
+        assert {"count", "mean", "p50", "p95", "p99", "p999", "buckets"} <= set(h)
+    assert rep["icache_timeline"][0]["direction"] == "grow_read"
+    assert rep["tracing"]["events_recorded"] == 1
+    assert rep["overhead"]["replay_wall_s"] == 0.5
+    # The whole document is JSON-serialisable as-is.
+    json.dumps(rep)
+
+
+def test_report_round_trip(tmp_path):
+    rep = build_run_report(_result(), seed=None, scale=0.25)
+    path = tmp_path / "r.json"
+    write_report(rep, path)
+    loaded = load_report(path)
+    assert loaded == json.loads(json.dumps(rep))  # tuples -> lists etc.
+
+
+def test_load_rejects_garbage(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text("not json at all{")
+    with pytest.raises(ReproError):
+        load_report(p)
+    p.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ConfigError):
+        load_report(p)
+
+
+def test_load_rejects_future_version(tmp_path):
+    rep = build_run_report(_result())
+    rep["version"] = REPORT_VERSION + 1
+    p = tmp_path / "future.json"
+    write_report(rep, p)
+    with pytest.raises(ConfigError):
+        load_report(p)
+
+
+def test_load_rejects_unknown_kind(tmp_path):
+    rep = build_run_report(_result())
+    rep["kind"] = "mystery"
+    p = tmp_path / "k.json"
+    write_report(rep, p)
+    with pytest.raises(ConfigError):
+        load_report(p)
+
+
+def test_render_run_report_mentions_the_essentials():
+    text = render_report(build_run_report(_result(), seed=3, scale=0.1))
+    assert "POD on unit" in text
+    assert "seed=3" in text
+    assert "writes_eliminated_blocks" in text
+    assert "p999" in text
+    assert "iCache epoch timeline" in text
+    assert "grow_read" in text
+
+
+def test_compare_report_bundles_and_renders(tmp_path):
+    runs = [build_run_report(_result("POD")), build_run_report(_result("Native"))]
+    cmp_rep = build_compare_report(runs)
+    assert cmp_rep["kind"] == REPORT_KIND_COMPARE
+    p = tmp_path / "cmp.json"
+    write_report(cmp_rep, p)
+    text = render_report(load_report(p))
+    assert "POD on unit" in text and "Native on unit" in text
+
+
+def test_diff_reports():
+    a = build_run_report(_result("POD", mean=0.010))
+    b = build_run_report(_result("Native", mean=0.020))
+    text = diff_reports(a, b)
+    assert "mean_response" in text
+    assert "+100.0%" in text
+    assert "overall.p95" in text
+
+
+def test_diff_rejects_compare_reports():
+    a = build_run_report(_result())
+    c = build_compare_report([a])
+    with pytest.raises(ConfigError):
+        diff_reports(a, c)

@@ -1,0 +1,135 @@
+"""TraceRecorder unit tests: level ladder, ring buffer, JSONL I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import EVENT_SCHEMA_VERSION, EventType, TraceEvent, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder, read_jsonl
+
+
+# ----------------------------------------------------------------------
+# levels
+# ----------------------------------------------------------------------
+
+
+def test_level_ladder_is_strict():
+    assert TraceLevel.OFF < TraceLevel.SUMMARY < TraceLevel.REQUEST < TraceLevel.CHUNK
+
+
+def test_level_parse():
+    assert TraceLevel.parse("chunk") is TraceLevel.CHUNK
+    assert TraceLevel.parse("OFF") is TraceLevel.OFF
+    assert TraceLevel.parse(2) is TraceLevel.REQUEST
+    assert TraceLevel.parse(TraceLevel.SUMMARY) is TraceLevel.SUMMARY
+    with pytest.raises(ValueError):
+        TraceLevel.parse("verbose")
+
+
+def test_recorder_filters_by_level():
+    rec = TraceRecorder(level=TraceLevel.REQUEST)
+    rec.emit(TraceLevel.SUMMARY, 0.0, EventType.RUN_START, trace="t", scheme="s",
+             requests=1, warmup=0)
+    rec.emit(TraceLevel.REQUEST, 0.1, EventType.REQUEST_ARRIVE, req_id=0, op="R",
+             lba=0, nblocks=1)
+    rec.emit(TraceLevel.CHUNK, 0.2, EventType.DISK_OP, disk=0, op="R", pba=0,
+             nblocks=1, start=0.2, done=0.3)
+    assert len(rec) == 2  # CHUNK event filtered out
+    assert [e.etype for e in rec.events] == [EventType.RUN_START, EventType.REQUEST_ARRIVE]
+
+
+def test_off_recorder_records_nothing():
+    rec = TraceRecorder(level=TraceLevel.OFF)
+    for lvl in (TraceLevel.SUMMARY, TraceLevel.REQUEST, TraceLevel.CHUNK):
+        rec.emit(lvl, 0.0, EventType.RUN_END, events_processed=0, makespan=0.0)
+    assert len(rec) == 0
+    assert not rec.enabled
+    assert NULL_RECORDER.level == TraceLevel.OFF
+
+
+def test_events_of_and_counts():
+    rec = TraceRecorder(level=TraceLevel.CHUNK)
+    for i in range(3):
+        rec.emit(TraceLevel.CHUNK, float(i), EventType.DISK_OP, disk=0, op="R",
+                 pba=i, nblocks=1, start=float(i), done=float(i) + 0.01)
+    rec.emit(TraceLevel.SUMMARY, 9.0, EventType.RUN_END, events_processed=3,
+             makespan=9.0)
+    assert len(rec.events_of(EventType.DISK_OP)) == 3
+    assert rec.counts_by_type() == {EventType.DISK_OP: 3, EventType.RUN_END: 1}
+
+
+# ----------------------------------------------------------------------
+# ring buffer
+# ----------------------------------------------------------------------
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    rec = TraceRecorder(level=TraceLevel.REQUEST, max_events=3)
+    for i in range(5):
+        rec.emit(TraceLevel.REQUEST, float(i), EventType.REQUEST_ARRIVE,
+                 req_id=i, op="R", lba=i, nblocks=1)
+    assert len(rec) == 3
+    assert rec.dropped == 2
+    assert [e.fields["req_id"] for e in rec.events] == [2, 3, 4]
+
+
+def test_max_events_must_be_positive():
+    with pytest.raises(ConfigError):
+        TraceRecorder(max_events=0)
+
+
+def test_clear_resets_everything():
+    rec = TraceRecorder(level=TraceLevel.REQUEST, max_events=1)
+    rec.emit(TraceLevel.REQUEST, 0.0, EventType.REQUEST_ARRIVE, req_id=0, op="R",
+             lba=0, nblocks=1)
+    rec.emit(TraceLevel.REQUEST, 1.0, EventType.REQUEST_ARRIVE, req_id=1, op="R",
+             lba=0, nblocks=1)
+    assert rec.dropped == 1
+    rec.clear()
+    assert len(rec) == 0 and rec.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip
+# ----------------------------------------------------------------------
+
+
+def test_jsonl_round_trip_preserves_events(tmp_path):
+    rec = TraceRecorder(level=TraceLevel.CHUNK)
+    rec.emit(TraceLevel.SUMMARY, 0.0, EventType.RUN_START, trace="t", scheme="s",
+             requests=2, warmup=1)
+    rec.emit(TraceLevel.REQUEST, 0.5, EventType.REQUEST_COMPLETE, req_id=0, op="W",
+             nblocks=4, response=0.01, eliminated=False, deduped_blocks=2,
+             cache_hit_blocks=0, measured=True)
+    path = tmp_path / "t.jsonl"
+    lines = rec.write_jsonl(path)
+    assert lines == 3  # header + 2 events
+
+    docs = list(read_jsonl(path))
+    header, events = docs[0], docs[1:]
+    assert header["etype"] == "trace.header"
+    assert header["schema_version"] == EVENT_SCHEMA_VERSION
+    assert header["events"] == 2
+    assert [d["etype"] for d in events] == [EventType.RUN_START, EventType.REQUEST_COMPLETE]
+    assert events[1]["deduped_blocks"] == 2
+    # Round-trip equals the in-memory dict form exactly.
+    assert events == [e.as_dict() for e in rec.events]
+
+
+def test_jsonl_accepts_file_objects():
+    rec = TraceRecorder(level=TraceLevel.SUMMARY)
+    rec.emit(TraceLevel.SUMMARY, 1.0, EventType.RUN_END, events_processed=1,
+             makespan=1.0)
+    buf = io.StringIO()
+    rec.write_jsonl(buf)
+    buf.seek(0)
+    docs = list(read_jsonl(buf))
+    assert len(docs) == 2 and docs[1]["etype"] == EventType.RUN_END
+
+
+def test_event_as_dict_key_order():
+    e = TraceEvent(t=1.5, etype="x", fields={"b": 1, "a": 2})
+    assert list(e.as_dict()) == ["t", "etype", "b", "a"]
