@@ -27,6 +27,8 @@ Package map
 ``repro.experiments`` runners and per-figure experiment drivers
 """
 
+from __future__ import annotations
+
 from repro.baselines import FullDedupe, IDedup, IODedup, Native, SchemeConfig
 from repro.core import POD, ICache, ICacheConfig, SelectDedupe
 from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace

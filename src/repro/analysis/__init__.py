@@ -1,0 +1,54 @@
+"""repro.analysis -- static analysis + runtime invariant checking.
+
+POD's correctness claims rest on contracts that ordinary tests do not
+exercise continuously:
+
+* the simulator must be **deterministic** -- no wall-clock time, no
+  global RNG state, no unguarded observability side effects in any
+  ``sim``/``core``/``cache``/``storage`` path (PR 1's golden traces
+  only catch a violation after the fact; the linter catches it at
+  review time);
+* the dedup metadata must stay **internally consistent** -- Map-table
+  entries point at live refcounted blocks, the Index table's reverse
+  PBA map is a bijection, iCache's actual+ghost partitions respect the
+  DRAM budget (PAPER.md Section III).
+
+Two cooperating tools enforce those contracts:
+
+* :mod:`repro.analysis.lint` -- a custom AST lint pass
+  (``repro lint`` / ``python -m repro.analysis.lint``) with
+  project-specific rules ``POD001``..``POD006``, a
+  ``# pod: ignore[POD00x]`` escape hatch and machine-readable JSON
+  output; and
+* :mod:`repro.analysis.sanitizer` -- :class:`PodSanitizer`, a
+  debug-mode runtime validator hooked into the replay engine by
+  ``--check-invariants`` that re-derives every invariant from the live
+  scheme state and raises with a precise diagnostic when one breaks.
+
+Both are documented rule-by-rule in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import Finding, LintReport, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, DETERMINISTIC_PACKAGES, Rule
+from repro.analysis.sanitizer import (
+    InvariantViolationError,
+    PodSanitizer,
+    Violation,
+    validate_dedupe_selection,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DETERMINISTIC_PACKAGES",
+    "Finding",
+    "InvariantViolationError",
+    "LintReport",
+    "PodSanitizer",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "validate_dedupe_selection",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` -> the determinism linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint import main
+
+sys.exit(main())

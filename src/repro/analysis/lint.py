@@ -1,0 +1,609 @@
+"""The POD determinism linter: a custom AST pass over the repo.
+
+Usage::
+
+    repro lint                                # lint src/, text output
+    python -m repro.analysis.lint src tests   # explicit paths
+    repro lint --format json                  # machine readable
+    repro lint --select POD001,POD005         # subset of rules
+    repro lint --list-rules                   # rule catalogue
+
+Each finding carries a stable rule code (``POD001``...).  A finding can
+be suppressed on its line with the escape hatch::
+
+    t0 = time.time()  # pod: ignore[POD001]
+    t0 = time.time()  # pod: ignore          (all rules on this line)
+
+Exit status: 0 = clean, 1 = findings, 2 = usage or parse errors.
+
+The rules themselves are catalogued in :mod:`repro.analysis.rules` and
+documented with examples in ``docs/analysis.md``.  The linter is
+self-hosting: CI runs it over the whole of ``src/`` and fails on any
+finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import ALL_RULES, DETERMINISTIC_PACKAGES, Rule, RuleScope
+
+#: Bumped on any breaking change to the JSON findings layout.
+LINT_OUTPUT_VERSION = 1
+
+# ----------------------------------------------------------------------
+# findings and ignore pragmas
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    parse_errors: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": LINT_OUTPUT_VERSION,
+            "kind": "pod-lint-report",
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "parse_errors": list(self.parse_errors),
+        }
+
+
+#: ``# pod: ignore`` or ``# pod: ignore[POD001, POD005]``
+_IGNORE_RE = re.compile(
+    r"#\s*pod:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]*)\])?", re.IGNORECASE
+)
+
+
+def _ignored_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule codes (empty set = all)."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = frozenset()
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return out
+
+
+def _suppressed(
+    ignores: Dict[int, FrozenSet[str]], line: int, code: str
+) -> bool:
+    codes = ignores.get(line)
+    if codes is None:
+        return False
+    return not codes or code in codes
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: Wall-clock call suffixes banned in deterministic packages (POD001).
+_WALL_CLOCK_SUFFIXES: Tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: numpy RNG constructors that are fine when explicitly seeded.
+_NP_RNG_OK = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox",
+              "SFC64", "MT19937", "RandomState"}
+
+#: Ambient-entropy call/attribute suffixes (POD006).
+_ENTROPY_SUFFIXES: Tuple[str, ...] = (
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getpid",
+    "os.getenv",
+)
+
+#: Mutable default constructors (POD004), by callable name.
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "OrderedDict", "deque",
+                  "defaultdict", "Counter"}
+
+#: Identifier segments that mark an expression as simulated time
+#: (POD003).  Matched against ``_``-separated segments of the terminal
+#: identifier, so ``arrival_time`` and ``t`` match but ``total`` and
+#: ``threshold`` do not.
+_TIMEY_SEGMENTS = {"t", "now", "time", "arrival", "completion", "deadline",
+                   "timestamp", "makespan"}
+_TIMEY_EXACT = {"busy_until", "next_time", "last_arrival", "completed_at",
+                "issue_time", "ssd_done"}
+
+
+def _matches_suffix(dotted: str, suffixes: Sequence[str]) -> Optional[str]:
+    for suffix in suffixes:
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return suffix
+    return None
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_timey(node: ast.AST) -> bool:
+    ident = _terminal_identifier(node)
+    if ident is None:
+        return False
+    if ident in _TIMEY_EXACT:
+        return True
+    return any(seg in _TIMEY_SEGMENTS for seg in ident.lower().split("_"))
+
+
+def _is_level_guard_test(test: ast.AST) -> bool:
+    """True when an ``if`` test is (or contains) a trace-level guard."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr in ("level", "enabled"):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "wants"
+        ):
+            return True
+        if isinstance(node, ast.Name) and re.search(
+            r"level|trace|guard|obs", node.id, re.IGNORECASE
+        ):
+            return True
+    return False
+
+
+def _is_recorder_receiver(func: ast.Attribute) -> bool:
+    """Does ``<recv>.emit(...)`` target a TraceRecorder-like object?"""
+    recv = func.value
+    ident = _terminal_identifier(recv)
+    if ident is None:
+        return False
+    return ident == "obs" or "recorder" in ident.lower()
+
+
+# ----------------------------------------------------------------------
+# the visitor
+# ----------------------------------------------------------------------
+
+
+class _PodVisitor(ast.NodeVisitor):
+    """Collects findings for one module."""
+
+    def __init__(self, path: str, deterministic: bool) -> None:
+        self.path = path
+        self.deterministic = deterministic
+        self.findings: List[Finding] = []
+        #: Stack of enclosing ``if`` guard flags (True = level guard).
+        self._guards: List[bool] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def _add(self, rule: Rule, node: ast.AST, message: str) -> None:
+        if rule.scope is RuleScope.DETERMINISTIC and not self.deterministic:
+            return
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- POD001 / POD002 / POD005 / POD006: calls ----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            self._check_wall_clock(node, dotted)
+            self._check_global_rng_call(node, dotted)
+            self._check_entropy(node, dotted)
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "emit":
+            self._check_emit_guard(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        hit = _matches_suffix(dotted, _WALL_CLOCK_SUFFIXES)
+        if hit is not None:
+            self._add(
+                ALL_RULES["POD001"],
+                node,
+                f"wall-clock call {dotted}() in a deterministic package; "
+                "inject a clock (callable) instead",
+            )
+
+    def _check_global_rng_call(self, node: ast.Call, dotted: str) -> None:
+        rule = ALL_RULES["POD002"]
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            self._add(
+                rule,
+                node,
+                f"stdlib global RNG call {dotted}(); thread a seeded "
+                "np.random.Generator instead",
+            )
+            return
+        for i, part in enumerate(parts[:-1]):
+            if part == "random" and parts[i - 1] in ("np", "numpy") and i >= 1:
+                tail = parts[-1]
+                if tail == "default_rng":
+                    if not node.args and not node.keywords:
+                        self._add(
+                            rule,
+                            node,
+                            "unseeded np.random.default_rng(); pass an "
+                            "explicit seed",
+                        )
+                elif tail not in _NP_RNG_OK:
+                    self._add(
+                        rule,
+                        node,
+                        f"numpy legacy global RNG call {dotted}(); use a "
+                        "seeded np.random.Generator instead",
+                    )
+                return
+
+    def _check_entropy(self, node: ast.Call, dotted: str) -> None:
+        hit = _matches_suffix(dotted, _ENTROPY_SUFFIXES)
+        if hit is None and dotted.split(".")[0] == "secrets":
+            hit = dotted
+        if hit is not None:
+            self._add(
+                ALL_RULES["POD006"],
+                node,
+                f"ambient process entropy {dotted}() in a deterministic "
+                "package",
+            )
+
+    def _check_emit_guard(self, node: ast.Call) -> None:
+        assert isinstance(node.func, ast.Attribute)
+        if not _is_recorder_receiver(node.func):
+            return
+        if not any(self._guards):
+            self._add(
+                ALL_RULES["POD005"],
+                node,
+                "TraceRecorder emission without an enclosing level guard "
+                "(`if <recorder>.level >= TraceLevel.X:`); the disabled "
+                "path must cost one integer compare",
+            )
+
+    # -- POD002 / POD006: imports and attributes -----------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._add(
+                    ALL_RULES["POD002"],
+                    node,
+                    "import of the stdlib global `random` module in a "
+                    "deterministic package",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self._add(
+                ALL_RULES["POD002"],
+                node,
+                "from-import of the stdlib global `random` module in a "
+                "deterministic package",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted_name(node)
+        if dotted is not None and _matches_suffix(dotted, ("os.environ",)):
+            self._add(
+                ALL_RULES["POD006"],
+                node,
+                "os.environ access in a deterministic package; thread "
+                "configuration explicitly",
+            )
+        self.generic_visit(node)
+
+    # -- POD003: float time equality -----------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(side, ast.Constant)
+                and (side.value is None or isinstance(side.value, (str, bool)))
+                for side in (left, right)
+            ):
+                continue
+            if _is_timey(left) or _is_timey(right):
+                self._add(
+                    ALL_RULES["POD003"],
+                    node,
+                    "float ==/!= on a simulated-time expression; exact "
+                    "identity of derived times depends on evaluation "
+                    "order -- compare with a tolerance or restructure",
+                )
+                break
+        self.generic_visit(node)
+
+    # -- POD004: mutable default arguments ------------------------------
+
+    def _check_defaults(self, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            bad = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            )
+            if not bad and isinstance(default, ast.Call):
+                name = _dotted_name(default.func)
+                bad = name is not None and name.split(".")[-1] in _MUTABLE_CTORS
+            if bad:
+                self._add(
+                    ALL_RULES["POD004"],
+                    default,
+                    "mutable default argument; default to None (or use "
+                    "dataclasses.field(default_factory=...))",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    # -- guard tracking -------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        self._guards.append(_is_level_guard_test(node.test))
+        for child in node.body:
+            self.visit(child)
+        self._guards.pop()
+        # The else branch is not covered by the test's guard.
+        self._guards.append(False)
+        for child in node.orelse:
+            self.visit(child)
+        self._guards.pop()
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        # ``guard and obs.emit(...)`` counts as guarded when the left
+        # operand is a level guard (short-circuit evaluation).
+        if isinstance(node.op, ast.And) and len(node.values) > 1:
+            guard = any(_is_level_guard_test(v) for v in node.values[:-1])
+            for value in node.values[:-1]:
+                self.visit(value)
+            self._guards.append(guard)
+            self.visit(node.values[-1])
+            self._guards.pop()
+            return
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# driving
+# ----------------------------------------------------------------------
+
+
+def is_deterministic_path(path: str) -> bool:
+    """Does ``path`` live inside a determinism-critical package?"""
+    posix = Path(path).as_posix()
+    return any(fragment in posix for fragment in DETERMINISTIC_PACKAGES)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    deterministic: Optional[bool] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text.
+
+    ``deterministic`` forces the scope decision (``None`` = infer from
+    ``path``); ``select`` restricts to a subset of rule codes.
+    """
+    if deterministic is None:
+        deterministic = is_deterministic_path(path)
+    tree = ast.parse(source, filename=path)
+    visitor = _PodVisitor(path, deterministic)
+    visitor.visit(tree)
+    ignores = _ignored_lines(source)
+    findings = [
+        f
+        for f in visitor.findings
+        if not _suppressed(ignores, f.line, f.code)
+        and (select is None or f.code in select)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts and ".egg-info" not in str(f)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+    return sorted(set(out))
+
+
+def lint_paths(
+    paths: Iterable[str], select: Optional[Set[str]] = None
+) -> LintReport:
+    """Lint every Python file under ``paths``."""
+    findings: List[Finding] = []
+    parse_errors: List[str] = []
+    files = iter_python_files(paths)
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+            findings.extend(
+                lint_source(source, path=str(file), select=select)
+            )
+        except SyntaxError as exc:
+            parse_errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+        except OSError as exc:
+            parse_errors.append(f"{file}: {exc}")
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintReport(
+        findings=findings, files_checked=len(files), parse_errors=parse_errors
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="POD determinism linter (rules POD001..POD006)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma list of rule codes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        if args.format == "json":
+            print(json.dumps(
+                {"version": LINT_OUTPUT_VERSION,
+                 "rules": [r.as_dict() for r in ALL_RULES.values()]},
+                indent=2,
+            ))
+        else:
+            for rule in ALL_RULES.values():
+                print(f"{rule.code}  {rule.name} [{rule.scope.value}]")
+                print(f"        {rule.summary}")
+        return 0
+
+    select: Optional[Set[str]] = None
+    if args.select is not None:
+        select = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+        unknown = select - set(ALL_RULES)
+        if unknown:
+            print(f"unknown rule codes: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for error in report.parse_errors:
+            print(f"parse error: {error}", file=sys.stderr)
+        summary = (
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s)"
+        )
+        print(("" if not report.findings else "\n") + summary)
+    if report.parse_errors:
+        return 2
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""The POD lint rule registry.
+
+Every rule has a stable code (``POD001``...), a one-line summary and a
+scope.  ``DETERMINISTIC`` rules only apply inside the packages whose
+behaviour feeds the simulated results (a wall clock in the CLI's
+progress output is fine; one in the replay engine is a reproducibility
+bug).  ``EVERYWHERE`` rules are plain correctness rules.
+
+Rules are deliberately project-specific: a generic linter cannot know
+that ``obs.emit`` must be level-guarded or that ``now == deadline`` on
+simulated-time floats is the exact bug class that broke HPDedup-style
+inline/offline comparisons.  See ``docs/analysis.md`` for the rule
+catalogue with examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Package path fragments (POSIX style, relative to the repo) whose
+#: modules must be deterministic: anything on the simulated-results
+#: path.  ``repro/obs`` is included -- observation must never perturb
+#: results, and report documents must be byte-stable under an injected
+#: clock (see ``repro.obs.report``).
+DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
+    "repro/sim",
+    "repro/core",
+    "repro/cache",
+    "repro/storage",
+    "repro/dedup",
+    "repro/baselines",
+    "repro/obs",
+    "repro/traces",
+    "repro/metrics",
+)
+
+
+class RuleScope(enum.Enum):
+    """Where a rule applies."""
+
+    #: Only inside :data:`DETERMINISTIC_PACKAGES`.
+    DETERMINISTIC = "deterministic"
+    #: Every linted file.
+    EVERYWHERE = "everywhere"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, summary, scope."""
+
+    code: str
+    name: str
+    summary: str
+    scope: RuleScope
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "summary": self.summary,
+            "scope": self.scope.value,
+        }
+
+
+POD001 = Rule(
+    code="POD001",
+    name="wall-clock-in-sim-path",
+    summary=(
+        "wall-clock call (time.time/monotonic/perf_counter, datetime.now, "
+        "...) in a deterministic package; inject a clock instead"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+)
+
+POD002 = Rule(
+    code="POD002",
+    name="global-rng-in-sim-path",
+    summary=(
+        "global RNG state (stdlib `random`, numpy legacy np.random.*, or "
+        "unseeded default_rng()) in a deterministic package; thread a "
+        "seeded np.random.Generator instead"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+)
+
+POD003 = Rule(
+    code="POD003",
+    name="float-time-equality",
+    summary=(
+        "float ==/!= on a simulated-time expression; compare with "
+        "tolerance or restructure (exact float identity on derived times "
+        "is scheduling-order dependent)"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+)
+
+POD004 = Rule(
+    code="POD004",
+    name="mutable-default-argument",
+    summary=(
+        "mutable default argument (list/dict/set literal or constructor); "
+        "use None + in-body default or dataclasses.field(default_factory)"
+    ),
+    scope=RuleScope.EVERYWHERE,
+)
+
+POD005 = Rule(
+    code="POD005",
+    name="unguarded-trace-emit",
+    summary=(
+        "TraceRecorder .emit(...) call without an enclosing level guard "
+        "(`if <recorder>.level >= TraceLevel.X:` / `.wants(...)`); the "
+        "disabled path must cost one integer compare and zero allocation"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+)
+
+POD006 = Rule(
+    code="POD006",
+    name="ambient-entropy-in-sim-path",
+    summary=(
+        "ambient process entropy (uuid.uuid1/uuid4, os.urandom, os.getpid, "
+        "os.environ, secrets.*) in a deterministic package"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+)
+
+#: Every rule, by code, in catalogue order.
+ALL_RULES: Dict[str, Rule] = {
+    r.code: r for r in (POD001, POD002, POD003, POD004, POD005, POD006)
+}

@@ -1,0 +1,507 @@
+"""The POD invariant sanitizer: a debug-mode runtime validator.
+
+The paper's correctness story rests on structural invariants that the
+unit tests exercise point-wise but nothing re-checks *continuously*
+while a replay runs.  :class:`PodSanitizer` re-derives each invariant
+from the live scheme state; the replay engine invokes it every
+``sanitize_every`` requests and at every iCache epoch boundary when
+``--check-invariants`` is passed (``ReplayConfig.check_invariants``).
+
+Checked invariants (each has a stable code used in diagnostics):
+
+``INV-MAP-LIVE``
+    Every Map-table entry points at a PBA inside the home or log
+    region that physically holds content; log-region targets are
+    live in the allocator (Section III-B: deduplicated LBAs link to
+    "a unique and distinctive physical data block").
+``INV-MAP-MINIMAL``
+    No Map-table entry is an identity mapping (LBA -> its own home
+    block); the table stores *redirections* only, which is what makes
+    the 20 B/entry NVRAM model honest.
+``INV-REFCOUNT``
+    The per-PBA reference counts equal the counts recomputed from the
+    mapping itself -- no leaks, no underflow, every tracked count >= 1.
+``INV-INDEX-PBA``
+    The Index table's reverse PBA map is an exact bijection with its
+    live entries (a stale claim would block future invalidations and
+    let dedupe hit overwritten blocks).
+``INV-INDEX-COUNT``
+    ``Count`` bookkeeping is conservative: counts are non-negative and
+    the counts carried by live + swap-parked entries never exceed the
+    lookup hits actually observed by the table's LRU (every Count
+    increment is one Select-Dedupe hit; Section III-B).
+``INV-CAT-SEQ``
+    Figure-5 decisions only deduplicate chunk runs whose duplicate
+    targets are *consecutive on disk* -- a full-request run, or runs
+    of at least the category-3 threshold (enforced per decision via
+    :meth:`PodSanitizer.attach`).
+``INV-CACHE-BUDGET``
+    Index + read partitions exactly exhaust the DRAM budget, every
+    actual/ghost cache respects its byte capacity, and each ghost's
+    capacity is the complement of its actual cache (``actual + ghost``
+    bounded by total DRAM, Section III-C).
+``INV-CACHE-DISJOINT``
+    ARC-style disjointness: no key is simultaneously in an actual
+    cache and its ghost (a resident block must not register ghost
+    hits for itself).
+``INV-NVRAM-MODEL``
+    NVRAM accounting matches the 20 B/entry Map-table model exactly:
+    ``entries == len(map_table)``, ``bytes == entries * 20`` and the
+    peak is monotone.
+
+The sanitizer is observation-only: it reads state, never mutates it,
+and never advances simulated time -- ``--check-invariants`` must not
+change a single completion time (tests/integration assert this).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.baselines.base import DedupScheme
+    from repro.sim.request import IORequest
+
+#: Stable invariant codes, in catalogue order (docs/analysis.md).
+INVARIANT_CODES = (
+    "INV-MAP-LIVE",
+    "INV-MAP-MINIMAL",
+    "INV-REFCOUNT",
+    "INV-INDEX-PBA",
+    "INV-INDEX-COUNT",
+    "INV-CAT-SEQ",
+    "INV-CACHE-BUDGET",
+    "INV-CACHE-DISJOINT",
+    "INV-NVRAM-MODEL",
+)
+
+#: Cap on violations reported per check (diagnostics stay readable
+#: even when a corruption cascades).
+MAX_VIOLATIONS_PER_CHECK = 20
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant with a precise diagnostic."""
+
+    code: str
+    message: str
+    t: float = 0.0
+
+    def render(self) -> str:
+        return f"[{self.code}] t={self.t:.6f}: {self.message}"
+
+
+class InvariantViolationError(ReproError):
+    """Raised by :meth:`PodSanitizer.assert_clean` on any violation."""
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations: List[Violation] = list(violations)
+        lines = "\n  ".join(v.render() for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} POD invariant violation(s):\n  {lines}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Figure-5 decision validation (INV-CAT-SEQ)
+# ----------------------------------------------------------------------
+
+
+def validate_dedupe_selection(
+    duplicate_pbas: Sequence[Optional[int]],
+    chosen: Set[int],
+    threshold: int,
+    sequential_policy: bool = True,
+) -> List[Violation]:
+    """Validate one write-path dedupe decision against Figure 5.
+
+    ``chosen`` is the set of chunk indices the scheme decided to
+    deduplicate; ``duplicate_pbas`` the per-chunk candidate targets.
+    Universal rule: only chunks with a known duplicate may be chosen.
+    With ``sequential_policy`` (Select-Dedupe/POD), chosen chunks must
+    additionally decompose into runs of consecutive indices whose
+    targets are consecutive PBAs, each run either covering the whole
+    request (category 1) or at least ``threshold`` chunks long
+    (category 3).
+    """
+    violations: List[Violation] = []
+    n = len(duplicate_pbas)
+    for i in sorted(chosen):
+        if i < 0 or i >= n:
+            violations.append(Violation(
+                "INV-CAT-SEQ",
+                f"dedupe decision chose chunk {i} outside request of {n} chunks",
+            ))
+            return violations
+        if duplicate_pbas[i] is None:
+            violations.append(Violation(
+                "INV-CAT-SEQ",
+                f"dedupe decision chose chunk {i} with no known duplicate",
+            ))
+    if violations or not chosen or not sequential_policy:
+        return violations
+
+    # Decompose the chosen set into maximal (index, PBA)-consecutive runs.
+    runs: List[int] = []
+    ordered = sorted(chosen)
+    run_len = 1
+    for prev, cur in zip(ordered, ordered[1:]):
+        prev_pba, cur_pba = duplicate_pbas[prev], duplicate_pbas[cur]
+        assert prev_pba is not None and cur_pba is not None
+        if cur == prev + 1 and cur_pba == prev_pba + 1:
+            run_len += 1
+        else:
+            runs.append(run_len)
+            run_len = 1
+    runs.append(run_len)
+
+    fully_redundant = len(chosen) == n and len(runs) == 1
+    if not fully_redundant:
+        for length in runs:
+            if length < threshold:
+                violations.append(Violation(
+                    "INV-CAT-SEQ",
+                    f"category-3 decision deduplicated a run of {length} "
+                    f"chunk(s) below the threshold of {threshold} (or the "
+                    "duplicate targets are not sequential on disk)",
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# the sanitizer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SanitizerStats:
+    """Counters describing what the sanitizer did (run reports)."""
+
+    checks_run: int = 0
+    decisions_validated: int = 0
+    violations_found: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "checks_run": self.checks_run,
+            "decisions_validated": self.decisions_validated,
+            "violations_found": self.violations_found,
+        }
+
+
+class PodSanitizer:
+    """Re-derives every POD invariant from live scheme state.
+
+    Parameters
+    ----------
+    fail_fast:
+        When true (the default), :meth:`check_scheme` callers using
+        :meth:`assert_clean` raise on the first dirty check; when
+        false, violations accumulate in :attr:`violations` (tests).
+    """
+
+    def __init__(self, fail_fast: bool = True) -> None:
+        self.fail_fast = fail_fast
+        self.stats = SanitizerStats()
+        #: Violations accumulated when ``fail_fast`` is off.
+        self.violations: List[Violation] = []
+
+    # ------------------------------------------------------------------
+    # per-decision hook (INV-CAT-SEQ)
+    # ------------------------------------------------------------------
+
+    def attach(self, scheme: "DedupScheme") -> None:
+        """Wrap the scheme's dedupe policy with decision validation.
+
+        Observation only: the wrapper forwards the original decision
+        unchanged.  The sequential-run policy is enforced for
+        Select-Dedupe-family schemes (which implement Figure 5); for
+        other schemes only the universal "chosen chunks must have a
+        duplicate" rule applies.
+        """
+        from repro.core.select_dedupe import SelectDedupe
+
+        sequential_policy = isinstance(scheme, SelectDedupe)
+        threshold = scheme.config.select_threshold
+        original = scheme._choose_dedupe
+
+        def checked(
+            request: "IORequest", duplicate_pbas: Sequence[Optional[int]]
+        ) -> Set[int]:
+            chosen = original(request, duplicate_pbas)
+            self.stats.decisions_validated += 1
+            violations = validate_dedupe_selection(
+                duplicate_pbas, chosen, threshold,
+                sequential_policy=sequential_policy,
+            )
+            if violations:
+                self._report([
+                    Violation(v.code, f"req {request.req_id}: {v.message}", v.t)
+                    for v in violations
+                ])
+            return chosen
+
+        scheme._choose_dedupe = checked  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # state checks
+    # ------------------------------------------------------------------
+
+    def check_scheme(self, scheme: "DedupScheme", now: float = 0.0) -> List[Violation]:
+        """Run every structural invariant against ``scheme``.
+
+        Returns the violations found (empty = clean); does not raise.
+        """
+        self.stats.checks_run += 1
+        out: List[Violation] = []
+        out.extend(self._check_map_table(scheme))
+        out.extend(self._check_index_table(scheme))
+        out.extend(self._check_cache(scheme))
+        out.extend(self._check_nvram(scheme))
+        out = out[:MAX_VIOLATIONS_PER_CHECK]
+        if out:
+            stamped = [Violation(v.code, v.message, now) for v in out]
+            self.stats.violations_found += len(stamped)
+            self.violations.extend(stamped)
+            return stamped
+        return []
+
+    def assert_clean(self, scheme: "DedupScheme", now: float = 0.0) -> None:
+        """Raise :class:`InvariantViolationError` if any invariant broke."""
+        violations = self.check_scheme(scheme, now)
+        if violations and self.fail_fast:
+            raise InvariantViolationError(violations)
+
+    def _report(self, violations: List[Violation]) -> None:
+        self.stats.violations_found += len(violations)
+        self.violations.extend(violations)
+        if self.fail_fast:
+            raise InvariantViolationError(violations)
+
+    # -- Map table ------------------------------------------------------
+
+    def _check_map_table(self, scheme: "DedupScheme") -> List[Violation]:
+        out: List[Violation] = []
+        table = scheme.map_table
+        regions = scheme.regions
+        mapping: Dict[int, int] = table._map
+        for lba, pba in mapping.items():
+            if not (0 <= pba < regions.total_blocks):
+                out.append(Violation(
+                    "INV-MAP-LIVE",
+                    f"LBA {lba} maps to PBA {pba} outside the volume of "
+                    f"{regions.total_blocks} blocks",
+                ))
+                continue
+            if not (regions.is_home(pba) or regions.is_log(pba)):
+                out.append(Violation(
+                    "INV-MAP-LIVE",
+                    f"LBA {lba} maps to PBA {pba} in a metadata region "
+                    "(index/swap); data lives in home/log only",
+                ))
+                continue
+            if pba == regions.home_of(lba):
+                out.append(Violation(
+                    "INV-MAP-MINIMAL",
+                    f"identity mapping stored for LBA {lba} (home PBA "
+                    f"{pba}); redirections only -- the 20 B/entry NVRAM "
+                    "model counts deduplicated writes",
+                ))
+            if scheme.content.read(pba) is None:
+                out.append(Violation(
+                    "INV-MAP-LIVE",
+                    f"LBA {lba} maps to PBA {pba} holding no content "
+                    "(dangling redirection)",
+                ))
+            if regions.is_log(pba) and not scheme.log_alloc.is_allocated(pba):
+                out.append(Violation(
+                    "INV-MAP-LIVE",
+                    f"LBA {lba} maps to freed log block {pba} "
+                    "(use-after-free redirection)",
+                ))
+
+        recomputed = _Counter(mapping.values())
+        refs: Dict[int, int] = table._refs
+        for pba, count in refs.items():
+            if count < 1:
+                out.append(Violation(
+                    "INV-REFCOUNT",
+                    f"PBA {pba} tracked with non-positive refcount {count}",
+                ))
+            if recomputed.get(pba, 0) != count:
+                out.append(Violation(
+                    "INV-REFCOUNT",
+                    f"PBA {pba} has refcount {count} but "
+                    f"{recomputed.get(pba, 0)} map entries reference it",
+                ))
+        for pba, count in recomputed.items():
+            if pba not in refs:
+                out.append(Violation(
+                    "INV-REFCOUNT",
+                    f"PBA {pba} referenced by {count} map entries but "
+                    "missing from the refcount table",
+                ))
+        return out
+
+    # -- Index table ----------------------------------------------------
+
+    def _check_index_table(self, scheme: "DedupScheme") -> List[Violation]:
+        out: List[Violation] = []
+        table = scheme.index_table
+        if table is None:
+            return out
+        lru = table.lru
+        by_pba: Dict[int, int] = table._by_pba
+        live_count_sum = 0
+        seen_pbas: Set[int] = set()
+        for fp in lru.keys_lru_order():
+            entry = lru.peek(fp)
+            assert entry is not None
+            if entry.count < 0:
+                out.append(Violation(
+                    "INV-INDEX-COUNT",
+                    f"fingerprint {fp} carries negative Count {entry.count}",
+                ))
+            live_count_sum += max(entry.count, 0)
+            if entry.pba in seen_pbas:
+                out.append(Violation(
+                    "INV-INDEX-PBA",
+                    f"two live index entries claim PBA {entry.pba} "
+                    "(m-to-1 means one fingerprint per physical block)",
+                ))
+            seen_pbas.add(entry.pba)
+            if by_pba.get(entry.pba) != fp:
+                out.append(Violation(
+                    "INV-INDEX-PBA",
+                    f"fingerprint {fp} -> PBA {entry.pba} but the reverse "
+                    f"map says PBA {entry.pba} -> "
+                    f"{by_pba.get(entry.pba)!r}",
+                ))
+        for pba, fp in by_pba.items():
+            if fp not in lru:
+                out.append(Violation(
+                    "INV-INDEX-PBA",
+                    f"reverse map claims PBA {pba} -> fingerprint {fp} "
+                    "but no live entry exists (stale claim blocks "
+                    "invalidation)",
+                ))
+
+        parked_count_sum = 0
+        store = getattr(scheme.cache, "_index_store", None)
+        if store:
+            parked_count_sum = sum(
+                max(entry.count, 0) for entry in store.values()
+            )
+        if live_count_sum + parked_count_sum > lru.hits:
+            out.append(Violation(
+                "INV-INDEX-COUNT",
+                f"Count bookkeeping exceeds observed lookups: live counts "
+                f"{live_count_sum} + swap-parked counts {parked_count_sum} "
+                f"> {lru.hits} Index-table hits (each Count increment is "
+                "one dedup hit)",
+            ))
+        return out
+
+    # -- caches ---------------------------------------------------------
+
+    def _check_cache(self, scheme: "DedupScheme") -> List[Violation]:
+        out: List[Violation] = []
+        cache = scheme.cache
+        index = getattr(cache, "index", None)
+        read = getattr(cache, "read", None)
+        if index is None or read is None:
+            return out
+
+        config = getattr(cache, "config", None)
+        total = (
+            config.total_bytes
+            if config is not None
+            else getattr(cache, "total_bytes", None)
+        )
+        if total is not None:
+            if index.capacity_bytes + read.capacity_bytes != total:
+                out.append(Violation(
+                    "INV-CACHE-BUDGET",
+                    f"partitions exceed the DRAM budget: index "
+                    f"{index.capacity_bytes} B + read {read.capacity_bytes} "
+                    f"B != total {total} B",
+                ))
+        for name, lru in (("index", index), ("read", read)):
+            if lru.used_bytes > lru.capacity_bytes:
+                out.append(Violation(
+                    "INV-CACHE-BUDGET",
+                    f"{name} cache uses {lru.used_bytes} B over its "
+                    f"capacity of {lru.capacity_bytes} B",
+                ))
+
+        ghost_index = getattr(cache, "ghost_index", None)
+        ghost_read = getattr(cache, "ghost_read", None)
+        if ghost_index is None or ghost_read is None:
+            return out
+        assert total is not None
+        for name, actual, ghost in (
+            ("index", index, ghost_index),
+            ("read", read, ghost_read),
+        ):
+            if ghost.capacity_bytes != total - actual.capacity_bytes:
+                out.append(Violation(
+                    "INV-CACHE-BUDGET",
+                    f"ghost {name} capacity {ghost.capacity_bytes} B is not "
+                    f"the complement of the actual cache "
+                    f"({total} - {actual.capacity_bytes} B); actual + ghost "
+                    "must be bounded by total DRAM",
+                ))
+            if ghost.used_bytes > ghost.capacity_bytes:
+                out.append(Violation(
+                    "INV-CACHE-BUDGET",
+                    f"ghost {name} cache uses {ghost.used_bytes} B over its "
+                    f"capacity of {ghost.capacity_bytes} B",
+                ))
+            overlap = [key for key in actual if key in ghost]
+            if overlap:
+                out.append(Violation(
+                    "INV-CACHE-DISJOINT",
+                    f"{len(overlap)} key(s) live in both the actual and "
+                    f"ghost {name} caches (e.g. {overlap[0]!r}); a resident "
+                    "entry must not register ghost hits",
+                ))
+        return out
+
+    # -- NVRAM ----------------------------------------------------------
+
+    def _check_nvram(self, scheme: "DedupScheme") -> List[Violation]:
+        out: List[Violation] = []
+        nvram = scheme.nvram
+        entries = len(scheme.map_table)
+        if nvram.entries != entries:
+            out.append(Violation(
+                "INV-NVRAM-MODEL",
+                f"NVRAM meter tracks {nvram.entries} entries but the Map "
+                f"table holds {entries}",
+            ))
+        if nvram.bytes_used != nvram.entries * nvram.entry_size:
+            out.append(Violation(
+                "INV-NVRAM-MODEL",
+                f"NVRAM bytes {nvram.bytes_used} != entries "
+                f"{nvram.entries} x {nvram.entry_size} B/entry",
+            ))
+        if nvram.peak_entries < nvram.entries:
+            out.append(Violation(
+                "INV-NVRAM-MODEL",
+                f"NVRAM peak {nvram.peak_entries} below the live entry "
+                f"count {nvram.entries} (peak must be monotone)",
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Sanitizer self-description for run reports."""
+        out: Dict[str, Any] = dict(self.stats.as_dict())
+        out["invariants"] = list(INVARIANT_CODES)
+        return out

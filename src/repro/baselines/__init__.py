@@ -19,6 +19,8 @@ The paper's own schemes (Select-Dedupe, POD) live in
 :mod:`repro.core` and implement the same interface.
 """
 
+from __future__ import annotations
+
 from repro.baselines.base import DedupScheme, PlannedIO, SchemeConfig
 from repro.baselines.native import Native
 from repro.baselines.full_dedupe import FullDedupe

@@ -48,6 +48,7 @@ from repro.dedup.index_table import IndexTable
 from repro.dedup.map_table import MapTable
 from repro.dedup.fingerprint import HashEngine
 from repro.errors import ConfigError
+from repro.cache.api import DramCache
 from repro.cache.partition import PartitionedCache
 from repro.obs.events import EventType, TraceLevel
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
@@ -182,7 +183,7 @@ class DedupScheme(abc.ABC):
         self.content = ContentStore(self.regions.total_blocks)
         self.log_alloc = LogAllocator(self.regions.log_base, self.regions.log_blocks)
         self.hash_engine = HashEngine(config.fingerprint_delay)
-        self.cache = self._make_cache()
+        self.cache: DramCache = self._make_cache()
         self.index_table: Optional[IndexTable] = (
             IndexTable(self.cache.index) if self.uses_fingerprints else None
         )
@@ -216,7 +217,7 @@ class DedupScheme(abc.ABC):
     # construction hooks
     # ------------------------------------------------------------------
 
-    def _make_cache(self):
+    def _make_cache(self) -> DramCache:
         """Build the DRAM cache organisation (fixed split by default)."""
         return PartitionedCache(self.config.memory_bytes, self.config.index_fraction)
 
@@ -486,7 +487,7 @@ class DedupScheme(abc.ABC):
         temporarily reduces the deduplication ratio until the hot
         index re-warms.
         """
-        self.cache = self._make_cache()
+        self.cache: DramCache = self._make_cache()
         if self.uses_fingerprints:
             self.index_table = IndexTable(self.cache.index)
             if hasattr(self.cache, "attach_index_table"):

@@ -80,7 +80,12 @@ class PostProcessDedupe(DedupScheme):
     ) -> Set[int]:
         return set()
 
-    def _commit_write(self, request, duplicate_pbas, dedupe_idx):
+    def _commit_write(
+        self,
+        request: IORequest,
+        duplicate_pbas: Sequence[Optional[int]],
+        dedupe_idx: Set[int],
+    ) -> Tuple[List[VolumeOp], int]:
         ops, deduped = super()._commit_write(request, duplicate_pbas, dedupe_idx)
         self._dirty.update(request.blocks())
         return ops, deduped

@@ -11,6 +11,8 @@
   budget (what Full-Dedupe, iDedup and plain Select-Dedupe use).
 """
 
+from __future__ import annotations
+
 from repro.cache.lru import LRUCache
 from repro.cache.ghost import GhostCache
 from repro.cache.arc import ARCache

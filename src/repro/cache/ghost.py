@@ -15,12 +15,14 @@ the cache it shadows.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, List, Optional
+from typing import Generic, Iterator, List, Optional, TypeVar
 
 from repro.errors import CacheError
 
+K = TypeVar("K")
 
-class GhostCache:
+
+class GhostCache(Generic[K]):
     """Bounded LRU of keys with per-entry *represented* sizes.
 
     ``capacity_bytes`` caps the sum of represented sizes, i.e. how
@@ -34,7 +36,7 @@ class GhostCache:
             raise CacheError("default entry size must be positive")
         self.capacity_bytes = capacity_bytes
         self.default_entry_size = default_entry_size
-        self._keys: "OrderedDict[Any, int]" = OrderedDict()
+        self._keys: "OrderedDict[K, int]" = OrderedDict()
         self._used = 0
         #: Hits this epoch (the Access Monitor resets these).
         self.hits = 0
@@ -47,14 +49,14 @@ class GhostCache:
     def __len__(self) -> int:
         return len(self._keys)
 
-    def __contains__(self, key: Any) -> bool:
+    def __contains__(self, key: K) -> bool:
         return key in self._keys
 
     @property
     def used_bytes(self) -> int:
         return self._used
 
-    def record_eviction(self, key: Any, size: Optional[int] = None) -> List[Any]:
+    def record_eviction(self, key: K, size: Optional[int] = None) -> List[K]:
         """Remember an evicted key; returns ghost keys aged out."""
         size = self.default_entry_size if size is None else size
         if size <= 0:
@@ -66,14 +68,14 @@ class GhostCache:
             return [key]
         self._keys[key] = size
         self._used += size
-        dropped: List[Any] = []
+        dropped: List[K] = []
         while self._used > self.capacity_bytes and self._keys:
             k, s = self._keys.popitem(last=False)
             self._used -= s
             dropped.append(k)
         return dropped
 
-    def hit(self, key: Any) -> bool:
+    def hit(self, key: K) -> bool:
         """Check for *key*; on a hit, count it and remove the key
         (the caller is expected to re-admit the entry to the actual
         cache, as ARC does)."""
@@ -84,26 +86,26 @@ class GhostCache:
             return True
         return False
 
-    def remove(self, key: Any) -> bool:
+    def remove(self, key: K) -> bool:
         """Silently drop *key* (no hit counted)."""
         if key in self._keys:
             self._used -= self._keys.pop(key)
             return True
         return False
 
-    def resize(self, new_capacity_bytes: int) -> List[Any]:
+    def resize(self, new_capacity_bytes: int) -> List[K]:
         """Change capacity, aging out LRU ghosts as needed."""
         if new_capacity_bytes < 0:
             raise CacheError(f"negative ghost capacity {new_capacity_bytes}")
         self.capacity_bytes = new_capacity_bytes
-        dropped: List[Any] = []
+        dropped: List[K] = []
         while self._used > self.capacity_bytes and self._keys:
             k, s = self._keys.popitem(last=False)
             self._used -= s
             dropped.append(k)
         return dropped
 
-    def keys_mru(self):
+    def keys_mru(self) -> Iterator[K]:
         """Keys from most- to least-recently evicted (swap-in order)."""
         return reversed(self._keys)
 

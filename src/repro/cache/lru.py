@@ -4,20 +4,26 @@ Entries carry an explicit size so one implementation serves both the
 read cache (4 KB data blocks) and the index cache (32 B fingerprint
 entries).  Evictions are returned to the caller, which lets owners
 feed ghost caches or write victims back to disk.
+
+The cache is generic over its key and value types (``LRUCache[K, V]``);
+un-parameterised uses keep the historical ``Any`` behaviour.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.errors import CacheError
 
+K = TypeVar("K")
+V = TypeVar("V")
+
 #: (key, value, size) triple describing an evicted entry.
-Evicted = Tuple[Any, Any, int]
+Evicted = Tuple[K, V, int]
 
 
-class LRUCache:
+class LRUCache(Generic[K, V]):
     """Least-recently-used cache bounded by total entry bytes."""
 
     def __init__(self, capacity_bytes: int, default_entry_size: int = 1) -> None:
@@ -27,7 +33,7 @@ class LRUCache:
             raise CacheError("default entry size must be positive")
         self.capacity_bytes = capacity_bytes
         self.default_entry_size = default_entry_size
-        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self._entries: "OrderedDict[K, Tuple[V, int]]" = OrderedDict()
         self._used = 0
         # hit/miss accounting (the Access Monitor reads these).
         self.hits = 0
@@ -41,10 +47,10 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: Any) -> bool:
+    def __contains__(self, key: K) -> bool:
         return key in self._entries
 
-    def __iter__(self) -> Iterator[Any]:
+    def __iter__(self) -> Iterator[K]:
         """Iterate keys from most- to least-recently used."""
         return reversed(self._entries)
 
@@ -58,7 +64,7 @@ class LRUCache:
 
     # ------------------------------------------------------------------
 
-    def get(self, key: Any) -> Optional[Any]:
+    def get(self, key: K) -> Optional[V]:
         """Look up *key*, promoting it to MRU.  Counts hit/miss."""
         entry = self._entries.get(key)
         if entry is None:
@@ -68,12 +74,12 @@ class LRUCache:
         self.hits += 1
         return entry[0]
 
-    def peek(self, key: Any) -> Optional[Any]:
+    def peek(self, key: K) -> Optional[V]:
         """Look up without promoting or counting."""
         entry = self._entries.get(key)
         return None if entry is None else entry[0]
 
-    def put(self, key: Any, value: Any = None, size: Optional[int] = None) -> List[Evicted]:
+    def put(self, key: K, value: V = None, size: Optional[int] = None) -> List[Evicted[K, V]]:  # type: ignore[assignment]
         """Insert/update *key* as MRU; return entries evicted to fit.
 
         An entry larger than the whole cache is rejected (returned as
@@ -91,7 +97,7 @@ class LRUCache:
         self._used += size
         return self._evict_to_fit()
 
-    def remove(self, key: Any) -> bool:
+    def remove(self, key: K) -> bool:
         """Drop *key* if present; returns whether it was there."""
         entry = self._entries.pop(key, None)
         if entry is None:
@@ -99,14 +105,14 @@ class LRUCache:
         self._used -= entry[1]
         return True
 
-    def resize(self, new_capacity_bytes: int) -> List[Evicted]:
+    def resize(self, new_capacity_bytes: int) -> List[Evicted[K, V]]:
         """Change capacity; returns LRU victims shed to fit."""
         if new_capacity_bytes < 0:
             raise CacheError(f"negative capacity {new_capacity_bytes}")
         self.capacity_bytes = new_capacity_bytes
         return self._evict_to_fit()
 
-    def pop_lru(self) -> Optional[Evicted]:
+    def pop_lru(self) -> Optional[Evicted[K, V]]:
         """Evict and return the LRU entry, or ``None`` if empty."""
         if not self._entries:
             return None
@@ -114,14 +120,14 @@ class LRUCache:
         self._used -= size
         return (key, value, size)
 
-    def clear(self) -> List[Evicted]:
+    def clear(self) -> List[Evicted[K, V]]:
         """Empty the cache, returning everything as victims."""
         victims = [(k, v, s) for k, (v, s) in self._entries.items()]
         self._entries.clear()
         self._used = 0
         return victims
 
-    def keys_lru_order(self) -> List[Any]:
+    def keys_lru_order(self) -> List[K]:
         """Keys from least- to most-recently used (for tests)."""
         return list(self._entries)
 
@@ -136,8 +142,8 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
 
-    def _evict_to_fit(self) -> List[Evicted]:
-        victims: List[Evicted] = []
+    def _evict_to_fit(self) -> List[Evicted[K, V]]:
+        victims: List[Evicted[K, V]] = []
         while self._used > self.capacity_bytes and self._entries:
             victims.append(self.pop_lru())  # type: ignore[arg-type]
         self.evictions += len(victims)

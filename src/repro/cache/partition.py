@@ -13,6 +13,7 @@ the same two caches but re-balances them at run time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.constants import BLOCK_SIZE, INDEX_ENTRY_SIZE
 from repro.cache.lru import LRUCache
@@ -59,13 +60,21 @@ class PartitionedCache:
     def __init__(self, total_bytes: int, index_fraction: float = 0.5) -> None:
         sizes = split_budget(total_bytes, index_fraction)
         self.total_bytes = total_bytes
-        self.index = LRUCache(sizes.index_bytes, default_entry_size=INDEX_ENTRY_SIZE)
-        self.read = LRUCache(sizes.read_bytes, default_entry_size=BLOCK_SIZE)
+        #: Index cache values stay ``Any`` on purpose: the fixed
+        #: partition stores raw PBA ints, while an attached
+        #: :class:`~repro.dedup.index_table.IndexTable` stores
+        #: ``IndexEntry`` records in the same LRU.
+        self.index: LRUCache[int, Any] = LRUCache(
+            sizes.index_bytes, default_entry_size=INDEX_ENTRY_SIZE
+        )
+        self.read: LRUCache[int, bool] = LRUCache(
+            sizes.read_bytes, default_entry_size=BLOCK_SIZE
+        )
         #: Interface parity with :class:`repro.core.icache.ICache`
         #: (fixed partitions never repartition, so this stays empty).
-        self.epoch_timeline: list = []
+        self.epoch_timeline: List[dict] = []
 
-    def attach_observer(self, recorder, clock=None) -> None:
+    def attach_observer(self, recorder: Any, clock: Any = None) -> None:
         """Accept an observer for interface parity with iCache.
 
         The fixed partition emits no micro-events of its own (its
@@ -76,7 +85,7 @@ class PartitionedCache:
 
     # -- index side ----------------------------------------------------
 
-    def index_lookup(self, fingerprint: int):
+    def index_lookup(self, fingerprint: int) -> Optional[Any]:
         """PBA of a cached fingerprint, or None."""
         return self.index.get(fingerprint)
 
@@ -103,14 +112,14 @@ class PartitionedCache:
     def on_index_miss(self, fingerprint: int) -> None:
         """Fixed partitions keep no ghost history; nothing to record."""
 
-    def note_index_evictions(self, evicted) -> None:
+    def note_index_evictions(self, evicted: Iterable[Tuple[int, Any]]) -> None:
         """Fixed partitions keep no ghost history; victims are dropped."""
 
     def on_epoch(self, now: float) -> float:
         """Fixed partitions never rebalance; zero swap cost."""
         return 0.0
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         return {
             "index_bytes": self.index.capacity_bytes,
             "read_bytes": self.read.capacity_bytes,

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the recorded simulation events as JSON Lines")
     run.add_argument("--report-out", default=None, metavar="FILE.json",
                      help="write the versioned machine-readable run report")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="debug mode: validate every POD invariant "
+                     "(Map/Index tables, iCache budgets, NVRAM model) "
+                     "periodically during the replay; fails loudly on the "
+                     "first violation and never changes simulated times")
+    run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
+                     help="structural-check cadence in requests "
+                     "(with --check-invariants; default 1000)")
 
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
@@ -80,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace-generator seed (recorded in the report)")
     compare.add_argument("--report-out", default=None, metavar="FILE.json",
                          help="write a compare report bundling every run report")
+    compare.add_argument("--check-invariants", action="store_true",
+                         help="validate every POD invariant during each replay")
+
+    lint = sub.add_parser(
+        "lint", help="run the POD determinism linter (rules POD001..POD006)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma list of rule codes to enable")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
 
     stats = sub.add_parser(
         "stats", help="pretty-print a run report, or diff two of them"
@@ -130,7 +151,7 @@ def _print_result(result) -> None:
     print(render_table(f"{result.scheme_name} on {result.trace_name}", ["metric", "value"], rows))
 
 
-def _effective_trace_level(args):
+def _effective_trace_level(args: argparse.Namespace) -> str:
     """Resolve the recording verbosity from the CLI flags.
 
     Explicit ``--trace-level`` wins; otherwise ``--trace-out`` implies
@@ -146,7 +167,7 @@ def _effective_trace_level(args):
     return TraceLevel.OFF
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     import time
 
     from repro.experiments import runner
@@ -169,6 +190,8 @@ def cmd_run(args) -> int:
         ndisks=ndisks,
         scheduler=SchedulingPolicy(args.scheduler) if args.scheduler else None,
         failed_disk=args.failed_disk,
+        check_invariants=args.check_invariants,
+        sanitize_every=args.sanitize_every,
     )
 
     observed = (
@@ -184,6 +207,10 @@ def cmd_run(args) -> int:
             replay_config=replay_config, **overrides,
         )
         _print_result(result)
+        if result.sanitizer is not None:
+            s = result.sanitizer.summary()
+            print(f"invariants clean: {s['checks_run']} structural checks, "
+                  f"{s['decisions_validated']} dedupe decisions validated")
         return 0
 
     trace_level = _effective_trace_level(args)
@@ -200,6 +227,10 @@ def cmd_run(args) -> int:
     wall = time.perf_counter() - t0
     _print_result(result)
 
+    if result.sanitizer is not None:
+        s = result.sanitizer.summary()
+        print(f"invariants clean: {s['checks_run']} structural checks, "
+              f"{s['decisions_validated']} dedupe decisions validated")
     if args.trace_out is not None:
         lines = recorder.write_jsonl(args.trace_out)
         print(f"wrote {args.trace_out}: {lines - 1} events "
@@ -225,20 +256,26 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments import runner
     from repro.experiments.runner import PAPER_SCHEMES
+    from repro.sim.replay import ReplayConfig
 
     observed = args.seed is not None or args.report_out is not None
+    replay_config = ReplayConfig(check_invariants=args.check_invariants)
     rows = []
     reports = []
     for scheme in PAPER_SCHEMES:
         if observed:
             result = runner.run_observed(
-                args.trace, scheme, scale=args.scale, seed=args.seed
+                args.trace, scheme, scale=args.scale, seed=args.seed,
+                replay_config=replay_config,
             )
         else:
-            result = runner.run_single(args.trace, scheme, scale=args.scale)
+            result = runner.run_single(
+                args.trace, scheme, scale=args.scale,
+                replay_config=replay_config,
+            )
         rows.append(
             [
                 scheme,
@@ -270,7 +307,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_stats(args) -> int:
+def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import diff_reports, load_report, render_report
 
     if len(args.paths) > 2:
@@ -299,7 +336,7 @@ def cmd_stats(args) -> int:
     return 0
 
 
-def cmd_figures(args) -> int:
+def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures
 
     names = list(FIGURES) if args.only is None else args.only.split(",")
@@ -319,7 +356,7 @@ def cmd_figures(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
+def cmd_trace(args: argparse.Namespace) -> int:
     from repro.traces import (
         generate_trace,
         io_vs_capacity_redundancy,
@@ -362,7 +399,7 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
+def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_md import build_report
     from pathlib import Path
 
@@ -373,7 +410,19 @@ def cmd_report(args) -> int:
     return 0
 
 
-def cmd_export(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint
+
+    argv: List[str] = list(args.paths) or ["src"]
+    argv += ["--format", args.format]
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint.main(argv)
+
+
+def cmd_export(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.experiments.export import export_all
@@ -391,6 +440,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "export": cmd_export,
+    "lint": cmd_lint,
 }
 
 

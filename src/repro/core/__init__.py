@@ -13,6 +13,8 @@
 * :mod:`repro.core.pod` -- POD = Select-Dedupe + iCache.
 """
 
+from __future__ import annotations
+
 from repro.core.map_table import MapTable
 from repro.core.index_table import IndexTable, IndexEntry
 from repro.core.categorize import Category, CategoryDecision, categorize_write

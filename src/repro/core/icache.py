@@ -27,7 +27,7 @@ detected, more writes eliminated), read bursts want a big read cache
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.ghost import GhostCache
 from repro.cache.lru import LRUCache
@@ -121,13 +121,20 @@ class ICache:
         self.config = config
         index_bytes = int(config.total_bytes * config.initial_index_fraction)
         read_bytes = config.total_bytes - index_bytes
-        self.index = LRUCache(index_bytes, default_entry_size=INDEX_ENTRY_SIZE)
-        self.read = LRUCache(read_bytes, default_entry_size=BLOCK_SIZE)
+        #: Index values stay ``Any`` on purpose: the bare iCache
+        #: stores raw PBA ints while an attached IndexTable stores
+        #: ``IndexEntry`` records in the same LRU.
+        self.index: LRUCache[int, Any] = LRUCache(
+            index_bytes, default_entry_size=INDEX_ENTRY_SIZE
+        )
+        self.read: LRUCache[int, bool] = LRUCache(
+            read_bytes, default_entry_size=BLOCK_SIZE
+        )
         # actual + ghost bounded by total DRAM (Section III-C).
-        self.ghost_index = GhostCache(
+        self.ghost_index: GhostCache[int] = GhostCache(
             config.total_bytes - index_bytes, default_entry_size=INDEX_ENTRY_SIZE
         )
-        self.ghost_read = GhostCache(
+        self.ghost_read: GhostCache[int] = GhostCache(
             config.total_bytes - read_bytes, default_entry_size=BLOCK_SIZE
         )
         #: (time, index_bytes, read_bytes) after each epoch.
@@ -142,12 +149,12 @@ class ICache:
         self._obs_clock: Optional[Callable[[], float]] = None
         #: Swapped-out index entries parked in the reserved area,
         #: keyed by fingerprint (pruned with the ghost index).
-        self._index_store: dict = {}
+        self._index_store: Dict[int, Any] = {}
         #: Set by the owning scheme so swap-in can restore entries
         #: through the IndexTable (keeping its PBA reverse map sound).
-        self._index_table = None
+        self._index_table: Optional[Any] = None
 
-    def attach_index_table(self, index_table) -> None:
+    def attach_index_table(self, index_table: Any) -> None:
         """Let swap-in restore evicted entries via the Index table."""
         self._index_table = index_table
 
@@ -164,7 +171,7 @@ class ICache:
     # read-cache interface
     # ------------------------------------------------------------------
 
-    def read_lookup(self, key) -> bool:
+    def read_lookup(self, key: int) -> bool:
         """Actual-cache lookup; a miss probes the ghost read cache
         (the Access Monitor's signal)."""
         if self.read.get(key) is not None:
@@ -179,11 +186,11 @@ class ICache:
             )
         return False
 
-    def read_insert(self, key) -> None:
+    def read_insert(self, key: int) -> None:
         for victim_key, _value, size in self.read.put(key, True):
             self.ghost_read.record_eviction(victim_key, size)
 
-    def read_remove(self, key) -> bool:
+    def read_remove(self, key: int) -> bool:
         self.ghost_read.remove(key)
         return self.read.remove(key)
 
@@ -191,10 +198,10 @@ class ICache:
     # index-cache interface (the IndexTable sits on ``self.index``)
     # ------------------------------------------------------------------
 
-    def index_lookup(self, fingerprint: int):
+    def index_lookup(self, fingerprint: int) -> Optional[Any]:
         return self.index.get(fingerprint)
 
-    def index_insert(self, fingerprint: int, pba) -> None:
+    def index_insert(self, fingerprint: int, pba: Any) -> None:
         self.index.put(fingerprint, pba)
 
     def index_remove(self, fingerprint: int) -> bool:
@@ -212,7 +219,7 @@ class ICache:
                 key=fingerprint,
             )
 
-    def note_index_evictions(self, evicted) -> None:
+    def note_index_evictions(self, evicted: Iterable[Tuple[int, Any]]) -> None:
         """Feed IndexTable victims into the ghost index and park their
         data in the reserved swap area for a later swap-in."""
         for fingerprint, entry in evicted:
@@ -356,7 +363,7 @@ class ICache:
 
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         return {
             "index_bytes": self.index.capacity_bytes,
             "read_bytes": self.read.capacity_bytes,

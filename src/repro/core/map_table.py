@@ -2,6 +2,8 @@
 :mod:`repro.dedup.map_table` so that the scheme base class can import
 it without triggering this package's ``__init__``)."""
 
+from __future__ import annotations
+
 from repro.dedup.map_table import MapTable
 
 __all__ = ["MapTable"]

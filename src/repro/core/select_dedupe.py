@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.baselines.base import DedupScheme
+from repro.baselines.base import DedupScheme, SchemeConfig
 from repro.core.categorize import Category, categorize_write
 from repro.obs.events import EventType, TraceLevel
 from repro.sim.request import IORequest
@@ -40,7 +40,7 @@ class SelectDedupe(DedupScheme):
         "cache_partitioning": "static",
     }
 
-    def __init__(self, config) -> None:
+    def __init__(self, config: SchemeConfig) -> None:
         super().__init__(config)
         #: Requests per Figure-5 category (workload diagnostics).
         self.category_counts: Dict[Category, int] = {c: 0 for c in Category}

@@ -1,5 +1,7 @@
 """Deduplication primitives shared by all schemes."""
 
+from __future__ import annotations
+
 from repro.dedup.fingerprint import HashEngine, fingerprint_bytes, chunk_bytes
 from repro.dedup.index_table import IndexEntry, IndexTable
 from repro.dedup.map_table import MapTable

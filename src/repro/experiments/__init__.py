@@ -7,6 +7,8 @@
   of the paper, returning the rows and a rendered text table.
 """
 
+from __future__ import annotations
+
 from repro.experiments.runner import (
     SCHEME_CLASSES,
     build_scheme,

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.experiments import runner
 from repro.experiments.runner import DEFAULT_SCALE, PAPER_SCHEMES
 from repro.metrics.report import normalize_to, render_table
+from repro.sim.replay import ReplayResult
 from repro.traces.stats import (
     io_vs_capacity_redundancy,
     redundancy_by_size,
@@ -234,7 +235,9 @@ def fig3_partition_sweep(
 # Figs. 8-11 -- the main comparison
 # ----------------------------------------------------------------------
 
-def _matrix(scale: float, schemes: Iterable[str] = PAPER_SCHEMES):
+def _matrix(
+    scale: float, schemes: Iterable[str] = PAPER_SCHEMES
+) -> Dict[Tuple[str, str], ReplayResult]:
     return runner.run_matrix(TRACE_ORDER, schemes, scale=scale)
 
 

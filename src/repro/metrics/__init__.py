@@ -7,6 +7,8 @@
   table rendering for the per-figure benches.
 """
 
+from __future__ import annotations
+
 from repro.metrics.collector import MetricsCollector, ResponseSummary
 from repro.metrics.report import normalize_to, render_table
 from repro.obs.registry import Histogram, MetricsRegistry

@@ -17,6 +17,8 @@ Everything is guarded so that a replay with tracing *off* pays one
 integer compare per instrumentation site and allocates nothing.
 """
 
+from __future__ import annotations
+
 from repro.obs.events import (
     EVENT_FIELDS,
     EVENT_SCHEMA_VERSION,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError, ReproError
 from repro.metrics.report import render_table
@@ -21,6 +21,14 @@ from repro.metrics.report import render_table
 REPORT_VERSION = 1
 REPORT_KIND_RUN = "pod-run-report"
 REPORT_KIND_COMPARE = "pod-compare-report"
+
+#: A clock is any zero-argument callable returning seconds.  Reports
+#: default to the wall clock but accept an injected clock so that a
+#: fixed seed + fixed clock yields a byte-stable report document (the
+#: POD001 lint rule bans *calling* wall clocks in this package; binding
+#: one as an injectable default is the sanctioned idiom).
+Clock = Callable[[], float]
+_WALL_CLOCK: Clock = time.time
 
 
 def build_run_report(
@@ -32,11 +40,14 @@ def build_run_report(
     recorder=None,
     config: Optional[Dict[str, Any]] = None,
     overhead: Optional[Dict[str, float]] = None,
+    clock: Optional[Clock] = None,
 ) -> Dict[str, Any]:
     """Assemble the versioned report document for one replay.
 
     ``result`` is a :class:`repro.sim.replay.ReplayResult`; the report
     is a plain JSON-serialisable dict (no repro objects inside).
+    ``clock`` overrides the wall clock stamped into ``generated_unix``
+    (inject a constant for byte-stable documents).
     """
     metrics = result.metrics
     counters: Dict[str, Any] = dict(metrics.as_dict())
@@ -54,7 +65,7 @@ def build_run_report(
     report: Dict[str, Any] = {
         "version": REPORT_VERSION,
         "kind": REPORT_KIND_RUN,
-        "generated_unix": time.time(),
+        "generated_unix": (clock if clock is not None else _WALL_CLOCK)(),
         "trace": result.trace_name,
         "scheme": result.scheme_name,
         "seed": seed,
@@ -70,16 +81,26 @@ def build_run_report(
             else {"level": trace_level, "events_recorded": 0, "events_dropped": 0}
         ),
         "overhead": overhead or {},
+        "sanitizer": (
+            result.sanitizer.summary()
+            if getattr(result, "sanitizer", None) is not None
+            else {}
+        ),
     }
     return report
 
 
-def build_compare_report(runs: List[Dict[str, Any]]) -> Dict[str, Any]:
-    """Bundle several run reports into one compare document."""
+def build_compare_report(
+    runs: List[Dict[str, Any]], clock: Optional[Clock] = None
+) -> Dict[str, Any]:
+    """Bundle several run reports into one compare document.
+
+    ``clock`` as in :func:`build_run_report`.
+    """
     return {
         "version": REPORT_VERSION,
         "kind": REPORT_KIND_COMPARE,
-        "generated_unix": time.time(),
+        "generated_unix": (clock if clock is not None else _WALL_CLOCK)(),
         "runs": runs,
     }
 

@@ -11,6 +11,8 @@ This subpackage provides the event engine that all experiments run on:
   drives a deduplication scheme with a trace and collects metrics.
 """
 
+from __future__ import annotations
+
 from repro.sim.request import IORequest, OpType
 from repro.sim.events import Event, EventKind, EventQueue
 

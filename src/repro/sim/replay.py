@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import DedupScheme, PlannedIO
 from repro.constants import BLOCKS_PER_STRIPE_UNIT
 from repro.errors import ConfigError
@@ -58,6 +59,14 @@ class ReplayConfig:
     #: SSD staging device for SAR-style schemes (None = no SSD; a
     #: scheme emitting SSD traffic without one is a config error).
     ssd_params: Optional[SsdParams] = None
+    #: Debug mode: run the :class:`~repro.analysis.sanitizer.PodSanitizer`
+    #: against the scheme every :attr:`sanitize_every` requests, at every
+    #: epoch boundary and at end of run, raising on the first broken POD
+    #: invariant.  Observation only -- enabling this must not change a
+    #: single simulated completion time.
+    check_invariants: bool = False
+    #: Structural-check cadence, in arrived requests.
+    sanitize_every: int = 1000
 
     def geometry(self) -> RaidGeometry:
         return RaidGeometry(
@@ -84,6 +93,9 @@ class ReplayResult:
     epoch_timeline: List[dict] = field(default_factory=list)
     #: The trace recorder used for this replay, when one was attached.
     recorder: Optional[TraceRecorder] = None
+    #: The invariant sanitizer, when ``check_invariants`` was enabled
+    #: (its ``summary()`` lands in run reports).
+    sanitizer: Optional[PodSanitizer] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -167,6 +179,13 @@ def replay_trace(
         scheme.attach_observer(recorder)
         sim.attach_observer(recorder)
 
+    sanitizer: Optional[PodSanitizer] = None
+    if config.check_invariants:
+        if config.sanitize_every <= 0:
+            raise ConfigError("sanitize_every must be positive")
+        sanitizer = PodSanitizer()
+        sanitizer.attach(scheme)
+
     requests: List[IORequest] = list(trace.requests())
     for request in requests:
         sim.schedule_arrival(request.time, request)
@@ -233,6 +252,7 @@ def replay_trace(
     # Fig. 11 counts removed write requests over the measured day
     # only, so snapshot the scheme's counters at the warm-up boundary.
     boundary = {"writes": 0, "removed": 0, "taken": measured_from == 0}
+    arrivals = {"count": 0}
 
     def on_arrival(now: float, request: IORequest) -> None:
         if not boundary["taken"] and request.req_id >= measured_from:
@@ -250,6 +270,10 @@ def replay_trace(
                 nblocks=request.nblocks,
             )
         planned = scheme.process(request, now)
+        if sanitizer is not None:
+            arrivals["count"] += 1
+            if arrivals["count"] % config.sanitize_every == 0:
+                sanitizer.assert_clean(scheme, now)
         if planned.delay > 0:
             sim.schedule_callback(now + planned.delay, finish, request, planned, now)
         else:
@@ -264,6 +288,10 @@ def replay_trace(
 
         def epoch_tick() -> None:
             ops = scheme.on_epoch(sim.now)
+            if sanitizer is not None:
+                # Epoch boundaries are where iCache repartitions; check
+                # the partition budgets right after the move.
+                sanitizer.assert_clean(scheme, sim.now)
             if ops:
                 sim.issue_volume_ops(ops, lambda _t: None)
             next_time = sim.now + interval
@@ -273,6 +301,9 @@ def replay_trace(
         sim.schedule_callback(requests[0].time + interval, epoch_tick)
 
     sim.run(arrival_handler=on_arrival)
+
+    if sanitizer is not None:
+        sanitizer.assert_clean(scheme, sim.now)
 
     if obs.level >= TraceLevel.SUMMARY:
         obs.emit(
@@ -297,4 +328,5 @@ def replay_trace(
             e.as_dict() if hasattr(e, "as_dict") else dict(e) for e in timeline
         ],
         recorder=recorder,
+        sanitizer=sanitizer,
     )

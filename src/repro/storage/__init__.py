@@ -12,6 +12,8 @@
 * :mod:`repro.storage.nvram` -- NVRAM byte accounting for the Map table.
 """
 
+from __future__ import annotations
+
 from repro.storage.disk import Disk, DiskParams
 from repro.storage.raid import RaidArray, RaidLevel
 from repro.storage.rebuild import RebuildController

@@ -20,6 +20,7 @@ The simulated volume is divided into fixed regions:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Set
 
 from repro.errors import StorageError
 
@@ -114,8 +115,8 @@ class LogAllocator:
         self.base = base
         self.nblocks = nblocks
         self._next = base
-        self._free: list = []
-        self._allocated: set = set()
+        self._free: List[int] = []
+        self._allocated: Set[int] = set()
 
     @property
     def end(self) -> int:

@@ -18,6 +18,8 @@ provides:
   the generators and to regenerate Figs. 1-2 and Table II).
 """
 
+from __future__ import annotations
+
 from repro.traces.fiu import load_fiu_trace, reconstruct_requests, write_fiu
 from repro.traces.format import Trace, TraceRecord, load_trace, save_trace
 from repro.traces.synthetic import (

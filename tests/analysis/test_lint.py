@@ -1,0 +1,287 @@
+"""Unit tests for the POD determinism linter (rules POD001..POD006)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    LINT_OUTPUT_VERSION,
+    is_deterministic_path,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.analysis.rules import ALL_RULES, DETERMINISTIC_PACKAGES
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def lint_det(source: str):
+    """Lint a snippet as if it lived in a deterministic package."""
+    return lint_source(source, path="src/repro/sim/example.py")
+
+
+# ----------------------------------------------------------------------
+# POD001 -- wall clocks
+# ----------------------------------------------------------------------
+
+
+class TestPod001WallClock:
+    def test_time_time_call_flagged(self):
+        assert codes(lint_det("import time\nt0 = time.time()\n")) == ["POD001"]
+
+    def test_monotonic_and_datetime_flagged(self):
+        src = (
+            "import time, datetime\n"
+            "a = time.monotonic()\n"
+            "b = datetime.datetime.now()\n"
+        )
+        assert codes(lint_det(src)) == ["POD001", "POD001"]
+
+    def test_binding_a_clock_is_fine(self):
+        # The sanctioned idiom: reference the callable, never call it.
+        src = "import time\n_WALL_CLOCK = time.time\n"
+        assert lint_det(src) == []
+
+    def test_scope_limited_to_deterministic_packages(self):
+        src = "import time\nt0 = time.time()\n"
+        assert lint_source(src, path="src/repro/experiments/x.py") == []
+        assert lint_source(src, path="tools/x.py") == []
+
+    def test_injected_clock_call_is_fine(self):
+        assert lint_det("t = clock()\n") == []
+
+
+# ----------------------------------------------------------------------
+# POD002 -- global RNG
+# ----------------------------------------------------------------------
+
+
+class TestPod002GlobalRng:
+    def test_import_random_flagged(self):
+        assert codes(lint_det("import random\n")) == ["POD002"]
+
+    def test_from_random_import_flagged(self):
+        assert codes(lint_det("from random import shuffle\n")) == ["POD002"]
+
+    def test_random_call_flagged(self):
+        src = "x = random.randint(0, 5)\n"
+        assert codes(lint_det(src)) == ["POD002"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(lint_det(src)) == ["POD002"]
+
+    def test_seeded_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_det(src) == []
+
+    def test_numpy_legacy_global_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert codes(lint_det(src)) == ["POD002"]
+
+
+# ----------------------------------------------------------------------
+# POD003 -- float time equality
+# ----------------------------------------------------------------------
+
+
+class TestPod003TimeEquality:
+    def test_eq_on_time_names_flagged(self):
+        assert codes(lint_det("ok = now == arrival_time\n")) == ["POD003"]
+
+    def test_neq_on_completion_flagged(self):
+        assert codes(lint_det("bad = completed_at != deadline\n")) == ["POD003"]
+
+    def test_counts_not_flagged(self):
+        assert lint_det("done = count == total_requests\n") == []
+
+    def test_none_comparison_not_flagged(self):
+        assert lint_det("x = arrival_time == None\n") == []
+
+    def test_ordering_comparisons_fine(self):
+        assert lint_det("late = now >= deadline\n") == []
+
+
+# ----------------------------------------------------------------------
+# POD004 -- mutable defaults
+# ----------------------------------------------------------------------
+
+
+class TestPod004MutableDefaults:
+    def test_list_literal_default_flagged(self):
+        assert codes(lint_det("def f(xs=[]):\n    pass\n")) == ["POD004"]
+
+    def test_dict_ctor_default_flagged(self):
+        assert codes(lint_det("def f(m=dict()):\n    pass\n")) == ["POD004"]
+
+    def test_lambda_default_flagged(self):
+        assert codes(lint_det("g = lambda xs=[]: xs\n")) == ["POD004"]
+
+    def test_none_default_ok(self):
+        assert lint_det("def f(xs=None):\n    pass\n") == []
+
+    def test_applies_outside_deterministic_packages_too(self):
+        src = "def f(xs=[]):\n    pass\n"
+        assert codes(lint_source(src, path="tools/x.py")) == ["POD004"]
+
+
+# ----------------------------------------------------------------------
+# POD005 -- unguarded trace emission
+# ----------------------------------------------------------------------
+
+
+class TestPod005EmitGuards:
+    def test_unguarded_emit_flagged(self):
+        src = "self.obs.emit(level, t, kind)\n"
+        assert codes(lint_det(src)) == ["POD005"]
+
+    def test_guarded_emit_ok(self):
+        src = (
+            "if self.obs.level >= TraceLevel.CHUNK:\n"
+            "    self.obs.emit(TraceLevel.CHUNK, t, kind)\n"
+        )
+        assert lint_det(src) == []
+
+    def test_boolop_shortcircuit_guard_ok(self):
+        src = "x = trace_level_on and obs.emit(lvl, t, kind)\n"
+        assert lint_det(src) == []
+
+    def test_else_branch_not_guarded(self):
+        src = (
+            "if self.obs.level >= TraceLevel.CHUNK:\n"
+            "    pass\n"
+            "else:\n"
+            "    self.obs.emit(TraceLevel.CHUNK, t, kind)\n"
+        )
+        assert codes(lint_det(src)) == ["POD005"]
+
+    def test_non_recorder_emit_ignored(self):
+        assert lint_det("bus.emit(event)\n") == []
+
+
+# ----------------------------------------------------------------------
+# POD006 -- ambient entropy
+# ----------------------------------------------------------------------
+
+
+class TestPod006AmbientEntropy:
+    def test_urandom_flagged(self):
+        assert codes(lint_det("import os\nx = os.urandom(8)\n")) == ["POD006"]
+
+    def test_environ_attribute_flagged(self):
+        src = "import os\nv = os.environ['HOME']\n"
+        assert "POD006" in codes(lint_det(src))
+
+    def test_uuid4_flagged(self):
+        assert codes(lint_det("import uuid\nu = uuid.uuid4()\n")) == ["POD006"]
+
+
+# ----------------------------------------------------------------------
+# pragmas, selection, report plumbing
+# ----------------------------------------------------------------------
+
+
+class TestPragmasAndSelection:
+    def test_targeted_ignore_suppresses(self):
+        src = "import time\nt0 = time.time()  # pod: ignore[POD001]\n"
+        assert lint_det(src) == []
+
+    def test_bare_ignore_suppresses_everything(self):
+        src = "import time\nt0 = time.time()  # pod: ignore\n"
+        assert lint_det(src) == []
+
+    def test_mismatched_ignore_does_not_suppress(self):
+        src = "import time\nt0 = time.time()  # pod: ignore[POD002]\n"
+        assert codes(lint_det(src)) == ["POD001"]
+
+    def test_select_restricts_rules(self):
+        src = "import time, random\nt0 = time.time()\n"
+        only = lint_source(
+            src, path="src/repro/sim/x.py", select={"POD002"}
+        )
+        assert codes(only) == ["POD002"]
+
+    def test_findings_sorted_and_located(self):
+        src = "import random\nimport time\nt0 = time.time()\n"
+        found = lint_det(src)
+        assert [f.line for f in found] == sorted(f.line for f in found)
+        assert all(f.path == "src/repro/sim/example.py" for f in found)
+
+
+class TestReportPlumbing:
+    def test_deterministic_path_classification(self):
+        assert is_deterministic_path("src/repro/sim/engine.py")
+        assert is_deterministic_path("src/repro/obs/trace.py")
+        assert not is_deterministic_path("src/repro/experiments/figures.py")
+        assert len(DETERMINISTIC_PACKAGES) >= 8
+
+    def test_lint_paths_json_shape(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(xs=[]):\n    pass\n")
+        report = lint_paths([str(tmp_path)])
+        doc = report.as_dict()
+        assert doc["version"] == LINT_OUTPUT_VERSION
+        assert doc["kind"] == "pod-lint-report"
+        assert doc["files_checked"] == 1
+        assert doc["findings"][0]["code"] == "POD004"
+        assert set(doc["findings"][0]) == {"code", "path", "line", "col", "message"}
+
+    def test_parse_errors_reported(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        report = lint_paths([str(broken)])
+        assert not report.ok
+        assert report.parse_errors and "broken.py" in report.parse_errors[0]
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        files = iter_python_files([str(tmp_path)])
+        assert [f.name for f in files] == ["mod.py"]
+
+
+class TestCli:
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(xs=[]):\n    pass\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["code"] == "POD004"
+
+    def test_exit_two_on_unknown_rule(self, capsys):
+        assert main(["--select", "POD999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ALL_RULES:
+            assert code in out
+
+
+class TestSelfHosting:
+    def test_src_tree_is_clean(self):
+        """The linter passes over the repo's own source (CI gate)."""
+        report = lint_paths([str(REPO_SRC)])
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+        assert report.files_checked > 50

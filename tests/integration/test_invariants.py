@@ -1,0 +1,134 @@
+"""Integration: ``--check-invariants`` replays are clean and identical.
+
+The sanitizer is observation-only; enabling it must not shift a single
+simulated completion time.  These tests replay the seeded web-vm trace
+with checking on and off and compare the metric documents, and run the
+CLI end to end with the flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.cli import main
+from repro.experiments import runner
+from repro.sim.replay import ReplayConfig, replay_trace
+from repro.traces.synthetic import WEB_VM, generate_trace
+from tests.conftest import DEDUP_SCHEMES
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner.clear_run_cache()
+    yield
+    runner.clear_run_cache()
+
+
+def build(cls, trace):
+    return cls(
+        SchemeConfig(logical_blocks=trace.logical_blocks, memory_bytes=128 * 1024)
+    )
+
+
+class TestCheckedReplay:
+    @pytest.mark.parametrize("cls", DEDUP_SCHEMES, ids=lambda c: c.name)
+    def test_seeded_web_vm_replay_is_clean(self, cls):
+        trace = generate_trace(WEB_VM, scale=0.02)
+        config = ReplayConfig(check_invariants=True, sanitize_every=200)
+        result = replay_trace(trace, build(cls, trace), config)
+        assert result.sanitizer is not None
+        assert result.sanitizer.stats.checks_run > 0
+        assert result.sanitizer.stats.violations_found == 0
+
+    @pytest.mark.parametrize("cls", DEDUP_SCHEMES[:2], ids=lambda c: c.name)
+    def test_checking_never_changes_simulated_times(self, cls):
+        trace = generate_trace(WEB_VM, scale=0.02)
+        plain = replay_trace(trace, build(cls, trace), ReplayConfig())
+        checked = replay_trace(
+            trace,
+            build(cls, trace),
+            ReplayConfig(check_invariants=True, sanitize_every=100),
+        )
+        assert plain.metrics.as_dict() == checked.metrics.as_dict()
+        assert plain.utilisation == checked.utilisation
+        assert plain.capacity_blocks == checked.capacity_blocks
+
+    def test_decisions_validated_for_select_family(self):
+        trace = generate_trace(WEB_VM, scale=0.02)
+        from repro.core.pod import POD
+
+        config = ReplayConfig(check_invariants=True, sanitize_every=500)
+        result = replay_trace(trace, build(POD, trace), config)
+        assert result.sanitizer.stats.decisions_validated > 0
+
+    def test_invalid_sanitize_every_rejected(self):
+        from repro.errors import ConfigError
+
+        trace = generate_trace(WEB_VM, scale=0.01)
+        from repro.core.pod import POD
+
+        with pytest.raises(ConfigError):
+            replay_trace(
+                trace,
+                build(POD, trace),
+                ReplayConfig(check_invariants=True, sanitize_every=0),
+            )
+
+
+class TestCli:
+    def test_run_with_check_invariants(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--trace",
+                "web-vm",
+                "--scheme",
+                "POD",
+                "--scale",
+                "0.02",
+                "--check-invariants",
+                "--sanitize-every",
+                "250",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "invariants clean" in out
+
+    def test_compare_with_check_invariants(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--trace",
+                "mail",
+                "--scale",
+                "0.01",
+                "--check-invariants",
+            ]
+        )
+        assert rc == 0
+        assert "POD" in capsys.readouterr().out
+
+    def test_report_carries_sanitizer_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "run.json"
+        rc = main(
+            [
+                "run",
+                "--trace",
+                "web-vm",
+                "--scheme",
+                "POD",
+                "--scale",
+                "0.02",
+                "--check-invariants",
+                "--report-out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["sanitizer"]["violations_found"] == 0
+        assert doc["sanitizer"]["checks_run"] > 0
