@@ -14,6 +14,9 @@ paper's comparison baselines.
 * :mod:`repro.baselines.iodedup` -- I/O Deduplication (Koller &
   Rangaswami, FAST'10): a content-addressed read cache; extension
   baseline for Table I.
+* :mod:`repro.baselines.registry` -- the declarative
+  :class:`SchemeRegistry` every consumer (CLI, runner, parallel
+  matrix) resolves and builds schemes through.
 
 The paper's own schemes (Select-Dedupe, POD) live in
 :mod:`repro.core` and implement the same interface.
@@ -27,6 +30,7 @@ from repro.baselines.full_dedupe import FullDedupe
 from repro.baselines.idedup import IDedup
 from repro.baselines.iodedup import IODedup
 from repro.baselines.postprocess import PostProcessDedupe
+from repro.baselines.registry import DEFAULT_REGISTRY, SchemeEntry, SchemeRegistry
 
 __all__ = [
     "DedupScheme",
@@ -37,4 +41,7 @@ __all__ = [
     "IDedup",
     "IODedup",
     "PostProcessDedupe",
+    "DEFAULT_REGISTRY",
+    "SchemeEntry",
+    "SchemeRegistry",
 ]

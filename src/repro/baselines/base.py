@@ -149,6 +149,11 @@ class PlannedIO:
         which is a whole-request flag).
     cache_hit_blocks:
         Read blocks served from the read cache.
+    deduped_idx:
+        The chunk indices (into the request) that were deduplicated
+        inline (``len(deduped_idx) == deduped_blocks``).  The
+        multi-volume replay driver uses these to classify each
+        eliminated block as cross-volume or intra-volume redundancy.
     """
 
     delay: float = 0.0
@@ -157,6 +162,7 @@ class PlannedIO:
     eliminated: bool = False
     deduped_blocks: int = 0
     cache_hit_blocks: int = 0
+    deduped_idx: Tuple[int, ...] = ()
     #: Blocks served by the SSD tier (gates completion; SAR only).
     ssd_read_blocks: int = 0
     #: Blocks copied to the SSD tier in the background (SAR only).
@@ -345,16 +351,17 @@ class DedupScheme(abc.ABC):
             duplicate_pbas = [None] * request.nblocks
 
         dedupe_idx = self._choose_dedupe(request, duplicate_pbas)
-        write_ops, deduped_blocks = self._commit_write(request, duplicate_pbas, dedupe_idx)
+        write_ops, deduped_idx = self._commit_write(request, duplicate_pbas, dedupe_idx)
         eliminated = not write_ops and request.nblocks > 0
         if eliminated:
             self.write_requests_removed += 1
-        self.write_blocks_deduped += deduped_blocks
+        self.write_blocks_deduped += len(deduped_idx)
         return PlannedIO(
             delay=delay,
             volume_ops=extra_ops + write_ops,
             eliminated=eliminated,
-            deduped_blocks=deduped_blocks,
+            deduped_blocks=len(deduped_idx),
+            deduped_idx=deduped_idx,
         )
 
     def _commit_write(
@@ -362,15 +369,17 @@ class DedupScheme(abc.ABC):
         request: IORequest,
         duplicate_pbas: Sequence[Optional[int]],
         dedupe_idx: Set[int],
-    ) -> Tuple[List[VolumeOp], int]:
+    ) -> Tuple[List[VolumeOp], Tuple[int, ...]]:
         """Apply one write to the map table, content store and caches.
 
-        Returns ``(data_write_ops, deduped_block_count)``.
+        Returns ``(data_write_ops, deduped_chunk_indices)`` where the
+        indices are the request chunks whose write was eliminated (in
+        ascending order; ``len()`` of it is the deduped block count).
         """
         assert request.fingerprints is not None
         write_pbas: List[int] = []
         overwritten: Set[int] = set()
-        deduped = 0
+        deduped: List[int] = []
 
         for i, lba in enumerate(request.blocks()):
             fp = request.fingerprints[i]
@@ -386,7 +395,7 @@ class DedupScheme(abc.ABC):
                     self.stale_dedupe_avoided += 1
                 else:
                     self._map_dedupe(lba, target)
-                    deduped += 1
+                    deduped.append(i)
                     continue
 
             # Normal (non-deduplicated) write.
@@ -403,7 +412,7 @@ class DedupScheme(abc.ABC):
 
         ops = extents_to_ops(OpType.WRITE, write_pbas)
         self.write_blocks_written += len(write_pbas)
-        return ops, deduped
+        return ops, tuple(deduped)
 
     def _map_dedupe(self, lba: int, target: int) -> None:
         """Point ``lba`` at an existing duplicate block."""

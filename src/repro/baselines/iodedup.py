@@ -69,7 +69,7 @@ class IODedup(DedupScheme):
         request: IORequest,
         duplicate_pbas: Sequence[Optional[int]],
         dedupe_idx: Set[int],
-    ) -> Tuple[List[VolumeOp], int]:
+    ) -> Tuple[List[VolumeOp], Tuple[int, ...]]:
         ops, deduped = super()._commit_write(request, duplicate_pbas, dedupe_idx)
         # Track content at the written home locations for the
         # content-addressed read cache.

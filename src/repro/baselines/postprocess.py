@@ -85,7 +85,7 @@ class PostProcessDedupe(DedupScheme):
         request: IORequest,
         duplicate_pbas: Sequence[Optional[int]],
         dedupe_idx: Set[int],
-    ) -> Tuple[List[VolumeOp], int]:
+    ) -> Tuple[List[VolumeOp], Tuple[int, ...]]:
         ops, deduped = super()._commit_write(request, duplicate_pbas, dedupe_idx)
         self._dirty.update(request.blocks())
         return ops, deduped

@@ -5,6 +5,8 @@
     python -m repro run --trace mail --scheme POD --scale 0.1
     python -m repro run --trace web-vm --scheme pod \
         --report-out r.json --trace-out t.jsonl --seed 7
+    python -m repro run-multi --trace mail --trace web-vm --copies 3 \
+        --scheme POD --scale 0.1
     python -m repro compare --trace homes --scale 0.1 --report-out all.json
     python -m repro stats r.json            # pretty-print one report
     python -m repro stats a.json b.json     # diff two reports
@@ -42,6 +44,11 @@ FIGURES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.baselines.registry import DEFAULT_REGISTRY
+
+    scheme_help = "scheme name or alias, case-insensitive: " + ", ".join(
+        DEFAULT_REGISTRY.names()
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="POD (IPDPS'14) reproduction: trace-driven dedup experiments",
@@ -50,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="replay one trace through one scheme")
     run.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
-    run.add_argument("--scheme", required=True)
+    run.add_argument("--scheme", required=True, help=scheme_help)
     run.add_argument("--scale", type=float, default=0.1)
     run.add_argument("--index-fraction", type=float, default=None,
                      help="fixed index-cache share (non-POD schemes)")
@@ -80,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
+
+    multi = sub.add_parser(
+        "run-multi",
+        help="replay several tenant volumes through one shared dedup domain",
+    )
+    multi.add_argument("--trace", action="append", required=True, dest="traces",
+                       choices=["web-vm", "homes", "mail"], metavar="NAME",
+                       help="base trace family (repeatable); each family is "
+                       "expanded into --copies tenant volumes")
+    multi.add_argument("--scheme", default="POD", help=scheme_help)
+    multi.add_argument("--copies", type=int, default=2,
+                       help="tenant clones per base trace (default 2)")
+    multi.add_argument("--divergence", type=float, default=0.15,
+                       help="fraction of each clone's content privatised "
+                       "away from the golden image (default 0.15)")
+    multi.add_argument("--skew", type=float, default=0.5,
+                       help="per-tenant arrival-rate skew exponent; tenant k "
+                       "runs at (k+1)^-skew of the base rate (default 0.5)")
+    multi.add_argument("--scale", type=float, default=0.1)
+    multi.add_argument("--seed", type=int, default=None,
+                       help="trace-generator seed (recorded in the report)")
+    multi.add_argument("--report-out", default=None, metavar="FILE.json",
+                       help="write the run report with the per-volume section")
+    multi.add_argument("--check-invariants", action="store_true",
+                       help="validate every POD invariant during the replay")
+    multi.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
+                       help="structural-check cadence in requests "
+                       "(with --check-invariants; default 1000)")
 
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
@@ -250,6 +285,67 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "index_fraction": args.index_fraction,
             },
             overhead={"replay_wall_s": wall},
+        )
+        write_report(report, args.report_out)
+        print(f"wrote {args.report_out}")
+    return 0
+
+
+def cmd_run_multi(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+    from repro.sim.replay import ReplayConfig
+
+    replay_config = ReplayConfig(
+        check_invariants=args.check_invariants,
+        sanitize_every=args.sanitize_every,
+    )
+    result = runner.run_multi(
+        args.traces,
+        args.scheme,
+        copies=args.copies,
+        scale=args.scale,
+        seed=args.seed,
+        divergence=args.divergence,
+        arrival_skew=args.skew,
+        replay_config=replay_config,
+    )
+    _print_result(result)
+    print()
+    print(render_table(
+        f"per-volume breakdown ({len(result.volumes)} volumes, "
+        f"shared dedup domain)",
+        ["vol", "name", "reqs", "mean ms", "wr elim blk",
+         "x-vol dedup", "intra dedup"],
+        [
+            [
+                v["volume_id"],
+                v["name"],
+                v.get("requests", 0),
+                f"{v.get('mean_response', 0.0) * 1e3:.3f}",
+                v.get("writes_eliminated_blocks", 0),
+                v.get("cross_volume_deduped_blocks", 0),
+                v.get("intra_volume_deduped_blocks", 0),
+            ]
+            for v in result.volumes
+        ],
+    ))
+    if result.sanitizer is not None:
+        s = result.sanitizer.summary()
+        print(f"invariants clean: {s['checks_run']} structural checks, "
+              f"{s['decisions_validated']} dedupe decisions validated")
+    if args.report_out is not None:
+        from repro.obs import build_run_report, write_report
+
+        report = build_run_report(
+            result,
+            seed=args.seed,
+            scale=args.scale,
+            config={
+                "traces": list(args.traces),
+                "copies": args.copies,
+                "divergence": args.divergence,
+                "arrival_skew": args.skew,
+            },
         )
         write_report(report, args.report_out)
         print(f"wrote {args.report_out}")
@@ -434,6 +530,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "run": cmd_run,
+    "run-multi": cmd_run_multi,
     "compare": cmd_compare,
     "stats": cmd_stats,
     "figures": cmd_figures,

@@ -13,7 +13,9 @@ from repro.experiments.runner import (
     SCHEME_CLASSES,
     build_scheme,
     clear_run_cache,
+    multi_tenant_traces,
     run_matrix,
+    run_multi,
     run_single,
 )
 from repro.experiments import figures
@@ -22,6 +24,8 @@ __all__ = [
     "SCHEME_CLASSES",
     "build_scheme",
     "run_single",
+    "run_multi",
+    "multi_tenant_traces",
     "run_matrix",
     "clear_run_cache",
     "figures",

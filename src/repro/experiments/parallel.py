@@ -20,7 +20,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.baselines.registry import DEFAULT_REGISTRY
 from repro.sim.replay import ReplayConfig, ReplayResult
+from repro.traces.synthetic import paper_traces
 
 #: One fully serialised job: everything a worker needs.
 Job = Tuple[str, str, float, Optional[int], ReplayConfig, tuple]
@@ -59,12 +61,12 @@ def run_matrix_parallel(
     from repro.experiments import runner
 
     traces = (
-        list(trace_names)
-        if trace_names is not None
-        else sorted(__import__("repro.traces.synthetic", fromlist=["paper_traces"]).paper_traces())
+        list(trace_names) if trace_names is not None else sorted(paper_traces())
     )
     schemes = (
-        list(scheme_names) if scheme_names is not None else list(runner.PAPER_SCHEMES)
+        list(scheme_names)
+        if scheme_names is not None
+        else list(DEFAULT_REGISTRY.paper_schemes())
     )
     replay_config = replay_config if replay_config is not None else ReplayConfig()
     overrides = tuple(sorted(config_overrides.items()))
@@ -75,13 +77,10 @@ def run_matrix_parallel(
     workers = max_workers or min(len(jobs), os.cpu_count() or 1)
     out: Dict[Tuple[str, str], ReplayResult] = {}
     if workers <= 1:
-        results = map(_run_job, jobs)
+        results = list(map(_run_job, jobs))
     else:
-        executor = ProcessPoolExecutor(max_workers=workers)
-        try:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
             results = list(executor.map(_run_job, jobs))
-        finally:
-            executor.shutdown()
     for job, result in zip(jobs, results):
         trace_name, scheme_name, *_ = job
         out[(trace_name, scheme_name)] = result

@@ -8,41 +8,31 @@ figure benches then share one matrix instead of re-simulating.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.baselines.base import DedupScheme, SchemeConfig
-from repro.baselines.full_dedupe import FullDedupe
-from repro.baselines.idedup import IDedup
-from repro.baselines.iodedup import IODedup
-from repro.baselines.native import Native
-from repro.baselines.postprocess import PostProcessDedupe
-from repro.core.pod import POD
-from repro.core.select_dedupe import SelectDedupe
+from repro.baselines.registry import DEFAULT_REGISTRY
 from repro.errors import ConfigError
 from repro.obs.trace import TraceRecorder
-from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace
+from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace, replay_traces
 from repro.traces.format import Trace
-from repro.traces.synthetic import TraceSpec, generate_trace, paper_traces
-
-#: Every scheme the evaluation compares, by report name.
-SCHEME_CLASSES: Dict[str, Type[DedupScheme]] = {
-    "Native": Native,
-    "Full-Dedupe": FullDedupe,
-    "iDedup": IDedup,
-    "Select-Dedupe": SelectDedupe,
-    "POD": POD,
-    "I/O-Dedup": IODedup,
-    "Post-Process": PostProcessDedupe,
-}
-
-#: The four schemes of Figs. 8-10 plus POD (Fig. 11).
-PAPER_SCHEMES: Tuple[str, ...] = (
-    "Native",
-    "Full-Dedupe",
-    "iDedup",
-    "Select-Dedupe",
-    "POD",
+from repro.traces.synthetic import (
+    FP_FAMILY_STRIDE,
+    TraceSpec,
+    clone_tenants,
+    generate_trace,
+    paper_traces,
+    salt_fingerprints,
 )
+
+#: Every scheme the evaluation compares, by report name.  Kept as a
+#: module-level view for back compatibility; the source of truth is
+#: :data:`repro.baselines.registry.DEFAULT_REGISTRY`.
+SCHEME_CLASSES: Dict[str, Type[DedupScheme]] = DEFAULT_REGISTRY.classes()
+
+#: The four schemes of Figs. 8-10 plus POD (Fig. 11), from the
+#: registry's ``paper`` flags (registration order matches the legends).
+PAPER_SCHEMES: Tuple[str, ...] = DEFAULT_REGISTRY.paper_schemes()
 
 #: Default replay scale for benches: small enough to run a full
 #: 3x5 matrix in seconds, large enough for stable shapes.
@@ -89,26 +79,20 @@ def scheme_config_for(
 def resolve_scheme_name(scheme_name: str) -> str:
     """Map a user-typed scheme name to its canonical report name.
 
-    The lookup is case-insensitive (``pod`` -> ``POD``), so CLI users
-    do not have to remember the paper's exact capitalisation.
+    Thin wrapper over :meth:`SchemeRegistry.resolve_name`; the lookup
+    is case-insensitive over names and aliases (``pod`` -> ``POD``),
+    so CLI users do not have to remember the paper's capitalisation.
     """
-    if scheme_name in SCHEME_CLASSES:
-        return scheme_name
-    folded = scheme_name.casefold()
-    for name in SCHEME_CLASSES:
-        if name.casefold() == folded:
-            return name
-    raise ConfigError(
-        f"unknown scheme {scheme_name!r}; have {sorted(SCHEME_CLASSES)}"
-    )
+    return DEFAULT_REGISTRY.resolve_name(scheme_name)
 
 
 def build_scheme(
     scheme_name: str, spec: TraceSpec, scale: float = 1.0, **overrides
 ) -> DedupScheme:
     """Instantiate a scheme configured for a trace."""
-    name = resolve_scheme_name(scheme_name)
-    return SCHEME_CLASSES[name](scheme_config_for(spec, scale, **overrides))
+    return DEFAULT_REGISTRY.build(
+        scheme_name, scheme_config_for(spec, scale, **overrides)
+    )
 
 
 def run_single(
@@ -206,6 +190,96 @@ def run_custom(
     result = replay_trace(trace, scheme, replay_config)
     _run_cache[key] = result
     return result
+
+
+def multi_tenant_traces(
+    trace_names: Sequence[str],
+    copies: int = 2,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    divergence: float = 0.15,
+    arrival_skew: float = 0.5,
+) -> List[Trace]:
+    """Expand trace names into the multi-tenant volume set.
+
+    Each named base trace founds a *family* of ``copies`` tenant
+    volumes (clones of the base image with per-tenant divergence and
+    skewed arrival rates, :func:`clone_tenants`).  Distinct families
+    model unrelated base images, so their fingerprint spaces are
+    salted apart by :data:`FP_FAMILY_STRIDE` -- without the salt,
+    every generator's fingerprints start at 1 and unrelated workloads
+    would alias as cross-volume duplicates.
+    """
+    specs = paper_traces()
+    volumes: List[Trace] = []
+    for family, trace_name in enumerate(trace_names):
+        if trace_name not in specs:
+            raise ConfigError(
+                f"unknown trace {trace_name!r}; have {sorted(specs)}"
+            )
+        base = get_trace(specs[trace_name], scale=scale, seed=seed)
+        base = salt_fingerprints(base, family * FP_FAMILY_STRIDE)
+        volumes.extend(
+            clone_tenants(
+                base,
+                copies,
+                divergence=divergence,
+                arrival_skew=arrival_skew,
+                seed=(seed if seed is not None else 0) + family,
+            )
+        )
+    return volumes
+
+
+def run_multi(
+    trace_names: Sequence[str],
+    scheme_name: str,
+    copies: int = 2,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    divergence: float = 0.15,
+    arrival_skew: float = 0.5,
+    replay_config: Optional[ReplayConfig] = None,
+    recorder: Optional[TraceRecorder] = None,
+    **config_overrides,
+) -> ReplayResult:
+    """Replay a multi-volume tenant set through one shared dedup domain.
+
+    The volumes share a single scheme instance: one Map-table, one
+    fingerprint index, one allocator, one cache -- so duplicate content
+    across tenants collapses to one physical copy (the paper's
+    Section I cloud scenario).  The scheme is sized for the *sum* of
+    the per-volume logical spaces and memory budgets; per-volume
+    response times and dedup splits land in ``result.volumes``.
+
+    Never memoised: multi-volume runs are interactive/instrumented by
+    design and the tenant expansion is cheap relative to the replay.
+    """
+    scheme_name = resolve_scheme_name(scheme_name)
+    replay_config = replay_config if replay_config is not None else ReplayConfig()
+    volumes = multi_tenant_traces(
+        trace_names,
+        copies=copies,
+        scale=scale,
+        seed=seed,
+        divergence=divergence,
+        arrival_skew=arrival_skew,
+    )
+    # Each tenant volume brings its base trace's memory budget; the
+    # consolidated host pools them into one shared cache/index budget.
+    specs = paper_traces()
+    memory_bytes = copies * sum(
+        (specs[n].scaled(scale) if scale != 1.0 else specs[n]).memory_bytes
+        for n in trace_names
+    )
+    params = dict(
+        logical_blocks=sum(t.logical_blocks for t in volumes),
+        memory_bytes=memory_bytes,
+        icache_epoch=max(1.0, 16.0 * scale),
+    )
+    params.update(config_overrides)
+    scheme = DEFAULT_REGISTRY.build(scheme_name, SchemeConfig(**params))
+    return replay_traces(volumes, scheme, replay_config, recorder=recorder)
 
 
 def run_matrix(

@@ -38,6 +38,8 @@ class RequestSample:
     nblocks: int
     arrival: float
     completion: float
+    #: Issuing volume (0 on single-volume replays).
+    volume_id: int = 0
 
     @property
     def response(self) -> float:
@@ -59,9 +61,16 @@ class DetailedCollector(MetricsCollector):
         eliminated: bool = False,
         cache_hit_blocks: int = 0,
         deduped_blocks: int = 0,
+        cross_volume_blocks: int = 0,
     ) -> None:
         super().record(
-            request, arrival, completion, eliminated, cache_hit_blocks, deduped_blocks
+            request,
+            arrival,
+            completion,
+            eliminated,
+            cache_hit_blocks,
+            deduped_blocks,
+            cross_volume_blocks,
         )
         self.samples.append(
             RequestSample(
@@ -70,6 +79,7 @@ class DetailedCollector(MetricsCollector):
                 nblocks=request.nblocks,
                 arrival=arrival,
                 completion=completion,
+                volume_id=request.volume_id,
             )
         )
 

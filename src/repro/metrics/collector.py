@@ -75,12 +75,56 @@ class ResponseSummary:
         )
 
 
+class _VolumeSeries:
+    """Per-volume metric series (created lazily by the collector).
+
+    Multi-volume replays merge every tenant stream onto one shared
+    dedup domain, so the headline numbers alone cannot answer "which
+    tenant is slow?" or "whose writes were eliminated?".  One
+    ``_VolumeSeries`` accumulates the same response-time histograms
+    and elimination counters as the collector itself, scoped to one
+    :attr:`~repro.sim.request.IORequest.volume_id`, plus the
+    cross-volume vs intra-volume split of deduplicated blocks.
+    """
+
+    __slots__ = (
+        "read_hist",
+        "write_hist",
+        "read_blocks",
+        "write_blocks",
+        "cache_hit_blocks",
+        "eliminated_requests",
+        "deduped_blocks",
+        "cross_volume_deduped_blocks",
+    )
+
+    def __init__(self, registry: MetricsRegistry, volume_id: int) -> None:
+        prefix = f"volume.{volume_id}"
+        self.read_hist = registry.histogram(f"{prefix}.response.read")
+        self.write_hist = registry.histogram(f"{prefix}.response.write")
+        self.read_blocks = registry.counter(f"{prefix}.read.blocks")
+        self.write_blocks = registry.counter(f"{prefix}.write.blocks")
+        self.cache_hit_blocks = registry.counter(f"{prefix}.read.cache_hit_blocks")
+        self.eliminated_requests = registry.counter(
+            f"{prefix}.write.eliminated_requests"
+        )
+        self.deduped_blocks = registry.counter(f"{prefix}.write.eliminated_blocks")
+        self.cross_volume_deduped_blocks = registry.counter(
+            f"{prefix}.write.cross_volume_deduped_blocks"
+        )
+
+
 class MetricsCollector:
     """Accumulates per-request completion records during a replay.
 
     All state lives in a :class:`~repro.obs.registry.MetricsRegistry`
     (exposed as :attr:`registry`), which the run report serialises
     directly.
+
+    Per-volume breakdowns are opt-in via :meth:`track_volumes` (the
+    multi-volume replay driver enables them); single-volume replays
+    skip the per-record bookkeeping entirely so the classic path's
+    cost and results are untouched.
     """
 
     #: Histogram series names (one per request class).
@@ -98,6 +142,29 @@ class MetricsCollector:
         self._elim_blocks = self.registry.counter("write.eliminated_blocks")
         self.first_arrival: Optional[float] = None
         self.last_completion: float = 0.0
+        #: volume_id -> per-volume series (None until track_volumes()).
+        self._volumes: Optional[Dict[int, _VolumeSeries]] = None
+
+    # ------------------------------------------------------------------
+    # per-volume tracking
+    # ------------------------------------------------------------------
+
+    def track_volumes(self) -> None:
+        """Enable per-volume breakdowns (multi-volume replays)."""
+        if self._volumes is None:
+            self._volumes = {}
+
+    @property
+    def tracks_volumes(self) -> bool:
+        return self._volumes is not None
+
+    def _volume_series(self, volume_id: int) -> _VolumeSeries:
+        assert self._volumes is not None
+        series = self._volumes.get(volume_id)
+        if series is None:
+            series = _VolumeSeries(self.registry, volume_id)
+            self._volumes[volume_id] = series
+        return series
 
     # ------------------------------------------------------------------
 
@@ -109,6 +176,7 @@ class MetricsCollector:
         eliminated: bool = False,
         cache_hit_blocks: int = 0,
         deduped_blocks: int = 0,
+        cross_volume_blocks: int = 0,
     ) -> None:
         """Record one completed request.
 
@@ -117,7 +185,9 @@ class MetricsCollector:
         counts the individual 4 KB blocks whose write was eliminated,
         which also accrues from partially deduplicated requests -- the
         two are distinct metrics (requests vs blocks) and are reported
-        separately.
+        separately.  ``cross_volume_blocks`` is the subset of
+        ``deduped_blocks`` whose duplicate content was first written by
+        a *different* volume (always 0 on single-volume replays).
         """
         if completion < arrival:
             raise SimulationError(
@@ -141,6 +211,22 @@ class MetricsCollector:
             self.first_arrival = arrival
         if completion > self.last_completion:
             self.last_completion = completion
+        if self._volumes is not None:
+            series = self._volume_series(request.volume_id)
+            if request.op is OpType.READ:
+                series.read_hist.observe(response)
+                series.read_blocks.inc(request.nblocks)
+            else:
+                series.write_hist.observe(response)
+                series.write_blocks.inc(request.nblocks)
+            if eliminated:
+                series.eliminated_requests.inc()
+            if deduped_blocks:
+                series.deduped_blocks.inc(deduped_blocks)
+            if cross_volume_blocks:
+                series.cross_volume_deduped_blocks.inc(cross_volume_blocks)
+            if cache_hit_blocks:
+                series.cache_hit_blocks.inc(cache_hit_blocks)
 
     # ------------------------------------------------------------------
 
@@ -186,6 +272,64 @@ class MetricsCollector:
             "read": self._read_hist,
             "write": self._write_hist,
         }
+
+    # ------------------------------------------------------------------
+    # per-volume summaries
+    # ------------------------------------------------------------------
+
+    def volume_ids(self) -> list:
+        """Volume ids with recorded traffic (empty unless tracking)."""
+        if self._volumes is None:
+            return []
+        return sorted(self._volumes)
+
+    def volume_read_summary(self, volume_id: int) -> ResponseSummary:
+        series = self._require_volume(volume_id)
+        return ResponseSummary.of_histogram(series.read_hist, series.read_blocks.value)
+
+    def volume_write_summary(self, volume_id: int) -> ResponseSummary:
+        series = self._require_volume(volume_id)
+        return ResponseSummary.of_histogram(series.write_hist, series.write_blocks.value)
+
+    def volume_overall_summary(self, volume_id: int) -> ResponseSummary:
+        series = self._require_volume(volume_id)
+        merged = series.read_hist.merge(series.write_hist)
+        return ResponseSummary.of_histogram(
+            merged, series.read_blocks.value + series.write_blocks.value
+        )
+
+    def _require_volume(self, volume_id: int) -> _VolumeSeries:
+        if self._volumes is None or volume_id not in self._volumes:
+            raise SimulationError(f"no per-volume metrics for volume {volume_id}")
+        return self._volumes[volume_id]
+
+    def volume_as_dict(self, volume_id: int) -> Dict[str, float]:
+        """Flat per-volume summary (one row of the run report)."""
+        series = self._require_volume(volume_id)
+        overall = self.volume_overall_summary(volume_id)
+        read = self.volume_read_summary(volume_id)
+        write = self.volume_write_summary(volume_id)
+        deduped = series.deduped_blocks.value
+        cross = series.cross_volume_deduped_blocks.value
+        return {
+            "volume_id": volume_id,
+            "requests": overall.count,
+            "mean_response": overall.mean,
+            "p95_response": overall.p95,
+            "read_requests": read.count,
+            "read_mean_response": read.mean,
+            "write_requests": write.count,
+            "write_mean_response": write.mean,
+            "writes_eliminated_requests": series.eliminated_requests.value,
+            "writes_eliminated_blocks": deduped,
+            "cross_volume_deduped_blocks": cross,
+            "intra_volume_deduped_blocks": deduped - cross,
+            "read_cache_hit_blocks": series.cache_hit_blocks.value,
+        }
+
+    def volumes_as_dict(self) -> list:
+        """Per-volume summaries for every tracked volume, id-ordered."""
+        return [self.volume_as_dict(vid) for vid in self.volume_ids()]
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary used by benches, reports and EXPERIMENTS.md."""

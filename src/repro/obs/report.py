@@ -87,6 +87,11 @@ def build_run_report(
             else {}
         ),
     }
+    volumes = getattr(result, "volumes", None)
+    if volumes:
+        # Multi-volume replays: per-tenant response times and dedup
+        # splits (cross- vs intra-volume), one entry per namespace.
+        report["volumes"] = list(volumes)
     return report
 
 
@@ -175,6 +180,30 @@ def render_run_report(report: Dict[str, Any]) -> str:
         if k not in _HEADLINE
     ]
     parts.append(render_table(title, ["counter", "value"], rows))
+
+    volumes = report.get("volumes", [])
+    if volumes:
+        vrows = [
+            [
+                v.get("volume_id"),
+                v.get("name"),
+                v.get("requests", 0),
+                _fmt_val(v.get("mean_response", 0.0) * 1e3),
+                _fmt_val(v.get("p95_response", 0.0) * 1e3),
+                v.get("writes_eliminated_blocks", 0),
+                v.get("cross_volume_deduped_blocks", 0),
+                v.get("intra_volume_deduped_blocks", 0),
+            ]
+            for v in volumes
+        ]
+        parts.append(
+            render_table(
+                "per-volume breakdown",
+                ["vol", "name", "reqs", "mean ms", "p95 ms",
+                 "wr elim", "x-vol dedup", "intra dedup"],
+                vrows,
+            )
+        )
 
     hists = report.get("histograms", {})
     if hists:

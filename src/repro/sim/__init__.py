@@ -25,10 +25,11 @@ _LAZY_EXPORTS = {
     "ReplayConfig": "repro.sim.replay",
     "ReplayResult": "repro.sim.replay",
     "replay_trace": "repro.sim.replay",
+    "replay_traces": "repro.sim.replay",
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     module_name = _LAZY_EXPORTS.get(name)
     if module_name is not None:
         import importlib
@@ -46,4 +47,5 @@ __all__ = [
     "ReplayConfig",
     "ReplayResult",
     "replay_trace",
+    "replay_traces",
 ]

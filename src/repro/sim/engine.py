@@ -20,7 +20,7 @@ Higher layers interact through two calls:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.obs.events import EventType, TraceLevel
@@ -30,6 +30,9 @@ from repro.sim.request import DiskOp
 from repro.storage.disk import Disk
 from repro.storage.raid import RaidArray
 from repro.storage.volume import VolumeOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.scheduler import DiskScheduler
 
 
 class Simulator:
@@ -50,7 +53,7 @@ class Simulator:
         self,
         disks: Sequence[Disk],
         raid: RaidArray,
-        schedulers: Optional[Sequence] = None,
+        schedulers: Optional[Sequence["DiskScheduler"]] = None,
         failed_disk: Optional[int] = None,
     ) -> None:
         if len(disks) != raid.geometry.ndisks:
@@ -59,7 +62,9 @@ class Simulator:
             )
         self.disks: List[Disk] = list(disks)
         self.raid = raid
-        self.schedulers = list(schedulers) if schedulers is not None else None
+        self.schedulers: Optional[List["DiskScheduler"]] = (
+            list(schedulers) if schedulers is not None else None
+        )
         if self.schedulers is not None and len(self.schedulers) != len(self.disks):
             raise SimulationError("need one scheduler per disk")
         self.failed_disk = failed_disk
@@ -85,13 +90,15 @@ class Simulator:
     # scheduling
     # ------------------------------------------------------------------
 
-    def schedule_callback(self, time: float, fn: Callable, *args) -> Event:
+    def schedule_callback(
+        self, time: float, fn: Callable[..., None], *args: object
+    ) -> Event:
         """Run ``fn(*args)`` at simulated ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(f"callback scheduled in the past ({time} < {self.now})")
         return self.queue.schedule(time, EventKind.CALLBACK, (fn, args))
 
-    def schedule_arrival(self, time: float, payload) -> Event:
+    def schedule_arrival(self, time: float, payload: object) -> Event:
         """Schedule a REQUEST_ARRIVAL event (consumed by the replay
         harness's registered handler)."""
         return self.queue.schedule(time, EventKind.REQUEST_ARRIVAL, payload)
@@ -228,7 +235,7 @@ class Simulator:
 
     # ------------------------------------------------------------------
 
-    def utilisation(self) -> dict:
+    def utilisation(self) -> Dict[int, Dict[str, float]]:
         """Per-disk utilisation summary (for reports and debugging)."""
         return {
             disk.disk_id: {

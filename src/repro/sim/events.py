@@ -12,7 +12,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -47,7 +47,7 @@ class EventQueue:
     """Deterministic min-heap of events keyed on ``(time, seq)``."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:

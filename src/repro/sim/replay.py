@@ -1,4 +1,4 @@
-"""Open-loop trace replay: trace + scheme + array -> response times.
+"""Open-loop trace replay: trace(s) + scheme + array -> response times.
 
 Reproduces the paper's methodology (Section IV-A): requests are
 injected at their trace timestamps (open loop -- a slow disk builds a
@@ -11,13 +11,25 @@ Per request, the scheme plans a :class:`PlannedIO`: a processing delay
 optional background ops (iCache swap traffic) that load the disks
 without gating completion.  Schemes with an ``epoch_interval`` get a
 periodic callback for cache management.
+
+Two replay drivers share one engine loop:
+
+* :func:`replay_trace` -- the classic single-volume replay;
+* :func:`replay_traces` -- N timestamped trace streams merge-sorted
+  open-loop onto one array, each stream mapped to its own
+  :class:`~repro.storage.namespace.VolumeNamespace` inside one shared
+  dedup domain (the paper's cross-VM cloud scenario, Section I).
+  ``replay_trace`` is exactly the N=1 special case: a single-volume
+  replay through either entry point is bit-identical (pinned by the
+  golden regression tests).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import DedupScheme, PlannedIO
@@ -29,6 +41,7 @@ from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.request import IORequest
 from repro.storage.disk import Disk, DiskParams
+from repro.storage.namespace import NamespaceMapper
 from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
 from repro.storage.scheduler import DiskScheduler, SchedulingPolicy
 from repro.storage.ssd import Ssd, SsdParams
@@ -83,19 +96,22 @@ class ReplayResult:
     trace_name: str
     scheme_name: str
     metrics: MetricsCollector
-    scheme_stats: dict
-    utilisation: dict
+    scheme_stats: Dict[str, Any]
+    utilisation: Dict[int, Dict[str, float]]
     capacity_blocks: int
     writes_total: int
     write_requests_removed: int
     #: Per-epoch iCache decision records (list of dicts; empty for
     #: schemes without an adaptive cache).
-    epoch_timeline: List[dict] = field(default_factory=list)
+    epoch_timeline: List[Dict[str, Any]] = field(default_factory=list)
     #: The trace recorder used for this replay, when one was attached.
     recorder: Optional[TraceRecorder] = None
     #: The invariant sanitizer, when ``check_invariants`` was enabled
     #: (its ``summary()`` lands in run reports).
     sanitizer: Optional[PodSanitizer] = None
+    #: Per-volume metric breakdowns (one dict per volume, id-ordered;
+    #: empty for classic single-volume replays via ``replay_trace``).
+    volumes: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def removed_write_pct(self) -> float:
@@ -104,11 +120,13 @@ class ReplayResult:
             return 0.0
         return self.write_requests_removed / self.writes_total * 100.0
 
-    def summary(self) -> dict:
-        out = {"trace": self.trace_name, "scheme": self.scheme_name}
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"trace": self.trace_name, "scheme": self.scheme_name}
         out.update(self.metrics.as_dict())
         out["capacity_blocks"] = self.capacity_blocks
         out["removed_write_pct"] = self.removed_write_pct
+        if self.volumes:
+            out["volumes"] = self.volumes
         return out
 
 
@@ -133,6 +151,51 @@ def _size_disks(total_volume_blocks: int, config: ReplayConfig) -> DiskParams:
     )
 
 
+def _merge_streams(
+    traces: Sequence[Trace], mapper: NamespaceMapper
+) -> Tuple[List[IORequest], List[bool]]:
+    """Merge-sort N timestamped streams into one global request list.
+
+    Each stream's requests are rebased into its volume's slice of the
+    shared domain and tagged with the volume id; global ``req_id``s
+    are assigned in merged order.  The merge is stable: equal
+    timestamps keep volume order, so the merged stream is a pure
+    function of its inputs (determinism).  Returns the requests plus a
+    parallel measured-flag list (a request is measured when it is past
+    its *own* volume's warm-up prefix).
+
+    For N=1 this degenerates to exactly ``list(trace.requests())``
+    with ``measured[i] = i >= warmup_count`` -- the classic path.
+    """
+
+    def stream(vid: int, trace: Trace) -> Iterator[Tuple[float, int, IORequest, bool]]:
+        base = mapper.volume(vid).base
+        warmup = trace.warmup_count
+        for i, rec in enumerate(trace.records):
+            req = IORequest(
+                time=rec.time,
+                op=rec.op,
+                lba=base + rec.lba,
+                nblocks=rec.nblocks,
+                fingerprints=rec.fingerprints,
+                req_id=-1,
+                volume_id=vid,
+            )
+            yield rec.time, vid, req, i >= warmup
+
+    merged = heapq.merge(
+        *(stream(vid, t) for vid, t in enumerate(traces)),
+        key=lambda item: item[0],
+    )
+    requests: List[IORequest] = []
+    measured: List[bool] = []
+    for req_id, (_t, _vid, req, is_measured) in enumerate(merged):
+        req.req_id = req_id
+        requests.append(req)
+        measured.append(is_measured)
+    return requests, measured
+
+
 def replay_trace(
     trace: Trace,
     scheme: DedupScheme,
@@ -151,11 +214,52 @@ def replay_trace(
     only -- with any level, including ``OFF``, the simulated results
     are identical to an un-instrumented replay; the disabled path
     costs one integer compare per instrumentation site.
+
+    This is the N=1 special case of :func:`replay_traces` (without
+    the per-volume metric breakdowns); the two are bit-identical for
+    a single volume.
     """
-    if trace.logical_blocks > scheme.regions.logical_blocks:
+    return replay_traces(
+        [trace],
+        scheme,
+        config,
+        collector=collector,
+        recorder=recorder,
+        per_volume_metrics=False,
+    )
+
+
+def replay_traces(
+    traces: Sequence[Trace],
+    scheme: DedupScheme,
+    config: ReplayConfig = ReplayConfig(),
+    collector: Optional[MetricsCollector] = None,
+    recorder: Optional[TraceRecorder] = None,
+    per_volume_metrics: bool = True,
+) -> ReplayResult:
+    """Replay N trace streams onto one shared-dedup-domain array.
+
+    Each trace becomes one :class:`~repro.storage.namespace.VolumeNamespace`
+    laid out back-to-back in the global logical space; the streams are
+    merge-sorted by timestamp and injected open-loop, so tenants whose
+    bursts collide genuinely queue against each other.  Because every
+    volume shares one scheme (one Map table, one index, one allocator),
+    identical content written by different volumes deduplicates to a
+    single physical copy -- the paper's cross-VM scenario.
+
+    With ``per_volume_metrics`` (default), the collector additionally
+    tracks per-volume response times and eliminated writes, and each
+    inline-deduplicated block is classified as *cross-volume* (its
+    content was first written by another volume) or *intra-volume*.
+    """
+    if not traces:
+        raise ConfigError("replay_traces needs at least one trace")
+    mapper = NamespaceMapper((t.name, t.logical_blocks) for t in traces)
+    multi = len(traces) > 1
+    if mapper.total_logical_blocks > scheme.regions.logical_blocks:
         raise ConfigError(
-            f"trace touches {trace.logical_blocks} logical blocks but the "
-            f"scheme was configured for {scheme.regions.logical_blocks}"
+            f"trace touches {mapper.total_logical_blocks} logical blocks but "
+            f"the scheme was configured for {scheme.regions.logical_blocks}"
         )
     geometry = config.geometry()
     params = _size_disks(scheme.regions.total_blocks, config)
@@ -172,6 +276,8 @@ def replay_trace(
         failed_disk=config.failed_disk,
     )
     metrics = collector if collector is not None else MetricsCollector()
+    if per_volume_metrics:
+        metrics.track_volumes()
     ssd = Ssd(config.ssd_params) if config.ssd_params is not None else None
 
     obs = recorder if recorder is not None else NULL_RECORDER
@@ -186,23 +292,32 @@ def replay_trace(
         sanitizer = PodSanitizer()
         sanitizer.attach(scheme)
 
-    requests: List[IORequest] = list(trace.requests())
+    requests, measured_flags = _merge_streams(traces, mapper)
     for request in requests:
         sim.schedule_arrival(request.time, request)
 
-    measured_from = trace.warmup_count
+    run_name = traces[0].name if not multi else "+".join(t.name for t in traces)
+    total_warmup = sum(t.warmup_count for t in traces)
+    #: First writer of each fingerprint, for the cross-volume vs
+    #: intra-volume split (multi-volume replays only -- the single
+    #: volume path must not pay for a dict it cannot use).
+    fp_owner: Optional[Dict[int, int]] = {} if multi else None
     if obs.level >= TraceLevel.SUMMARY:
+        extra_run = {"volumes": len(traces)} if multi else {}
         obs.emit(
             TraceLevel.SUMMARY,
             requests[0].time if requests else 0.0,
             EventType.RUN_START,
-            trace=trace.name,
+            trace=run_name,
             scheme=scheme.name,
             requests=len(requests),
-            warmup=measured_from,
+            warmup=total_warmup,
+            **extra_run,
         )
 
-    def finish(request: IORequest, planned: PlannedIO, arrival: float) -> None:
+    def finish(
+        request: IORequest, planned: PlannedIO, arrival: float, cross: int
+    ) -> None:
         issue_time = sim.now
 
         ssd_done = issue_time
@@ -219,7 +334,7 @@ def replay_trace(
 
         def complete(completion: float) -> None:
             completion = max(completion, ssd_done)
-            measured = config.collect_warmup or request.req_id >= measured_from
+            measured = config.collect_warmup or measured_flags[request.req_id]
             completed_at = max(completion, issue_time)
             if measured:
                 metrics.record(
@@ -229,8 +344,10 @@ def replay_trace(
                     eliminated=planned.eliminated,
                     cache_hit_blocks=planned.cache_hit_blocks,
                     deduped_blocks=planned.deduped_blocks,
+                    cross_volume_blocks=cross,
                 )
             if obs.level >= TraceLevel.REQUEST:
+                extra = {"volume": request.volume_id} if multi else {}
                 obs.emit(
                     TraceLevel.REQUEST,
                     completed_at,
@@ -243,6 +360,7 @@ def replay_trace(
                     deduped_blocks=planned.deduped_blocks,
                     cache_hit_blocks=planned.cache_hit_blocks,
                     measured=measured,
+                    **extra,
                 )
 
         sim.issue_volume_ops(planned.volume_ops, complete)
@@ -250,16 +368,18 @@ def replay_trace(
             sim.issue_volume_ops(planned.background_ops, lambda _t: None)
 
     # Fig. 11 counts removed write requests over the measured day
-    # only, so snapshot the scheme's counters at the warm-up boundary.
-    boundary = {"writes": 0, "removed": 0, "taken": measured_from == 0}
+    # only, so snapshot the scheme's counters at the warm-up boundary
+    # (the first arrival that is past its volume's warm-up prefix).
+    boundary = {"writes": 0, "removed": 0, "taken": total_warmup == 0}
     arrivals = {"count": 0}
 
     def on_arrival(now: float, request: IORequest) -> None:
-        if not boundary["taken"] and request.req_id >= measured_from:
+        if not boundary["taken"] and measured_flags[request.req_id]:
             boundary["writes"] = scheme.writes_total
             boundary["removed"] = scheme.write_requests_removed
             boundary["taken"] = True
         if obs.level >= TraceLevel.REQUEST:
+            extra = {"volume": request.volume_id} if multi else {}
             obs.emit(
                 TraceLevel.REQUEST,
                 now,
@@ -268,16 +388,28 @@ def replay_trace(
                 op=request.op.value,
                 lba=request.lba,
                 nblocks=request.nblocks,
+                **extra,
             )
         planned = scheme.process(request, now)
+        cross = 0
+        if fp_owner is not None and request.fingerprints is not None:
+            vid = request.volume_id
+            for i in planned.deduped_idx:
+                owner = fp_owner.get(request.fingerprints[i])
+                if owner is not None and owner != vid:
+                    cross += 1
+            for fp in request.fingerprints:
+                fp_owner.setdefault(fp, vid)
         if sanitizer is not None:
             arrivals["count"] += 1
             if arrivals["count"] % config.sanitize_every == 0:
                 sanitizer.assert_clean(scheme, now)
         if planned.delay > 0:
-            sim.schedule_callback(now + planned.delay, finish, request, planned, now)
+            sim.schedule_callback(
+                now + planned.delay, finish, request, planned, now, cross
+            )
         else:
-            finish(request, planned, now)
+            finish(request, planned, now, cross)
 
     # Periodic cache-management epochs (POD's iCache).
     if scheme.epoch_interval is not None and requests:
@@ -314,9 +446,24 @@ def replay_trace(
             makespan=metrics.as_dict()["makespan"],
         )
 
+    volumes: List[Dict[str, Any]] = []
+    if per_volume_metrics:
+        tracked = set(metrics.volume_ids())
+        for ns in mapper:
+            entry: Dict[str, Any] = {
+                "volume_id": ns.volume_id,
+                "name": ns.name,
+                "logical_blocks": ns.logical_blocks,
+            }
+            if ns.volume_id in tracked:
+                entry.update(metrics.volume_as_dict(ns.volume_id))
+            else:  # volume with no measured traffic
+                entry["requests"] = 0
+            volumes.append(entry)
+
     timeline = getattr(scheme.cache, "epoch_timeline", [])
     return ReplayResult(
-        trace_name=trace.name,
+        trace_name=run_name,
         scheme_name=scheme.name,
         metrics=metrics,
         scheme_stats=scheme.stats(),
@@ -329,4 +476,5 @@ def replay_trace(
         ],
         recorder=recorder,
         sanitizer=sanitizer,
+        volumes=volumes,
     )

@@ -47,6 +47,15 @@ class IORequest:
         ``None`` for reads.
     req_id:
         Optional stable identifier (assigned by the replay harness).
+    volume_id:
+        Which logical volume (tenant namespace) issued the request.
+        ``0`` for single-volume replays; the multi-volume replay
+        driver assigns one id per merged trace stream.  Note that
+        :attr:`lba` is interpreted in whatever address space the
+        consumer operates on -- the replay harness hands schemes
+        requests whose LBAs were already translated to the *global*
+        (shared dedup domain) space by the
+        :class:`~repro.storage.namespace.NamespaceMapper`.
     """
 
     time: float
@@ -55,12 +64,15 @@ class IORequest:
     nblocks: int
     fingerprints: Optional[Tuple[int, ...]] = None
     req_id: int = field(default=-1)
+    volume_id: int = 0
 
     def __post_init__(self) -> None:
         if self.nblocks < 1:
             raise TraceError(f"request length must be >= 1 block, got {self.nblocks}")
         if self.lba < 0:
             raise TraceError(f"negative LBA {self.lba}")
+        if self.volume_id < 0:
+            raise TraceError(f"negative volume id {self.volume_id}")
         if self.time < 0:
             raise TraceError(f"negative timestamp {self.time}")
         if self.op is OpType.WRITE:
@@ -97,7 +109,13 @@ class IORequest:
         return range(self.lba, self.lba + self.nblocks)
 
     @staticmethod
-    def write(time: float, lba: int, fingerprints: Sequence[int], req_id: int = -1) -> "IORequest":
+    def write(
+        time: float,
+        lba: int,
+        fingerprints: Sequence[int],
+        req_id: int = -1,
+        volume_id: int = 0,
+    ) -> "IORequest":
         """Convenience constructor for a write covering ``len(fingerprints)`` blocks."""
         return IORequest(
             time=time,
@@ -106,12 +124,22 @@ class IORequest:
             nblocks=len(fingerprints),
             fingerprints=tuple(fingerprints),
             req_id=req_id,
+            volume_id=volume_id,
         )
 
     @staticmethod
-    def read(time: float, lba: int, nblocks: int, req_id: int = -1) -> "IORequest":
+    def read(
+        time: float, lba: int, nblocks: int, req_id: int = -1, volume_id: int = 0
+    ) -> "IORequest":
         """Convenience constructor for a read of ``nblocks`` blocks."""
-        return IORequest(time=time, op=OpType.READ, lba=lba, nblocks=nblocks, req_id=req_id)
+        return IORequest(
+            time=time,
+            op=OpType.READ,
+            lba=lba,
+            nblocks=nblocks,
+            req_id=req_id,
+            volume_id=volume_id,
+        )
 
 
 @dataclass(frozen=True)

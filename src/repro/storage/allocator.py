@@ -146,7 +146,7 @@ class LogAllocator:
         self._allocated.add(pba)
         return pba
 
-    def allocate_run(self, n: int) -> list:
+    def allocate_run(self, n: int) -> List[int]:
         """Allocate ``n`` blocks, contiguous when the frontier allows."""
         return [self.allocate() for _ in range(n)]
 

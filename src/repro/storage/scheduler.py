@@ -23,12 +23,15 @@ through the simulator's callback facility.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.obs.events import EventType, TraceLevel
 from repro.sim.request import DiskOp
 from repro.storage.disk import Disk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
 
 
 class SchedulingPolicy(enum.Enum):
@@ -53,7 +56,9 @@ class DiskScheduler:
     def queue_depth(self) -> int:
         return len(self._pending) + (1 if self._busy else 0)
 
-    def submit(self, sim, op: DiskOp, on_done: Callable[[], None]) -> None:
+    def submit(
+        self, sim: "Simulator", op: DiskOp, on_done: Callable[[], None]
+    ) -> None:
         """Enqueue one op; ``on_done()`` fires at its completion time."""
         if op.pba + op.nblocks > self.disk.params.total_blocks:
             raise StorageError(
@@ -84,7 +89,7 @@ class DiskScheduler:
                 best_ge = i
         return best_ge if best_ge is not None else best_any
 
-    def _dispatch(self, sim) -> None:
+    def _dispatch(self, sim: "Simulator") -> None:
         if not self._pending:
             self._busy = False
             return
@@ -117,6 +122,6 @@ class DiskScheduler:
             )
         sim.schedule_callback(sim.now + duration, self._finish, sim, on_done)
 
-    def _finish(self, sim, on_done: Callable[[], None]) -> None:
+    def _finish(self, sim: "Simulator", on_done: Callable[[], None]) -> None:
         on_done()
         self._dispatch(sim)

@@ -426,3 +426,144 @@ def generate_trace(
         logical_blocks=spec.logical_blocks,
         warmup_count=spec.warmup_requests,
     )
+
+
+# ----------------------------------------------------------------------
+# multi-tenant clone families (the cross-VM cloud workload)
+# ----------------------------------------------------------------------
+
+#: Fingerprint-space stride between tenants of one clone family.
+#: Privatised (diverged) content of tenant *k* is shifted by
+#: ``k * FP_TENANT_STRIDE`` so it can never collide with the base
+#: image or another tenant's divergence, while undiverged content
+#: keeps the base fingerprints and stays cross-tenant deduplicable.
+FP_TENANT_STRIDE: int = 1 << 44
+
+#: Fingerprint-space stride between *unrelated* base workloads.
+#: Generators restart their fingerprint counters at 1, so replaying
+#: two different traces against one shared dedup domain would
+#: otherwise alias unrelated content as duplicates.
+FP_FAMILY_STRIDE: int = 1 << 54
+
+
+def salt_fingerprints(trace: Trace, salt: int, name: Optional[str] = None) -> Trace:
+    """Shift a trace's whole fingerprint space by ``salt``.
+
+    Used when merging *unrelated* workloads onto one shared dedup
+    domain: each family gets a disjoint fingerprint range so only
+    genuine (intra-family) redundancy deduplicates.  ``salt=0`` with
+    no rename returns the trace unchanged.
+    """
+    if salt < 0:
+        raise TraceError(f"negative fingerprint salt {salt}")
+    if salt == 0 and name is None:
+        return trace
+    records = [
+        rec
+        if rec.fingerprints is None
+        else replace(rec, fingerprints=tuple(fp + salt for fp in rec.fingerprints))
+        for rec in trace.records
+    ]
+    return Trace(
+        name=trace.name if name is None else name,
+        records=records,
+        logical_blocks=trace.logical_blocks,
+        warmup_count=trace.warmup_count,
+    )
+
+
+def clone_tenants(
+    base: Trace,
+    copies: int,
+    divergence: float = 0.15,
+    arrival_skew: float = 0.5,
+    seed: int = 77,
+) -> List[Trace]:
+    """K tenant volumes cloned from one base image, with divergence.
+
+    Models the paper's headline cloud scenario (Section I): many
+    VMs/tenants provisioned from the same golden image whose contents
+    then *diverge* per tenant.  Tenant 0 replays the pristine base
+    stream; every other tenant ``k``:
+
+    * privatises a random ``divergence`` fraction of the base image's
+      distinct content -- each chosen fingerprint is consistently
+      remapped into tenant ``k``'s private fingerprint range, so
+      diverged content still deduplicates *within* the tenant but
+      never across tenants, while the remaining content stays
+      bit-identical to the base image and collapses cross-volume;
+    * runs at a skewed arrival rate ``(k+1) ** -arrival_skew`` (its
+      timestamps stretch accordingly), giving the merged stream the
+      uneven per-tenant intensity real multi-VM hosts see (heavy
+      tenants dominate early, light tenants trickle).
+
+    Deterministic given ``(base, copies, divergence, arrival_skew,
+    seed)``.  ``copies=1`` returns ``[base]`` unchanged.
+    """
+    if copies < 1:
+        raise TraceError(f"need at least one tenant copy, got {copies}")
+    if not (0.0 <= divergence <= 1.0):
+        raise TraceError("divergence outside [0, 1]")
+    if arrival_skew < 0.0:
+        raise TraceError("arrival skew must be non-negative")
+    if copies == 1:
+        return [base]
+
+    # Distinct base fingerprints, in first-occurrence order (the draw
+    # order below must be independent of dict/set iteration).
+    seen: Dict[int, None] = {}
+    for rec in base.records:
+        if rec.fingerprints is not None:
+            for fp in rec.fingerprints:
+                if fp not in seen:
+                    seen[fp] = None
+    base_fps = list(seen)
+
+    tenants: List[Trace] = []
+    for k in range(copies):
+        name = f"{base.name}/t{k}"
+        if k == 0:
+            # The pristine golden image, at full rate.
+            tenants.append(
+                Trace(
+                    name=name,
+                    records=list(base.records),
+                    logical_blocks=base.logical_blocks,
+                    warmup_count=base.warmup_count,
+                )
+            )
+            continue
+        rng = np.random.default_rng([seed, k])
+        draws = rng.random(len(base_fps)) if base_fps else np.empty(0)
+        salt = k * FP_TENANT_STRIDE
+        remap = {
+            fp: fp + salt
+            for fp, draw in zip(base_fps, draws)
+            if draw < divergence
+        }
+        rate = float(k + 1) ** (-arrival_skew)
+        records: List[TraceRecord] = []
+        for rec in base.records:
+            t = rec.time / rate
+            if rec.fingerprints is None:
+                records.append(replace(rec, time=t))
+            else:
+                fps = tuple(remap.get(fp, fp) for fp in rec.fingerprints)
+                records.append(
+                    TraceRecord(
+                        time=t,
+                        op=rec.op,
+                        lba=rec.lba,
+                        nblocks=rec.nblocks,
+                        fingerprints=fps,
+                    )
+                )
+        tenants.append(
+            Trace(
+                name=name,
+                records=records,
+                logical_blocks=base.logical_blocks,
+                warmup_count=base.warmup_count,
+            )
+        )
+    return tenants

@@ -1,0 +1,89 @@
+"""Unit tests for the declarative scheme registry.
+
+One table now feeds the CLI, the experiment runner and the parallel
+matrix; these tests pin its resolution semantics (case-insensitive
+names + aliases), the paper comparison set's order, and the collision
+rules that keep the table unambiguous.
+"""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.baselines.native import Native
+from repro.baselines.registry import (
+    DEFAULT_REGISTRY,
+    SchemeEntry,
+    SchemeRegistry,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaultRegistry:
+    def test_paper_schemes_match_figure_legends(self):
+        assert DEFAULT_REGISTRY.paper_schemes() == (
+            "Native",
+            "Full-Dedupe",
+            "iDedup",
+            "Select-Dedupe",
+            "POD",
+        )
+
+    def test_every_scheme_resolves_case_insensitively(self):
+        for name in DEFAULT_REGISTRY.names():
+            assert DEFAULT_REGISTRY.resolve_name(name.lower()) == name
+            assert DEFAULT_REGISTRY.resolve_name(name.upper()) == name
+
+    def test_aliases(self):
+        assert DEFAULT_REGISTRY.resolve_name("pod") == "POD"
+        assert DEFAULT_REGISTRY.resolve_name("full") == "Full-Dedupe"
+        assert DEFAULT_REGISTRY.resolve_name("baseline") == "Native"
+        assert DEFAULT_REGISTRY.resolve_name("select") == "Select-Dedupe"
+        assert DEFAULT_REGISTRY.resolve_name("offline") == "Post-Process"
+        assert DEFAULT_REGISTRY.resolve_name("iodedup") == "I/O-Dedup"
+
+    def test_unknown_scheme_lists_candidates(self):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            DEFAULT_REGISTRY.resolve("no-such-scheme")
+
+    def test_contains(self):
+        assert "POD" in DEFAULT_REGISTRY
+        assert "pod" in DEFAULT_REGISTRY
+        assert "nope" not in DEFAULT_REGISTRY
+        assert 7 not in DEFAULT_REGISTRY
+
+    def test_build_constructs_configured_scheme(self):
+        scheme = DEFAULT_REGISTRY.build(
+            "native", SchemeConfig(logical_blocks=64, memory_bytes=4096)
+        )
+        assert isinstance(scheme, Native)
+        assert scheme.config.logical_blocks == 64
+
+    def test_classes_view_matches_runner_table(self):
+        from repro.experiments.runner import PAPER_SCHEMES, SCHEME_CLASSES
+
+        assert SCHEME_CLASSES == DEFAULT_REGISTRY.classes()
+        assert PAPER_SCHEMES == DEFAULT_REGISTRY.paper_schemes()
+
+
+class TestRegistryRules:
+    def test_duplicate_name_rejected(self):
+        reg = SchemeRegistry([SchemeEntry("A", Native)])
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.register(SchemeEntry("A", Native))
+
+    def test_alias_collision_rejected(self):
+        reg = SchemeRegistry([SchemeEntry("A", Native, aliases=("x",))])
+        with pytest.raises(ConfigError, match="collides"):
+            reg.register(SchemeEntry("B", Native, aliases=("X",)))
+
+    def test_registration_order_is_preserved(self):
+        reg = SchemeRegistry(
+            [
+                SchemeEntry("Z", Native, paper=True),
+                SchemeEntry("A", Native),
+                SchemeEntry("M", Native, paper=True),
+            ]
+        )
+        assert reg.names() == ["Z", "A", "M"]
+        assert reg.paper_schemes() == ("Z", "M")
+        assert len(reg) == 3

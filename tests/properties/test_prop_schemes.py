@@ -2,11 +2,18 @@
 every LBA, the content most recently written to it -- whatever the
 deduplication decisions were.  This is the strongest correctness
 statement about the whole write path (categoriser, map table,
-redirection, reclamation, caches)."""
+redirection, reclamation, caches).
+
+Every generated workload additionally runs under a
+:class:`~repro.analysis.sanitizer.PodSanitizer` in accumulate mode
+(``fail_fast=False``): the sanitizer validates each dedupe decision as
+it is made and the whole structural state afterwards, so hypothesis
+shrinks straight to the minimal workload that breaks an invariant."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import SchemeConfig
 from repro.baselines.full_dedupe import FullDedupe
 from repro.baselines.idedup import IDedup
@@ -34,6 +41,20 @@ scheme_classes = st.sampled_from(
 
 
 def run_workload(cls, writes, epoch_every=0):
+    scheme, expected, sanitizer = run_sanitized_workload(
+        cls, writes, epoch_every=epoch_every
+    )
+    assert sanitizer.violations == [], [v.render() for v in sanitizer.violations]
+    return scheme, expected
+
+
+def run_sanitized_workload(cls, writes, epoch_every=0):
+    """Replay ``writes`` with a whole-state invariant oracle attached.
+
+    The sanitizer runs in accumulate mode so a workload completes even
+    when an invariant breaks; callers assert on ``.violations`` and
+    get every violation (with its code) in the failure message.
+    """
     scheme = cls(
         SchemeConfig(
             logical_blocks=LOGICAL,
@@ -41,6 +62,8 @@ def run_workload(cls, writes, epoch_every=0):
             idedup_threshold=3,
         )
     )
+    sanitizer = PodSanitizer(fail_fast=False)
+    sanitizer.attach(scheme)
     expected = {}
     now = 0.0
     for i, (lba, fps) in enumerate(writes):
@@ -50,7 +73,8 @@ def run_workload(cls, writes, epoch_every=0):
             expected[lba + k] = fp
         if epoch_every and i % epoch_every == 0:
             scheme.on_epoch(now)
-    return scheme, expected
+    sanitizer.check_scheme(scheme, now)
+    return scheme, expected, sanitizer
 
 
 class TestSchemeIntegrity:
@@ -97,6 +121,22 @@ class TestSchemeIntegrity:
         )
         assert handled == total_blocks
         assert scheme.write_requests_removed <= scheme.writes_total
+
+    @given(writes=write_ops, cls=scheme_classes)
+    @settings(max_examples=40, deadline=None)
+    def test_sanitizer_oracle_stays_clean(self, writes, cls):
+        """The POD invariant sanitizer, run as a whole-state oracle
+        over arbitrary workloads, finds nothing: every dedupe decision
+        is policy-conformant and the Map/Index/cache/NVRAM state is
+        structurally sound afterwards (codes INV-* in
+        repro.analysis.sanitizer)."""
+        scheme, _, sanitizer = run_sanitized_workload(cls, writes, epoch_every=7)
+        assert sanitizer.violations == [], [
+            v.render() for v in sanitizer.violations
+        ]
+        assert sanitizer.stats.checks_run >= 1
+        if scheme.uses_fingerprints:
+            assert sanitizer.stats.decisions_validated == len(writes)
 
     @given(writes=write_ops)
     @settings(max_examples=30, deadline=None)

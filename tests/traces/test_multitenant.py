@@ -1,0 +1,123 @@
+"""Tests for the multi-tenant clone-family workload generator.
+
+``clone_tenants`` models K tenants provisioned from one golden image:
+tenant 0 is the pristine base, later tenants privatise a ``divergence``
+fraction of the base content and arrive at skewed rates.  These tests
+pin determinism, the divergence/sharing arithmetic and the
+fingerprint-space salting that keeps unrelated trace families from
+aliasing as duplicates.
+"""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.synthetic import (
+    FP_FAMILY_STRIDE,
+    FP_TENANT_STRIDE,
+    clone_tenants,
+    generate_trace,
+    paper_traces,
+    salt_fingerprints,
+)
+
+
+def _base_trace(scale=0.02, seed=3):
+    return generate_trace(paper_traces()["web-vm"].scaled(scale), seed=seed)
+
+
+def _fps(trace):
+    out = set()
+    for rec in trace.records:
+        if rec.fingerprints:
+            out.update(rec.fingerprints)
+    return out
+
+
+class TestSaltFingerprints:
+    def test_shifts_every_fingerprint(self):
+        base = _base_trace()
+        salted = salt_fingerprints(base, FP_FAMILY_STRIDE, name="web-vm/f1")
+        assert salted.name == "web-vm/f1"
+        assert len(salted.records) == len(base.records)
+        assert min(_fps(salted)) >= FP_FAMILY_STRIDE
+        # content relations are preserved: same shift everywhere
+        assert _fps(salted) == {fp + FP_FAMILY_STRIDE for fp in _fps(base)}
+
+    def test_zero_salt_without_rename_is_identity(self):
+        base = _base_trace()
+        assert salt_fingerprints(base, 0) is base
+
+    def test_negative_salt_rejected(self):
+        with pytest.raises(TraceError):
+            salt_fingerprints(_base_trace(), -1)
+
+
+class TestCloneTenants:
+    def test_deterministic(self):
+        base = _base_trace()
+        a = clone_tenants(base, 3, divergence=0.2, seed=77)
+        b = clone_tenants(base, 3, divergence=0.2, seed=77)
+        for ta, tb in zip(a, b):
+            assert ta.name == tb.name
+            assert list(ta.records) == list(tb.records)
+
+    def test_tenant_zero_is_pristine(self):
+        base = _base_trace()
+        fam = clone_tenants(base, 2, divergence=0.5, seed=1)
+        assert list(fam[0].records) == list(base.records)
+        assert fam[0].name == f"{base.name}/t0"
+
+    def test_single_copy_returns_base_unchanged(self):
+        base = _base_trace()
+        assert clone_tenants(base, 1) == [base]
+
+    def test_divergence_controls_sharing(self):
+        base = _base_trace()
+        fam = clone_tenants(base, 2, divergence=0.2, seed=77)
+        fps0, fps1 = _fps(fam[0]), _fps(fam[1])
+        shared = len(fps0 & fps1)
+        diverged = sum(1 for fp in fps1 if fp >= FP_TENANT_STRIDE)
+        # roughly 80% of distinct content stays shared with the image
+        assert 0.6 * len(fps0) <= shared <= 0.95 * len(fps0)
+        assert diverged == len(fps1) - shared
+        # full divergence shares nothing, zero divergence everything
+        all_private = clone_tenants(base, 2, divergence=1.0, seed=77)
+        assert not (_fps(all_private[0]) & _fps(all_private[1]))
+        all_shared = clone_tenants(base, 2, divergence=0.0, seed=77)
+        assert _fps(all_shared[0]) == _fps(all_shared[1])
+
+    def test_divergence_remap_is_consistent(self):
+        """A diverged fingerprint is remapped the same way at every
+        occurrence, so intra-tenant redundancy survives cloning."""
+        base = _base_trace()
+        fam = clone_tenants(base, 2, divergence=0.5, seed=9)
+        remap = {}
+        for rec, brec in zip(fam[1].records, base.records):
+            if rec.fingerprints is None:
+                continue
+            for fp, bfp in zip(rec.fingerprints, brec.fingerprints):
+                assert remap.setdefault(bfp, fp) == fp
+
+    def test_arrival_skew_stretches_later_tenants(self):
+        base = _base_trace()
+        fam = clone_tenants(base, 3, arrival_skew=0.5, seed=77)
+        ends = [t.records[-1].time for t in fam]
+        assert ends[0] < ends[1] < ends[2]
+        # tenant k's timeline is the base timeline divided by (k+1)^-skew
+        assert ends[1] == pytest.approx(ends[0] * 2 ** 0.5)
+
+    def test_no_skew_keeps_timestamps(self):
+        base = _base_trace()
+        fam = clone_tenants(base, 2, arrival_skew=0.0, seed=77)
+        assert [r.time for r in fam[1].records] == [r.time for r in base.records]
+
+    def test_validation(self):
+        base = _base_trace()
+        with pytest.raises(TraceError):
+            clone_tenants(base, 0)
+        with pytest.raises(TraceError):
+            clone_tenants(base, 2, divergence=1.5)
+        with pytest.raises(TraceError):
+            clone_tenants(base, 2, divergence=-0.1)
+        with pytest.raises(TraceError):
+            clone_tenants(base, 2, arrival_skew=-1.0)
