@@ -48,6 +48,16 @@ Checked invariants (each has a stable code used in diagnostics):
     NVRAM accounting matches the 20 B/entry Map-table model exactly:
     ``entries == len(map_table)``, ``bytes == entries * 20`` and the
     peak is monotone.
+``INV-REFS-DELTA``
+    Windowed flow conservation: between two consecutive checks of the
+    same scheme, the Map table cannot have gained more entries than
+    the scheme performed entry-creating operations (deduplicated
+    write blocks plus redirected writes) in the same window -- every
+    new redirection must be accounted for by a write-path decision.
+    When a :class:`~repro.obs.registry.MetricsRegistry` is attached,
+    each check also snapshots ``sanitizer.map_entries`` and
+    ``sanitizer.refcount_total`` gauges so run reports carry the
+    refcount-delta timeline.
 
 The sanitizer is observation-only: it reads state, never mutates it,
 and never advances simulated time -- ``--check-invariants`` must not
@@ -64,6 +74,7 @@ from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.baselines.base import DedupScheme
+    from repro.obs.registry import MetricsRegistry
     from repro.sim.request import IORequest
 
 #: Stable invariant codes, in catalogue order (docs/analysis.md).
@@ -77,6 +88,7 @@ INVARIANT_CODES = (
     "INV-CACHE-BUDGET",
     "INV-CACHE-DISJOINT",
     "INV-NVRAM-MODEL",
+    "INV-REFS-DELTA",
 )
 
 #: Cap on violations reported per check (diagnostics stay readable
@@ -203,13 +215,30 @@ class PodSanitizer:
         When true (the default), :meth:`check_scheme` callers using
         :meth:`assert_clean` raise on the first dirty check; when
         false, violations accumulate in :attr:`violations` (tests).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        given, every :meth:`check_scheme` call snapshots the Map-table
+        entry count and total refcount mass into
+        ``sanitizer.map_entries`` / ``sanitizer.refcount_total``
+        gauges and bumps the ``sanitizer.checks`` counter, so the
+        refcount-delta timeline lands in run reports for free.
     """
 
-    def __init__(self, fail_fast: bool = True) -> None:
+    def __init__(
+        self,
+        fail_fast: bool = True,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.fail_fast = fail_fast
+        self.registry = registry
         self.stats = SanitizerStats()
         #: Violations accumulated when ``fail_fast`` is off.
         self.violations: List[Violation] = []
+        #: Last-check snapshots for the INV-REFS-DELTA window, keyed
+        #: by ``id(scheme)`` (one sanitizer may watch several schemes
+        #: in comparison harnesses).  Each value is
+        #: ``(map_entries, write_blocks_deduped, redirected_writes)``.
+        self._delta_baseline: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # per-decision hook (INV-CAT-SEQ)
@@ -263,6 +292,7 @@ class PodSanitizer:
         out.extend(self._check_index_table(scheme))
         out.extend(self._check_cache(scheme))
         out.extend(self._check_nvram(scheme))
+        out.extend(self._check_refs_delta(scheme))
         out = out[:MAX_VIOLATIONS_PER_CHECK]
         if out:
             stamped = [Violation(v.code, v.message, now) for v in out]
@@ -470,6 +500,56 @@ class PodSanitizer:
                     f"ghost {name} caches (e.g. {overlap[0]!r}); a resident "
                     "entry must not register ghost hits",
                 ))
+        return out
+
+    # -- refcount-delta flow conservation -------------------------------
+
+    def _check_refs_delta(self, scheme: "DedupScheme") -> List[Violation]:
+        """INV-REFS-DELTA: windowed Map-table growth accounting.
+
+        The only operations that *create* Map-table entries are
+        write-path dedupe decisions (``write_blocks_deduped``) and
+        content-redirected writes (``redirected_writes``), so between
+        two consecutive checks the entry count cannot have grown by
+        more than the sum of those counters' deltas.  Shrinkage is
+        always legal (overwrites clear redirections; crash recovery
+        may drop entries).  Per-check gauge snapshots land in the
+        attached registry so the timeline is inspectable offline.
+        """
+        out: List[Violation] = []
+        entries = len(scheme.map_table)
+        deduped = scheme.write_blocks_deduped
+        redirected = scheme.redirected_writes
+        if self.registry is not None:
+            self.registry.set("sanitizer.map_entries", float(entries))
+            self.registry.set(
+                "sanitizer.refcount_total",
+                float(sum(scheme.map_table._refs.values())),
+            )
+            self.registry.inc("sanitizer.checks")
+        key = id(scheme)
+        baseline = self._delta_baseline.get(key)
+        self._delta_baseline[key] = (entries, deduped, redirected)
+        if baseline is None:
+            return out
+        prev_entries, prev_deduped, prev_redirected = baseline
+        d_entries = entries - prev_entries
+        d_ops = (deduped - prev_deduped) + (redirected - prev_redirected)
+        if d_ops < 0:
+            out.append(Violation(
+                "INV-REFS-DELTA",
+                f"entry-creating counters went backwards between checks "
+                f"(deduped {prev_deduped}->{deduped}, redirected "
+                f"{prev_redirected}->{redirected}); counters are monotone",
+            ))
+        elif d_entries > d_ops:
+            out.append(Violation(
+                "INV-REFS-DELTA",
+                f"Map table gained {d_entries} entries between checks but "
+                f"only {d_ops} entry-creating operations happened "
+                f"(deduped-block delta + redirected-write delta); "
+                "redirections appeared from nowhere",
+            ))
         return out
 
     # -- NVRAM ----------------------------------------------------------

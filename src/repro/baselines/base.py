@@ -54,6 +54,7 @@ from repro.obs.events import EventType, TraceLevel
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.request import IORequest, OpType
 from repro.storage.allocator import LogAllocator, RegionMap
+from repro.storage.journal import MapJournal
 from repro.storage.nvram import NvramMeter
 from repro.storage.volume import ContentStore, VolumeOp, extents_to_ops
 
@@ -197,6 +198,16 @@ class DedupScheme(abc.ABC):
             self.cache.attach_index_table(self.index_table)
         self.written_lbas: Set[int] = set()
         self._swap_cursor = 0
+        # ---- degradation mode (fault recovery) -----------------------
+        #: LBAs whose mapping could not be re-derived after a crash:
+        #: reads of them are unverifiable and writes bypass
+        #: deduplication until real data heals the map (extends POD's
+        #: miss-as-unique philosophy).  Empty on the healthy path, so
+        #: every guard is one truthiness test.
+        self.quarantined_lbas: Set[int] = set()
+        self.dedupe_bypass_writes = 0
+        self.quarantine_heals = 0
+        self.quarantine_reads = 0
         # ---- observability -------------------------------------------
         #: Attached trace recorder (NULL_RECORDER = disabled; every
         #: emission site guards on ``self.obs.level`` so the disabled
@@ -271,6 +282,30 @@ class DedupScheme(abc.ABC):
         return len(self.map_table.live_pbas(self.written_lbas))
 
     # ------------------------------------------------------------------
+    # fault tolerance hooks
+    # ------------------------------------------------------------------
+
+    def enable_journal(self) -> MapJournal:
+        """Attach a write-ahead :class:`MapJournal` to the Map table
+        (idempotent).  Required before a simulated NVRAM power loss
+        can be recovered from."""
+        if self.map_table.journal is None:
+            self.map_table.attach_journal(MapJournal())
+        journal = self.map_table.journal
+        assert journal is not None
+        return journal
+
+    def quarantine(self, lbas: Set[int]) -> None:
+        """Put LBAs into dedupe-bypass degradation mode.
+
+        Crash recovery calls this for every LBA whose mapping could
+        not be re-derived: the system no longer vouches for their
+        content, so subsequent writes of them must carry real data
+        (never a dedup pointer) until the map heals.
+        """
+        self.quarantined_lbas.update(lbas)
+
+    # ------------------------------------------------------------------
     # policy points
     # ------------------------------------------------------------------
 
@@ -305,6 +340,10 @@ class DedupScheme(abc.ABC):
     def _process_read(self, request: IORequest, now: float) -> PlannedIO:
         self.reads_total += 1
         self.read_blocks_total += request.nblocks
+        if self.quarantined_lbas:
+            self.quarantine_reads += sum(
+                1 for lba in request.blocks() if lba in self.quarantined_lbas
+            )
         pbas = self.map_table.translate_many(request.blocks())
         missing: List[int] = []
         hits = 0
@@ -351,6 +390,18 @@ class DedupScheme(abc.ABC):
             duplicate_pbas = [None] * request.nblocks
 
         dedupe_idx = self._choose_dedupe(request, duplicate_pbas)
+        if self.quarantined_lbas:
+            # Degradation mode: a quarantined LBA's content is
+            # unverifiable, so its write must carry real data -- never
+            # a dedup pointer -- until the map heals (the write-side
+            # mirror of POD's miss-as-unique rule).
+            bypassed = {
+                i for i in dedupe_idx
+                if request.lba + i in self.quarantined_lbas
+            }
+            if bypassed:
+                self.dedupe_bypass_writes += len(bypassed)
+                dedupe_idx = dedupe_idx - bypassed
         write_ops, deduped_idx = self._commit_write(request, duplicate_pbas, dedupe_idx)
         eliminated = not write_ops and request.nblocks > 0
         if eliminated:
@@ -399,6 +450,12 @@ class DedupScheme(abc.ABC):
                     continue
 
             # Normal (non-deduplicated) write.
+            if self.quarantined_lbas and lba in self.quarantined_lbas:
+                # Real data reaching a quarantined LBA heals it: the
+                # map entry below is rebuilt from scratch and the
+                # content is again vouched for.
+                self.quarantined_lbas.discard(lba)
+                self.quarantine_heals += 1
             target = self._write_target(lba)
             overwritten.add(target)
             if self.index_table is not None:
@@ -530,7 +587,14 @@ class DedupScheme(abc.ABC):
             "map_entries": len(self.map_table),
             "nvram_peak_bytes": self.nvram.peak_bytes,
             "chunks_hashed": self.hash_engine.chunks_hashed,
+            "quarantined_lbas": len(self.quarantined_lbas),
+            "dedupe_bypass_writes": self.dedupe_bypass_writes,
+            "quarantine_heals": self.quarantine_heals,
+            "quarantine_reads": self.quarantine_reads,
         }
+        if self.map_table.journal is not None:
+            out["journal_records_appended"] = self.map_table.journal.records_appended
+            out["journal_checkpoints"] = self.map_table.journal.checkpoints_taken
         out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
         if self.index_table is not None:
             out.update({f"index_{k}": v for k, v in self.index_table.stats().items()})

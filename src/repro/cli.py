@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "(Map/Index tables, iCache budgets, NVRAM model) "
                      "periodically during the replay; fails loudly on the "
                      "first violation and never changes simulated times")
+    run.add_argument("--faults", default=None, metavar="PLAN.json",
+                     help="arm a deterministic fault plan (JSON, see "
+                     "docs/robustness.md and examples/faults.json)")
+    run.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                     help="override the fault plan's RNG seed "
+                     "(requires --faults)")
     run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
@@ -112,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run report with the per-volume section")
     multi.add_argument("--check-invariants", action="store_true",
                        help="validate every POD invariant during the replay")
+    multi.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="arm a deterministic fault plan (JSON)")
+    multi.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                       help="override the fault plan's RNG seed "
+                       "(requires --faults)")
     multi.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                        help="structural-check cadence in requests "
                        "(with --check-invariants; default 1000)")
@@ -125,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a compare report bundling every run report")
     compare.add_argument("--check-invariants", action="store_true",
                          help="validate every POD invariant during each replay")
+    compare.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="arm the same deterministic fault plan against "
+                         "every scheme (JSON)")
+    compare.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                         help="override the fault plan's RNG seed "
+                         "(requires --faults)")
 
     lint = sub.add_parser(
         "lint", help="run the POD determinism linter (rules POD001..POD006)"
@@ -186,6 +203,37 @@ def _print_result(result) -> None:
     print(render_table(f"{result.scheme_name} on {result.trace_name}", ["metric", "value"], rows))
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Load the ``--faults`` plan, if any (``--fault-seed`` needs it)."""
+    from repro.errors import ConfigError
+    from repro.faults import FaultPlan
+
+    if getattr(args, "faults", None) is None:
+        if getattr(args, "fault_seed", None) is not None:
+            raise ConfigError("--fault-seed requires --faults")
+        return None
+    return FaultPlan.load(args.faults)
+
+
+def _print_fault_summary(result) -> None:
+    """One-line fault verdict after a replay (full detail in reports)."""
+    stats = getattr(result, "fault_stats", None)
+    if not stats:
+        return
+    counters = stats.get("counters", {})
+    oracle = stats.get("oracle", {})
+    injected = sum(
+        v for k, v in counters.items()
+        if k in ("lse_injected", "member_failures", "nvram_losses",
+                 "index_corruptions", "fail_slow_windows")
+    )
+    print(f"faults: seed={stats.get('seed')} injected={injected} "
+          f"recoveries={stats.get('recovery_latency', {}).get('count', 0)} "
+          f"oracle: {oracle.get('blocks_checked', 0)} blocks checked, "
+          f"{oracle.get('mismatches', 0)} mismatches, "
+          f"{oracle.get('at_risk_reads', 0)} at-risk reads")
+
+
 def _effective_trace_level(args: argparse.Namespace) -> str:
     """Resolve the recording verbosity from the CLI flags.
 
@@ -227,6 +275,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         failed_disk=args.failed_disk,
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
+        faults=_fault_plan(args),
+        fault_seed=args.fault_seed,
     )
 
     observed = (
@@ -246,6 +296,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             s = result.sanitizer.summary()
             print(f"invariants clean: {s['checks_run']} structural checks, "
                   f"{s['decisions_validated']} dedupe decisions validated")
+        _print_fault_summary(result)
         return 0
 
     trace_level = _effective_trace_level(args)
@@ -266,6 +317,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         s = result.sanitizer.summary()
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
+    _print_fault_summary(result)
     if args.trace_out is not None:
         lines = recorder.write_jsonl(args.trace_out)
         print(f"wrote {args.trace_out}: {lines - 1} events "
@@ -283,6 +335,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "scheduler": args.scheduler,
                 "failed_disk": args.failed_disk,
                 "index_fraction": args.index_fraction,
+                "faults": args.faults,
+                "fault_seed": args.fault_seed,
             },
             overhead={"replay_wall_s": wall},
         )
@@ -298,6 +352,8 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
     replay_config = ReplayConfig(
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
+        faults=_fault_plan(args),
+        fault_seed=args.fault_seed,
     )
     result = runner.run_multi(
         args.traces,
@@ -333,6 +389,7 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         s = result.sanitizer.summary()
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
+    _print_fault_summary(result)
     if args.report_out is not None:
         from repro.obs import build_run_report, write_report
 
@@ -345,6 +402,8 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
                 "copies": args.copies,
                 "divergence": args.divergence,
                 "arrival_skew": args.skew,
+                "faults": args.faults,
+                "fault_seed": args.fault_seed,
             },
         )
         write_report(report, args.report_out)
@@ -358,9 +417,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.sim.replay import ReplayConfig
 
     observed = args.seed is not None or args.report_out is not None
-    replay_config = ReplayConfig(check_invariants=args.check_invariants)
+    replay_config = ReplayConfig(
+        check_invariants=args.check_invariants,
+        faults=_fault_plan(args),
+        fault_seed=args.fault_seed,
+    )
     rows = []
     reports = []
+    fault_rows = []
     for scheme in PAPER_SCHEMES:
         if observed:
             result = runner.run_observed(
@@ -382,6 +446,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 result.capacity_blocks,
             ]
         )
+        if result.fault_stats is not None:
+            oracle = result.fault_stats.get("oracle", {})
+            fault_rows.append([
+                scheme,
+                result.fault_stats.get("recovery_latency", {}).get("count", 0),
+                oracle.get("blocks_checked", 0),
+                oracle.get("at_risk_reads", 0),
+                oracle.get("mismatches", 0),
+            ])
         if args.report_out is not None:
             from repro.obs import build_run_report
 
@@ -395,6 +468,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if fault_rows:
+        print()
+        print(render_table(
+            "fault injection (same plan armed against every scheme)",
+            ["scheme", "recoveries", "blocks checked", "at-risk reads",
+             "mismatches"],
+            fault_rows,
+        ))
     if args.report_out is not None:
         from repro.obs import build_compare_report, write_report
 

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Optional, Set
 
 from repro.errors import DedupError
 from repro.storage.allocator import RegionMap
+from repro.storage.journal import MapJournal
 from repro.storage.nvram import NvramMeter
 
 
@@ -34,6 +35,18 @@ class MapTable:
         self.nvram = nvram if nvram is not None else NvramMeter()
         self._map: Dict[int, int] = {}
         self._refs: Dict[int, int] = {}
+        #: Optional write-ahead journal; attached by fault-tolerant
+        #: configurations (see :mod:`repro.storage.journal`).
+        self.journal: Optional[MapJournal] = None
+
+    def attach_journal(self, journal: MapJournal) -> None:
+        """Start write-ahead logging of every mutation.
+
+        The journal is checkpointed with the current mapping so replay
+        from this point reconstructs the full table.
+        """
+        journal.checkpoint(self._map)
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # queries
@@ -90,6 +103,8 @@ class MapTable:
             raise DedupError(f"PBA {pba} outside the volume")
         freed = self.clear_mapping(lba)
         if pba != self.regions.home_of(lba):
+            if self.journal is not None:
+                self.journal.append_set(lba, pba)  # write-ahead
             self._map[lba] = pba
             self._refs[pba] = self._refs.get(pba, 0) + 1
             self.nvram.add(1)
@@ -100,6 +115,8 @@ class MapTable:
 
         Returns the PBA that became unreferenced, if any.
         """
+        if lba in self._map and self.journal is not None:
+            self.journal.append_clear(lba)  # write-ahead
         old = self._map.pop(lba, None)
         if old is None:
             return None
@@ -112,6 +129,35 @@ class MapTable:
             return old
         self._refs[old] = count - 1
         return None
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the explicit (redirected) mapping."""
+        return dict(self._map)
+
+    def restore_mapping(self, mapping: Dict[int, int]) -> None:
+        """Rebuild the table wholesale from a recovered mapping.
+
+        Used by crash recovery: the journal replay yields the trusted
+        LBA -> PBA mapping; reference counts are a pure function of it
+        and are re-derived here.  The NVRAM meter is resynchronised and
+        the journal (if attached) is checkpointed at the restored
+        state.
+        """
+        refs: Dict[int, int] = {}
+        for lba, pba in mapping.items():
+            self.regions.home_of(lba)  # validates the LBA range
+            if pba < 0 or pba >= self.regions.total_blocks:
+                raise DedupError(f"recovered PBA {pba} outside the volume")
+            refs[pba] = refs.get(pba, 0) + 1
+        self._map = dict(mapping)
+        self._refs = refs
+        self.nvram.resync(len(self._map))
+        if self.journal is not None:
+            self.journal.checkpoint(self._map)
 
     # ------------------------------------------------------------------
     # write-target policy (the Request Redirector's consistency rule)

@@ -33,3 +33,9 @@ class TraceError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment configuration is invalid."""
+
+
+class FaultError(ReproError):
+    """A fault-injection or recovery invariant was violated (content
+    oracle mismatch, unrecoverable journal state, malformed fault
+    plan)."""

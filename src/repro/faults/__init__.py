@@ -1,0 +1,37 @@
+"""Deterministic fault injection and crash recovery.
+
+* :mod:`repro.faults.plan` -- seeded, JSON-loadable fault schedules
+  (:class:`FaultPlan` and its per-class specs).
+* :mod:`repro.faults.injector` -- the :class:`FaultInjector` that arms
+  a plan against a replay and owns the recovery machinery.
+* :mod:`repro.faults.oracle` -- the end-to-end :class:`ContentOracle`
+  asserting every completed read returns the right content.
+
+See docs/robustness.md for the fault model and recovery semantics.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import ContentOracle
+from repro.faults.plan import (
+    FailSlowSpec,
+    FaultPlan,
+    IndexCorruptionSpec,
+    LatentSectorErrorSpec,
+    MemberFailureSpec,
+    NvramLossSpec,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ContentOracle",
+    "FailSlowSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "IndexCorruptionSpec",
+    "LatentSectorErrorSpec",
+    "MemberFailureSpec",
+    "NvramLossSpec",
+    "RetryPolicy",
+]

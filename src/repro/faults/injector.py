@@ -1,0 +1,520 @@
+"""Deterministic fault injection + the recovery paths it exercises.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete, *seeded* misbehaviour threaded through every layer of a
+replay, together with the machinery that lets the simulated system
+survive it:
+
+==================  ==================================================
+fault class         injection / recovery path
+==================  ==================================================
+latent sector       engine-level disk-op hook: the read attempt fails
+errors              (but still spins the disk), is retried with
+                    bounded backoff, then reconstructed by reading the
+                    same block range from every surviving member of
+                    the row (RAID-5 parity, the per-fragment rule of
+                    ``RaidArray.map_read_degraded``) and repaired with
+                    a write back to the faulted disk -- all charged at
+                    real mechanical cost.
+fail-slow disks     per-disk latency-multiplier windows inside
+                    ``Disk.service`` (a degrading drive is correct but
+                    slow).
+member failure      ``Simulator.failed_disk`` flips mid-replay, so
+                    foreground traffic pays degraded-read/write costs,
+                    while a :class:`~repro.storage.rebuild.RebuildController`
+                    runs as paced background load until the spare is
+                    rebuilt and the array heals.
+NVRAM power loss    DRAM state drops, the Map table is re-derived from
+                    the write-ahead :class:`~repro.storage.journal.MapJournal`
+                    (torn-tail detection, replay, refcount
+                    re-derivation); LBAs whose recovered mapping
+                    diverges from the pre-crash truth are quarantined
+                    into dedupe-bypass mode and healed by later writes.
+index corruption    live Index-table fingerprints are bit-flipped in a
+                    structure-preserving way; the true fingerprint now
+                    misses (POD's miss-as-unique degradation) and any
+                    hit on the corrupt entry is caught by the commit
+                    content check.
+==================  ==================================================
+
+Every random choice flows from one ``numpy`` generator seeded by the
+plan, so a plan + seed reproduces the exact fault sequence; the
+per-fault counters, recovery-latency histogram and the *blast-radius*
+histogram (logical blocks at risk per lost physical block, the number
+that quantifies how deduplication concentrates failure domains) land
+in the run report via the replay's metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.errors import ConfigError, FaultError
+from repro.faults.oracle import ContentOracle
+from repro.faults.plan import (
+    FaultPlan,
+    IndexCorruptionSpec,
+    MemberFailureSpec,
+    NvramLossSpec,
+)
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.sim.request import DiskOp, OpType
+from repro.storage.raid import RaidLevel
+from repro.storage.rebuild import RebuildController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.baselines.base import DedupScheme
+    from repro.sim.engine import Simulator
+
+#: Blast-radius histogram buckets: powers of two up to 64 Ki logical
+#: blocks per lost physical block.
+BLAST_RADIUS_BOUNDS = [float(2**i) for i in range(17)]
+
+
+class FaultInjector:
+    """Owns one replay's fault schedule, recovery state and counters."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self._registry = registry
+        #: Simulated time before which arrivals stall behind crash
+        #: recovery (NVRAM-loss replay is a stop-the-world pause).
+        self.blocked_until = 0.0
+        self.obs: TraceRecorder = NULL_RECORDER
+        #: Per-fault counters (mirrored into the registry at finalize).
+        self.counters: Dict[str, int] = {}
+        if registry is not None:
+            self.recovery_hist = registry.histogram("faults.recovery_latency")
+            self.blast_hist = registry.histogram(
+                "faults.blast_radius", BLAST_RADIUS_BOUNDS
+            )
+        else:
+            self.recovery_hist = Histogram("faults.recovery_latency")
+            self.blast_hist = Histogram("faults.blast_radius", BLAST_RADIUS_BOUNDS)
+        #: disk_id -> {disk_pba: volume_pba} of still-latent sector errors.
+        self._lse_by_disk: Dict[int, Dict[int, int]] = {}
+        self.rebuild: Optional[RebuildController] = None
+        self._member_failed_at: Optional[float] = None
+        self._finalized = False
+        #: The end-to-end content oracle shadowing this replay.
+        self.oracle = ContentOracle()
+        self._scheme: Optional["DedupScheme"] = None
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def install(self, sim: "Simulator", scheme: "DedupScheme") -> None:
+        """Arm every fault in the plan against a fresh replay."""
+        plan = self.plan
+        if sim.schedulers is not None:
+            raise ConfigError(
+                "fault injection requires the analytic FCFS service path "
+                "(event-driven schedulers are not supported)"
+            )
+        self._scheme = scheme
+
+        # -- latent sector errors --------------------------------------
+        lse_pbas = self._resolve_lse_pbas(scheme)
+        for vpba in lse_pbas:
+            disk, disk_pba, _row = sim.raid.locate(vpba)
+            self._lse_by_disk.setdefault(disk, {})[disk_pba] = vpba
+        if self._lse_by_disk:
+            sim.fault_hook = self.on_disk_op
+        self._count("lse_injected", len(lse_pbas))
+
+        # -- fail-slow windows -----------------------------------------
+        for spec in plan.fail_slow:
+            if not (0 <= spec.disk < len(sim.disks)):
+                raise FaultError(f"fail-slow spec names unknown disk {spec.disk}")
+            sim.disks[spec.disk].add_slow_window(spec.start, spec.end, spec.multiplier)
+            self._count("fail_slow_windows")
+
+        # -- member failure + rebuild ----------------------------------
+        if plan.member_failure is not None:
+            spec = plan.member_failure
+            if sim.raid.geometry.level is not RaidLevel.RAID5:
+                raise ConfigError("member failure requires a RAID-5 array")
+            if not (0 <= spec.disk < len(sim.disks)):
+                raise FaultError(f"member-failure spec names unknown disk {spec.disk}")
+            if sim.failed_disk is not None:
+                raise ConfigError(
+                    "cannot schedule a member failure on an array that "
+                    "already runs degraded (ReplayConfig.failed_disk)"
+                )
+            sim.schedule_callback(
+                spec.time, self._begin_member_failure, sim, scheme, spec
+            )
+
+        # -- NVRAM power loss ------------------------------------------
+        if plan.nvram_loss:
+            scheme.enable_journal()
+            for nspec in plan.nvram_loss:
+                sim.schedule_callback(
+                    nspec.time, self._fire_nvram_loss, sim, scheme, nspec
+                )
+
+        # -- index corruption ------------------------------------------
+        for cspec in plan.index_corruption:
+            sim.schedule_callback(
+                cspec.time, self._fire_index_corruption, sim, scheme, cspec
+            )
+
+    def _resolve_lse_pbas(self, scheme: "DedupScheme") -> List[int]:
+        """Pinned PBAs plus seeded random draws from the home region."""
+        spec = self.plan.latent_sector_errors
+        total = scheme.regions.total_blocks
+        chosen: Set[int] = set()
+        for pba in spec.pbas:
+            if pba >= total:
+                raise FaultError(
+                    f"latent sector error at PBA {pba} outside the volume "
+                    f"of {total} blocks"
+                )
+            chosen.add(pba)
+        logical = scheme.regions.logical_blocks
+        budget = min(spec.random_count, max(0, logical - len(chosen)))
+        while budget > 0:
+            pba = int(self.rng.integers(0, logical))
+            if pba not in chosen:
+                chosen.add(pba)
+                budget -= 1
+        return sorted(chosen)
+
+    # ------------------------------------------------------------------
+    # latent sector errors (engine disk-op hook)
+    # ------------------------------------------------------------------
+
+    def on_disk_op(
+        self, sim: "Simulator", now: float, op: DiskOp
+    ) -> Optional[float]:
+        """Intercept one disk op; return its completion time to
+        override normal service, or ``None`` to fall through."""
+        bad = self._lse_by_disk.get(op.disk_id)
+        if not bad:
+            return None
+        hit = [dpba for dpba in bad if op.pba <= dpba < op.pba + op.nblocks]
+        if not hit:
+            return None
+        if op.op is OpType.WRITE:
+            # Writing a bad sector remaps it: the error is healed
+            # without any recovery traffic, as on real drives.
+            for dpba in hit:
+                del bad[dpba]
+            self._count("lse_healed_by_write", len(hit))
+            return None
+
+        disk = sim.disks[op.disk_id]
+        self._count("lse_read_failures")
+        # The failed attempt still costs a full mechanical access.
+        done = disk.service(now, op.pba, op.nblocks)
+        retry = self.plan.lse_retry
+        for _attempt in range(retry.max_retries):
+            self._count("lse_retries")
+            done = disk.service(done + retry.backoff, op.pba, op.nblocks)
+
+        recoverable = (
+            sim.raid.geometry.level is RaidLevel.RAID5
+            and sim.failed_disk is None
+        )
+        if not recoverable:
+            # No parity (RAID-0/SINGLE) or a peer is already dead: the
+            # read cannot be reconstructed.  The error stays latent and
+            # is counted; the content oracle tracks whether any
+            # logical block actually depended on it.
+            self._count("lse_unrecoverable")
+            if self.obs.level >= TraceLevel.SUMMARY:
+                self.obs.emit(
+                    TraceLevel.SUMMARY, now, EventType.FAULT_INJECT,
+                    kind="lse_unrecoverable",
+                    detail=f"disk {op.disk_id} pba {hit[0]} (+{len(hit) - 1} more)",
+                )
+            return done
+        # Degraded-read reconstruction, per-fragment (the
+        # map_read_degraded rule): read the same block range from
+        # every surviving member of the row, then repair the faulted
+        # range with a write back.
+        peer_done = done
+        for peer in sim.disks:
+            if peer.disk_id == op.disk_id:
+                continue
+            t = peer.service(done, op.pba, op.nblocks)
+            if t > peer_done:
+                peer_done = t
+        repaired = disk.service(peer_done, op.pba, op.nblocks)
+        assert self._scheme is not None
+        for dpba in hit:
+            self._observe_blast_radius(self._scheme, bad[dpba])
+            del bad[dpba]
+        self._count("lse_reconstructions")
+        self._count("lse_sectors_recovered", len(hit))
+        self.recovery_hist.observe(repaired - now)
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, now, EventType.FAULT_RECOVER,
+                kind="lse", latency=repaired - now,
+                detail=f"disk {op.disk_id} sectors {len(hit)}",
+            )
+        return repaired
+
+    # ------------------------------------------------------------------
+    # member failure + paced rebuild
+    # ------------------------------------------------------------------
+
+    def _begin_member_failure(
+        self, sim: "Simulator", scheme: "DedupScheme", spec: MemberFailureSpec
+    ) -> None:
+        sim.failed_disk = spec.disk
+        self._member_failed_at = sim.now
+        self._count("member_failures")
+        su = sim.raid.geometry.stripe_unit_blocks
+        disk_rows = max(1, sim.disks[spec.disk].params.total_blocks // su)
+        live = (
+            scheme.map_table.live_pbas(scheme.written_lbas)
+            if spec.capacity_aware
+            else None
+        )
+        self.rebuild = RebuildController(sim.raid, spec.disk, disk_rows, live)
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, sim.now, EventType.FAULT_INJECT,
+                kind="member_failure",
+                detail=f"disk {spec.disk} failed; rebuilding {disk_rows} rows",
+            )
+        sim.schedule_callback(sim.now + spec.interval, self._rebuild_tick, sim, spec)
+
+    def _rebuild_tick(self, sim: "Simulator", spec: MemberFailureSpec) -> None:
+        ctrl = self.rebuild
+        assert ctrl is not None
+        if not ctrl.done:
+            ops = ctrl.next_batch(spec.rows_per_batch)
+            if ops:
+                # Background load: competes for the spindles, gates
+                # nothing.
+                sim.issue_disk_ops(ops, lambda _t: None)
+        if ctrl.done:
+            sim.failed_disk = None
+            assert self._member_failed_at is not None
+            duration = sim.now - self._member_failed_at
+            self._count("rebuilds_completed")
+            self.recovery_hist.observe(duration)
+            if self.obs.level >= TraceLevel.SUMMARY:
+                self.obs.emit(
+                    TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
+                    kind="member_failure", latency=duration,
+                    detail=(
+                        f"disk {spec.disk} rebuilt: {ctrl.rows_rebuilt} rows "
+                        f"rebuilt, {ctrl.rows_skipped} skipped"
+                    ),
+                )
+            return
+        sim.schedule_callback(sim.now + spec.interval, self._rebuild_tick, sim, spec)
+
+    # ------------------------------------------------------------------
+    # NVRAM power loss + journal recovery
+    # ------------------------------------------------------------------
+
+    def _fire_nvram_loss(
+        self, sim: "Simulator", scheme: "DedupScheme", spec: NvramLossSpec
+    ) -> None:
+        journal = scheme.map_table.journal
+        assert journal is not None  # attached by install()
+        truth = scheme.map_table.snapshot()
+        self._count("nvram_losses")
+        self._count("nvram_entries_torn", min(spec.torn_entries, len(truth)))
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, sim.now, EventType.FAULT_INJECT,
+                kind="nvram_loss",
+                detail=(
+                    f"power cut: {len(truth)} map entries at stake, journal "
+                    f"tail -{spec.lose_journal_tail} lost "
+                    f"/{spec.tear_journal_tail} torn"
+                ),
+            )
+
+        # The crash: DRAM gone, journal tail damaged.
+        scheme.simulate_power_failure()
+        lost = journal.lose_tail(spec.lose_journal_tail)
+        torn = journal.tear_tail(spec.tear_journal_tail)
+        self._count("journal_records_lost", lost)
+        self._count("journal_records_torn", torn)
+
+        # Recovery: replay the surviving prefix, scrub structurally
+        # invalid entries, re-derive refcounts wholesale.
+        mapping, replayed, torn_detected = journal.replay()
+        if torn_detected:
+            self._count("torn_tails_detected")
+        scrubbed = self._scrub_recovered_mapping(scheme, mapping)
+        self._count("journal_records_replayed", replayed)
+        self._count("recovery_entries_scrubbed", scrubbed)
+
+        diverged = {
+            lba
+            for lba in set(truth) | set(mapping)
+            if truth.get(lba) != mapping.get(lba)
+        }
+        # Blast radius of the crash: per physical block whose mapping
+        # was lost, how many logical blocks referenced it pre-crash.
+        at_risk_pbas = {truth[lba] for lba in diverged if lba in truth}
+        for pba in sorted(at_risk_pbas):
+            refs = sum(1 for t in truth.values() if t == pba)
+            self.blast_hist.observe(float(refs))
+
+        scheme.map_table.restore_mapping(mapping)
+        if diverged:
+            scheme.quarantine(diverged)
+            self.oracle.mark_at_risk(diverged)
+            self._count("lbas_quarantined", len(diverged))
+
+        cost = spec.base_recovery_cost + spec.replay_cost_per_record * replayed
+        self.blocked_until = max(self.blocked_until, sim.now + cost)
+        self.recovery_hist.observe(cost)
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
+                kind="nvram_loss", latency=cost,
+                detail=(
+                    f"replayed {replayed} records, scrubbed {scrubbed}, "
+                    f"quarantined {len(diverged)} LBA(s)"
+                ),
+            )
+
+    @staticmethod
+    def _scrub_recovered_mapping(
+        scheme: "DedupScheme", mapping: Dict[int, int]
+    ) -> int:
+        """Drop recovered entries that fail the structural fsck.
+
+        A lost CLEAR record can resurrect a mapping to a since-freed
+        log block or an overwritten target; keeping it would violate
+        the Map-table invariants.  Such entries are dropped -- the LBA
+        falls back to its home block and lands in the diverged
+        (quarantined) set.
+        """
+        regions = scheme.regions
+        scrubbed = 0
+        for lba, pba in list(mapping.items()):
+            bad = (
+                not (0 <= pba < regions.total_blocks)
+                or not (regions.is_home(pba) or regions.is_log(pba))
+                or pba == regions.home_of(lba)
+                or scheme.content.read(pba) is None
+                or (regions.is_log(pba) and not scheme.log_alloc.is_allocated(pba))
+            )
+            if bad:
+                del mapping[lba]
+                scrubbed += 1
+        return scrubbed
+
+    # ------------------------------------------------------------------
+    # index corruption
+    # ------------------------------------------------------------------
+
+    def _fire_index_corruption(
+        self, sim: "Simulator", scheme: "DedupScheme", spec: IndexCorruptionSpec
+    ) -> None:
+        table = scheme.index_table
+        if table is None or len(table) == 0:
+            self._count("index_corruptions_skipped")
+            return
+        keys = list(table.lru.keys_lru_order())
+        n = min(spec.entries, len(keys))
+        picked = self.rng.choice(len(keys), size=n, replace=False)
+        flipped_total = 0
+        for i in sorted(int(j) for j in picked):
+            fp = keys[i]
+            entry = table.peek(fp)
+            if entry is None:  # pragma: no cover - keys are live
+                continue
+            bit = spec.bit if spec.bit is not None else int(self.rng.integers(0, 62))
+            flipped = fp ^ (1 << bit)
+            # Structure-preserving corruption: the entry keeps its PBA
+            # claim but advertises a wrong fingerprint, exactly what a
+            # bit flip in the fingerprint field does.
+            table.remove(fp)
+            table.insert(flipped, entry.pba)
+            evicted = table.drain_evicted()
+            if evicted:
+                scheme.cache.note_index_evictions(evicted)
+            flipped_total += 1
+        self._count("index_corruptions", flipped_total)
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, sim.now, EventType.FAULT_INJECT,
+                kind="index_corruption",
+                detail=f"bit-flipped {flipped_total} live fingerprint(s)",
+            )
+
+    # ------------------------------------------------------------------
+    # blast radius
+    # ------------------------------------------------------------------
+
+    def _observe_blast_radius(self, scheme: "DedupScheme", pba: int) -> None:
+        """Logical blocks at risk if ``pba`` were truly lost."""
+        table = scheme.map_table
+        refs = len(table.referencing_lbas(pba))
+        if scheme.regions.is_home(pba):
+            lba = pba  # home layout is identity
+            if lba in scheme.written_lbas and not table.is_redirected(lba):
+                refs += 1
+        self.blast_hist.observe(float(refs))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, recorder: TraceRecorder) -> None:
+        self.obs = recorder
+
+    def finalize(self, scheme: "DedupScheme") -> None:
+        """End-of-run sweep: blast radius of still-latent errors,
+        registry mirroring, and the content-oracle verdict."""
+        if self._finalized:
+            return
+        self._finalized = True
+        latent = 0
+        for bad in self._lse_by_disk.values():
+            for vpba in bad.values():
+                self._observe_blast_radius(scheme, vpba)
+                latent += 1
+        self._count("lse_still_latent", latent)
+        if self._registry is not None:
+            for name, value in self.counters.items():
+                self._registry.inc(f"faults.{name}", value)
+        self.oracle.assert_clean(scheme)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if n:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Fault-subsystem snapshot for ``ReplayResult.fault_stats``
+        and the run report's ``faults`` section."""
+        out: Dict[str, Any] = {
+            "seed": self.plan.seed,
+            "counters": dict(sorted(self.counters.items())),
+            "recovery_latency": self.recovery_hist.as_dict(),
+            "blast_radius": self.blast_hist.as_dict(),
+            "oracle": self.oracle.summary(),
+        }
+        if self.rebuild is not None:
+            out["rebuild"] = {
+                "done": self.rebuild.done,
+                "progress": self.rebuild.progress,
+                "rows_scanned": self.rebuild.rows_scanned,
+                "rows_rebuilt": self.rebuild.rows_rebuilt,
+                "rows_skipped": self.rebuild.rows_skipped,
+            }
+        return out

@@ -1,0 +1,147 @@
+"""End-to-end content oracle for fault-injection replays.
+
+Deduplication *concentrates* risk: one lost physical block can
+invalidate every logical block whose Map-table entry references it.
+The oracle is the ground-truth check that no injected fault -- sector
+errors, degraded arrays, torn NVRAM, corrupted fingerprints -- ever
+turns into silently wrong data: it shadows the replay with the
+logical-level truth (LBA -> last-written fingerprint) and asserts
+that every completed read resolves, through the live Map table and
+content store, to exactly that fingerprint.
+
+Degradation is modelled honestly: when NVRAM-loss recovery cannot
+re-derive an LBA's mapping (journal records lost outright), the
+scheme quarantines the LBA and the oracle marks it *at risk* -- reads
+of it are counted (``at_risk_reads``) rather than failed, because the
+system has correctly *detected* that it cannot vouch for the content.
+The next write of real data heals both sides.  An at-risk read is a
+declared degradation; a mismatching read outside the at-risk set is a
+correctness bug and fails the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Set
+
+from repro.errors import FaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.baselines.base import DedupScheme
+    from repro.sim.request import IORequest
+
+#: Cap on recorded mismatch diagnostics (a corruption cascade should
+#: produce a readable report, not an unbounded list).
+MAX_MISMATCHES = 20
+
+
+class ContentOracle:
+    """Logical-block checksum shadow of one replay."""
+
+    def __init__(self) -> None:
+        #: LBA -> fingerprint of the last write the replay issued.
+        self.expected: Dict[int, int] = {}
+        #: LBAs the system has declared it cannot vouch for
+        #: (quarantined by crash recovery; healed by the next write).
+        self.at_risk: Set[int] = set()
+        # -- counters ---------------------------------------------------
+        self.writes_noted = 0
+        self.reads_checked = 0
+        self.blocks_checked = 0
+        self.at_risk_reads = 0
+        self.mismatches = 0
+        #: First ``MAX_MISMATCHES`` mismatch diagnostics.
+        self.mismatch_details: List[str] = []
+
+    # ------------------------------------------------------------------
+    # replay hooks
+    # ------------------------------------------------------------------
+
+    def note_write(self, request: "IORequest") -> None:
+        """Record the truth a completed write establishes."""
+        assert request.fingerprints is not None
+        self.writes_noted += 1
+        for i, lba in enumerate(request.blocks()):
+            self.expected[lba] = request.fingerprints[i]
+            if self.at_risk:
+                self.at_risk.discard(lba)
+
+    def check_read(self, request: "IORequest", scheme: "DedupScheme") -> None:
+        """Assert a read resolves to the last-written content."""
+        self.reads_checked += 1
+        for lba in request.blocks():
+            want = self.expected.get(lba)
+            if want is None:
+                continue  # never-written block: nothing to vouch for
+            if lba in self.at_risk:
+                self.at_risk_reads += 1
+                continue
+            self.blocks_checked += 1
+            pba = scheme.map_table.translate(lba)
+            got = scheme.content.read(pba)
+            if got != want:
+                self._mismatch(
+                    f"read of LBA {lba} -> PBA {pba}: expected fingerprint "
+                    f"{want}, found {got}"
+                )
+
+    def mark_at_risk(self, lbas: Iterable[int]) -> None:
+        """Declare LBAs unverifiable until the next write heals them."""
+        self.at_risk.update(lbas)
+
+    # ------------------------------------------------------------------
+    # whole-state check
+    # ------------------------------------------------------------------
+
+    def verify_all(self, scheme: "DedupScheme") -> List[str]:
+        """Check *every* written LBA against the live state.
+
+        Returns diagnostics for non-at-risk mismatches (empty = clean).
+        """
+        problems: List[str] = []
+        for lba in sorted(self.expected):
+            if lba in self.at_risk:
+                continue
+            pba = scheme.map_table.translate(lba)
+            got = scheme.content.read(pba)
+            if got != self.expected[lba]:
+                problems.append(
+                    f"final state: LBA {lba} -> PBA {pba}: expected "
+                    f"fingerprint {self.expected[lba]}, found {got}"
+                )
+                if len(problems) >= MAX_MISMATCHES:
+                    break
+        return problems
+
+    def assert_clean(self, scheme: "DedupScheme") -> None:
+        """Raise :class:`~repro.errors.FaultError` on any mismatch,
+        inline or in the final whole-state sweep."""
+        problems = list(self.mismatch_details)
+        problems.extend(self.verify_all(scheme))
+        if self.mismatches > len(self.mismatch_details):
+            problems.append(
+                f"... and {self.mismatches - len(self.mismatch_details)} "
+                "more inline mismatches (capped)"
+            )
+        if problems:
+            lines = "\n  ".join(problems)
+            raise FaultError(
+                f"content oracle found {len(problems)} violation(s):\n  {lines}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _mismatch(self, detail: str) -> None:
+        self.mismatches += 1
+        if len(self.mismatch_details) < MAX_MISMATCHES:
+            self.mismatch_details.append(detail)
+
+    def summary(self) -> Dict[str, Any]:
+        """Oracle self-description for run reports."""
+        return {
+            "writes_noted": self.writes_noted,
+            "reads_checked": self.reads_checked,
+            "blocks_checked": self.blocks_checked,
+            "at_risk_reads": self.at_risk_reads,
+            "at_risk_lbas": len(self.at_risk),
+            "mismatches": self.mismatches,
+        }

@@ -1,0 +1,275 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the *entire* description of what goes wrong in
+a replay: which physical blocks carry latent sector errors, which disks
+degrade and when, when a member dies, when power is lost, which index
+entries get bit-flipped.  Plans are frozen, hashable dataclasses built
+from tuples and scalars so they can ride inside the (memo-cache-keyed)
+:class:`~repro.sim.replay.ReplayConfig`, and JSON-loadable so the CLI
+can take ``--faults plan.json``.
+
+Every random choice during injection (which home blocks get the
+``random_count`` extra sector errors, which fingerprints are
+bit-flipped, which bit flips) flows from one ``numpy`` generator
+seeded with :attr:`FaultPlan.seed` -- the same plan + seed always
+produces the same fault sequence and, because the simulator itself is
+deterministic, a bit-identical run report (CI pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with backoff for failed (latent-error) reads."""
+
+    #: Re-reads attempted before falling back to parity reconstruction.
+    max_retries: int = 1
+    #: Pause between attempts, simulated seconds.
+    backoff: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError("max_retries must be non-negative")
+        if self.backoff < 0:
+            raise FaultError("backoff must be non-negative")
+
+
+@dataclass(frozen=True)
+class LatentSectorErrorSpec:
+    """Latent sector errors: reads of these volume PBAs fail.
+
+    ``pbas`` pins exact blocks; ``random_count`` additionally draws
+    that many distinct home-region blocks from the plan's seeded RNG.
+    A write to a bad block remaps/heals it silently (as real drives
+    do); a failed read is retried per :class:`RetryPolicy` and then
+    reconstructed from RAID-5 parity at real degraded-read cost.
+    """
+
+    pbas: Tuple[int, ...] = ()
+    random_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.random_count < 0:
+            raise FaultError("random_count must be non-negative")
+        if any(p < 0 for p in self.pbas):
+            raise FaultError("latent sector error PBAs must be non-negative")
+
+
+@dataclass(frozen=True)
+class FailSlowSpec:
+    """A fail-slow window: one disk serves I/O ``multiplier`` x slower."""
+
+    disk: int
+    start: float
+    end: float
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise FaultError("disk index must be non-negative")
+        if self.end < self.start:
+            raise FaultError("fail-slow window ends before it starts")
+        if self.multiplier < 1.0:
+            raise FaultError("fail-slow multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class MemberFailureSpec:
+    """A member disk dies mid-replay; a paced rebuild reconstructs it."""
+
+    disk: int
+    time: float
+    #: Rebuild pacing: rows *scanned* per batch ...
+    rows_per_batch: int = 4
+    #: ... every this many simulated seconds.
+    interval: float = 0.05
+    #: Skip rows holding no live data (dedup-rebuild synergy).
+    capacity_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise FaultError("disk index must be non-negative")
+        if self.time < 0:
+            raise FaultError("failure time must be non-negative")
+        if self.rows_per_batch < 1:
+            raise FaultError("rows_per_batch must be >= 1")
+        if self.interval <= 0:
+            raise FaultError("rebuild interval must be positive")
+
+
+@dataclass(frozen=True)
+class NvramLossSpec:
+    """A power cut tears the NVRAM Map table and the journal tail.
+
+    The Map table is recovered from the write-ahead
+    :class:`~repro.storage.journal.MapJournal`: ``tear_journal_tail``
+    records are CRC-corrupted (detected and discarded by torn-tail
+    detection -- recoverable, because the matching NVRAM mutations are
+    re-derivable), while ``lose_journal_tail`` records vanish entirely
+    *before* the torn ones (mutations whose log writes never reached
+    the medium).  LBAs whose recovered mapping diverges from the
+    pre-crash truth are quarantined: reads are flagged at-risk and
+    writes bypass deduplication until real data heals the map.
+    """
+
+    time: float
+    #: NVRAM Map-table entries left in an undefined state by the tear
+    #: (reported; recovery re-derives the table from the journal).
+    torn_entries: int = 8
+    #: Journal records lost outright (divergence source).
+    lose_journal_tail: int = 0
+    #: Journal records CRC-torn (detected, discarded, recoverable).
+    tear_journal_tail: int = 2
+    #: Recovery time model: fixed cost plus per-replayed-record cost.
+    base_recovery_cost: float = 5e-3
+    replay_cost_per_record: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultError("power-loss time must be non-negative")
+        for name in ("torn_entries", "lose_journal_tail", "tear_journal_tail"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be non-negative")
+        if self.base_recovery_cost < 0 or self.replay_cost_per_record < 0:
+            raise FaultError("recovery costs must be non-negative")
+
+
+@dataclass(frozen=True)
+class IndexCorruptionSpec:
+    """Bit-flip fingerprints of live Index-table entries at ``time``.
+
+    The corrupted entry keeps its PBA but advertises a wrong
+    fingerprint, so (a) the true fingerprint now misses -- POD's
+    miss-as-unique degradation -- and (b) a lookup that *hits* the
+    corrupt fingerprint is caught by the commit-time content check
+    (``stale_dedupe_avoided``), never corrupting data.
+    """
+
+    time: float
+    entries: int = 1
+    #: Which bit to flip; ``None`` draws one per entry from the RNG.
+    bit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultError("corruption time must be non-negative")
+        if self.entries < 1:
+            raise FaultError("must corrupt at least one entry")
+        if self.bit is not None and not (0 <= self.bit < 63):
+            raise FaultError("bit index must be in [0, 63)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full, seeded fault schedule for one replay."""
+
+    seed: int = 0
+    latent_sector_errors: LatentSectorErrorSpec = LatentSectorErrorSpec()
+    lse_retry: RetryPolicy = RetryPolicy()
+    fail_slow: Tuple[FailSlowSpec, ...] = ()
+    member_failure: Optional[MemberFailureSpec] = None
+    nvram_loss: Tuple[NvramLossSpec, ...] = ()
+    index_corruption: Tuple[IndexCorruptionSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultError("fault seed must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the plan schedules no fault at all."""
+        return (
+            not self.latent_sector_errors.pbas
+            and self.latent_sector_errors.random_count == 0
+            and not self.fail_slow
+            and self.member_failure is None
+            and not self.nvram_loss
+            and not self.index_corruption
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same schedule under a different RNG seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON-shaped mapping (see
+        ``examples/faults.json``)."""
+        known = {
+            "seed", "latent_sector_errors", "lse_retry", "fail_slow",
+            "member_failure", "nvram_loss", "index_corruption",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultError(f"unknown fault plan key(s): {sorted(unknown)}")
+
+        def build(cls: type, obj: Mapping[str, Any]) -> Any:
+            try:
+                return cls(**obj)
+            except TypeError as exc:
+                raise FaultError(f"bad {cls.__name__} spec: {exc}") from None
+
+        lse = data.get("latent_sector_errors", {})
+        if "pbas" in lse:
+            lse = dict(lse, pbas=tuple(lse["pbas"]))
+        mf = data.get("member_failure")
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            latent_sector_errors=build(LatentSectorErrorSpec, lse),
+            lse_retry=build(RetryPolicy, data.get("lse_retry", {})),
+            fail_slow=tuple(
+                build(FailSlowSpec, f) for f in data.get("fail_slow", ())
+            ),
+            member_failure=build(MemberFailureSpec, mf) if mf is not None else None,
+            nvram_loss=tuple(
+                build(NvramLossSpec, n) for n in data.get("nvram_loss", ())
+            ),
+            index_corruption=tuple(
+                build(IndexCorruptionSpec, c) for c in data.get("index_corruption", ())
+            ),
+        )
+
+    @staticmethod
+    def load(path: str) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultError(f"cannot load fault plan {path!r}: {exc}") from None
+        if not isinstance(data, dict):
+            raise FaultError(f"fault plan {path!r} must be a JSON object")
+        return FaultPlan.from_dict(data)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips through
+        :meth:`from_dict`)."""
+        out: Dict[str, Any] = {
+            "seed": self.seed,
+            "latent_sector_errors": {
+                "pbas": list(self.latent_sector_errors.pbas),
+                "random_count": self.latent_sector_errors.random_count,
+            },
+            "lse_retry": dataclasses.asdict(self.lse_retry),
+            "fail_slow": [dataclasses.asdict(f) for f in self.fail_slow],
+            "nvram_loss": [dataclasses.asdict(n) for n in self.nvram_loss],
+            "index_corruption": [
+                dataclasses.asdict(c) for c in self.index_corruption
+            ],
+        }
+        if self.member_failure is not None:
+            out["member_failure"] = dataclasses.asdict(self.member_failure)
+        return out

@@ -91,6 +91,10 @@ class EventType:
     # -- disk layer (CHUNK) --------------------------------------------
     DISK_OP = "disk.op"                # disk, op, pba, nblocks, start, done
 
+    # -- fault injection (SUMMARY) -------------------------------------
+    FAULT_INJECT = "fault.inject"      # kind, detail
+    FAULT_RECOVER = "fault.recover"    # kind, latency, detail
+
 
 #: Event type -> required field names (schema-stability tests check
 #: emitted events against this table).
@@ -114,7 +118,13 @@ EVENT_FIELDS: Dict[str, tuple] = {
         "direction", "swapped_bytes",
     ),
     EventType.DISK_OP: ("disk", "op", "pba", "nblocks", "start", "done"),
+    EventType.FAULT_INJECT: ("kind", "detail"),
+    EventType.FAULT_RECOVER: ("kind", "latency", "detail"),
 }
+
+#: Event types only emitted under fault injection (the golden no-fault
+#: trace cannot contain them; its coverage test excludes this set).
+FAULT_EVENT_TYPES = frozenset({EventType.FAULT_INJECT, EventType.FAULT_RECOVER})
 
 
 @dataclass(frozen=True)

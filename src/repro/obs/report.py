@@ -86,6 +86,10 @@ def build_run_report(
             if getattr(result, "sanitizer", None) is not None
             else {}
         ),
+        # Fault-injection summary (counters, recovery-latency and
+        # blast-radius histograms, oracle verdict).  Empty dict for
+        # healthy replays so the document shape is stable.
+        "faults": getattr(result, "fault_stats", None) or {},
     }
     volumes = getattr(result, "volumes", None)
     if volumes:
@@ -261,6 +265,48 @@ def render_run_report(report: Dict[str, Any]) -> str:
                  if not isinstance(v, dict)],
             )
         )
+
+    faults = report.get("faults", {})
+    if faults:
+        frows: List[List[Any]] = [["fault_seed", faults.get("seed")]]
+        frows += [
+            [k, _fmt_val(v)]
+            for k, v in sorted(faults.get("counters", {}).items())
+        ]
+        oracle = faults.get("oracle", {})
+        frows += [
+            [f"oracle.{k}", _fmt_val(v)]
+            for k, v in sorted(oracle.items())
+            if not isinstance(v, (dict, list))
+        ]
+        rebuild = faults.get("rebuild")
+        if rebuild:
+            frows += [
+                [f"rebuild.{k}", _fmt_val(v)] for k, v in sorted(rebuild.items())
+            ]
+        parts.append(render_table("fault injection", ["field", "value"], frows))
+        hrows2 = []
+        for name in ("recovery_latency", "blast_radius"):
+            h = faults.get(name, {})
+            if h.get("count"):
+                unit = 1e3 if name == "recovery_latency" else 1.0
+                hrows2.append([
+                    name,
+                    h.get("count", 0),
+                    _fmt_val(h.get("mean", 0.0) * unit),
+                    _fmt_val(h.get("p50", 0.0) * unit),
+                    _fmt_val(h.get("p95", 0.0) * unit),
+                    _fmt_val(h.get("p99", 0.0) * unit),
+                    _fmt_val(h.get("max", 0.0) * unit),
+                ])
+        if hrows2:
+            parts.append(
+                render_table(
+                    "fault histograms (recovery in ms, blast radius in blocks)",
+                    ["series", "count", "mean", "p50", "p95", "p99", "max"],
+                    hrows2,
+                )
+            )
     return "\n\n".join(parts)
 
 

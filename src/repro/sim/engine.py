@@ -34,6 +34,11 @@ from repro.storage.volume import VolumeOp
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.scheduler import DiskScheduler
 
+#: Fault-injection hook signature: consulted per disk op on the
+#: analytic path; returns a completion time to override normal
+#: service, or ``None`` to fall through.
+FaultHook = Callable[["Simulator", float, DiskOp], Optional[float]]
+
 
 class Simulator:
     """Discrete-event engine over a set of disks behind a RAID layer.
@@ -76,6 +81,13 @@ class Simulator:
         #: Attached trace recorder (observation only; the disabled
         #: default costs one integer compare per guarded site).
         self.obs: TraceRecorder = NULL_RECORDER
+        #: Fault-injection hook consulted per disk op on the analytic
+        #: path: return a completion time to *override* normal service
+        #: (the hook did the mechanical work itself, e.g. a failed
+        #: read plus its parity reconstruction), or ``None`` to fall
+        #: through.  ``None`` by default -- the healthy path pays one
+        #: ``is not None`` test per op.
+        self.fault_hook: Optional[FaultHook] = None
 
     def attach_observer(self, recorder: TraceRecorder) -> None:
         """Attach a trace recorder for disk-level micro-events."""
@@ -122,6 +134,12 @@ class Simulator:
         for op in ops:
             if not (0 <= op.disk_id < len(self.disks)):
                 raise SimulationError(f"op addressed to unknown disk {op.disk_id}")
+            if self.fault_hook is not None:
+                hooked = self.fault_hook(self, now, op)
+                if hooked is not None:
+                    if hooked > completion:
+                        completion = hooked
+                    continue
             disk = self.disks[op.disk_id]
             busy_before = disk.busy_until if trace_ops else 0.0
             done = disk.service(now, op.pba, op.nblocks)

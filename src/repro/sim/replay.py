@@ -35,6 +35,8 @@ from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import DedupScheme, PlannedIO
 from repro.constants import BLOCKS_PER_STRIPE_UNIT
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import EventType, TraceLevel
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
@@ -80,6 +82,13 @@ class ReplayConfig:
     check_invariants: bool = False
     #: Structural-check cadence, in arrived requests.
     sanitize_every: int = 1000
+    #: Deterministic fault plan (see :mod:`repro.faults`).  ``None``
+    #: keeps the replay on the healthy path, bit-identical to a build
+    #: without the fault subsystem (zero-overhead off path).
+    faults: Optional[FaultPlan] = None
+    #: Override the plan's RNG seed (CLI ``--fault-seed``; requires
+    #: :attr:`faults`).
+    fault_seed: Optional[int] = None
 
     def geometry(self) -> RaidGeometry:
         return RaidGeometry(
@@ -112,6 +121,10 @@ class ReplayResult:
     #: Per-volume metric breakdowns (one dict per volume, id-ordered;
     #: empty for classic single-volume replays via ``replay_trace``).
     volumes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fault-injection summary (counters, recovery-latency and
+    #: blast-radius histograms, oracle verdict); ``None`` for healthy
+    #: replays.
+    fault_stats: Optional[Dict[str, Any]] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -289,8 +302,20 @@ def replay_traces(
     if config.check_invariants:
         if config.sanitize_every <= 0:
             raise ConfigError("sanitize_every must be positive")
-        sanitizer = PodSanitizer()
+        sanitizer = PodSanitizer(registry=metrics.registry)
         sanitizer.attach(scheme)
+
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        plan = config.faults
+        if config.fault_seed is not None:
+            plan = plan.with_seed(config.fault_seed)
+        injector = FaultInjector(plan, registry=metrics.registry)
+        injector.install(sim, scheme)
+        if recorder is not None:
+            injector.attach_observer(recorder)
+    elif config.fault_seed is not None:
+        raise ConfigError("fault_seed given without a fault plan")
 
     requests, measured_flags = _merge_streams(traces, mapper)
     for request in requests:
@@ -373,7 +398,8 @@ def replay_traces(
     boundary = {"writes": 0, "removed": 0, "taken": total_warmup == 0}
     arrivals = {"count": 0}
 
-    def on_arrival(now: float, request: IORequest) -> None:
+    def handle_request(request: IORequest, arrival: float) -> None:
+        now = sim.now
         if not boundary["taken"] and measured_flags[request.req_id]:
             boundary["writes"] = scheme.writes_total
             boundary["removed"] = scheme.write_requests_removed
@@ -391,6 +417,13 @@ def replay_traces(
                 **extra,
             )
         planned = scheme.process(request, now)
+        if injector is not None:
+            # Content-oracle shadow: writes establish the truth,
+            # reads are checked against it at processing time.
+            if request.is_write:
+                injector.oracle.note_write(request)
+            else:
+                injector.oracle.check_read(request, scheme)
         cross = 0
         if fp_owner is not None and request.fingerprints is not None:
             vid = request.volume_id
@@ -406,10 +439,21 @@ def replay_traces(
                 sanitizer.assert_clean(scheme, now)
         if planned.delay > 0:
             sim.schedule_callback(
-                now + planned.delay, finish, request, planned, now, cross
+                now + planned.delay, finish, request, planned, arrival, cross
             )
         else:
-            finish(request, planned, now, cross)
+            finish(request, planned, arrival, cross)
+
+    def on_arrival(now: float, request: IORequest) -> None:
+        if injector is not None and injector.blocked_until > now:
+            # Crash recovery stalls the array: the request keeps its
+            # arrival timestamp (the stall is charged to its response
+            # time) and is processed once recovery completes.
+            sim.schedule_callback(
+                injector.blocked_until, handle_request, request, now
+            )
+            return
+        handle_request(request, now)
 
     # Periodic cache-management epochs (POD's iCache).
     if scheme.epoch_interval is not None and requests:
@@ -436,6 +480,11 @@ def replay_traces(
 
     if sanitizer is not None:
         sanitizer.assert_clean(scheme, sim.now)
+
+    if injector is not None:
+        # Sweep still-latent faults into the blast-radius histogram and
+        # run the end-to-end content oracle over the final state.
+        injector.finalize(scheme)
 
     if obs.level >= TraceLevel.SUMMARY:
         obs.emit(
@@ -477,4 +526,5 @@ def replay_traces(
         recorder=recorder,
         sanitizer=sanitizer,
         volumes=volumes,
+        fault_stats=injector.summary() if injector is not None else None,
     )

@@ -10,6 +10,8 @@
 * :mod:`repro.storage.allocator` -- physical block regions and the
   log-structured allocator used for copy-on-write redirection.
 * :mod:`repro.storage.nvram` -- NVRAM byte accounting for the Map table.
+* :mod:`repro.storage.journal` -- write-ahead Map-table journal with
+  torn-tail detection (crash recovery).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.storage.scheduler import DiskScheduler, SchedulingPolicy
 from repro.storage.ssd import Ssd, SsdParams
 from repro.storage.volume import VolumeOp, ContentStore, coalesce_extents
 from repro.storage.allocator import RegionMap, LogAllocator
+from repro.storage.journal import JournalRecord, MapJournal
 from repro.storage.nvram import NvramMeter
 
 __all__ = [
@@ -38,5 +41,7 @@ __all__ = [
     "coalesce_extents",
     "RegionMap",
     "LogAllocator",
+    "JournalRecord",
+    "MapJournal",
     "NvramMeter",
 ]

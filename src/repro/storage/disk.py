@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.constants import BLOCK_SIZE
 from repro.errors import StorageError
@@ -116,6 +117,31 @@ class Disk:
         self.seek_time_total: float = 0.0
         self.rotation_time_total: float = 0.0
         self.transfer_time_total: float = 0.0
+        #: Fail-slow windows ``(start, end, multiplier)``: while the
+        #: op's *start* time falls inside a window, every mechanical
+        #: component is stretched by the multiplier (a degrading disk
+        #: serves I/O correctly but slowly).  Empty by default, so the
+        #: healthy path costs one truthiness test.
+        self.slow_windows: List[Tuple[float, float, float]] = []
+        #: Ops that ran slowed, and the extra seconds charged.
+        self.slow_ops: int = 0
+        self.slow_extra_time: float = 0.0
+
+    def add_slow_window(self, start: float, end: float, multiplier: float) -> None:
+        """Register a fail-slow window (fault injection)."""
+        if end < start:
+            raise StorageError("fail-slow window ends before it starts")
+        if multiplier < 1.0:
+            raise StorageError("fail-slow multiplier must be >= 1")
+        self.slow_windows.append((start, end, multiplier))
+
+    def slow_multiplier(self, t: float) -> float:
+        """Combined latency multiplier at time ``t`` (1.0 = healthy)."""
+        m = 1.0
+        for start, end, mult in self.slow_windows:
+            if start <= t < end:
+                m *= mult
+        return m
 
     def _components(self, pba: int, nblocks: int) -> "tuple[float, float, float]":
         """(seek, rotation, transfer) seconds for one access."""
@@ -146,7 +172,18 @@ class Disk:
         """
         start = max(now, self.busy_until)
         seek, rotation, transfer = self._components(pba, nblocks)
-        duration = self.params.controller_overhead + seek + rotation + transfer
+        overhead = self.params.controller_overhead
+        if self.slow_windows:
+            mult = self.slow_multiplier(start)
+            if mult > 1.0:
+                base = overhead + seek + rotation + transfer
+                overhead *= mult
+                seek *= mult
+                rotation *= mult
+                transfer *= mult
+                self.slow_ops += 1
+                self.slow_extra_time += (overhead + seek + rotation + transfer) - base
+        duration = overhead + seek + rotation + transfer
         self.head = pba + nblocks
         self.busy_until = start + duration
         self.ops_serviced += 1
@@ -167,3 +204,6 @@ class Disk:
         self.seek_time_total = 0.0
         self.rotation_time_total = 0.0
         self.transfer_time_total = 0.0
+        self.slow_windows = []
+        self.slow_ops = 0
+        self.slow_extra_time = 0.0

@@ -1,0 +1,171 @@
+"""Write-ahead journal for the NVRAM Map table.
+
+The paper keeps the Map table in NVRAM precisely so it survives power
+failures (Section III-B).  Real NVRAM, however, can tear: a power cut
+mid-update leaves a suffix of recently written entries in an undefined
+state.  :class:`MapJournal` makes that recoverable by logging every
+Map-table mutation *before* it is applied (write-ahead, write-through):
+
+* ``append_set(lba, pba)``   -- an LBA was (re)mapped to a PBA.
+* ``append_clear(lba)``      -- an LBA's mapping was dropped.
+
+Each :class:`JournalRecord` carries a sequence number and a CRC-32 over
+its packed fields.  Recovery (:meth:`MapJournal.replay`) scans forward
+and stops at the first record whose CRC does not verify -- the classic
+*torn-tail* rule: everything before the tear is trusted, everything
+after is discarded.  Replaying the surviving prefix over the last
+checkpoint reproduces the logical->physical mapping; reference counts
+are re-derived from the mapping itself (they are a pure function of
+it), so they need not be journaled.
+
+The journal is a simulation artefact: it models the *structure* of a
+persistent log (records, CRCs, checkpoints) without byte-level I/O.
+Fault injection uses :meth:`tear_tail` / :meth:`lose_tail` to model a
+power cut interrupting the log itself.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.errors import FaultError
+
+#: Record kinds.
+KIND_SET = "S"
+KIND_CLEAR = "C"
+
+
+def _crc(seq: int, kind: str, lba: int, pba: int) -> int:
+    """CRC-32 over the packed record fields."""
+    payload = f"{seq}:{kind}:{lba}:{pba}".encode("ascii")
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One Map-table mutation, self-checking via CRC-32."""
+
+    seq: int
+    kind: str
+    lba: int
+    pba: int
+    crc: int
+
+    @staticmethod
+    def make(seq: int, kind: str, lba: int, pba: int) -> "JournalRecord":
+        if kind not in (KIND_SET, KIND_CLEAR):
+            raise FaultError(f"unknown journal record kind {kind!r}")
+        return JournalRecord(seq=seq, kind=kind, lba=lba, pba=pba, crc=_crc(seq, kind, lba, pba))
+
+    def verifies(self) -> bool:
+        """True when the stored CRC matches the record contents."""
+        return self.crc == _crc(self.seq, self.kind, self.lba, self.pba)
+
+
+class MapJournal:
+    """Write-ahead log of Map-table mutations with checkpointing.
+
+    The journal holds a *checkpoint* (a full LBA->PBA snapshot) plus
+    the tail of records appended since.  :meth:`checkpoint` folds the
+    tail into the snapshot, bounding replay work.
+    """
+
+    def __init__(self) -> None:
+        self._checkpoint: Dict[int, int] = {}
+        self._records: List[JournalRecord] = []
+        self._next_seq = 0
+        #: Cumulative counters (monotone; survive checkpoints).
+        self.records_appended = 0
+        self.checkpoints_taken = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def checkpoint_entries(self) -> int:
+        return len(self._checkpoint)
+
+    # ------------------------------------------------------------------
+    # appending (called by the Map table, write-ahead)
+    # ------------------------------------------------------------------
+
+    def append_set(self, lba: int, pba: int) -> None:
+        """Log ``lba -> pba`` (new mapping or remap)."""
+        self._append(KIND_SET, lba, pba)
+
+    def append_clear(self, lba: int) -> None:
+        """Log the removal of ``lba``'s mapping."""
+        self._append(KIND_CLEAR, lba, -1)
+
+    def _append(self, kind: str, lba: int, pba: int) -> None:
+        self._records.append(JournalRecord.make(self._next_seq, kind, lba, pba))
+        self._next_seq += 1
+        self.records_appended += 1
+
+    # ------------------------------------------------------------------
+    # fault modelling
+    # ------------------------------------------------------------------
+
+    def tear_tail(self, n: int) -> int:
+        """Corrupt the CRCs of the last ``n`` records (power cut mid
+        log write).  Returns the number of records actually torn."""
+        if n < 0:
+            raise FaultError("cannot tear a negative number of records")
+        torn = min(n, len(self._records))
+        for i in range(len(self._records) - torn, len(self._records)):
+            rec = self._records[i]
+            self._records[i] = replace(rec, crc=rec.crc ^ 0xDEADBEEF)
+        return torn
+
+    def lose_tail(self, n: int) -> int:
+        """Drop the last ``n`` records entirely (log writes that never
+        reached the medium).  Returns the number of records lost."""
+        if n < 0:
+            raise FaultError("cannot lose a negative number of records")
+        lost = min(n, len(self._records))
+        if lost:
+            del self._records[len(self._records) - lost :]
+        return lost
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def replay(self) -> Tuple[Dict[int, int], int, bool]:
+        """Rebuild the mapping from checkpoint + surviving records.
+
+        Returns ``(mapping, records_replayed, torn_tail_detected)``.
+        The scan stops at the first record that fails its CRC or whose
+        sequence number breaks the expected chain; everything after it
+        is untrusted and discarded.
+        """
+        mapping = dict(self._checkpoint)
+        replayed = 0
+        torn = False
+        expected_seq: int | None = None
+        for rec in self._records:
+            if not rec.verifies():
+                torn = True
+                break
+            if expected_seq is not None and rec.seq != expected_seq:
+                torn = True
+                break
+            expected_seq = rec.seq + 1
+            if rec.kind == KIND_SET:
+                mapping[rec.lba] = rec.pba
+            else:
+                mapping.pop(rec.lba, None)
+            replayed += 1
+        if torn:
+            # Discard the untrusted suffix so later appends restart
+            # from a clean, verifiable tail.
+            del self._records[replayed:]
+        return mapping, replayed, torn
+
+    def checkpoint(self, mapping: Dict[int, int]) -> None:
+        """Fold ``mapping`` into the checkpoint and truncate the log."""
+        self._checkpoint = dict(mapping)
+        self._records.clear()
+        self.checkpoints_taken += 1

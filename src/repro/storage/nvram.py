@@ -57,3 +57,16 @@ class NvramMeter:
         if n > self._entries:
             raise DedupError("removing more entries than exist")
         self._entries -= n
+
+    def resync(self, entries: int) -> None:
+        """Reset the live-entry count after crash recovery.
+
+        Journal replay rebuilds the Map table wholesale; the meter is
+        resynchronised to the recovered entry count.  The high-water
+        mark is monotone: it only moves up.
+        """
+        if entries < 0:
+            raise DedupError("entry count must be non-negative")
+        self._entries = entries
+        if entries > self._peak_entries:
+            self._peak_entries = entries

@@ -52,6 +52,9 @@ class RebuildController:
         self._next_row = 0
         self.rows_rebuilt = 0
         self.rows_skipped = 0
+        #: Total rows examined by :meth:`next_batch` (rebuilt + skipped);
+        #: the unit in which per-batch work is bounded.
+        self.rows_scanned = 0
         #: Rows containing at least one live block, or None = all rows.
         self._live_rows: Optional[Set[int]] = None
         if live_pbas is not None:
@@ -77,6 +80,13 @@ class RebuildController:
         member plus one stripe-unit write to the spare (modelled as
         the failed slot's replacement, same disk id).  Rows with no
         live data are skipped in capacity-aware mode.
+
+        Work is bounded by rows *scanned*, not rows rebuilt: a batch
+        over a sparse disk examines at most ``rows`` rows even when
+        every one of them is skipped.  (The earlier behaviour --
+        decrementing the budget only for rebuilt rows -- let a single
+        call walk arbitrarily many rows on a mostly-empty disk,
+        defeating the pacing the replay harness relies on.)
         """
         if rows < 1:
             raise StorageError("batch must cover at least one row")
@@ -86,10 +96,11 @@ class RebuildController:
         while rows > 0 and not self.done:
             row = self._next_row
             self._next_row += 1
+            rows -= 1
+            self.rows_scanned += 1
             if self._live_rows is not None and row not in self._live_rows:
                 self.rows_skipped += 1
                 continue
-            rows -= 1
             self.rows_rebuilt += 1
             disk_pba = row * su
             for disk in range(g.ndisks):

@@ -63,7 +63,8 @@ class TestCleanSchemes:
         assert check_codes(dedup_scheme) == set()
 
     def test_invariant_catalogue_is_stable(self):
-        assert len(INVARIANT_CODES) == 9
+        assert len(INVARIANT_CODES) == 10
+        assert INVARIANT_CODES[-1] == "INV-REFS-DELTA"
         assert len(set(INVARIANT_CODES)) == len(INVARIANT_CODES)
         assert all(code.startswith("INV-") for code in INVARIANT_CODES)
 
@@ -341,3 +342,90 @@ class TestSanitizerBehaviour:
             scheme.nvram.entries,
         )
         assert before == after
+
+
+class TestRefsDeltaInvariant:
+    """INV-REFS-DELTA: windowed Map-table growth accounting."""
+
+    def make_checked(self):
+        scheme = make_scheme(SelectDedupe)
+        now = warm(scheme)
+        sanitizer = PodSanitizer(fail_fast=False)
+        assert sanitizer.check_scheme(scheme, now) == []
+        return scheme, sanitizer, now
+
+    def test_legal_growth_between_checks_is_clean(self):
+        scheme, sanitizer, now = self.make_checked()
+        scheme.process(
+            IORequest.write(
+                time=now + 1e-3, lba=1024, fingerprints=[101, 102, 103, 104]
+            ),
+            now + 1e-3,
+        )
+        assert sanitizer.check_scheme(scheme, now + 1.0) == []
+
+    def test_entries_from_nowhere_fire(self):
+        scheme, sanitizer, now = self.make_checked()
+        # forge a redirection without any write-path operation: the
+        # entry count grows, the accounting counters do not.
+        pba = scheme.map_table.translate(512)  # live, deduped target
+        scheme.map_table._map[999] = pba
+        scheme.map_table._refs[pba] += 1
+        codes = {v.code for v in sanitizer.check_scheme(scheme, now + 1.0)}
+        assert "INV-REFS-DELTA" in codes
+        msgs = [
+            v.message
+            for v in sanitizer.violations
+            if v.code == "INV-REFS-DELTA"
+        ]
+        assert any("from nowhere" in m for m in msgs)
+
+    def test_backwards_counters_fire(self):
+        scheme, sanitizer, now = self.make_checked()
+        scheme.write_blocks_deduped -= 1
+        codes = {v.code for v in sanitizer.check_scheme(scheme, now + 1.0)}
+        assert "INV-REFS-DELTA" in codes
+
+    def test_first_check_only_sets_baseline(self):
+        """A corrupt-looking delta cannot fire on the very first check
+        of a scheme: there is no window yet."""
+        scheme = make_scheme(SelectDedupe)
+        warm(scheme)
+        sanitizer = PodSanitizer(fail_fast=False)
+        out = [
+            v
+            for v in sanitizer.check_scheme(scheme, 1.0)
+            if v.code == "INV-REFS-DELTA"
+        ]
+        assert out == []
+
+    def test_baselines_are_per_scheme(self):
+        a, b = make_scheme(SelectDedupe), make_scheme(SelectDedupe)
+        warm(a)
+        sanitizer = PodSanitizer(fail_fast=False)
+        assert sanitizer.check_scheme(a, 1.0) == []
+        # checking a *different* scheme must not inherit a's baseline
+        warm(b)
+        out = [
+            v
+            for v in sanitizer.check_scheme(b, 2.0)
+            if v.code == "INV-REFS-DELTA"
+        ]
+        assert out == []
+
+    def test_registry_snapshots_each_check(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        scheme = make_scheme(SelectDedupe)
+        warm(scheme)
+        sanitizer = PodSanitizer(fail_fast=False, registry=registry)
+        sanitizer.check_scheme(scheme, 1.0)
+        sanitizer.check_scheme(scheme, 2.0)
+        assert registry.counter("sanitizer.checks").value == 2
+        assert registry.gauge("sanitizer.map_entries").value == float(
+            len(scheme.map_table)
+        )
+        assert registry.gauge("sanitizer.refcount_total").value == float(
+            sum(scheme.map_table._refs.values())
+        )

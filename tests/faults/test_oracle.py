@@ -1,0 +1,95 @@
+"""Unit tests for the end-to-end content oracle."""
+
+import pytest
+
+from repro.baselines.base import SchemeConfig
+from repro.core.select_dedupe import SelectDedupe
+from repro.errors import FaultError
+from repro.faults import ContentOracle
+from repro.sim.request import IORequest
+
+
+def make_scheme():
+    return SelectDedupe(SchemeConfig(logical_blocks=512, memory_bytes=64 * 1024))
+
+
+def drive(scheme, oracle, writes):
+    now = 0.0
+    for lba, fps in writes:
+        now += 1e-3
+        req = IORequest.write(time=now, lba=lba, fingerprints=list(fps))
+        scheme.process(req, now)
+        oracle.note_write(req)
+    return now
+
+
+class TestCleanRuns:
+    def test_reads_of_written_blocks_verify(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        now = drive(scheme, oracle, [(0, [1, 2, 3]), (10, [1, 2, 3]), (0, [9, 9])])
+        req = IORequest.read(time=now + 1e-3, lba=0, nblocks=3)
+        scheme.process(req, now + 1e-3)
+        oracle.check_read(req, scheme)
+        assert oracle.mismatches == 0
+        assert oracle.blocks_checked == 3
+        oracle.assert_clean(scheme)
+
+    def test_never_written_blocks_are_skipped(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        req = IORequest.read(time=1.0, lba=100, nblocks=4)
+        oracle.check_read(req, scheme)
+        assert oracle.blocks_checked == 0 and oracle.mismatches == 0
+
+
+class TestMismatchDetection:
+    def test_corrupted_mapping_is_caught_inline(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        now = drive(scheme, oracle, [(0, [1, 2, 3]), (50, [7, 8])])
+        # corrupt the live state behind the oracle's back
+        scheme.map_table._map[50] = scheme.regions.home_of(51)
+        scheme.map_table._refs[scheme.regions.home_of(51)] = 1
+        req = IORequest.read(time=now + 1e-3, lba=50, nblocks=1)
+        oracle.check_read(req, scheme)
+        assert oracle.mismatches == 1
+        with pytest.raises(FaultError, match="content oracle"):
+            oracle.assert_clean(scheme)
+
+    def test_verify_all_sweeps_final_state(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        drive(scheme, oracle, [(0, [1, 2, 3])])
+        scheme.content.write(scheme.map_table.translate(1), 424242)
+        problems = oracle.verify_all(scheme)
+        assert len(problems) == 1 and "LBA 1" in problems[0]
+
+
+class TestAtRisk:
+    def test_at_risk_reads_counted_not_failed(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        now = drive(scheme, oracle, [(0, [1, 2])])
+        oracle.mark_at_risk([0])
+        req = IORequest.read(time=now + 1e-3, lba=0, nblocks=2)
+        oracle.check_read(req, scheme)
+        assert oracle.at_risk_reads == 1  # LBA 0 flagged, LBA 1 checked
+        assert oracle.blocks_checked == 1
+        oracle.assert_clean(scheme)
+
+    def test_write_heals_at_risk(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        drive(scheme, oracle, [(0, [1, 2])])
+        oracle.mark_at_risk([0, 1])
+        drive(scheme, oracle, [(0, [5, 6])])
+        assert oracle.at_risk == set()
+
+    def test_at_risk_excluded_from_final_sweep(self):
+        scheme, oracle = make_scheme(), ContentOracle()
+        drive(scheme, oracle, [(0, [1])])
+        scheme.content.write(scheme.map_table.translate(0), 31337)
+        oracle.mark_at_risk([0])
+        assert oracle.verify_all(scheme) == []
+        oracle.assert_clean(scheme)
+
+    def test_summary_shape(self):
+        oracle = ContentOracle()
+        s = oracle.summary()
+        assert set(s) == {"writes_noted", "reads_checked", "blocks_checked",
+                          "at_risk_reads", "at_risk_lbas", "mismatches"}

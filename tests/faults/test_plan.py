@@ -1,0 +1,115 @@
+"""Unit tests for fault-plan validation and (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FailSlowSpec,
+    FaultPlan,
+    IndexCorruptionSpec,
+    LatentSectorErrorSpec,
+    MemberFailureSpec,
+    NvramLossSpec,
+    RetryPolicy,
+)
+
+FULL = {
+    "seed": 11,
+    "latent_sector_errors": {"pbas": [1, 2, 3], "random_count": 4},
+    "lse_retry": {"max_retries": 2, "backoff": 0.001},
+    "fail_slow": [{"disk": 0, "start": 1.0, "end": 2.0, "multiplier": 3.0}],
+    "member_failure": {"disk": 1, "time": 5.0, "rows_per_batch": 8,
+                       "interval": 0.1, "capacity_aware": True},
+    "nvram_loss": [{"time": 7.0, "torn_entries": 4, "lose_journal_tail": 1,
+                    "tear_journal_tail": 2}],
+    "index_corruption": [{"time": 9.0, "entries": 2, "bit": 17}],
+}
+
+
+class TestValidation:
+    def test_defaults_are_empty(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert not FaultPlan(fail_slow=(FailSlowSpec(0, 0.0, 1.0),)).is_empty()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(seed=-1)
+
+    @pytest.mark.parametrize("bad", [
+        lambda: RetryPolicy(max_retries=-1),
+        lambda: RetryPolicy(backoff=-0.1),
+        lambda: LatentSectorErrorSpec(pbas=(-3,)),
+        lambda: LatentSectorErrorSpec(random_count=-1),
+        lambda: FailSlowSpec(disk=-1, start=0.0, end=1.0),
+        lambda: FailSlowSpec(disk=0, start=2.0, end=1.0),
+        lambda: FailSlowSpec(disk=0, start=0.0, end=1.0, multiplier=0.5),
+        lambda: MemberFailureSpec(disk=0, time=-1.0),
+        lambda: MemberFailureSpec(disk=0, time=0.0, rows_per_batch=0),
+        lambda: MemberFailureSpec(disk=0, time=0.0, interval=0.0),
+        lambda: NvramLossSpec(time=-1.0),
+        lambda: NvramLossSpec(time=0.0, tear_journal_tail=-1),
+        lambda: NvramLossSpec(time=0.0, base_recovery_cost=-1.0),
+        lambda: IndexCorruptionSpec(time=0.0, entries=0),
+        lambda: IndexCorruptionSpec(time=0.0, bit=63),
+        lambda: IndexCorruptionSpec(time=0.0, bit=-1),
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultError):
+            bad()
+
+    def test_with_seed_replaces_only_seed(self):
+        plan = FaultPlan.from_dict(FULL)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.member_failure == plan.member_failure
+        assert reseeded.fail_slow == plan.fail_slow
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan.from_dict(FULL)
+        again = FaultPlan.from_dict(plan.as_dict())
+        assert again == plan
+
+    def test_as_dict_is_json_ready(self):
+        json.dumps(FaultPlan.from_dict(FULL).as_dict())
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault plan key"):
+            FaultPlan.from_dict({"surprise": 1})
+
+    def test_unknown_spec_fields_rejected(self):
+        with pytest.raises(FaultError, match="FailSlowSpec"):
+            FaultPlan.from_dict({"fail_slow": [{"disk": 0, "start": 0.0,
+                                                "end": 1.0, "wat": 2}]})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(FULL))
+        assert FaultPlan.load(str(path)) == FaultPlan.from_dict(FULL)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json{")
+        with pytest.raises(FaultError):
+            FaultPlan.load(str(path))
+        path.write_text("[1, 2]")
+        with pytest.raises(FaultError, match="JSON object"):
+            FaultPlan.load(str(path))
+        with pytest.raises(FaultError):
+            FaultPlan.load(str(tmp_path / "missing.json"))
+
+
+class TestHashability:
+    def test_plan_is_hashable_for_config_memoisation(self):
+        """Plans ride inside the frozen, memo-cache-keyed ReplayConfig."""
+        from repro.sim.replay import ReplayConfig
+
+        a = FaultPlan.from_dict(FULL)
+        b = FaultPlan.from_dict(FULL)
+        assert hash(a) == hash(b) and a == b
+        assert hash(ReplayConfig(faults=a)) == hash(ReplayConfig(faults=b))
+        assert hash(a) != hash(a.with_seed(99)) or a != a.with_seed(99)

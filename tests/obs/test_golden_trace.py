@@ -16,7 +16,7 @@ from __future__ import annotations
 import io
 from pathlib import Path
 
-from repro.obs.events import EVENT_FIELDS, EVENT_SCHEMA_VERSION
+from repro.obs.events import EVENT_FIELDS, EVENT_SCHEMA_VERSION, FAULT_EVENT_TYPES
 from repro.obs.trace import TraceRecorder, read_jsonl
 from repro.obs.events import TraceLevel
 from repro.baselines.base import SchemeConfig
@@ -80,10 +80,14 @@ def test_golden_jsonl_snapshot():
 
 
 def test_golden_covers_every_event_type():
-    """The golden replay emits every event type in the vocabulary, so
-    the snapshot really does pin the whole schema."""
+    """The golden replay emits every non-fault event type in the
+    vocabulary, so the snapshot really does pin the whole schema.
+    Fault events only fire under an armed fault plan, which the golden
+    healthy replay by definition never carries (their field contract
+    is pinned by tests/faults/test_injector.py instead)."""
     etypes = {e.etype for e in _golden_replay().events}
-    assert etypes == set(EVENT_FIELDS)
+    assert etypes == set(EVENT_FIELDS) - FAULT_EVENT_TYPES
+    assert not (etypes & FAULT_EVENT_TYPES)
 
 
 def test_emitted_events_match_field_contract():

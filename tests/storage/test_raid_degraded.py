@@ -52,6 +52,45 @@ class TestDegradedReads:
             ops = r.map_read_degraded(VolumeOp(OpType.READ, 0, 1), failed)
             assert len(ops) == ndisks - 1
 
+    def test_failed_parity_member_leaves_row_reads_untouched(self):
+        """Reads never touch parity, so losing a row's *parity* member
+        costs nothing on the read path for that row."""
+        r = raid5()
+        row_blocks = 3 * SU
+        for row in range(4):
+            parity = r.parity_disk_of_row(row)
+            op = VolumeOp(OpType.READ, row * row_blocks, row_blocks)
+            assert r.map_read_degraded(op, parity) == r.map_read(op)
+
+    def test_read_spanning_rotating_parity(self):
+        """A long read crosses rows where the failed disk is parity in
+        one row (free) and data in another (3x fan-out), thanks to the
+        left-symmetric rotation."""
+        r = raid5()
+        row_blocks = 3 * SU
+        failed = r.parity_disk_of_row(0)
+        op = VolumeOp(OpType.READ, 0, 2 * row_blocks)
+        ops = r.map_read_degraded(op, failed)
+        assert not any(o.disk_id == failed for o in ops)
+        # expected cost, fragment by fragment
+        expected = 0
+        for unit in range(6):
+            disk = r.locate(unit * SU)[0]
+            expected += 3 if disk == failed else 1
+        assert len(ops) == expected
+        # rotation guarantees the failed disk holds data in row 1
+        assert expected > 6
+
+    def test_multi_fragment_reconstruction_reads_align_per_fragment(self):
+        """Each failed fragment is reconstructed from the *same* disk
+        range on every survivor -- partial units stay partial."""
+        r = raid5()
+        failed, disk_pba = r.locate(2)[0], r.locate(2)[1]
+        ops = r.map_read_degraded(VolumeOp(OpType.READ, 2, 3), failed)
+        assert len(ops) == 3
+        assert {o.disk_id for o in ops} == set(range(4)) - {failed}
+        assert all(o.pba == disk_pba and o.nblocks == 3 for o in ops)
+
     def test_invalid_args(self):
         with pytest.raises(StorageError):
             raid5().map_read_degraded(VolumeOp(OpType.READ, 0, 1), 9)

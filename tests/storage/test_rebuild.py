@@ -72,6 +72,57 @@ class TestCapacityAware:
         assert rc.done and rc.rows_skipped == 5
 
 
+class TestBoundedScan:
+    """next_batch work is bounded by rows *scanned*, not rows rebuilt.
+
+    Regression tests for the unbounded-walk bug: on a mostly-empty
+    disk the old controller kept walking until it found ``rows`` live
+    rows, so one "paced" batch could scan the whole array in a single
+    call and the background-load model charged nothing for it.
+    """
+
+    def test_sparse_disk_batches_stay_bounded(self):
+        row_blocks = 3 * SU
+        # live data only in the very last of 100 rows
+        rc = RebuildController(
+            raid5(), failed_disk=1, disk_rows=100, live_pbas={99 * row_blocks}
+        )
+        assert rc.next_batch(10) == []  # nothing live in rows 0..9 ...
+        assert rc.rows_scanned == 10  # ... but only 10 rows examined
+        assert rc.rows_skipped == 10 and not rc.done
+        batches = 1
+        while not rc.done:
+            before = rc.rows_scanned
+            rc.next_batch(10)
+            assert rc.rows_scanned - before <= 10
+            batches += 1
+        assert batches == 10
+        assert rc.rows_rebuilt == 1 and rc.rows_skipped == 99
+
+    def test_scanned_equals_rebuilt_plus_skipped(self):
+        row_blocks = 3 * SU
+        live = {r * row_blocks for r in (0, 3, 4, 9)}
+        rc = RebuildController(raid5(), failed_disk=0, disk_rows=12, live_pbas=live)
+        while not rc.done:
+            rc.next_batch(5)
+            assert rc.rows_scanned == rc.rows_rebuilt + rc.rows_skipped
+        assert rc.rows_scanned == 12
+        assert rc.rows_rebuilt == 4 and rc.rows_skipped == 8
+
+    def test_oblivious_mode_scans_exactly_what_it_rebuilds(self):
+        rc = RebuildController(raid5(), failed_disk=2, disk_rows=7)
+        while not rc.done:
+            rc.next_batch(2)
+        assert rc.rows_scanned == rc.rows_rebuilt == 7
+        assert rc.rows_skipped == 0
+
+    def test_progress_counts_scanned_rows(self):
+        rc = RebuildController(raid5(), failed_disk=1, disk_rows=8, live_pbas=[])
+        rc.next_batch(4)
+        assert rc.progress == pytest.approx(0.5)
+        assert rc.rows_scanned == 4
+
+
 class TestGuards:
     def test_raid0_rejected(self):
         r0 = RaidArray(RaidGeometry(RaidLevel.RAID0, 4))
