@@ -370,7 +370,31 @@ class _PodVisitor(ast.NodeVisitor):
                 "os.environ access in a deterministic package; thread "
                 "configuration explicitly",
             )
+        self._check_private_access(node)
         self.generic_visit(node)
+
+    # -- POD007: cross-object private attribute access -------------------
+
+    def _check_private_access(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if not attr.startswith("_") or attr.startswith("__"):
+            return
+        recv = node.value
+        # ``self._x`` / ``cls._x`` are the class's own business.
+        if isinstance(recv, ast.Name) and recv.id in ("self", "cls"):
+            return
+        # ``super()._x(...)`` is cooperative inheritance, not a breach.
+        if (
+            isinstance(recv, ast.Call)
+            and _dotted_name(recv.func) == "super"
+        ):
+            return
+        self._add(
+            ALL_RULES["POD007"],
+            node,
+            f"access to another object's private attribute `.{attr}`; "
+            "add/use a sanctioned accessor on the owning class instead",
+        )
 
     # -- POD003: float time equality -----------------------------------
 
@@ -542,7 +566,7 @@ def lint_paths(
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="POD determinism linter (rules POD001..POD006)",
+        description="POD determinism linter (rules POD001..POD007)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -34,6 +34,7 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro/obs",
     "repro/traces",
     "repro/metrics",
+    "repro/cluster",
 )
 
 
@@ -127,7 +128,19 @@ POD006 = Rule(
     scope=RuleScope.DETERMINISTIC,
 )
 
+POD007 = Rule(
+    code="POD007",
+    name="cross-object-private-access",
+    summary=(
+        "access to another object's `._private` attribute (receiver is "
+        "not self/cls/super()); use the owning class's sanctioned "
+        "accessor surface instead -- encapsulation is what keeps the "
+        "sanitizer/observer layers honest"
+    ),
+    scope=RuleScope.EVERYWHERE,
+)
+
 #: Every rule, by code, in catalogue order.
 ALL_RULES: Dict[str, Rule] = {
-    r.code: r for r in (POD001, POD002, POD003, POD004, POD005, POD006)
+    r.code: r for r in (POD001, POD002, POD003, POD004, POD005, POD006, POD007)
 }

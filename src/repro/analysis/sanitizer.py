@@ -35,6 +35,12 @@ Checked invariants (each has a stable code used in diagnostics):
     targets are *consecutive on disk* -- a full-request run, or runs
     of at least the category-3 threshold (enforced per decision via
     :meth:`PodSanitizer.attach`).
+``INV-IDEDUP-THRESHOLD``
+    iDedup decisions only deduplicate sequential duplicate runs of at
+    least ``idedup_threshold`` chunks, with *no* full-request
+    exemption -- iDedup's spatial-locality rule is unconditional
+    (Srinivasan et al., FAST'12; enforced per decision via
+    :meth:`PodSanitizer.attach`).
 ``INV-CACHE-BUDGET``
     Index + read partitions exactly exhaust the DRAM budget, every
     actual/ghost cache respects its byte capacity, and each ghost's
@@ -68,7 +74,7 @@ from __future__ import annotations
 
 from collections import Counter as _Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import ReproError
 
@@ -85,6 +91,7 @@ INVARIANT_CODES = (
     "INV-INDEX-PBA",
     "INV-INDEX-COUNT",
     "INV-CAT-SEQ",
+    "INV-IDEDUP-THRESHOLD",
     "INV-CACHE-BUDGET",
     "INV-CACHE-DISJOINT",
     "INV-NVRAM-MODEL",
@@ -129,30 +136,35 @@ def validate_dedupe_selection(
     chosen: Set[int],
     threshold: int,
     sequential_policy: bool = True,
+    full_request_exemption: bool = True,
+    code: str = "INV-CAT-SEQ",
 ) -> List[Violation]:
-    """Validate one write-path dedupe decision against Figure 5.
+    """Validate one write-path dedupe decision against its policy.
 
     ``chosen`` is the set of chunk indices the scheme decided to
     deduplicate; ``duplicate_pbas`` the per-chunk candidate targets.
     Universal rule: only chunks with a known duplicate may be chosen.
-    With ``sequential_policy`` (Select-Dedupe/POD), chosen chunks must
-    additionally decompose into runs of consecutive indices whose
-    targets are consecutive PBAs, each run either covering the whole
-    request (category 1) or at least ``threshold`` chunks long
-    (category 3).
+    With ``sequential_policy``, chosen chunks must additionally
+    decompose into runs of consecutive indices whose targets are
+    consecutive PBAs, each run at least ``threshold`` chunks long.
+    ``full_request_exemption`` admits a single run covering the whole
+    request regardless of length (Select-Dedupe's category 1 -- a
+    fully redundant request is always eliminated); iDedup has no such
+    exemption, its threshold applies to every run (pass ``False`` and
+    ``code="INV-IDEDUP-THRESHOLD"``).
     """
     violations: List[Violation] = []
     n = len(duplicate_pbas)
     for i in sorted(chosen):
         if i < 0 or i >= n:
             violations.append(Violation(
-                "INV-CAT-SEQ",
+                code,
                 f"dedupe decision chose chunk {i} outside request of {n} chunks",
             ))
             return violations
         if duplicate_pbas[i] is None:
             violations.append(Violation(
-                "INV-CAT-SEQ",
+                code,
                 f"dedupe decision chose chunk {i} with no known duplicate",
             ))
     if violations or not chosen or not sequential_policy:
@@ -172,13 +184,15 @@ def validate_dedupe_selection(
             run_len = 1
     runs.append(run_len)
 
-    fully_redundant = len(chosen) == n and len(runs) == 1
+    fully_redundant = (
+        full_request_exemption and len(chosen) == n and len(runs) == 1
+    )
     if not fully_redundant:
         for length in runs:
             if length < threshold:
                 violations.append(Violation(
-                    "INV-CAT-SEQ",
-                    f"category-3 decision deduplicated a run of {length} "
+                    code,
+                    f"sequential-run decision deduplicated a run of {length} "
                     f"chunk(s) below the threshold of {threshold} (or the "
                     "duplicate targets are not sequential on disk)",
                 ))
@@ -245,37 +259,61 @@ class PodSanitizer:
     # ------------------------------------------------------------------
 
     def attach(self, scheme: "DedupScheme") -> None:
-        """Wrap the scheme's dedupe policy with decision validation.
+        """Install per-decision validation on the scheme's write path.
 
-        Observation only: the wrapper forwards the original decision
-        unchanged.  The sequential-run policy is enforced for
-        Select-Dedupe-family schemes (which implement Figure 5); for
-        other schemes only the universal "chosen chunks must have a
-        duplicate" rule applies.
+        Observation only: the scheme invokes
+        :attr:`~repro.baselines.base.DedupScheme.decision_hook` with
+        every ``(request, duplicate_pbas, chosen)`` decision and
+        ignores the hook's return value.  The policy enforced depends
+        on the scheme:
+
+        * Select-Dedupe family (incl. POD): Figure-5 semantics --
+          sequential runs of at least ``select_threshold`` chunks, with
+          the full-request (category 1) exemption (``INV-CAT-SEQ``);
+        * iDedup: sequential runs of at least ``idedup_threshold``
+          chunks, *no* full-request exemption -- iDedup's threshold is
+          unconditional (``INV-IDEDUP-THRESHOLD``);
+        * everything else: only the universal "chosen chunks must have
+          a known duplicate" rule.
         """
+        from repro.baselines.idedup import IDedup
         from repro.core.select_dedupe import SelectDedupe
 
-        sequential_policy = isinstance(scheme, SelectDedupe)
-        threshold = scheme.config.select_threshold
-        original = scheme._choose_dedupe
+        if isinstance(scheme, SelectDedupe):
+            sequential_policy = True
+            full_request_exemption = True
+            threshold = scheme.config.select_threshold
+            code = "INV-CAT-SEQ"
+        elif isinstance(scheme, IDedup):
+            sequential_policy = True
+            full_request_exemption = False
+            threshold = scheme.config.idedup_threshold
+            code = "INV-IDEDUP-THRESHOLD"
+        else:
+            sequential_policy = False
+            full_request_exemption = True
+            threshold = scheme.config.select_threshold
+            code = "INV-CAT-SEQ"
 
         def checked(
-            request: "IORequest", duplicate_pbas: Sequence[Optional[int]]
-        ) -> Set[int]:
-            chosen = original(request, duplicate_pbas)
+            request: "IORequest",
+            duplicate_pbas: Sequence[Optional[int]],
+            chosen: Set[int],
+        ) -> None:
             self.stats.decisions_validated += 1
             violations = validate_dedupe_selection(
                 duplicate_pbas, chosen, threshold,
                 sequential_policy=sequential_policy,
+                full_request_exemption=full_request_exemption,
+                code=code,
             )
             if violations:
                 self._report([
                     Violation(v.code, f"req {request.req_id}: {v.message}", v.t)
                     for v in violations
                 ])
-            return chosen
 
-        scheme._choose_dedupe = checked  # type: ignore[method-assign]
+        scheme.decision_hook = checked
 
     # ------------------------------------------------------------------
     # state checks
@@ -319,7 +357,7 @@ class PodSanitizer:
         out: List[Violation] = []
         table = scheme.map_table
         regions = scheme.regions
-        mapping: Dict[int, int] = table._map
+        mapping: Mapping[int, int] = table.mapping
         for lba, pba in mapping.items():
             if not (0 <= pba < regions.total_blocks):
                 out.append(Violation(
@@ -356,7 +394,7 @@ class PodSanitizer:
                 ))
 
         recomputed = _Counter(mapping.values())
-        refs: Dict[int, int] = table._refs
+        refs: Mapping[int, int] = table.refcounts
         for pba, count in refs.items():
             if count < 1:
                 out.append(Violation(
@@ -386,7 +424,7 @@ class PodSanitizer:
         if table is None:
             return out
         lru = table.lru
-        by_pba: Dict[int, int] = table._by_pba
+        by_pba: Mapping[int, int] = table.pba_claims
         live_count_sum = 0
         seen_pbas: Set[int] = set()
         for fp in lru.keys_lru_order():
@@ -422,10 +460,10 @@ class PodSanitizer:
                 ))
 
         parked_count_sum = 0
-        store = getattr(scheme.cache, "_index_store", None)
-        if store:
+        parked = getattr(scheme.cache, "parked_index_entries", None)
+        if parked is not None:
             parked_count_sum = sum(
-                max(entry.count, 0) for entry in store.values()
+                max(entry.count, 0) for entry in parked().values()
             )
         if live_count_sum + parked_count_sum > lru.hits:
             out.append(Violation(
@@ -524,7 +562,7 @@ class PodSanitizer:
             self.registry.set("sanitizer.map_entries", float(entries))
             self.registry.set(
                 "sanitizer.refcount_total",
-                float(sum(scheme.map_table._refs.values())),
+                float(sum(scheme.map_table.refcounts.values())),
             )
             self.registry.inc("sanitizer.checks")
         key = id(scheme)

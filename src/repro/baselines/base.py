@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constants import (
     BLOCK_SIZE,
@@ -213,6 +213,14 @@ class DedupScheme(abc.ABC):
         #: emission site guards on ``self.obs.level`` so the disabled
         #: path costs one integer compare).
         self.obs: TraceRecorder = NULL_RECORDER
+        #: Optional per-decision observer called right after
+        #: :meth:`_choose_dedupe` with ``(request, duplicate_pbas,
+        #: chosen)``.  Observation only -- the write path ignores its
+        #: return value.  The POD sanitizer installs its per-scheme
+        #: policy check here (``--check-invariants``).
+        self.decision_hook: Optional[
+            Callable[[IORequest, Sequence[Optional[int]], Set[int]], None]
+        ] = None
         #: Simulated time of the request currently being processed
         #: (timestamp source for events emitted below ``process``).
         self._obs_now: float = 0.0
@@ -390,6 +398,8 @@ class DedupScheme(abc.ABC):
             duplicate_pbas = [None] * request.nblocks
 
         dedupe_idx = self._choose_dedupe(request, duplicate_pbas)
+        if self.decision_hook is not None:
+            self.decision_hook(request, duplicate_pbas, dedupe_idx)
         if self.quarantined_lbas:
             # Degradation mode: a quarantined LBA's content is
             # unverifiable, so its write must carry real data -- never

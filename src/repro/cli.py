@@ -127,6 +127,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="structural-check cadence in requests "
                        "(with --check-invariants; default 1000)")
 
+    cluster = sub.add_parser(
+        "run-cluster",
+        help="replay the tenant volumes across a sharded multi-node cluster",
+    )
+    cluster.add_argument("--trace", action="append", required=True, dest="traces",
+                         choices=["web-vm", "homes", "mail"], metavar="NAME",
+                         help="base trace family (repeatable); each family is "
+                         "expanded into --copies tenant volumes")
+    cluster.add_argument("--scheme", default="POD", help=scheme_help)
+    cluster.add_argument("--nodes", type=int, default=2,
+                         help="POD nodes in the cluster (default 2); volumes "
+                         "are assigned round-robin")
+    cluster.add_argument("--copies", type=int, default=2,
+                         help="tenant clones per base trace (default 2)")
+    cluster.add_argument("--divergence", type=float, default=0.15,
+                         help="fraction of each clone's content privatised "
+                         "away from the golden image (default 0.15)")
+    cluster.add_argument("--skew", type=float, default=0.5,
+                         help="per-tenant arrival-rate skew exponent "
+                         "(default 0.5)")
+    cluster.add_argument("--scale", type=float, default=0.1)
+    cluster.add_argument("--seed", type=int, default=None,
+                         help="trace-generator seed (recorded in the report)")
+    cluster.add_argument("--vnodes", type=int, default=None,
+                         help="virtual nodes per member on the hash ring "
+                         "(default 64)")
+    cluster.add_argument("--net-latency", type=float, default=None,
+                         metavar="SECONDS",
+                         help="one-way network latency (default 100e-6)")
+    cluster.add_argument("--net-bandwidth", type=float, default=None,
+                         metavar="BYTES_PER_S",
+                         help="per-link bandwidth (default 1e9)")
+    cluster.add_argument("--rebalance-at", type=float, default=None,
+                         metavar="SECONDS",
+                         help="trigger a membership change at this simulated "
+                         "time")
+    cluster.add_argument("--rebalance-add", type=int, default=0, metavar="N",
+                         help="nodes to add at --rebalance-at (default 0)")
+    cluster.add_argument("--rebalance-remove", type=int, default=None,
+                         metavar="NODE",
+                         help="node id to retire at --rebalance-at")
+    cluster.add_argument("--migrate-batch", type=int, default=256, metavar="N",
+                         help="shard entries migrated per background batch "
+                         "(default 256)")
+    cluster.add_argument("--migrate-interval", type=float, default=0.01,
+                         metavar="SECONDS",
+                         help="pause between migration batches (default 0.01)")
+    cluster.add_argument("--fail-node", type=int, default=None, metavar="NODE",
+                         help="degrade this node's RAID-5 array mid-run and "
+                         "pace a rebuild (needs --fail-node-at)")
+    cluster.add_argument("--fail-node-at", type=float, default=None,
+                         metavar="SECONDS",
+                         help="simulated time of the node failure")
+    cluster.add_argument("--verify-content", action="store_true",
+                         help="arm a per-node content oracle that checks "
+                         "every read against the write history")
+    cluster.add_argument("--check-invariants", action="store_true",
+                         help="validate every POD invariant on every node "
+                         "during the replay")
+    cluster.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
+                         help="structural-check cadence in requests "
+                         "(with --check-invariants; default 1000)")
+    cluster.add_argument("--report-out", default=None, metavar="FILE.json",
+                         help="write the run report with per-node and "
+                         "cluster sections")
+
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
     compare.add_argument("--scale", type=float, default=0.1)
@@ -144,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(requires --faults)")
 
     lint = sub.add_parser(
-        "lint", help="run the POD determinism linter (rules POD001..POD006)"
+        "lint", help="run the POD determinism linter (rules POD001..POD007)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -411,6 +477,140 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, NetworkModel, RebalanceSpec
+    from repro.errors import ConfigError
+    from repro.experiments import runner
+    from repro.faults import NodeFailureSpec
+    from repro.sim.replay import ReplayConfig
+
+    net_kwargs = {}
+    if args.net_latency is not None:
+        net_kwargs["latency"] = args.net_latency
+    if args.net_bandwidth is not None:
+        net_kwargs["bandwidth"] = args.net_bandwidth
+    rebalance = None
+    if args.rebalance_at is not None:
+        rebalance = RebalanceSpec(
+            time=args.rebalance_at,
+            add_nodes=args.rebalance_add,
+            remove_node=args.rebalance_remove,
+            entries_per_batch=args.migrate_batch,
+            interval=args.migrate_interval,
+        )
+    elif args.rebalance_add or args.rebalance_remove is not None:
+        raise ConfigError(
+            "--rebalance-add/--rebalance-remove require --rebalance-at"
+        )
+    node_failure = None
+    if args.fail_node is not None:
+        if args.fail_node_at is None:
+            raise ConfigError("--fail-node requires --fail-node-at")
+        node_failure = NodeFailureSpec(node=args.fail_node, time=args.fail_node_at)
+    elif args.fail_node_at is not None:
+        raise ConfigError("--fail-node-at requires --fail-node")
+    cluster_kwargs = dict(
+        net=NetworkModel(**net_kwargs),
+        rebalance=rebalance,
+        node_failure=node_failure,
+        verify_content=args.verify_content,
+    )
+    if args.vnodes is not None:
+        cluster_kwargs["vnodes"] = args.vnodes
+    cluster_config = ClusterConfig(**cluster_kwargs)
+    replay_config = ReplayConfig(
+        check_invariants=args.check_invariants,
+        sanitize_every=args.sanitize_every,
+    )
+    result = runner.run_cluster(
+        args.traces,
+        args.scheme,
+        nodes=args.nodes,
+        copies=args.copies,
+        scale=args.scale,
+        seed=args.seed,
+        divergence=args.divergence,
+        arrival_skew=args.skew,
+        replay_config=replay_config,
+        cluster_config=cluster_config,
+    )
+    _print_result(result)
+    if result.nodes:
+        print()
+        print(render_table(
+            f"per-node breakdown ({len(result.nodes)} nodes, "
+            f"sharded fingerprint directory)",
+            ["node", "name", "vols", "reqs", "mean ms", "wr elim",
+             "remote lkp", "remote dup", "rebal miss"],
+            [
+                [
+                    n["node_id"],
+                    n["name"],
+                    len(n.get("volumes", [])),
+                    n.get("requests", n.get("requests_served", 0)),
+                    f"{n.get('mean_response', 0.0) * 1e3:.3f}",
+                    n.get("write_requests_removed", 0),
+                    n.get("remote_lookups", 0),
+                    n.get("remote_duplicate_blocks", 0),
+                    n.get("rebalance_misses", 0),
+                ]
+                for n in result.nodes
+            ],
+        ))
+    cs = result.cluster_stats
+    if cs is not None:
+        fabric = cs.get("fabric", {})
+        print(f"cluster: {cs['nodes']} nodes, ring {cs['ring_members']}, "
+              f"{cs['remote_lookups']} remote lookups, "
+              f"{cs['remote_duplicate_blocks']} remote duplicate blocks, "
+              f"fabric {fabric.get('rpcs', 0)} RPCs / "
+              f"{fabric.get('bytes_moved', 0)} bytes")
+        rb = cs.get("rebalance")
+        if rb is not None:
+            print(f"rebalance: moved {rb.get('entries_migrated', 0)} entries "
+                  f"({rb.get('entries_superseded', 0)} superseded), "
+                  f"{cs.get('rebalance_misses', 0)} directory misses")
+        nf = cs.get("node_failure")
+        if nf is not None:
+            print(f"node failure: node {nf.get('node')} disk {nf.get('disk')} "
+                  f"rebuild done={nf.get('done')} "
+                  f"progress={nf.get('progress', 0.0):.2f}")
+        for oracle in cs.get("oracle", []):
+            print(f"oracle node{oracle.get('node')}: "
+                  f"{oracle.get('blocks_checked', 0)} blocks checked, "
+                  f"{oracle.get('mismatches', 0)} mismatches")
+    if result.sanitizer is not None:
+        s = result.sanitizer.summary()
+        print(f"invariants clean: {s['checks_run']} structural checks, "
+              f"{s['decisions_validated']} dedupe decisions validated")
+    if args.report_out is not None:
+        from repro.obs import build_run_report, write_report
+
+        report = build_run_report(
+            result,
+            seed=args.seed,
+            scale=args.scale,
+            config={
+                "traces": list(args.traces),
+                "nodes": args.nodes,
+                "copies": args.copies,
+                "divergence": args.divergence,
+                "arrival_skew": args.skew,
+                "vnodes": args.vnodes,
+                "net_latency": args.net_latency,
+                "net_bandwidth": args.net_bandwidth,
+                "rebalance_at": args.rebalance_at,
+                "rebalance_add": args.rebalance_add,
+                "rebalance_remove": args.rebalance_remove,
+                "fail_node": args.fail_node,
+                "fail_node_at": args.fail_node_at,
+            },
+        )
+        write_report(report, args.report_out)
+        print(f"wrote {args.report_out}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments import runner
     from repro.experiments.runner import PAPER_SCHEMES
@@ -612,6 +812,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 COMMANDS = {
     "run": cmd_run,
     "run-multi": cmd_run_multi,
+    "run-cluster": cmd_run_cluster,
     "compare": cmd_compare,
     "stats": cmd_stats,
     "figures": cmd_figures,

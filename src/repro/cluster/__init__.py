@@ -1,0 +1,34 @@
+"""Sharded multi-node dedup domain (cluster layer).
+
+POD is a per-node design; this package scales it out: N complete POD
+nodes run inside one :class:`~repro.sim.engine.Simulator` event loop,
+a consistent-hash :class:`~repro.cluster.router.FingerprintRouter`
+shards the fingerprint directory across them, remote lookups pay a
+:class:`~repro.cluster.netmodel.NetworkModel`, and membership changes
+migrate shard ranges as paced background load
+(:class:`~repro.cluster.rebalance.ShardMigrator`).
+
+See docs/cluster.md for the design and ``repro run-cluster`` for the
+CLI entry point.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.netmodel import NetworkFabric, NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.rebalance import RebalanceSpec, ShardMigrator
+from repro.cluster.replay import ClusterConfig, replay_cluster
+from repro.cluster.router import DEFAULT_VNODES, FingerprintRouter, mix64
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterNode",
+    "DEFAULT_VNODES",
+    "FingerprintRouter",
+    "NetworkFabric",
+    "NetworkModel",
+    "RebalanceSpec",
+    "ShardMigrator",
+    "mix64",
+    "replay_cluster",
+]

@@ -1,0 +1,106 @@
+"""The cluster network cost model.
+
+Remote fingerprint lookups and shard migrations are not free: a
+message pays propagation latency each way, occupies its directed link
+for ``bytes / bandwidth`` seconds, and queues behind earlier messages
+on the same link.  The model mirrors the analytic disk model in
+:mod:`repro.storage.disk`: completion times are computed at issue time
+from per-link busy horizons, which keeps the whole cluster replay on
+the fast analytic path and bit-for-bit deterministic.
+
+A :class:`NetworkFabric` tracks one busy horizon per *directed*
+``(src, dst)`` link (full-duplex fabric: ``a -> b`` and ``b -> a`` are
+independent).  Loopback (``src == dst``) is free -- a node consulting
+its own shard pays nothing, which is what pins the one-node cluster
+bit-identical to the single-node replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Frozen parameters of the inter-node fabric.
+
+    Attributes
+    ----------
+    latency:
+        One-way propagation delay, seconds (paid twice per RPC).
+    bandwidth:
+        Per-directed-link bandwidth, bytes/second.
+    lookup_bytes:
+        Wire size of one fingerprint lookup (request + response
+        amortised), bytes.
+    entry_bytes:
+        Wire size of one migrated shard entry (fingerprint + owner +
+        framing), bytes -- matches the Map table's 20 B/entry order of
+        magnitude with framing overhead.
+    """
+
+    latency: float = 100e-6
+    bandwidth: float = 1e9
+    lookup_bytes: int = 64
+    entry_bytes: int = 40
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ClusterError(f"negative network latency {self.latency}")
+        if self.bandwidth <= 0:
+            raise ClusterError(f"network bandwidth must be positive, got {self.bandwidth}")
+        if self.lookup_bytes <= 0:
+            raise ClusterError(f"lookup_bytes must be positive, got {self.lookup_bytes}")
+        if self.entry_bytes <= 0:
+            raise ClusterError(f"entry_bytes must be positive, got {self.entry_bytes}")
+
+
+class NetworkFabric:
+    """Analytic per-link queueing state over a :class:`NetworkModel`."""
+
+    def __init__(self, model: NetworkModel) -> None:
+        self.model = model
+        #: Directed link -> time the link frees up.
+        self._busy: Dict[Tuple[int, int], float] = {}
+        # -- counters ---------------------------------------------------
+        self.rpcs = 0
+        self.bytes_moved = 0
+        self.queue_wait_total = 0.0
+        self.busy_time_total = 0.0
+        #: Queueing delay of the most recent RPC (for trace events).
+        self.last_queue_wait = 0.0
+
+    def round_trip(self, now: float, src: int, dst: int, nbytes: int) -> float:
+        """Completion time of an ``nbytes`` RPC issued at ``now``.
+
+        Loopback completes immediately at ``now`` and records nothing.
+        """
+        if src == dst:
+            return now
+        if nbytes <= 0:
+            raise ClusterError(f"RPC payload must be positive, got {nbytes}")
+        link = (src, dst)
+        service = nbytes / self.model.bandwidth
+        start = max(now, self._busy.get(link, 0.0))
+        self._busy[link] = start + service
+        self.rpcs += 1
+        self.bytes_moved += nbytes
+        self.last_queue_wait = start - now
+        self.queue_wait_total += start - now
+        self.busy_time_total += service
+        return start + service + 2.0 * self.model.latency
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Fabric totals for run reports and ``repro stats``."""
+        return {
+            "rpcs": self.rpcs,
+            "bytes_moved": self.bytes_moved,
+            "queue_wait_total": self.queue_wait_total,
+            "busy_time_total": self.busy_time_total,
+            "links_used": len(self._busy),
+        }

@@ -1,0 +1,152 @@
+"""One POD node inside a cluster replay.
+
+A :class:`ClusterNode` bundles everything the single-node replay
+builds at module scope -- a private RAID array over private member
+disks, one :class:`~repro.baselines.base.DedupScheme` (Index table,
+Map table, iCache budget and all), and a node-local
+:class:`~repro.storage.namespace.NamespaceMapper` over the volumes
+assigned to the node.  Every node is a *complete, standard* POD
+instance: the cluster layer above it routes dedup lookups and pays
+network costs, but data placement, Select-Dedupe decisions, sanitizer
+invariants and the content oracle all remain per-node properties.
+
+Disk service replicates :meth:`repro.sim.engine.Simulator.service_disk_ops`
+exactly (same FCFS busy-horizon arithmetic, same ``disk.op`` trace
+events) so that a one-node cluster produces byte-identical traces and
+utilisation tables to the classic engine path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import DedupScheme
+from repro.errors import ClusterError
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import TraceRecorder
+from repro.sim.request import DiskOp
+from repro.storage.disk import Disk
+from repro.storage.namespace import NamespaceMapper
+from repro.storage.raid import RaidArray
+from repro.storage.volume import VolumeOp
+
+
+class ClusterNode:
+    """A POD node: scheme + RAID array + member disks + volume map.
+
+    Parameters
+    ----------
+    node_id:
+        Dense cluster-wide node index (0..N-1).
+    scheme:
+        The node's dedup scheme, sized for the node's own volumes.
+    disks:
+        The node's member disks, ordered by *local* disk index; each
+        carries a cluster-unique ``disk_id`` for trace events and
+        utilisation keys.
+    raid:
+        The node's RAID array (geometry must match ``len(disks)``).
+    mapper:
+        Node-local namespace over the node's volumes, in global
+        volume-id order.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        scheme: DedupScheme,
+        disks: Sequence[Disk],
+        raid: RaidArray,
+        mapper: NamespaceMapper,
+    ) -> None:
+        if node_id < 0:
+            raise ClusterError(f"negative node id {node_id}")
+        if len(disks) != raid.geometry.ndisks:
+            raise ClusterError(
+                f"node {node_id}: raid geometry wants {raid.geometry.ndisks} "
+                f"disks, got {len(disks)}"
+            )
+        self.node_id = node_id
+        self.name = f"node{node_id}"
+        self.scheme = scheme
+        self.disks: List[Disk] = list(disks)
+        self.raid = raid
+        self.mapper = mapper
+        #: Failed member disk (local index), or None when healthy.
+        self.failed_disk: Optional[int] = None
+        #: Global volume ids served by this node, in arrival-merge order.
+        self.volume_ids: List[int] = []
+        # -- cluster accounting (fed by the replay driver) --------------
+        self.remote_lookups = 0
+        self.remote_duplicate_blocks = 0
+        self.rebalance_misses = 0
+        self.net_delay_total = 0.0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # disk service (mirrors Simulator.service_disk_ops analytically)
+    # ------------------------------------------------------------------
+
+    def service_disk_ops(
+        self, obs: TraceRecorder, now: float, ops: Sequence[DiskOp]
+    ) -> float:
+        """Issue raw per-disk ops FCFS; return the last completion time."""
+        completion = now
+        trace_ops = obs.level >= TraceLevel.CHUNK
+        for op in ops:
+            if not (0 <= op.disk_id < len(self.disks)):
+                raise ClusterError(
+                    f"node {self.node_id}: op addressed to unknown disk {op.disk_id}"
+                )
+            disk = self.disks[op.disk_id]
+            busy_before = disk.busy_until if trace_ops else 0.0
+            done = disk.service(now, op.pba, op.nblocks)
+            if trace_ops:
+                obs.emit(
+                    TraceLevel.CHUNK,
+                    now,
+                    EventType.DISK_OP,
+                    disk=disk.disk_id,
+                    op=op.op.value,
+                    pba=op.pba,
+                    nblocks=op.nblocks,
+                    start=max(now, busy_before),
+                    done=done,
+                )
+            if done > completion:
+                completion = done
+        return completion
+
+    def service_volume_ops(
+        self, obs: TraceRecorder, now: float, ops: Sequence[VolumeOp]
+    ) -> float:
+        """RAID-translate the node's volume extents and service them."""
+        disk_ops: List[DiskOp] = []
+        for vop in ops:
+            if self.failed_disk is not None:
+                disk_ops.extend(self.raid.map_degraded(vop, self.failed_disk))
+            else:
+                disk_ops.extend(self.raid.map(vop))
+        return self.service_disk_ops(obs, now, disk_ops)
+
+    # ------------------------------------------------------------------
+
+    def utilisation(self) -> Dict[int, Dict[str, float]]:
+        """Per-disk utilisation keyed by cluster-unique disk id."""
+        return {
+            disk.disk_id: {
+                "ops": disk.ops_serviced,
+                "blocks": disk.blocks_moved,
+                "busy_time": disk.busy_time,
+                "seek_time": disk.seek_time_total,
+                "rotation_time": disk.rotation_time_total,
+                "transfer_time": disk.transfer_time_total,
+            }
+            for disk in self.disks
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterNode({self.name}, scheme={self.scheme.name!r}, "
+            f"volumes={self.volume_ids})"
+        )

@@ -1,0 +1,827 @@
+"""The cluster replay driver: N POD nodes, one event loop.
+
+This is :func:`repro.sim.replay.replay_traces` lifted one level up:
+instead of one scheme on one array, the driver runs N complete POD
+nodes (private RAID array, Index table, Map table, iCache budget)
+against a single shared clock, with a cluster overlay on the write
+path:
+
+* every write's blocks stay on the request-owner node (Select-Dedupe's
+  sequentiality rule is a per-node property -- remote *data* placement
+  would shred exactly the sequential runs Figure 5 protects);
+* every write's fingerprints are looked up in the sharded cluster
+  directory: a consistent-hash :class:`~repro.cluster.router.FingerprintRouter`
+  names each fingerprint's shard-owner node, remote lookups pay the
+  :class:`~repro.cluster.netmodel.NetworkModel` (latency + bandwidth +
+  per-link queueing) and their cost lands on the request's response
+  time; duplicates first written by *another* node are detected and
+  counted (``remote_duplicate_blocks``) but deliberately not
+  deduplicated across nodes -- each node remains a standard POD
+  instance, so the PodSanitizer and the content oracle hold per node;
+* membership changes (node add/remove) re-route fingerprint arcs
+  immediately and migrate the displaced directory entries as paced
+  background RPC load (:class:`~repro.cluster.rebalance.ShardMigrator`);
+  lookups that race the migration miss -- POD's miss-as-unique
+  semantics, counted as ``rebalance_misses``;
+* a :class:`~repro.faults.plan.NodeFailureSpec` degrades one node's
+  array mid-replay and rebuilds it in place, generalising the fault
+  layer's member failure to the cluster.
+
+The one-node, feature-free case takes *exactly* the single-node code
+path decision-for-decision and is pinned bit-identical to
+:func:`~repro.sim.replay.replay_traces` by a golden test.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.sanitizer import PodSanitizer
+from repro.baselines.base import DedupScheme, PlannedIO
+from repro.cluster.netmodel import NetworkFabric, NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.rebalance import RebalanceSpec, ShardMigrator
+from repro.cluster.router import FingerprintRouter
+from repro.errors import ClusterError, ConfigError
+from repro.faults.oracle import ContentOracle
+from repro.faults.plan import NodeFailureSpec
+from repro.metrics.collector import MetricsCollector
+from repro.obs.events import EventType, TraceLevel
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.sim.engine import Simulator
+from repro.sim.replay import ReplayConfig, ReplayResult, size_disks
+from repro.sim.request import IORequest
+from repro.storage.disk import Disk
+from repro.storage.namespace import NamespaceMapper
+from repro.storage.raid import RaidArray
+from repro.storage.rebuild import RebuildController
+from repro.storage.ssd import Ssd
+from repro.traces.format import Trace
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-layer options (frozen and hashable, like ReplayConfig).
+
+    Attributes
+    ----------
+    vnodes:
+        Virtual nodes per ring member (router fairness knob).
+    net:
+        The inter-node network cost model.
+    rebalance:
+        An optional scheduled membership change with paced shard
+        migration.
+    node_failure:
+        An optional whole-node fault (one member disk of that node's
+        array fails and is rebuilt in place).
+    verify_content:
+        Run one end-to-end :class:`~repro.faults.oracle.ContentOracle`
+        per node (observation only; raises on any wrong read).
+    """
+
+    vnodes: int = 64
+    net: NetworkModel = NetworkModel()
+    rebalance: Optional[RebalanceSpec] = None
+    node_failure: Optional[NodeFailureSpec] = None
+    verify_content: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vnodes <= 0:
+            raise ClusterError(f"vnodes must be positive, got {self.vnodes}")
+
+
+def _merge_cluster_streams(
+    traces: Sequence[Trace], bases: Sequence[int]
+) -> Tuple[List[IORequest], List[bool]]:
+    """Merge-sort N streams exactly like the single-node replay, but
+    rebase each volume into its *owner node's* local address space.
+
+    Stability, req-id assignment and measured-flag semantics are
+    identical to :func:`repro.sim.replay._merge_streams`; only the
+    base address per volume differs (node-local rather than global).
+    For one node the bases coincide and the merge is bit-identical.
+    """
+
+    def stream(vid: int, trace: Trace) -> Iterator[Tuple[float, int, IORequest, bool]]:
+        base = bases[vid]
+        warmup = trace.warmup_count
+        for i, rec in enumerate(trace.records):
+            req = IORequest(
+                time=rec.time,
+                op=rec.op,
+                lba=base + rec.lba,
+                nblocks=rec.nblocks,
+                fingerprints=rec.fingerprints,
+                req_id=-1,
+                volume_id=vid,
+            )
+            yield rec.time, vid, req, i >= warmup
+
+    merged = heapq.merge(
+        *(stream(vid, t) for vid, t in enumerate(traces)),
+        key=lambda item: item[0],
+    )
+    requests: List[IORequest] = []
+    measured: List[bool] = []
+    for req_id, (_t, _vid, req, is_measured) in enumerate(merged):
+        req.req_id = req_id
+        requests.append(req)
+        measured.append(is_measured)
+    return requests, measured
+
+
+def _aggregate_stats(stats_list: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum numeric scheme stats across nodes (non-numerics from node 0)."""
+    out: Dict[str, Any] = dict(stats_list[0])
+    for stats in stats_list[1:]:
+        for key, value in stats.items():
+            if isinstance(value, bool):
+                continue
+            prev = out.get(key)
+            if isinstance(value, (int, float)) and isinstance(prev, (int, float)):
+                out[key] = prev + value
+    return out
+
+
+def replay_cluster(
+    traces: Sequence[Trace],
+    schemes: Sequence[DedupScheme],
+    cluster: ClusterConfig = ClusterConfig(),
+    config: ReplayConfig = ReplayConfig(),
+    *,
+    assignment: Optional[Sequence[int]] = None,
+    collector: Optional[MetricsCollector] = None,
+    recorder: Optional[TraceRecorder] = None,
+    per_volume_metrics: bool = True,
+) -> ReplayResult:
+    """Replay N trace streams across a sharded multi-node dedup domain.
+
+    ``schemes[n]`` becomes node *n*'s POD instance; each node gets a
+    private array built from ``config`` (same geometry and disk-sizing
+    rule as the single-node replay).  ``assignment[vid]`` names the
+    node serving volume ``vid`` (default: ``vid % len(schemes)``).
+
+    With one node and no cluster features, the run is bit-identical to
+    ``replay_traces(traces, schemes[0], config)``.
+    """
+    if not traces:
+        raise ConfigError("replay_cluster needs at least one trace")
+    if not schemes:
+        raise ConfigError("replay_cluster needs at least one scheme (node)")
+    if config.scheduler is not None:
+        raise ConfigError(
+            "cluster replays run on the analytic FCFS path only "
+            "(ReplayConfig.scheduler must be None)"
+        )
+    if config.faults is not None or config.fault_seed is not None:
+        raise ConfigError(
+            "cluster replays take node faults via ClusterConfig.node_failure, "
+            "not ReplayConfig.faults"
+        )
+    if config.failed_disk is not None:
+        raise ConfigError(
+            "cluster replays take degraded arrays via ClusterConfig.node_failure, "
+            "not ReplayConfig.failed_disk"
+        )
+
+    nnodes = len(schemes)
+    if assignment is None:
+        assignment = [vid % nnodes for vid in range(len(traces))]
+    if len(assignment) != len(traces):
+        raise ClusterError(
+            f"assignment names {len(assignment)} volumes for {len(traces)} traces"
+        )
+    for vid, node_id in enumerate(assignment):
+        if not (0 <= node_id < nnodes):
+            raise ClusterError(f"volume {vid} assigned to unknown node {node_id}")
+    served: Set[int] = set(assignment)
+    if served != set(range(nnodes)):
+        missing = sorted(set(range(nnodes)) - served)
+        raise ClusterError(f"node(s) {missing} serve no volume")
+
+    rebalance = cluster.rebalance
+    node_failure = cluster.node_failure
+    if node_failure is not None:
+        if node_failure.node >= nnodes:
+            raise ClusterError(
+                f"node-failure spec names unknown node {node_failure.node}"
+            )
+        if node_failure.disk >= config.ndisks:
+            raise ClusterError(
+                f"node-failure spec names unknown member disk {node_failure.disk}"
+            )
+    if rebalance is not None:
+        if rebalance.remove_node is not None and (
+            rebalance.remove_node >= nnodes + rebalance.add_nodes
+        ):
+            raise ClusterError(
+                f"rebalance removes unknown member {rebalance.remove_node}"
+            )
+
+    # -- feature gates (each one must leave the plain N=1 path alone) --
+    multi = len(traces) > 1
+    multi_node = nnodes > 1
+    net_active = multi_node or (rebalance is not None and rebalance.add_nodes > 0)
+    cluster_active = net_active or node_failure is not None or rebalance is not None
+
+    # ------------------------------------------------------------------
+    # build the nodes
+    # ------------------------------------------------------------------
+    geometry = config.geometry()
+    node_traces: List[List[Trace]] = [[] for _ in range(nnodes)]
+    node_vids: List[List[int]] = [[] for _ in range(nnodes)]
+    for vid, trace in enumerate(traces):
+        node_traces[assignment[vid]].append(trace)
+        node_vids[assignment[vid]].append(vid)
+
+    nodes: List[ClusterNode] = []
+    bases: List[int] = [0] * len(traces)
+    for n in range(nnodes):
+        scheme = schemes[n]
+        mapper = NamespaceMapper(
+            (t.name, t.logical_blocks) for t in node_traces[n]
+        )
+        if mapper.total_logical_blocks > scheme.regions.logical_blocks:
+            raise ConfigError(
+                f"node {n}: volumes touch {mapper.total_logical_blocks} logical "
+                f"blocks but the scheme was configured for "
+                f"{scheme.regions.logical_blocks}"
+            )
+        params = size_disks(scheme.regions.total_blocks, config)
+        disks = [
+            Disk(params, disk_id=n * geometry.ndisks + j)
+            for j in range(geometry.ndisks)
+        ]
+        node = ClusterNode(n, scheme, disks, RaidArray(geometry), mapper)
+        node.volume_ids = list(node_vids[n])
+        for local_vid, vid in enumerate(node_vids[n]):
+            bases[vid] = mapper.volume(local_vid).base
+        nodes.append(node)
+
+    node_of: List[ClusterNode] = [nodes[assignment[vid]] for vid in range(len(traces))]
+
+    sim = Simulator([], None)
+    metrics = collector if collector is not None else MetricsCollector()
+    if per_volume_metrics:
+        metrics.track_volumes()
+    if multi_node or cluster_active:
+        metrics.track_nodes()
+    ssds: List[Optional[Ssd]] = [
+        Ssd(config.ssd_params) if config.ssd_params is not None else None
+        for _ in range(nnodes)
+    ]
+
+    obs = recorder if recorder is not None else NULL_RECORDER
+    if recorder is not None:
+        for node in nodes:
+            node.scheme.attach_observer(recorder)
+        sim.attach_observer(recorder)
+
+    sanitizer: Optional[PodSanitizer] = None
+    if config.check_invariants:
+        if config.sanitize_every <= 0:
+            raise ConfigError("sanitize_every must be positive")
+        sanitizer = PodSanitizer(registry=metrics.registry)
+        for node in nodes:
+            sanitizer.attach(node.scheme)
+
+    oracles: Optional[List[ContentOracle]] = (
+        [ContentOracle() for _ in range(nnodes)] if cluster.verify_content else None
+    )
+
+    # -- cluster overlay state -----------------------------------------
+    router = FingerprintRouter(range(nnodes), vnodes=cluster.vnodes)
+    fabric = NetworkFabric(cluster.net)
+    #: Shard-owner member id -> (fingerprint -> first-writer node id).
+    shards: Dict[int, Dict[int, int]] = {n: {} for n in range(nnodes)}
+    migration: Dict[str, Optional[ShardMigrator]] = {"migrator": None}
+
+    requests, measured_flags = _merge_cluster_streams(traces, bases)
+    for request in requests:
+        sim.schedule_arrival(request.time, request)
+
+    run_name = traces[0].name if not multi else "+".join(t.name for t in traces)
+    total_warmup = sum(t.warmup_count for t in traces)
+    #: Per-node first-writer maps for the cross-volume vs intra-volume
+    #: split (content only collapses within a node, so classification
+    #: is a per-node question; one dict at N=1, exactly the classic
+    #: multi-volume path).
+    fp_owner: Optional[List[Dict[int, int]]] = (
+        [{} for _ in range(nnodes)] if multi else None
+    )
+    if obs.level >= TraceLevel.SUMMARY:
+        extra_run: Dict[str, Any] = {"volumes": len(traces)} if multi else {}
+        if multi_node:
+            extra_run["nodes"] = nnodes
+        obs.emit(
+            TraceLevel.SUMMARY,
+            requests[0].time if requests else 0.0,
+            EventType.RUN_START,
+            trace=run_name,
+            scheme=schemes[0].name,
+            requests=len(requests),
+            warmup=total_warmup,
+            **extra_run,
+        )
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+
+    def remote_lookup_cost(
+        node: ClusterNode, request: IORequest, now: float
+    ) -> Tuple[float, int, int]:
+        """Consult the sharded directory for one write's fingerprints.
+
+        Returns ``(net_delay, remote_lookups, remote_duplicate_blocks)``
+        and registers first writers.  One batched RPC per distinct
+        remote shard owner; the request waits for the slowest of them
+        (lookups fan out in parallel).
+        """
+        assert request.fingerprints is not None
+        migrator = migration["migrator"]
+        pending = migrator.pending if migrator is not None else None
+        per_dst: Dict[int, int] = {}
+        remote_dups = 0
+        for fp in request.fingerprints:
+            shard = router.route(fp)
+            if shard != node.node_id:
+                per_dst[shard] = per_dst.get(shard, 0) + 1
+            table = shards.setdefault(shard, {})
+            writer = table.get(fp)
+            if writer is None:
+                if pending is not None and fp in pending:
+                    # Entry still in flight to this (new) owner:
+                    # miss-as-unique, charged to the rebalance.
+                    node.rebalance_misses += 1
+                table[fp] = node.node_id
+                if migrator is not None:
+                    migrator.note_registered(fp)
+            elif writer != node.node_id:
+                remote_dups += 1
+        delay = 0.0
+        remote_lookups = 0
+        for dst in sorted(per_dst):
+            count = per_dst[dst]
+            remote_lookups += count
+            done = fabric.round_trip(
+                now, node.node_id, dst, count * cluster.net.lookup_bytes
+            )
+            if obs.level >= TraceLevel.CHUNK:
+                obs.emit(
+                    TraceLevel.CHUNK,
+                    now,
+                    EventType.NET_RPC,
+                    src=node.node_id,
+                    dst=dst,
+                    bytes=count * cluster.net.lookup_bytes,
+                    queued=fabric.last_queue_wait,
+                    done=done,
+                )
+            if done - now > delay:
+                delay = done - now
+        return delay, remote_lookups, remote_dups
+
+    def finish(
+        request: IORequest,
+        planned: PlannedIO,
+        arrival: float,
+        cross: int,
+        net_info: Tuple[float, int, int],
+    ) -> None:
+        node = node_of[request.volume_id]
+        issue_time = sim.now
+
+        ssd = ssds[node.node_id]
+        ssd_done = issue_time
+        if planned.ssd_read_blocks or planned.ssd_write_blocks:
+            if ssd is None:
+                raise ConfigError(
+                    f"scheme {node.scheme.name} emitted SSD traffic but the "
+                    "replay has no ssd_params configured"
+                )
+            if planned.ssd_read_blocks:
+                ssd_done = ssd.service(issue_time, planned.ssd_read_blocks)
+            if planned.ssd_write_blocks:
+                ssd.service(issue_time, planned.ssd_write_blocks)  # background
+
+        completion = node.service_volume_ops(obs, issue_time, planned.volume_ops)
+        completion = max(completion, ssd_done)
+        measured = config.collect_warmup or measured_flags[request.req_id]
+        completed_at = max(completion, issue_time)
+        if measured:
+            metrics.record(
+                request,
+                arrival,
+                completed_at,
+                eliminated=planned.eliminated,
+                cache_hit_blocks=planned.cache_hit_blocks,
+                deduped_blocks=planned.deduped_blocks,
+                cross_volume_blocks=cross,
+            )
+            if metrics.tracks_nodes:
+                metrics.record_node(
+                    request,
+                    node.node_id,
+                    arrival,
+                    completed_at,
+                    eliminated=planned.eliminated,
+                    cache_hit_blocks=planned.cache_hit_blocks,
+                    deduped_blocks=planned.deduped_blocks,
+                    net_delay=net_info[0],
+                    remote_lookups=net_info[1],
+                    remote_duplicate_blocks=net_info[2],
+                )
+        if obs.level >= TraceLevel.REQUEST:
+            extra: Dict[str, Any] = {"volume": request.volume_id} if multi else {}
+            obs.emit(
+                TraceLevel.REQUEST,
+                completed_at,
+                EventType.REQUEST_COMPLETE,
+                req_id=request.req_id,
+                op=request.op.value,
+                nblocks=request.nblocks,
+                response=completed_at - arrival,
+                eliminated=planned.eliminated,
+                deduped_blocks=planned.deduped_blocks,
+                cache_hit_blocks=planned.cache_hit_blocks,
+                measured=measured,
+                **extra,
+            )
+        if planned.background_ops:
+            node.service_volume_ops(obs, issue_time, planned.background_ops)
+
+    # Fig. 11 counts removed write requests over the measured day only,
+    # so snapshot the (cluster-wide) scheme counters at the warm-up
+    # boundary -- the first arrival past its volume's warm-up prefix.
+    boundary = {"writes": 0, "removed": 0, "taken": total_warmup == 0}
+    arrivals = {"count": 0}
+
+    def handle_request(request: IORequest, arrival: float) -> None:
+        now = sim.now
+        node = node_of[request.volume_id]
+        if not boundary["taken"] and measured_flags[request.req_id]:
+            boundary["writes"] = sum(s.writes_total for s in schemes)
+            boundary["removed"] = sum(s.write_requests_removed for s in schemes)
+            boundary["taken"] = True
+        if obs.level >= TraceLevel.REQUEST:
+            extra: Dict[str, Any] = {"volume": request.volume_id} if multi else {}
+            obs.emit(
+                TraceLevel.REQUEST,
+                now,
+                EventType.REQUEST_ARRIVE,
+                req_id=request.req_id,
+                op=request.op.value,
+                lba=request.lba,
+                nblocks=request.nblocks,
+                **extra,
+            )
+        node.requests_served += 1
+        planned = node.scheme.process(request, now)
+        if oracles is not None:
+            if request.is_write:
+                oracles[node.node_id].note_write(request)
+            else:
+                oracles[node.node_id].check_read(request, node.scheme)
+        net_info: Tuple[float, int, int] = (0.0, 0, 0)
+        if net_active and request.is_write and request.fingerprints is not None:
+            net_info = remote_lookup_cost(node, request, now)
+            node.remote_lookups += net_info[1]
+            node.remote_duplicate_blocks += net_info[2]
+            node.net_delay_total += net_info[0]
+        cross = 0
+        if fp_owner is not None and request.fingerprints is not None:
+            owners = fp_owner[node.node_id]
+            vid = request.volume_id
+            for i in planned.deduped_idx:
+                owner = owners.get(request.fingerprints[i])
+                if owner is not None and owner != vid:
+                    cross += 1
+            for fp in request.fingerprints:
+                owners.setdefault(fp, vid)
+        if sanitizer is not None:
+            arrivals["count"] += 1
+            if arrivals["count"] % config.sanitize_every == 0:
+                sanitizer.assert_clean(node.scheme, now)
+        total_delay = planned.delay + net_info[0]
+        if total_delay > 0:
+            sim.schedule_callback(
+                now + total_delay, finish, request, planned, arrival, cross, net_info
+            )
+        else:
+            finish(request, planned, arrival, cross, net_info)
+
+    def on_arrival(now: float, request: IORequest) -> None:
+        handle_request(request, now)
+
+    # ------------------------------------------------------------------
+    # per-node iCache epochs
+    # ------------------------------------------------------------------
+    if requests:
+        last_arrival = requests[-1].time
+        for node in nodes:
+            interval = node.scheme.epoch_interval
+            if interval is None:
+                continue
+            if interval <= 0:
+                raise ConfigError("epoch interval must be positive")
+
+            def epoch_tick(
+                node: ClusterNode = node, interval: float = interval
+            ) -> None:
+                ops = node.scheme.on_epoch(sim.now)
+                if sanitizer is not None:
+                    sanitizer.assert_clean(node.scheme, sim.now)
+                if ops:
+                    node.service_volume_ops(obs, sim.now, ops)
+                next_time = sim.now + interval
+                if next_time <= last_arrival + interval:
+                    sim.schedule_callback(next_time, epoch_tick)
+
+            sim.schedule_callback(requests[0].time + interval, epoch_tick)
+
+    # ------------------------------------------------------------------
+    # node failure: degrade one node's array, rebuild it in place
+    # ------------------------------------------------------------------
+    rebuild_state: Dict[str, Any] = {"controller": None, "failed_at": None}
+    if node_failure is not None:
+        spec = node_failure
+
+        def begin_node_failure() -> None:
+            node = nodes[spec.node]
+            node.failed_disk = spec.disk
+            rebuild_state["failed_at"] = sim.now
+            su = geometry.stripe_unit_blocks
+            disk_rows = max(1, node.disks[spec.disk].params.total_blocks // su)
+            live = (
+                node.scheme.map_table.live_pbas(node.scheme.written_lbas)
+                if spec.capacity_aware
+                else None
+            )
+            ctrl = RebuildController(node.raid, spec.disk, disk_rows, live)
+            rebuild_state["controller"] = ctrl
+            if obs.level >= TraceLevel.SUMMARY:
+                obs.emit(
+                    TraceLevel.SUMMARY,
+                    sim.now,
+                    EventType.CLUSTER_NODE_FAIL,
+                    node=spec.node,
+                    disk=spec.disk,
+                )
+            sim.schedule_callback(sim.now + spec.interval, rebuild_tick)
+
+        def rebuild_tick() -> None:
+            node = nodes[spec.node]
+            ctrl = rebuild_state["controller"]
+            assert ctrl is not None
+            if not ctrl.done:
+                ops = ctrl.next_batch(spec.rows_per_batch)
+                if ops:
+                    # Background load on the failed node's spindles only.
+                    node.service_disk_ops(obs, sim.now, ops)
+            if ctrl.done:
+                node.failed_disk = None
+                failed_at = rebuild_state["failed_at"]
+                assert failed_at is not None
+                if obs.level >= TraceLevel.SUMMARY:
+                    obs.emit(
+                        TraceLevel.SUMMARY,
+                        sim.now,
+                        EventType.FAULT_RECOVER,
+                        kind="node_failure",
+                        latency=sim.now - failed_at,
+                        detail=(
+                            f"node {spec.node} disk {spec.disk} rebuilt: "
+                            f"{ctrl.rows_rebuilt} rows rebuilt, "
+                            f"{ctrl.rows_skipped} skipped"
+                        ),
+                    )
+                return
+            sim.schedule_callback(sim.now + spec.interval, rebuild_tick)
+
+        sim.schedule_callback(spec.time, begin_node_failure)
+
+    # ------------------------------------------------------------------
+    # membership change + paced shard migration
+    # ------------------------------------------------------------------
+    if rebalance is not None:
+        rb = rebalance
+
+        def begin_rebalance() -> None:
+            added = [nnodes + i for i in range(rb.add_nodes)]
+            for member in added:
+                router.add_member(member)
+                shards.setdefault(member, {})
+            if rb.remove_node is not None:
+                router.remove_member(rb.remove_node)
+            migrator = ShardMigrator(router, shards)
+            migration["migrator"] = migrator
+            if obs.level >= TraceLevel.SUMMARY:
+                obs.emit(
+                    TraceLevel.SUMMARY,
+                    sim.now,
+                    EventType.CLUSTER_REBALANCE,
+                    added=len(added),
+                    removed=0 if rb.remove_node is None else 1,
+                    moves=migrator.entries_total,
+                    ring_size=router.ring_size(),
+                )
+            if not migrator.done:
+                sim.schedule_callback(sim.now + rb.interval, migrate_tick)
+
+        def migrate_tick() -> None:
+            migrator = migration["migrator"]
+            assert migrator is not None
+            links = migrator.next_batch(rb.entries_per_batch)
+            for src, dst in sorted(links):
+                moved = links[(src, dst)]
+                done = fabric.round_trip(
+                    sim.now, src, dst, moved * cluster.net.entry_bytes
+                )
+                if obs.level >= TraceLevel.CHUNK:
+                    obs.emit(
+                        TraceLevel.CHUNK,
+                        sim.now,
+                        EventType.NET_RPC,
+                        src=src,
+                        dst=dst,
+                        bytes=moved * cluster.net.entry_bytes,
+                        queued=fabric.last_queue_wait,
+                        done=done,
+                    )
+            if obs.level >= TraceLevel.SUMMARY:
+                obs.emit(
+                    TraceLevel.SUMMARY,
+                    sim.now,
+                    EventType.CLUSTER_MIGRATE,
+                    moved=migrator.entries_migrated,
+                    remaining=migrator.remaining,
+                )
+            if not migrator.done:
+                sim.schedule_callback(sim.now + rb.interval, migrate_tick)
+
+        sim.schedule_callback(rb.time, begin_rebalance)
+
+    # ------------------------------------------------------------------
+
+    sim.run(arrival_handler=on_arrival)
+
+    if sanitizer is not None:
+        for node in nodes:
+            sanitizer.assert_clean(node.scheme, sim.now)
+
+    if oracles is not None:
+        for node in nodes:
+            oracles[node.node_id].assert_clean(node.scheme)
+
+    if obs.level >= TraceLevel.SUMMARY:
+        obs.emit(
+            TraceLevel.SUMMARY,
+            sim.now,
+            EventType.RUN_END,
+            events_processed=sim.events_processed,
+            makespan=metrics.as_dict()["makespan"],
+        )
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+
+    volumes: List[Dict[str, Any]] = []
+    if per_volume_metrics:
+        tracked = set(metrics.volume_ids())
+        for vid, trace in enumerate(traces):
+            entry: Dict[str, Any] = {
+                "volume_id": vid,
+                "name": trace.name,
+                "logical_blocks": trace.logical_blocks,
+            }
+            if vid in tracked:
+                entry.update(metrics.volume_as_dict(vid))
+            else:  # volume with no measured traffic
+                entry["requests"] = 0
+            volumes.append(entry)
+
+    utilisation: Dict[int, Dict[str, float]] = {}
+    for node in nodes:
+        utilisation.update(node.utilisation())
+
+    if nnodes == 1:
+        scheme_stats = schemes[0].stats()
+        timeline = getattr(schemes[0].cache, "epoch_timeline", [])
+    else:
+        scheme_stats = _aggregate_stats([s.stats() for s in schemes])
+        timeline = []
+
+    node_summaries: List[Dict[str, Any]] = []
+    cluster_stats: Optional[Dict[str, Any]] = None
+    if multi_node or cluster_active:
+        tracked_nodes = set(metrics.node_ids())
+        for node in nodes:
+            node_entry: Dict[str, Any] = {
+                "node_id": node.node_id,
+                "name": node.name,
+                "volumes": list(node.volume_ids),
+                "logical_blocks": node.mapper.total_logical_blocks,
+                "capacity_blocks": node.scheme.capacity_blocks(),
+            }
+            if node.node_id in tracked_nodes:
+                node_entry.update(metrics.node_as_dict(node.node_id))
+            else:  # node with no measured traffic
+                node_entry["requests"] = 0
+            # Raw whole-run node counters deliberately override the
+            # measured-window metric counters of the same name: the
+            # per-node breakdown must sum exactly to the cluster totals
+            # below (which are whole-run).
+            node_entry.update(
+                {
+                    "writes_total": node.scheme.writes_total,
+                    "write_requests_removed": node.scheme.write_requests_removed,
+                    "requests_served": node.requests_served,
+                    "remote_lookups": node.remote_lookups,
+                    "remote_duplicate_blocks": node.remote_duplicate_blocks,
+                    "rebalance_misses": node.rebalance_misses,
+                    "net_delay_total": node.net_delay_total,
+                }
+            )
+            node_summaries.append(node_entry)
+
+        net = cluster.net
+        cluster_stats = {
+            "nodes": nnodes,
+            "vnodes": cluster.vnodes,
+            "ring_members": list(router.members),
+            "net": {
+                "latency": net.latency,
+                "bandwidth": net.bandwidth,
+                "lookup_bytes": net.lookup_bytes,
+                "entry_bytes": net.entry_bytes,
+            },
+            "fabric": fabric.summary(),
+            "remote_lookups": sum(n.remote_lookups for n in nodes),
+            "remote_duplicate_blocks": sum(
+                n.remote_duplicate_blocks for n in nodes
+            ),
+            "rebalance_misses": sum(n.rebalance_misses for n in nodes),
+            "shard_entries": {
+                str(member): len(shards[member]) for member in sorted(shards)
+            },
+        }
+        migrator = migration["migrator"]
+        if rebalance is not None:
+            rb_stats: Dict[str, Any] = {
+                "time": rebalance.time,
+                "add_nodes": rebalance.add_nodes,
+                "remove_node": rebalance.remove_node,
+            }
+            if migrator is not None:
+                rb_stats.update(migrator.summary())
+            cluster_stats["rebalance"] = rb_stats
+        ctrl = rebuild_state["controller"]
+        if node_failure is not None:
+            nf_stats: Dict[str, Any] = {
+                "node": node_failure.node,
+                "disk": node_failure.disk,
+                "time": node_failure.time,
+            }
+            if ctrl is not None:
+                nf_stats.update(
+                    {
+                        "done": ctrl.done,
+                        "progress": ctrl.progress,
+                        "rows_scanned": ctrl.rows_scanned,
+                        "rows_rebuilt": ctrl.rows_rebuilt,
+                        "rows_skipped": ctrl.rows_skipped,
+                    }
+                )
+            cluster_stats["node_failure"] = nf_stats
+        if oracles is not None:
+            cluster_stats["oracle"] = [
+                {"node": node_id, **oracle.summary()}
+                for node_id, oracle in enumerate(oracles)
+            ]
+
+    return ReplayResult(
+        trace_name=run_name,
+        scheme_name=schemes[0].name,
+        metrics=metrics,
+        scheme_stats=scheme_stats,
+        utilisation=utilisation,
+        capacity_blocks=sum(s.capacity_blocks() for s in schemes),
+        writes_total=sum(s.writes_total for s in schemes) - boundary["writes"],
+        write_requests_removed=(
+            sum(s.write_requests_removed for s in schemes) - boundary["removed"]
+        ),
+        epoch_timeline=[
+            e.as_dict() if hasattr(e, "as_dict") else dict(e) for e in timeline
+        ],
+        recorder=recorder,
+        sanitizer=sanitizer,
+        volumes=volumes,
+        fault_stats=None,
+        nodes=node_summaries,
+        cluster_stats=cluster_stats,
+    )

@@ -27,6 +27,7 @@ detected, more writes eliminated), read bursts want a big read cache
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.ghost import GhostCache
@@ -157,6 +158,15 @@ class ICache:
     def attach_index_table(self, index_table: Any) -> None:
         """Let swap-in restore evicted entries via the Index table."""
         self._index_table = index_table
+
+    def parked_index_entries(self) -> "MappingProxyType[int, Any]":
+        """Read-only live view of swap-parked index entries.
+
+        The sanctioned inspection surface for validators: the POD
+        sanitizer sums the parked entries' ``Count`` values into its
+        conservative Count bookkeeping check (``INV-INDEX-COUNT``).
+        """
+        return MappingProxyType(self._index_store)
 
     def attach_observer(
         self, recorder: TraceRecorder, clock: Optional[Callable[[], float]] = None

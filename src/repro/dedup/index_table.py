@@ -20,6 +20,7 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.lru import LRUCache
@@ -77,6 +78,16 @@ class IndexTable:
     def peek(self, fingerprint: int) -> Optional[IndexEntry]:
         """Query without promoting or counting (stats/tests)."""
         return self.lru.peek(fingerprint)
+
+    @property
+    def pba_claims(self) -> "MappingProxyType[int, int]":
+        """Read-only live view of the reverse PBA -> fingerprint map.
+
+        The sanctioned inspection surface for validators: the POD
+        sanitizer checks this map is an exact bijection with the live
+        entries (``INV-INDEX-PBA``).
+        """
+        return MappingProxyType(self._by_pba)
 
     def insert(self, fingerprint: int, pba: int) -> IndexEntry:
         """Insert a new hot entry with ``Count = 0``.

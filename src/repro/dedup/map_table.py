@@ -19,6 +19,7 @@ referenced by any LBA must never be overwritten in place.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, Iterable, Optional, Set
 
 from repro.errors import DedupError
@@ -69,6 +70,22 @@ class MapTable:
 
     def is_redirected(self, lba: int) -> bool:
         return lba in self._map
+
+    @property
+    def mapping(self) -> "MappingProxyType[int, int]":
+        """Read-only live view of the explicit LBA -> PBA entries.
+
+        The sanctioned inspection surface for validators (the POD
+        sanitizer re-derives refcounts from it); a
+        :class:`~types.MappingProxyType` so observers cannot mutate
+        table state.  Use :meth:`snapshot` for a detached copy.
+        """
+        return MappingProxyType(self._map)
+
+    @property
+    def refcounts(self) -> "MappingProxyType[int, int]":
+        """Read-only live view of the per-PBA reference counts."""
+        return MappingProxyType(self._refs)
 
     def refs(self, pba: int) -> int:
         """Number of explicit map entries referencing ``pba``."""

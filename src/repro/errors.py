@@ -39,3 +39,9 @@ class FaultError(ReproError):
     """A fault-injection or recovery invariant was violated (content
     oracle mismatch, unrecoverable journal state, malformed fault
     plan)."""
+
+
+class ClusterError(ReproError):
+    """A cluster-layer invariant was violated (empty hash ring,
+    unknown shard owner, malformed rebalance spec, node/volume
+    assignment mismatch)."""

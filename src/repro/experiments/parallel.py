@@ -92,5 +92,5 @@ def run_matrix_parallel(
             replay_config,
             overrides,
         )
-        runner._run_cache[cache_key] = result
+        runner.memoize_result(cache_key, result)
     return out

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.baselines.base import DedupScheme, SchemeConfig
 from repro.baselines.registry import DEFAULT_REGISTRY
+from repro.cluster.replay import ClusterConfig, replay_cluster
 from repro.errors import ConfigError
 from repro.obs.trace import TraceRecorder
 from repro.sim.replay import ReplayConfig, ReplayResult, replay_trace, replay_traces
@@ -46,6 +47,16 @@ def clear_run_cache() -> None:
     """Forget all memoised traces and replays (tests use this)."""
     _trace_cache.clear()
     _run_cache.clear()
+
+
+def memoize_result(key: tuple, result: ReplayResult) -> None:
+    """Install a replay result into the run cache under ``key``.
+
+    Public seam for out-of-process executors (:mod:`repro.experiments.
+    parallel`) that compute results elsewhere and want subsequent
+    :func:`run_single` calls to hit the memo instead of re-simulating.
+    """
+    _run_cache[key] = result
 
 
 def get_trace(spec: TraceSpec, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
@@ -280,6 +291,80 @@ def run_multi(
     params.update(config_overrides)
     scheme = DEFAULT_REGISTRY.build(scheme_name, SchemeConfig(**params))
     return replay_traces(volumes, scheme, replay_config, recorder=recorder)
+
+
+def run_cluster(
+    trace_names: Sequence[str],
+    scheme_name: str,
+    nodes: int = 2,
+    copies: int = 2,
+    scale: float = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    divergence: float = 0.15,
+    arrival_skew: float = 0.5,
+    replay_config: Optional[ReplayConfig] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    recorder: Optional[TraceRecorder] = None,
+    **config_overrides,
+) -> ReplayResult:
+    """Replay the multi-tenant volume set across a sharded cluster.
+
+    The tenant expansion is exactly :func:`multi_tenant_traces`; volumes
+    are spread round-robin over ``nodes`` complete POD instances, each
+    sized for the sum of its assigned volumes' logical spaces and
+    memory budgets (the same family-level budgets :func:`run_multi`
+    pools -- at ``nodes=1`` the single node gets the identical
+    configuration, which is what pins the golden bit-identity test).
+
+    Never memoised, like :func:`run_multi`.
+    """
+    scheme_name = resolve_scheme_name(scheme_name)
+    replay_config = replay_config if replay_config is not None else ReplayConfig()
+    cluster_config = (
+        cluster_config if cluster_config is not None else ClusterConfig()
+    )
+    volumes = multi_tenant_traces(
+        trace_names,
+        copies=copies,
+        scale=scale,
+        seed=seed,
+        divergence=divergence,
+        arrival_skew=arrival_skew,
+    )
+    if nodes < 1:
+        raise ConfigError(f"cluster needs at least one node, got {nodes}")
+    if nodes > len(volumes):
+        raise ConfigError(
+            f"{nodes} nodes but only {len(volumes)} tenant volumes; "
+            "every node must own at least one volume"
+        )
+    # Volume ``v`` descends from base trace family ``v // copies``
+    # (multi_tenant_traces emits tenants family-major), and carries
+    # that family's per-tenant memory budget.
+    specs = paper_traces()
+    family_budget = [
+        (specs[n].scaled(scale) if scale != 1.0 else specs[n]).memory_bytes
+        for n in trace_names
+    ]
+    assignment = [vid % nodes for vid in range(len(volumes))]
+    schemes = []
+    for node in range(nodes):
+        vids = [vid for vid, owner in enumerate(assignment) if owner == node]
+        params = dict(
+            logical_blocks=sum(volumes[v].logical_blocks for v in vids),
+            memory_bytes=sum(family_budget[v // copies] for v in vids),
+            icache_epoch=max(1.0, 16.0 * scale),
+        )
+        params.update(config_overrides)
+        schemes.append(DEFAULT_REGISTRY.build(scheme_name, SchemeConfig(**params)))
+    return replay_cluster(
+        volumes,
+        schemes,
+        cluster_config,
+        replay_config,
+        assignment=assignment,
+        recorder=recorder,
+    )
 
 
 def run_matrix(

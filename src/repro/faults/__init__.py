@@ -20,6 +20,7 @@ from repro.faults.plan import (
     IndexCorruptionSpec,
     LatentSectorErrorSpec,
     MemberFailureSpec,
+    NodeFailureSpec,
     NvramLossSpec,
     RetryPolicy,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "IndexCorruptionSpec",
     "LatentSectorErrorSpec",
     "MemberFailureSpec",
+    "NodeFailureSpec",
     "NvramLossSpec",
     "RetryPolicy",
 ]

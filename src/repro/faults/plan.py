@@ -106,6 +106,44 @@ class MemberFailureSpec:
 
 
 @dataclass(frozen=True)
+class NodeFailureSpec:
+    """A whole-node fault in a cluster replay: one member disk of the
+    named *node*'s private array dies and is rebuilt in place.
+
+    This is :class:`MemberFailureSpec` generalised to the cluster
+    layer (see :mod:`repro.cluster.replay`): the failed node keeps
+    serving its volumes degraded -- RAID-5 reads reconstruct from the
+    row's survivors -- while a
+    :class:`~repro.storage.rebuild.RebuildController` paces the
+    reconstruction as background load on that node's spindles only;
+    the other nodes are unaffected (fault isolation is the point of
+    the per-node arrays).
+    """
+
+    node: int
+    time: float
+    disk: int = 0
+    #: Rebuild pacing: rows *scanned* per batch ...
+    rows_per_batch: int = 4
+    #: ... every this many simulated seconds.
+    interval: float = 0.05
+    #: Skip rows holding no live data (dedup-rebuild synergy).
+    capacity_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError("node index must be non-negative")
+        if self.disk < 0:
+            raise FaultError("disk index must be non-negative")
+        if self.time < 0:
+            raise FaultError("failure time must be non-negative")
+        if self.rows_per_batch < 1:
+            raise FaultError("rows_per_batch must be >= 1")
+        if self.interval <= 0:
+            raise FaultError("rebuild interval must be positive")
+
+
+@dataclass(frozen=True)
 class NvramLossSpec:
     """A power cut tears the NVRAM Map table and the journal tail.
 

@@ -114,6 +114,49 @@ class _VolumeSeries:
         )
 
 
+class _NodeSeries:
+    """Per-node metric series (created lazily by the collector).
+
+    Cluster replays run N complete POD nodes against one clock; the
+    headline numbers alone cannot answer "which node is hot?" or "how
+    much response time did the network add?".  One ``_NodeSeries``
+    accumulates the same response-time histograms and elimination
+    counters as the collector itself, scoped to one cluster node, plus
+    the network-cost series (per-request added delay, remote
+    fingerprint lookups, remotely-detected duplicate blocks).
+    """
+
+    __slots__ = (
+        "read_hist",
+        "write_hist",
+        "net_delay_hist",
+        "read_blocks",
+        "write_blocks",
+        "cache_hit_blocks",
+        "eliminated_requests",
+        "deduped_blocks",
+        "remote_lookups",
+        "remote_duplicate_blocks",
+    )
+
+    def __init__(self, registry: MetricsRegistry, node_id: int) -> None:
+        prefix = f"node.{node_id}"
+        self.read_hist = registry.histogram(f"{prefix}.response.read")
+        self.write_hist = registry.histogram(f"{prefix}.response.write")
+        self.net_delay_hist = registry.histogram(f"{prefix}.net.delay")
+        self.read_blocks = registry.counter(f"{prefix}.read.blocks")
+        self.write_blocks = registry.counter(f"{prefix}.write.blocks")
+        self.cache_hit_blocks = registry.counter(f"{prefix}.read.cache_hit_blocks")
+        self.eliminated_requests = registry.counter(
+            f"{prefix}.write.eliminated_requests"
+        )
+        self.deduped_blocks = registry.counter(f"{prefix}.write.eliminated_blocks")
+        self.remote_lookups = registry.counter(f"{prefix}.net.remote_lookups")
+        self.remote_duplicate_blocks = registry.counter(
+            f"{prefix}.net.remote_duplicate_blocks"
+        )
+
+
 class MetricsCollector:
     """Accumulates per-request completion records during a replay.
 
@@ -144,6 +187,8 @@ class MetricsCollector:
         self.last_completion: float = 0.0
         #: volume_id -> per-volume series (None until track_volumes()).
         self._volumes: Optional[Dict[int, _VolumeSeries]] = None
+        #: node_id -> per-node series (None until track_nodes()).
+        self._nodes: Optional[Dict[int, _NodeSeries]] = None
 
     # ------------------------------------------------------------------
     # per-volume tracking
@@ -227,6 +272,125 @@ class MetricsCollector:
                 series.cross_volume_deduped_blocks.inc(cross_volume_blocks)
             if cache_hit_blocks:
                 series.cache_hit_blocks.inc(cache_hit_blocks)
+
+    # ------------------------------------------------------------------
+    # per-node tracking (cluster replays)
+    # ------------------------------------------------------------------
+
+    def track_nodes(self) -> None:
+        """Enable per-node breakdowns (multi-node cluster replays)."""
+        if self._nodes is None:
+            self._nodes = {}
+
+    @property
+    def tracks_nodes(self) -> bool:
+        return self._nodes is not None
+
+    def _node_series(self, node_id: int) -> _NodeSeries:
+        assert self._nodes is not None
+        series = self._nodes.get(node_id)
+        if series is None:
+            series = _NodeSeries(self.registry, node_id)
+            self._nodes[node_id] = series
+        return series
+
+    def record_node(
+        self,
+        request: IORequest,
+        node_id: int,
+        arrival: float,
+        completion: float,
+        eliminated: bool = False,
+        cache_hit_blocks: int = 0,
+        deduped_blocks: int = 0,
+        net_delay: float = 0.0,
+        remote_lookups: int = 0,
+        remote_duplicate_blocks: int = 0,
+    ) -> None:
+        """Record one completed request against its owner node.
+
+        Called by the cluster replay *in addition to* :meth:`record`
+        (the global series stay the single source of cluster totals;
+        per-node series are the breakdown).  ``net_delay`` is the
+        response-time contribution of remote fingerprint lookups.
+        """
+        if self._nodes is None:
+            raise SimulationError("record_node without track_nodes()")
+        if completion < arrival:
+            raise SimulationError(
+                f"request {request.req_id} completed at {completion} "
+                f"before its arrival at {arrival}"
+            )
+        series = self._node_series(node_id)
+        response = completion - arrival
+        if request.op is OpType.READ:
+            series.read_hist.observe(response)
+            series.read_blocks.inc(request.nblocks)
+        else:
+            series.write_hist.observe(response)
+            series.write_blocks.inc(request.nblocks)
+        if eliminated:
+            series.eliminated_requests.inc()
+        if deduped_blocks:
+            series.deduped_blocks.inc(deduped_blocks)
+        if cache_hit_blocks:
+            series.cache_hit_blocks.inc(cache_hit_blocks)
+        if net_delay > 0.0:
+            series.net_delay_hist.observe(net_delay)
+        if remote_lookups:
+            series.remote_lookups.inc(remote_lookups)
+        if remote_duplicate_blocks:
+            series.remote_duplicate_blocks.inc(remote_duplicate_blocks)
+
+    def node_ids(self) -> list:
+        """Node ids with recorded traffic (empty unless tracking)."""
+        if self._nodes is None:
+            return []
+        return sorted(self._nodes)
+
+    def _require_node(self, node_id: int) -> _NodeSeries:
+        if self._nodes is None or node_id not in self._nodes:
+            raise SimulationError(f"no per-node metrics for node {node_id}")
+        return self._nodes[node_id]
+
+    def node_as_dict(self, node_id: int) -> Dict[str, float]:
+        """Flat per-node summary (one row of the run report)."""
+        series = self._require_node(node_id)
+        read = ResponseSummary.of_histogram(
+            series.read_hist, series.read_blocks.value
+        )
+        write = ResponseSummary.of_histogram(
+            series.write_hist, series.write_blocks.value
+        )
+        merged = series.read_hist.merge(series.write_hist)
+        overall = ResponseSummary.of_histogram(
+            merged, series.read_blocks.value + series.write_blocks.value
+        )
+        return {
+            "node_id": node_id,
+            "requests": overall.count,
+            "mean_response": overall.mean,
+            "p95_response": overall.p95,
+            "p99_response": overall.p99,
+            "read_requests": read.count,
+            "read_mean_response": read.mean,
+            "read_blocks": series.read_blocks.value,
+            "write_requests": write.count,
+            "write_mean_response": write.mean,
+            "write_blocks": series.write_blocks.value,
+            "writes_eliminated_requests": series.eliminated_requests.value,
+            "writes_eliminated_blocks": series.deduped_blocks.value,
+            "read_cache_hit_blocks": series.cache_hit_blocks.value,
+            "net_delay_requests": series.net_delay_hist.count,
+            "net_delay_mean": series.net_delay_hist.mean,
+            "net_delay_p99": series.net_delay_hist.p99,
+            "remote_lookups": series.remote_lookups.value,
+            "remote_duplicate_blocks": series.remote_duplicate_blocks.value,
+        }
+
+    def nodes_as_dict(self) -> list:
+        """Per-node summaries for every tracked node, id-ordered."""
+        return [self.node_as_dict(nid) for nid in self.node_ids()]
 
     # ------------------------------------------------------------------
 

@@ -95,6 +95,13 @@ class EventType:
     FAULT_INJECT = "fault.inject"      # kind, detail
     FAULT_RECOVER = "fault.recover"    # kind, latency, detail
 
+    # -- cluster layer (see repro.cluster) -----------------------------
+    NET_RPC = "net.rpc"                # src, dst, bytes, queued, done  (CHUNK)
+    CLUSTER_REBALANCE = "cluster.rebalance"  # added, removed, moves,
+    #                                          ring_size             (SUMMARY)
+    CLUSTER_MIGRATE = "cluster.migrate"      # moved, remaining      (SUMMARY)
+    CLUSTER_NODE_FAIL = "cluster.node_fail"  # node, disk            (SUMMARY)
+
 
 #: Event type -> required field names (schema-stability tests check
 #: emitted events against this table).
@@ -120,11 +127,26 @@ EVENT_FIELDS: Dict[str, tuple] = {
     EventType.DISK_OP: ("disk", "op", "pba", "nblocks", "start", "done"),
     EventType.FAULT_INJECT: ("kind", "detail"),
     EventType.FAULT_RECOVER: ("kind", "latency", "detail"),
+    EventType.NET_RPC: ("src", "dst", "bytes", "queued", "done"),
+    EventType.CLUSTER_REBALANCE: ("added", "removed", "moves", "ring_size"),
+    EventType.CLUSTER_MIGRATE: ("moved", "remaining"),
+    EventType.CLUSTER_NODE_FAIL: ("node", "disk"),
 }
 
 #: Event types only emitted under fault injection (the golden no-fault
 #: trace cannot contain them; its coverage test excludes this set).
 FAULT_EVENT_TYPES = frozenset({EventType.FAULT_INJECT, EventType.FAULT_RECOVER})
+
+#: Event types only emitted by multi-node cluster replays (likewise
+#: excluded from the single-node golden trace's coverage check).
+CLUSTER_EVENT_TYPES = frozenset(
+    {
+        EventType.NET_RPC,
+        EventType.CLUSTER_REBALANCE,
+        EventType.CLUSTER_MIGRATE,
+        EventType.CLUSTER_NODE_FAIL,
+    }
+)
 
 
 @dataclass(frozen=True)

@@ -96,6 +96,16 @@ def build_run_report(
         # Multi-volume replays: per-tenant response times and dedup
         # splits (cross- vs intra-volume), one entry per namespace.
         report["volumes"] = list(volumes)
+    nodes = getattr(result, "nodes", None)
+    if nodes:
+        # Cluster replays: per-node response times, elimination and
+        # network-cost breakdowns, one entry per POD node.
+        report["nodes"] = list(nodes)
+    cluster = getattr(result, "cluster_stats", None)
+    if cluster is not None:
+        # Cluster-wide summary: ring state, network fabric totals,
+        # rebalance and node-failure progress.
+        report["cluster"] = dict(cluster)
     return report
 
 
@@ -208,6 +218,54 @@ def render_run_report(report: Dict[str, Any]) -> str:
                 vrows,
             )
         )
+
+    nodes = report.get("nodes", [])
+    if nodes:
+        nrows = [
+            [
+                n.get("node_id"),
+                n.get("name"),
+                n.get("requests", 0),
+                _fmt_val(n.get("mean_response", 0.0) * 1e3),
+                _fmt_val(n.get("p99_response", 0.0) * 1e3),
+                n.get("writes_eliminated_blocks", 0),
+                n.get("remote_lookups", 0),
+                n.get("remote_duplicate_blocks", 0),
+                n.get("rebalance_misses", 0),
+                _fmt_val(n.get("net_delay_mean", 0.0) * 1e6),
+            ]
+            for n in nodes
+        ]
+        parts.append(
+            render_table(
+                "per-node breakdown",
+                ["node", "name", "reqs", "mean ms", "p99 ms", "wr elim",
+                 "remote lkp", "remote dup", "rebal miss", "net us"],
+                nrows,
+            )
+        )
+
+    cluster = report.get("cluster", {})
+    if cluster:
+        crows: List[List[Any]] = [
+            ["nodes", cluster.get("nodes")],
+            ["vnodes", cluster.get("vnodes")],
+            ["ring_members", str(cluster.get("ring_members"))],
+            ["remote_lookups", cluster.get("remote_lookups")],
+            ["remote_duplicate_blocks", cluster.get("remote_duplicate_blocks")],
+            ["rebalance_misses", cluster.get("rebalance_misses")],
+        ]
+        net = cluster.get("net", {})
+        crows += [[f"net.{k}", _fmt_val(v)] for k, v in sorted(net.items())]
+        fabric = cluster.get("fabric", {})
+        crows += [[f"fabric.{k}", _fmt_val(v)] for k, v in sorted(fabric.items())]
+        rb = cluster.get("rebalance")
+        if rb:
+            crows += [[f"rebalance.{k}", _fmt_val(v)] for k, v in sorted(rb.items())]
+        nf = cluster.get("node_failure")
+        if nf:
+            crows += [[f"node_failure.{k}", _fmt_val(v)] for k, v in sorted(nf.items())]
+        parts.append(render_table("cluster", ["field", "value"], crows))
 
     hists = report.get("histograms", {})
     if hists:

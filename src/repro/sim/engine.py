@@ -57,16 +57,26 @@ class Simulator:
     def __init__(
         self,
         disks: Sequence[Disk],
-        raid: RaidArray,
+        raid: Optional[RaidArray],
         schedulers: Optional[Sequence["DiskScheduler"]] = None,
         failed_disk: Optional[int] = None,
     ) -> None:
-        if len(disks) != raid.geometry.ndisks:
+        if raid is None:
+            # Bare event-loop mode (clock + queue only): the caller owns
+            # all disk state and services ops itself -- used by the
+            # cluster replay, where each node has a private array.
+            if disks:
+                raise SimulationError("bare event-loop mode takes no disks")
+            if schedulers:
+                raise SimulationError("bare event-loop mode takes no schedulers")
+            if failed_disk is not None:
+                raise SimulationError("bare event-loop mode has no disks to fail")
+        elif len(disks) != raid.geometry.ndisks:
             raise SimulationError(
                 f"raid geometry wants {raid.geometry.ndisks} disks, got {len(disks)}"
             )
         self.disks: List[Disk] = list(disks)
-        self.raid = raid
+        self.raid: Optional[RaidArray] = raid
         self.schedulers: Optional[List["DiskScheduler"]] = (
             list(schedulers) if schedulers is not None else None
         )
@@ -94,6 +104,8 @@ class Simulator:
         self.obs = recorder
 
     def _translate(self, vop: VolumeOp) -> List[DiskOp]:
+        if self.raid is None:
+            raise SimulationError("bare event-loop engine cannot translate volume ops")
         if self.failed_disk is not None:
             return self.raid.map_degraded(vop, self.failed_disk)
         return self.raid.map(vop)

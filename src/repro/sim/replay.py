@@ -125,6 +125,14 @@ class ReplayResult:
     #: blast-radius histograms, oracle verdict); ``None`` for healthy
     #: replays.
     fault_stats: Optional[Dict[str, Any]] = None
+    #: Per-node metric breakdowns (one dict per node, id-ordered;
+    #: empty outside :func:`repro.cluster.replay.replay_cluster`
+    #: multi-node runs).
+    nodes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Cluster-wide summary (router/ring state, network fabric totals,
+    #: rebalance and node-failure progress); ``None`` outside cluster
+    #: replays.
+    cluster_stats: Optional[Dict[str, Any]] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -140,6 +148,10 @@ class ReplayResult:
         out["removed_write_pct"] = self.removed_write_pct
         if self.volumes:
             out["volumes"] = self.volumes
+        if self.nodes:
+            out["nodes"] = self.nodes
+        if self.cluster_stats is not None:
+            out["cluster"] = self.cluster_stats
         return out
 
 
@@ -162,6 +174,13 @@ def _size_disks(total_volume_blocks: int, config: ReplayConfig) -> DiskParams:
         transfer_rate=base.transfer_rate,
         controller_overhead=base.controller_overhead,
     )
+
+
+def size_disks(total_volume_blocks: int, config: ReplayConfig) -> DiskParams:
+    """Public accessor for the disk-sizing rule (the cluster replay
+    sizes each node's private array with exactly the same arithmetic
+    as the single-node replay -- a bit-identity requirement)."""
+    return _size_disks(total_volume_blocks, config)
 
 
 def _merge_streams(

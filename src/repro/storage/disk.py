@@ -157,6 +157,16 @@ class Disk:
             rotation = self.params.avg_rotational_latency
         return seek, rotation, self.params.transfer_time(nblocks)
 
+    def components(self, pba: int, nblocks: int) -> "tuple[float, float, float]":
+        """Public ``(seek, rotation, transfer)`` breakdown of one access.
+
+        The sanctioned surface for schedulers and accounting that need
+        the mechanical split rather than the summed
+        :meth:`service_time`.  Pure: does not move the head or advance
+        the busy horizon.
+        """
+        return self._components(pba, nblocks)
+
     def service_time(self, pba: int, nblocks: int) -> float:
         """Mechanical time to service an access at ``pba`` of ``nblocks``.
 

@@ -95,7 +95,7 @@ class DiskScheduler:
             return
         self._busy = True
         op, on_done = self._pending.pop(self._pick())
-        seek, rotation, transfer = self.disk._components(op.pba, op.nblocks)
+        seek, rotation, transfer = self.disk.components(op.pba, op.nblocks)
         duration = self.disk.params.controller_overhead + seek + rotation + transfer
         # Advance the mechanical state; the busy horizon is driven by
         # the event clock here, not by the analytic max().

@@ -63,7 +63,8 @@ class TestCleanSchemes:
         assert check_codes(dedup_scheme) == set()
 
     def test_invariant_catalogue_is_stable(self):
-        assert len(INVARIANT_CODES) == 10
+        assert len(INVARIANT_CODES) == 11
+        assert "INV-IDEDUP-THRESHOLD" in INVARIANT_CODES
         assert INVARIANT_CODES[-1] == "INV-REFS-DELTA"
         assert len(set(INVARIANT_CODES)) == len(INVARIANT_CODES)
         assert all(code.startswith("INV-") for code in INVARIANT_CODES)
@@ -287,6 +288,77 @@ class TestCategorySequentialPolicy:
         sanitizer.assert_clean(scheme, now=1.0)
         assert sanitizer.stats.violations_found == 0
         assert sanitizer.stats.decisions_validated > 0
+
+
+class TestIDedupThresholdPolicy:
+    """iDedup's spatial-locality rule has its own sanitizer policy:
+    every run must reach ``idedup_threshold`` -- no category-1
+    full-request exemption."""
+
+    def test_full_request_exemption_off_fires(self):
+        # A fully redundant 4-chunk request is legal for Select-Dedupe
+        # (category 1) but illegal for iDedup with threshold 8.
+        pbas = [100, 101, 102, 103]
+        assert validate_dedupe_selection(pbas, {0, 1, 2, 3}, threshold=8) == []
+        out = validate_dedupe_selection(
+            pbas, {0, 1, 2, 3}, threshold=8,
+            full_request_exemption=False, code="INV-IDEDUP-THRESHOLD",
+        )
+        assert {v.code for v in out} == {"INV-IDEDUP-THRESHOLD"}
+
+    def test_long_run_passes_without_exemption(self):
+        pbas = [100 + i for i in range(8)]
+        out = validate_dedupe_selection(
+            pbas, set(range(8)), threshold=8,
+            full_request_exemption=False, code="INV-IDEDUP-THRESHOLD",
+        )
+        assert out == []
+
+    def test_attach_enforces_idedup_threshold_live(self):
+        from repro.baselines.idedup import IDedup
+
+        class RiggedIDedup(IDedup):
+            name = "RiggedIDedup"
+
+            def _choose_dedupe(self, request, duplicate_pbas):
+                # Forge: dedupe every known duplicate, ignoring the
+                # sequence-length threshold.
+                return {
+                    i for i, p in enumerate(duplicate_pbas) if p is not None
+                }
+
+        scheme = make_scheme(RiggedIDedup)
+        sanitizer = PodSanitizer()
+        sanitizer.attach(scheme)
+        now = 1e-3
+        scheme.process(
+            IORequest.write(time=now, lba=0, fingerprints=[1, 2, 3, 4]), now
+        )
+        with pytest.raises(InvariantViolationError) as exc:
+            # Re-write 4 duplicate chunks: run of 4 < threshold 8 and
+            # the full-request exemption must NOT apply.
+            scheme.process(
+                IORequest.write(time=2e-3, lba=512, fingerprints=[1, 2, 3, 4]),
+                2e-3,
+            )
+        assert "INV-IDEDUP-THRESHOLD" in str(exc.value)
+
+    def test_attach_passes_honest_idedup(self):
+        from repro.baselines.idedup import IDedup
+
+        scheme = make_scheme(IDedup)
+        sanitizer = PodSanitizer()
+        sanitizer.attach(scheme)
+        now = 0.0
+        fps = list(range(200, 216))  # 16-chunk sequential write
+        for lba in (0, 1024):
+            now += 1e-3
+            scheme.process(
+                IORequest.write(time=now, lba=lba, fingerprints=list(fps)), now
+            )
+        sanitizer.assert_clean(scheme, now=now)
+        assert sanitizer.stats.violations_found == 0
+        assert sanitizer.stats.decisions_validated >= 2
 
 
 class TestSanitizerBehaviour:

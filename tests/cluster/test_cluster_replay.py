@@ -1,0 +1,199 @@
+"""Cluster replay integration: golden one-node bit-identity, multi-node
+determinism, accounting conservation, and live-rebalance safety.
+
+The three load-bearing contracts of the cluster subsystem:
+
+1. **One-node identity.**  ``replay_cluster`` with a single node and no
+   cluster features is the same replay as ``replay_traces`` -- summary,
+   scheme stats and the full run report must match byte for byte.
+2. **Determinism.**  The same seed and configuration reproduce a
+   multi-node run report byte-for-byte (the cluster layer introduces
+   no hidden entropy: routing, the fabric and migration pacing are all
+   pure functions of their inputs).
+3. **Conservation.**  Per-node breakdowns sum to the cluster totals,
+   and live rebalancing never breaks POD invariants or serves a wrong
+   read (content oracle per node).
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterConfig, NetworkModel, RebalanceSpec
+from repro.errors import ConfigError
+from repro.experiments import runner
+from repro.obs.report import build_run_report
+from repro.sim.replay import ReplayConfig
+
+SCALE = 0.05
+SEED = 7
+
+
+def _report_bytes(result, **kwargs):
+    """Canonical byte serialisation of a run report (fixed clock)."""
+    report = build_run_report(
+        result, seed=SEED, scale=SCALE, clock=lambda: 0.0, **kwargs
+    )
+    return json.dumps(report, sort_keys=True).encode()
+
+
+class TestGoldenOneNode:
+    """N=1 cluster replay is *the* single-node replay, bit for bit."""
+
+    def test_summary_and_stats_identical_to_run_multi(self):
+        multi = runner.run_multi(
+            ["web-vm"], "POD", copies=2, scale=SCALE, seed=SEED
+        )
+        one = runner.run_cluster(
+            ["web-vm"], "POD", nodes=1, copies=2, scale=SCALE, seed=SEED
+        )
+        # exact == on floats is deliberate: bit-identity, not closeness.
+        assert one.summary() == multi.summary()
+        assert one.scheme_stats == multi.scheme_stats
+        assert one.capacity_blocks == multi.capacity_blocks
+        assert one.utilisation == multi.utilisation
+        assert one.epoch_timeline == multi.epoch_timeline
+        # no cluster decoration on the plain one-node path
+        assert one.nodes == []
+        assert one.cluster_stats is None
+
+    def test_report_byte_identical_to_run_multi(self):
+        multi = runner.run_multi(
+            ["web-vm", "mail"], "POD", copies=2, scale=SCALE, seed=SEED
+        )
+        one = runner.run_cluster(
+            ["web-vm", "mail"], "POD", nodes=1, copies=2, scale=SCALE, seed=SEED
+        )
+        assert _report_bytes(one) == _report_bytes(multi)
+
+
+class TestMultiNodeDeterminism:
+    def test_same_seed_reproduces_report_bytes(self):
+        a = runner.run_cluster(
+            ["web-vm", "mail"], "POD", nodes=2, copies=2, scale=SCALE, seed=SEED
+        )
+        b = runner.run_cluster(
+            ["web-vm", "mail"], "POD", nodes=2, copies=2, scale=SCALE, seed=SEED
+        )
+        assert _report_bytes(a) == _report_bytes(b)
+
+    def test_network_latency_is_actually_charged(self):
+        """A slower fabric must not speed anything up; remote lookups
+        must pay for it in mean response time."""
+        fast = runner.run_cluster(
+            ["web-vm"], "POD", nodes=2, copies=2, scale=SCALE, seed=SEED,
+            cluster_config=ClusterConfig(net=NetworkModel(latency=1e-6)),
+        )
+        slow = runner.run_cluster(
+            ["web-vm"], "POD", nodes=2, copies=2, scale=SCALE, seed=SEED,
+            cluster_config=ClusterConfig(net=NetworkModel(latency=5e-3)),
+        )
+        f, s = fast.summary(), slow.summary()
+        assert s["mean_response"] > f["mean_response"]
+        assert s["cluster"]["remote_lookups"] == f["cluster"]["remote_lookups"]
+
+
+class TestAccountingConservation:
+    @pytest.fixture(scope="class")
+    def two_node(self):
+        return runner.run_cluster(
+            ["web-vm", "mail"], "POD", nodes=2, copies=2, scale=SCALE, seed=SEED
+        )
+
+    def test_node_sections_present(self, two_node):
+        assert len(two_node.nodes) == 2
+        assert [n["node_id"] for n in two_node.nodes] == [0, 1]
+        assert two_node.cluster_stats is not None
+        assert two_node.cluster_stats["nodes"] == 2
+
+    def test_per_node_sums_equal_cluster_totals(self, two_node):
+        cluster = two_node.cluster_stats
+        for key in ("remote_lookups", "remote_duplicate_blocks", "rebalance_misses"):
+            assert sum(n[key] for n in two_node.nodes) == cluster[key]
+        assert (
+            sum(n["capacity_blocks"] for n in two_node.nodes)
+            == two_node.capacity_blocks
+        )
+        # node counters are whole-run; the headline excludes warm-up
+        assert (
+            sum(n["writes_total"] for n in two_node.nodes) >= two_node.writes_total
+        )
+
+    def test_every_request_served_exactly_once(self, two_node):
+        volumes = runner.multi_tenant_traces(
+            ["web-vm", "mail"], copies=2, scale=SCALE, seed=SEED
+        )
+        total = sum(len(t.records) for t in volumes)
+        assert sum(n["requests_served"] for n in two_node.nodes) == total
+
+    def test_cross_node_duplicates_detected(self, two_node):
+        """Tenant clones land on different nodes (round-robin), so the
+        shared golden image shows up as remote duplicates."""
+        cluster = two_node.cluster_stats
+        assert cluster["remote_lookups"] > 0
+        assert cluster["remote_duplicate_blocks"] > 0
+        assert cluster["fabric"]["rpcs"] > 0
+        assert cluster["fabric"]["bytes_moved"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            runner.run_cluster(
+                ["web-vm"], "POD", nodes=0, copies=2, scale=SCALE, seed=SEED
+            )
+        with pytest.raises(ConfigError):
+            runner.run_cluster(
+                ["web-vm"], "POD", nodes=5, copies=2, scale=SCALE, seed=SEED
+            )
+
+
+class TestLiveRebalance:
+    @pytest.fixture(scope="class")
+    def rebalanced(self):
+        volumes = runner.multi_tenant_traces(
+            ["web-vm", "mail"], copies=2, scale=SCALE, seed=SEED
+        )
+        t_end = max(rec.time for t in volumes for rec in t.records)
+        return runner.run_cluster(
+            ["web-vm", "mail"],
+            "POD",
+            nodes=2,
+            copies=2,
+            scale=SCALE,
+            seed=SEED,
+            cluster_config=ClusterConfig(
+                rebalance=RebalanceSpec(
+                    time=0.25 * t_end, add_nodes=1, entries_per_batch=64
+                ),
+                verify_content=True,
+            ),
+            replay_config=ReplayConfig(check_invariants=True, sanitize_every=500),
+        )
+
+    def test_migration_ran_and_drained(self, rebalanced):
+        rb = rebalanced.cluster_stats["rebalance"]
+        assert rb["add_nodes"] == 1
+        assert rb["entries_total"] > 0
+        assert rb["entries_migrated"] == rb["entries_total"]
+        assert rb["entries_remaining"] == 0
+        # ring gained the directory-only member
+        assert rebalanced.cluster_stats["ring_members"] == [0, 1, 2]
+        assert "2" in rebalanced.cluster_stats["shard_entries"]
+
+    def test_invariants_clean_during_rebalance(self, rebalanced):
+        assert rebalanced.sanitizer is not None
+        assert rebalanced.sanitizer.summary()["violations_found"] == 0
+
+    def test_no_wrong_reads(self, rebalanced):
+        oracle = rebalanced.cluster_stats["oracle"]
+        assert [o["node"] for o in oracle] == [0, 1]
+        for o in oracle:
+            assert o["mismatches"] == 0
+            assert o["reads_checked"] > 0
+
+    def test_rebalance_misses_are_the_only_dedup_cost(self, rebalanced):
+        """Misses during the in-flight window are counted, never fatal."""
+        cluster = rebalanced.cluster_stats
+        assert cluster["rebalance_misses"] >= 0
+        assert sum(
+            n["rebalance_misses"] for n in rebalanced.nodes
+        ) == cluster["rebalance_misses"]

@@ -1,0 +1,92 @@
+"""Unit tests for the network cost model and per-link fabric."""
+
+import pytest
+
+from repro.cluster.netmodel import NetworkFabric, NetworkModel
+from repro.errors import ClusterError
+
+
+class TestNetworkModel:
+    def test_defaults_valid(self):
+        m = NetworkModel()
+        assert m.latency > 0 and m.bandwidth > 0
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            NetworkModel(latency=-1e-6)
+        with pytest.raises(ClusterError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ClusterError):
+            NetworkModel(lookup_bytes=0)
+        with pytest.raises(ClusterError):
+            NetworkModel(entry_bytes=-1)
+
+    def test_frozen(self):
+        m = NetworkModel()
+        with pytest.raises(Exception):
+            m.latency = 1.0  # type: ignore[misc]
+
+
+class TestFabric:
+    def test_loopback_is_free(self):
+        """src == dst completes at ``now`` and records nothing -- this
+        is what pins the one-node cluster to the single-node replay."""
+        f = NetworkFabric(NetworkModel())
+        assert f.round_trip(1.5, 0, 0, 10**9) == 1.5
+        assert f.rpcs == 0 and f.bytes_moved == 0
+        assert f.summary()["links_used"] == 0
+
+    def test_single_rpc_cost(self):
+        m = NetworkModel(latency=1e-4, bandwidth=1e9)
+        f = NetworkFabric(m)
+        done = f.round_trip(0.0, 0, 1, 1000)
+        assert done == pytest.approx(1000 / 1e9 + 2 * 1e-4)
+        assert f.rpcs == 1
+        assert f.bytes_moved == 1000
+        assert f.last_queue_wait == 0.0
+
+    def test_same_link_queues(self):
+        m = NetworkModel(latency=0.0, bandwidth=1000.0)  # 1 byte / ms
+        f = NetworkFabric(m)
+        first = f.round_trip(0.0, 0, 1, 500)  # busy until 0.5
+        second = f.round_trip(0.0, 0, 1, 500)  # queued behind the first
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+        assert f.last_queue_wait == pytest.approx(0.5)
+        assert f.queue_wait_total == pytest.approx(0.5)
+        assert f.busy_time_total == pytest.approx(1.0)
+
+    def test_directed_links_independent(self):
+        """Full duplex: a->b traffic does not delay b->a."""
+        m = NetworkModel(latency=0.0, bandwidth=1000.0)
+        f = NetworkFabric(m)
+        f.round_trip(0.0, 0, 1, 500)
+        back = f.round_trip(0.0, 1, 0, 500)
+        assert back == pytest.approx(0.5)
+        assert f.queue_wait_total == 0.0
+        assert f.summary()["links_used"] == 2
+
+    def test_distinct_links_independent(self):
+        m = NetworkModel(latency=0.0, bandwidth=1000.0)
+        f = NetworkFabric(m)
+        f.round_trip(0.0, 0, 1, 500)
+        other = f.round_trip(0.0, 0, 2, 500)
+        assert other == pytest.approx(0.5)
+
+    def test_rejects_empty_payload(self):
+        f = NetworkFabric(NetworkModel())
+        with pytest.raises(ClusterError):
+            f.round_trip(0.0, 0, 1, 0)
+
+    def test_summary_keys(self):
+        f = NetworkFabric(NetworkModel())
+        f.round_trip(0.0, 0, 1, 64)
+        s = f.summary()
+        assert set(s) == {
+            "rpcs",
+            "bytes_moved",
+            "queue_wait_total",
+            "busy_time_total",
+            "links_used",
+        }
+        assert s["rpcs"] == 1 and s["bytes_moved"] == 64

@@ -16,7 +16,12 @@ from __future__ import annotations
 import io
 from pathlib import Path
 
-from repro.obs.events import EVENT_FIELDS, EVENT_SCHEMA_VERSION, FAULT_EVENT_TYPES
+from repro.obs.events import (
+    CLUSTER_EVENT_TYPES,
+    EVENT_FIELDS,
+    EVENT_SCHEMA_VERSION,
+    FAULT_EVENT_TYPES,
+)
 from repro.obs.trace import TraceRecorder, read_jsonl
 from repro.obs.events import TraceLevel
 from repro.baselines.base import SchemeConfig
@@ -84,10 +89,12 @@ def test_golden_covers_every_event_type():
     vocabulary, so the snapshot really does pin the whole schema.
     Fault events only fire under an armed fault plan, which the golden
     healthy replay by definition never carries (their field contract
-    is pinned by tests/faults/test_injector.py instead)."""
+    is pinned by tests/faults/test_injector.py instead); cluster
+    events only fire in multi-node cluster replays (pinned by
+    tests/cluster/)."""
     etypes = {e.etype for e in _golden_replay().events}
-    assert etypes == set(EVENT_FIELDS) - FAULT_EVENT_TYPES
-    assert not (etypes & FAULT_EVENT_TYPES)
+    assert etypes == set(EVENT_FIELDS) - FAULT_EVENT_TYPES - CLUSTER_EVENT_TYPES
+    assert not (etypes & (FAULT_EVENT_TYPES | CLUSTER_EVENT_TYPES))
 
 
 def test_emitted_events_match_field_contract():
