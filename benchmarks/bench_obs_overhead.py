@@ -4,9 +4,12 @@ The design contract (docs/observability.md): with tracing *off* every
 instrumentation site costs one attribute read plus one integer
 compare, so an un-instrumented replay and a replay with an attached
 ``OFF``-level recorder must run at the same speed -- the assertion
-here allows <5% median slowdown.  A second (informational, printed)
-measurement shows what REQUEST/CHUNK-level recording costs, which is
-allowed to be expensive: you only pay for what you watch.
+here allows <5% median slowdown.  The baseline replay includes every
+telemetry hook site (sampler/tracer pointer guards), so the off-path
+contract covers the timeline/span/SLO instrumentation too.  A second
+(informational, printed) set of measurements shows what REQUEST/
+CHUNK-level recording and armed timeline+span+SLO telemetry cost,
+which is allowed to be expensive: you only pay for what you watch.
 
 Runnable two ways::
 
@@ -22,7 +25,9 @@ import time
 from repro.baselines.base import SchemeConfig
 from repro.core.pod import POD
 from repro.obs import TraceLevel, TraceRecorder
-from repro.sim.replay import replay_trace
+from repro.obs.slo import SloObjective, SloPolicy
+from repro.obs.timeline import TimelineConfig
+from repro.sim.replay import ReplayConfig, replay_trace
 from repro.traces.synthetic import WEB_VM, generate_trace
 
 #: Replay repeats per configuration; medians of 5 are stable enough
@@ -38,15 +43,31 @@ def _scheme() -> POD:
     )
 
 
-def _time_replay(recorder) -> float:
+#: Armed-telemetry configuration for the informational measurement:
+#: 1 s windows, span tracing, and a small latency SLO all at once.
+TELEMETRY = ReplayConfig(
+    timeline=TimelineConfig(window=1.0),
+    spans=True,
+    slo=SloPolicy(objectives=(
+        SloObjective(name="wr", metric="latency", threshold=0.02,
+                     op="write", target=0.9),
+    )),
+)
+
+
+def _time_replay(recorder, config: ReplayConfig = ReplayConfig()) -> float:
     scheme = _scheme()
     t0 = time.perf_counter()
-    replay_trace(TRACE, scheme, recorder=recorder)
+    replay_trace(TRACE, scheme, config, recorder=recorder)
     return time.perf_counter() - t0
 
 
-def _median_runtime(make_recorder) -> float:
-    return statistics.median(_time_replay(make_recorder()) for _ in range(REPEATS))
+def _median_runtime(
+    make_recorder, config: ReplayConfig = ReplayConfig()
+) -> float:
+    return statistics.median(
+        _time_replay(make_recorder(), config) for _ in range(REPEATS)
+    )
 
 
 def measure() -> dict:
@@ -60,6 +81,7 @@ def measure() -> dict:
         "off": _median_runtime(lambda: TraceRecorder(level=TraceLevel.OFF)),
         "request": _median_runtime(lambda: TraceRecorder(level=TraceLevel.REQUEST)),
         "chunk": _median_runtime(lambda: TraceRecorder(level=TraceLevel.CHUNK)),
+        "telemetry": _median_runtime(lambda: None, TELEMETRY),
     }
     out["off_overhead"] = out["off"] / out["baseline"] - 1.0
     return out
@@ -84,6 +106,8 @@ def main() -> None:  # pragma: no cover - manual entry point
           f"({(m['request'] / m['baseline'] - 1) * 100:+.1f}%)")
     print(f"recorder level chunk: {m['chunk'] * 1e3:8.1f} ms "
           f"({(m['chunk'] / m['baseline'] - 1) * 100:+.1f}%)")
+    print(f"timeline+spans+slo  : {m['telemetry'] * 1e3:8.1f} ms "
+          f"({(m['telemetry'] / m['baseline'] - 1) * 100:+.1f}%)")
     status = "OK" if m["off_overhead"] < MAX_OFF_OVERHEAD else "FAIL"
     print(f"off-level contract (<{MAX_OFF_OVERHEAD * 100:.0f}%): {status}")
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constants import (
     BLOCK_SIZE,
@@ -224,6 +224,13 @@ class DedupScheme(abc.ABC):
         #: Simulated time of the request currently being processed
         #: (timestamp source for events emitted below ``process``).
         self._obs_now: float = 0.0
+        #: Attached span tracer (:class:`repro.obs.spans.SpanTracer`)
+        #: and the current request's root span id -- set by the replay
+        #: driver per request when ``--spans`` is armed.  ``None`` by
+        #: default: the off path pays one ``is not None`` test per
+        #: processed request.
+        self.spans: Optional[Any] = None
+        self.span_parent: int = -1
         # ---- counters -------------------------------------------------
         self.reads_total = 0
         self.read_blocks_total = 0
@@ -272,9 +279,29 @@ class DedupScheme(abc.ABC):
     def process(self, request: IORequest, now: float) -> PlannedIO:
         """Plan the physical I/O for one user request."""
         self._obs_now = now
+        if self.spans is None:
+            if request.is_write:
+                return self._process_write(request, now)
+            return self._process_read(request, now)
+        # Span-traced path: the Index/Map lookup (and any dedup
+        # classification work inside it) is one child of the request's
+        # root span.  Planning happens at one simulated instant, so
+        # the span is zero-width; its attrs carry the outcome.
+        sid = self.spans.start(
+            now, "scheme.lookup", parent=self.span_parent, req_id=request.req_id
+        )
         if request.is_write:
-            return self._process_write(request, now)
-        return self._process_read(request, now)
+            planned = self._process_write(request, now)
+        else:
+            planned = self._process_read(request, now)
+        self.spans.end(
+            now,
+            sid,
+            eliminated=planned.eliminated,
+            deduped_blocks=planned.deduped_blocks,
+            cache_hit_blocks=planned.cache_hit_blocks,
+        )
+        return planned
 
     def on_epoch(self, now: float) -> List[VolumeOp]:
         """Periodic cache management; returns background swap traffic.

@@ -14,6 +14,11 @@
     python -m repro trace generate --trace web-vm --scale 0.05 --out w.trace
     python -m repro trace analyze w.trace
     python -m repro report --scale 0.25
+    python -m repro run --trace mail --scheme POD --timeline 0.5 --spans \
+        --slo examples/slo.json --report-out r.json
+    python -m repro timeline render r.json
+    python -m repro timeline export r.json --out metrics.txt
+    python -m repro dash r.json --out dash.html
 
 Everything the CLI does is also available as a library call; the CLI
 is a thin argparse layer over :mod:`repro.experiments`.
@@ -41,6 +46,27 @@ FIGURES = {
     "fig11": "fig11_write_reduction",
     "nvram": "nvram_overhead",
 }
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by run / run-multi / run-cluster."""
+    p.add_argument("--timeline", type=float, default=None, nargs="?",
+                   const=1.0, metavar="SECONDS",
+                   help="sample windowed telemetry (throughput, latency "
+                   "percentiles, dedup/cache rates, queue depths) at this "
+                   "window width in simulated seconds (bare flag: 1.0)")
+    p.add_argument("--spans", action="store_true",
+                   help="record causal spans through the request lifecycle "
+                   "(admission, classify, remote lookup, disk, recovery)")
+    p.add_argument("--slo", default=None, metavar="POLICY.json",
+                   help="evaluate SLO objectives over the timeline windows "
+                   "(JSON policy, see examples/slo.json; implies --timeline)")
+    p.add_argument("--timeline-out", default=None, metavar="FILE.jsonl",
+                   help="write the sampled timeline as JSON Lines "
+                   "(requires --timeline or --slo)")
+    p.add_argument("--spans-out", default=None, metavar="FILE.jsonl",
+                   help="write completed spans as JSON Lines "
+                   "(requires --spans)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
+    _add_telemetry_args(run)
 
     multi = sub.add_parser(
         "run-multi",
@@ -126,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                        help="structural-check cadence in requests "
                        "(with --check-invariants; default 1000)")
+    _add_telemetry_args(multi)
 
     cluster = sub.add_parser(
         "run-cluster",
@@ -192,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--report-out", default=None, metavar="FILE.json",
                          help="write the run report with per-node and "
                          "cluster sections")
+    _add_telemetry_args(cluster)
 
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
@@ -242,6 +271,42 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True)
     ana = trace_sub.add_parser("analyze", help="Table-II/Fig-1/Fig-2 stats of a trace file")
     ana.add_argument("path")
+
+    timeline = sub.add_parser(
+        "timeline", help="render, diff or export a sampled telemetry timeline"
+    )
+    timeline_sub = timeline.add_subparsers(dest="timeline_command", required=True)
+    tl_render = timeline_sub.add_parser(
+        "render", help="pretty-print the per-window series"
+    )
+    tl_render.add_argument("path", metavar="TIMELINE",
+                           help="run report (JSON), bare timeline document, "
+                           "or timeline JSONL file")
+    tl_render.add_argument("--limit", type=int, default=40, metavar="N",
+                           help="windows to show (default 40; 0 for all)")
+    tl_diff = timeline_sub.add_parser(
+        "diff", help="diff two timelines window by window"
+    )
+    tl_diff.add_argument("paths", nargs=2, metavar="TIMELINE",
+                         help="two timeline files (any loadable form)")
+    tl_diff.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="differing windows to show (default 20)")
+    tl_export = timeline_sub.add_parser(
+        "export", help="export the timeline as OpenMetrics text"
+    )
+    tl_export.add_argument("path", metavar="TIMELINE")
+    tl_export.add_argument("--out", default=None, metavar="FILE",
+                           help="output file (default: stdout)")
+    tl_export.add_argument("--prefix", default="pod",
+                           help="metric-family name prefix (default pod)")
+
+    dash = sub.add_parser(
+        "dash", help="render a self-contained HTML dashboard from a run report"
+    )
+    dash.add_argument("path", metavar="REPORT.json",
+                      help="run report written with --report-out and --timeline")
+    dash.add_argument("--out", default="dash.html", metavar="FILE.html",
+                      help="output file (default dash.html)")
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--scale", type=float, default=0.25)
@@ -316,6 +381,54 @@ def _effective_trace_level(args: argparse.Namespace) -> str:
     return TraceLevel.OFF
 
 
+def _telemetry_config(args: argparse.Namespace) -> dict:
+    """ReplayConfig telemetry kwargs from the shared CLI flags."""
+    from repro.errors import ConfigError
+    from repro.obs import SloPolicy, TimelineConfig
+
+    kwargs: dict = {}
+    if getattr(args, "timeline", None) is not None:
+        kwargs["timeline"] = TimelineConfig(window=args.timeline)
+    if getattr(args, "spans", False):
+        kwargs["spans"] = True
+    if getattr(args, "slo", None) is not None:
+        kwargs["slo"] = SloPolicy.load(args.slo)
+    if getattr(args, "timeline_out", None) is not None and not (
+        "timeline" in kwargs or "slo" in kwargs
+    ):
+        raise ConfigError("--timeline-out requires --timeline or --slo")
+    if getattr(args, "spans_out", None) is not None and "spans" not in kwargs:
+        raise ConfigError("--spans-out requires --spans")
+    return kwargs
+
+
+def _print_telemetry(result, args: argparse.Namespace) -> None:
+    """Post-run telemetry summary + JSONL outputs (run/run-multi/run-cluster)."""
+    timeline = getattr(result, "timeline", None)
+    if timeline is not None:
+        doc = timeline.as_dict()
+        print(f"timeline: {doc['windows_total']} windows of "
+              f"{doc['window']:.4g}s (t_end {doc['t_end']:.3f})")
+        if getattr(args, "timeline_out", None) is not None:
+            lines = timeline.write_jsonl(args.timeline_out)
+            print(f"wrote {args.timeline_out}: {lines - 1} windows")
+    spans = getattr(result, "spans", None)
+    if spans is not None:
+        s = spans.summary()
+        print(f"spans: {s['spans']} recorded ({s['dropped']} dropped, "
+              f"{s['open']} left open)")
+        if getattr(args, "spans_out", None) is not None:
+            lines = spans.write_jsonl(args.spans_out)
+            print(f"wrote {args.spans_out}: {lines - 1} spans")
+    slo = getattr(result, "slo_stats", None)
+    if slo is not None:
+        worst = max((o["worst_burn"] for o in slo["objectives"]), default=0.0)
+        print(f"slo: {len(slo['objectives'])} objectives over "
+              f"{slo['windows_evaluated']} windows, "
+              f"{slo['violations_total']} violation windows, "
+              f"worst burn rate {worst:.2f}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     import time
 
@@ -334,6 +447,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         "single": RaidLevel.SINGLE,
     }[args.raid]
     ndisks = args.ndisks if args.ndisks is not None else (1 if level is RaidLevel.SINGLE else 4)
+    telemetry = _telemetry_config(args)
     replay_config = ReplayConfig(
         raid_level=level,
         ndisks=ndisks,
@@ -343,6 +457,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         sanitize_every=args.sanitize_every,
         faults=_fault_plan(args),
         fault_seed=args.fault_seed,
+        **telemetry,
     )
 
     observed = (
@@ -350,6 +465,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         or args.trace_level is not None
         or args.trace_out is not None
         or args.report_out is not None
+        or bool(telemetry)
     )
     if not observed:
         # Plain run: share the memoised fast path with the figure benches.
@@ -384,6 +500,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
     _print_fault_summary(result)
+    _print_telemetry(result, args)
     if args.trace_out is not None:
         lines = recorder.write_jsonl(args.trace_out)
         print(f"wrote {args.trace_out}: {lines - 1} events "
@@ -420,6 +537,7 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         sanitize_every=args.sanitize_every,
         faults=_fault_plan(args),
         fault_seed=args.fault_seed,
+        **_telemetry_config(args),
     )
     result = runner.run_multi(
         args.traces,
@@ -456,6 +574,7 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
     _print_fault_summary(result)
+    _print_telemetry(result, args)
     if args.report_out is not None:
         from repro.obs import build_run_report, write_report
 
@@ -521,6 +640,7 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
     replay_config = ReplayConfig(
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
+        **_telemetry_config(args),
     )
     result = runner.run_cluster(
         args.traces,
@@ -583,6 +703,7 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
         s = result.sanitizer.summary()
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
+    _print_telemetry(result, args)
     if args.report_out is not None:
         from repro.obs import build_run_report, write_report
 
@@ -776,6 +897,96 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _timeline_rows(doc: dict, limit: int) -> List[list]:
+    windows = doc.get("windows", [])
+    shown = windows if limit <= 0 else windows[:limit]
+    rows = []
+    for w in shown:
+        rows.append([
+            w["index"],
+            f"{w['t0']:.2f}",
+            w.get("requests", 0),
+            f"{w.get('read_latency', {}).get('p95', 0.0) * 1e3:.3f}",
+            f"{w.get('write_latency', {}).get('p95', 0.0) * 1e3:.3f}",
+            f"{w.get('dedup_ratio', 0.0):.3f}",
+            f"{w.get('read_cache_hit_rate', 0.0):.3f}",
+            ",".join(sorted(w.get("activity", {}))) or "-",
+        ])
+    return rows
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import load_timeline, to_openmetrics
+
+    if args.timeline_command == "render":
+        doc = load_timeline(args.path)
+        windows = doc.get("windows", [])
+        print(render_table(
+            f"timeline: {len(windows)} windows of {doc.get('window')}s "
+            f"(t_end {doc.get('t_end', 0.0):.3f})",
+            ["win", "t0", "reqs", "rd p95 ms", "wr p95 ms", "dedup",
+             "cache hit", "activity"],
+            _timeline_rows(doc, args.limit),
+        ))
+        if args.limit > 0 and len(windows) > args.limit:
+            print(f"... {len(windows) - args.limit} more windows "
+                  f"(--limit 0 for all)")
+        return 0
+
+    if args.timeline_command == "diff":
+        a, b = (load_timeline(p) for p in args.paths)
+        wa = {w["index"]: w for w in a.get("windows", [])}
+        wb = {w["index"]: w for w in b.get("windows", [])}
+        print(f"A: {len(wa)} windows of {a.get('window')}s; "
+              f"B: {len(wb)} windows of {b.get('window')}s")
+        rows = []
+        for idx in sorted(set(wa) | set(wb)):
+            xa, xb = wa.get(idx), wb.get(idx)
+            if xa == xb:
+                continue
+            ra = xa.get("requests", 0) if xa else "--"
+            rb = xb.get("requests", 0) if xb else "--"
+            pa = (f"{xa.get('read_latency', {}).get('p95', 0.0) * 1e3:.3f}"
+                  if xa else "--")
+            pb = (f"{xb.get('read_latency', {}).get('p95', 0.0) * 1e3:.3f}"
+                  if xb else "--")
+            rows.append([idx, ra, rb, pa, pb])
+        if not rows:
+            print("timelines are identical")
+            return 0
+        shown = rows if args.limit <= 0 else rows[:args.limit]
+        print(render_table(
+            f"{len(rows)} differing windows",
+            ["win", "reqs A", "reqs B", "rd p95 A (ms)", "rd p95 B (ms)"],
+            shown,
+        ))
+        if args.limit > 0 and len(rows) > args.limit:
+            print(f"... {len(rows) - args.limit} more differing windows")
+        return 1
+
+    # export
+    doc = load_timeline(args.path)
+    text = to_openmetrics(doc, prefix=args.prefix)
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}: {len(text.splitlines())} lines")
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs import build_dashboard_html, load_report
+
+    report = load_report(args.path)
+    html = build_dashboard_html(report)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"wrote {args.out} ({len(html)} bytes, self-contained)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report_md import build_report
     from pathlib import Path
@@ -816,6 +1027,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "stats": cmd_stats,
     "figures": cmd_figures,
+    "timeline": cmd_timeline,
+    "dash": cmd_dash,
     "trace": cmd_trace,
     "report": cmd_report,
     "export": cmd_export,

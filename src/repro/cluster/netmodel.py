@@ -72,6 +72,10 @@ class NetworkFabric:
         self.busy_time_total = 0.0
         #: Queueing delay of the most recent RPC (for trace events).
         self.last_queue_wait = 0.0
+        #: Link-occupancy (service) time of the most recent RPC -- lets
+        #: callers feed per-link utilisation telemetry without reaching
+        #: into the private busy map.
+        self.last_service = 0.0
 
     def round_trip(self, now: float, src: int, dst: int, nbytes: int) -> float:
         """Completion time of an ``nbytes`` RPC issued at ``now``.
@@ -89,6 +93,7 @@ class NetworkFabric:
         self.rpcs += 1
         self.bytes_moved += nbytes
         self.last_queue_wait = start - now
+        self.last_service = service
         self.queue_wait_total += start - now
         self.busy_time_total += service
         return start + service + 2.0 * self.model.latency

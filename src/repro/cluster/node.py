@@ -129,6 +129,15 @@ class ClusterNode:
                 disk_ops.extend(self.raid.map(vop))
         return self.service_disk_ops(obs, now, disk_ops)
 
+    def queue_lag(self, now: float) -> float:
+        """Worst backlog across the node's member disks at ``now``."""
+        lag = 0.0
+        for disk in self.disks:
+            behind = disk.busy_until - now
+            if behind > lag:
+                lag = behind
+        return lag
+
     # ------------------------------------------------------------------
 
     def utilisation(self) -> Dict[int, Dict[str, float]]:

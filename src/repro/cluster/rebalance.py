@@ -119,6 +119,13 @@ class ShardMigrator:
     def remaining(self) -> int:
         return len(self._moves) - self._cursor
 
+    @property
+    def progress(self) -> float:
+        """Fraction of queued movers processed (1.0 when nothing moved)."""
+        if not self._moves:
+            return 1.0
+        return self._cursor / len(self._moves)
+
     def next_batch(self, entries: int) -> Dict[Tuple[int, int], int]:
         """Migrate up to ``entries`` queued movers.
 

@@ -49,6 +49,9 @@ from repro.faults.oracle import ContentOracle
 from repro.faults.plan import NodeFailureSpec
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import EventType, TraceLevel
+from repro.obs.slo import evaluate_slo
+from repro.obs.spans import SpanTracer
+from repro.obs.timeline import TimelineSampler
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.replay import ReplayConfig, ReplayResult, size_disks
@@ -280,6 +283,17 @@ def replay_cluster(
             node.scheme.attach_observer(recorder)
         sim.attach_observer(recorder)
 
+    # -- telemetry (observation only; absent unless armed) -------------
+    timeline_config = config.effective_timeline()
+    sampler: Optional[TimelineSampler] = None
+    if timeline_config is not None:
+        sampler = TimelineSampler(timeline_config, policy=config.slo)
+        metrics.attach_timeline(sampler)
+    tracer: Optional[SpanTracer] = SpanTracer() if config.spans else None
+    if tracer is not None:
+        for node in nodes:
+            node.scheme.spans = tracer
+
     sanitizer: Optional[PodSanitizer] = None
     if config.check_invariants:
         if config.sanitize_every <= 0:
@@ -332,7 +346,7 @@ def replay_cluster(
     # ------------------------------------------------------------------
 
     def remote_lookup_cost(
-        node: ClusterNode, request: IORequest, now: float
+        node: ClusterNode, request: IORequest, now: float, root: int = -1
     ) -> Tuple[float, int, int]:
         """Consult the sharded directory for one write's fingerprints.
 
@@ -370,6 +384,25 @@ def replay_cluster(
             done = fabric.round_trip(
                 now, node.node_id, dst, count * cluster.net.lookup_bytes
             )
+            if sampler is not None:
+                sampler.note_rpc(
+                    now,
+                    node.node_id,
+                    dst,
+                    count * cluster.net.lookup_bytes,
+                    fabric.last_service,
+                )
+            if tracer is not None and root > 0:
+                tracer.emit(
+                    now,
+                    done,
+                    "rpc.lookup",
+                    parent=root,
+                    req_id=request.req_id,
+                    node=node.node_id,
+                    dst=dst,
+                    lookups=count,
+                )
             if obs.level >= TraceLevel.CHUNK:
                 obs.emit(
                     TraceLevel.CHUNK,
@@ -391,6 +424,7 @@ def replay_cluster(
         arrival: float,
         cross: int,
         net_info: Tuple[float, int, int],
+        root: int = -1,
     ) -> None:
         node = node_of[request.volume_id]
         issue_time = sim.now
@@ -412,6 +446,18 @@ def replay_cluster(
         completion = max(completion, ssd_done)
         measured = config.collect_warmup or measured_flags[request.req_id]
         completed_at = max(completion, issue_time)
+        if tracer is not None and root > 0:
+            if planned.volume_ops:
+                tracer.emit(
+                    issue_time,
+                    completed_at,
+                    "disk",
+                    parent=root,
+                    req_id=request.req_id,
+                    node=node.node_id,
+                    blocks=sum(op.nblocks for op in planned.volume_ops),
+                )
+            tracer.end(completed_at, root, response=completed_at - arrival)
         if measured:
             metrics.record(
                 request,
@@ -467,6 +513,20 @@ def replay_cluster(
             boundary["writes"] = sum(s.writes_total for s in schemes)
             boundary["removed"] = sum(s.write_requests_removed for s in schemes)
             boundary["taken"] = True
+        root = -1
+        if tracer is not None:
+            # Root span: arrival to completion (ended in finish()).
+            root = tracer.start(
+                arrival, "request", req_id=request.req_id, node=node.node_id
+            )
+            node.scheme.span_parent = root
+        if sampler is not None:
+            sampler.note_gauges(
+                now,
+                node_id=node.node_id,
+                nvram_bytes=float(node.scheme.nvram.bytes_used),
+                queue_lag=node.queue_lag(now),
+            )
         if obs.level >= TraceLevel.REQUEST:
             extra: Dict[str, Any] = {"volume": request.volume_id} if multi else {}
             obs.emit(
@@ -488,7 +548,7 @@ def replay_cluster(
                 oracles[node.node_id].check_read(request, node.scheme)
         net_info: Tuple[float, int, int] = (0.0, 0, 0)
         if net_active and request.is_write and request.fingerprints is not None:
-            net_info = remote_lookup_cost(node, request, now)
+            net_info = remote_lookup_cost(node, request, now, root)
             node.remote_lookups += net_info[1]
             node.remote_duplicate_blocks += net_info[2]
             node.net_delay_total += net_info[0]
@@ -508,11 +568,29 @@ def replay_cluster(
                 sanitizer.assert_clean(node.scheme, now)
         total_delay = planned.delay + net_info[0]
         if total_delay > 0:
+            if tracer is not None and root > 0 and planned.delay > 0:
+                # Fingerprint classification: the planning delay between
+                # arrival handling and op issue (net wait is the rpc span).
+                tracer.emit(
+                    now,
+                    now + planned.delay,
+                    "classify",
+                    parent=root,
+                    req_id=request.req_id,
+                    node=node.node_id,
+                )
             sim.schedule_callback(
-                now + total_delay, finish, request, planned, arrival, cross, net_info
+                now + total_delay,
+                finish,
+                request,
+                planned,
+                arrival,
+                cross,
+                net_info,
+                root,
             )
         else:
-            finish(request, planned, arrival, cross, net_info)
+            finish(request, planned, arrival, cross, net_info, root)
 
     def on_arrival(now: float, request: IORequest) -> None:
         handle_request(request, now)
@@ -535,6 +613,17 @@ def replay_cluster(
                 ops = node.scheme.on_epoch(sim.now)
                 if sanitizer is not None:
                     sanitizer.assert_clean(node.scheme, sim.now)
+                if sampler is not None:
+                    sampler.note_gauges(
+                        sim.now,
+                        node_id=node.node_id,
+                        icache_index_bytes=float(
+                            node.scheme.cache.index.capacity_bytes
+                        ),
+                        icache_read_bytes=float(
+                            node.scheme.cache.read.capacity_bytes
+                        ),
+                    )
                 if ops:
                     node.service_volume_ops(obs, sim.now, ops)
                 next_time = sim.now + interval
@@ -563,6 +652,8 @@ def replay_cluster(
             )
             ctrl = RebuildController(node.raid, spec.disk, disk_rows, live)
             rebuild_state["controller"] = ctrl
+            if sampler is not None:
+                sampler.note_activity(sim.now, "node_failure", 1.0)
             if obs.level >= TraceLevel.SUMMARY:
                 obs.emit(
                     TraceLevel.SUMMARY,
@@ -582,10 +673,21 @@ def replay_cluster(
                 if ops:
                     # Background load on the failed node's spindles only.
                     node.service_disk_ops(obs, sim.now, ops)
+            if sampler is not None:
+                sampler.note_activity(sim.now, "rebuild", ctrl.progress)
             if ctrl.done:
                 node.failed_disk = None
                 failed_at = rebuild_state["failed_at"]
                 assert failed_at is not None
+                if tracer is not None:
+                    tracer.emit(
+                        failed_at,
+                        sim.now,
+                        "recovery.rebuild",
+                        node=spec.node,
+                        disk=spec.disk,
+                        rows_rebuilt=ctrl.rows_rebuilt,
+                    )
                 if obs.level >= TraceLevel.SUMMARY:
                     obs.emit(
                         TraceLevel.SUMMARY,
@@ -619,6 +721,8 @@ def replay_cluster(
                 router.remove_member(rb.remove_node)
             migrator = ShardMigrator(router, shards)
             migration["migrator"] = migrator
+            if sampler is not None:
+                sampler.note_activity(sim.now, "rebalance", 1.0)
             if obs.level >= TraceLevel.SUMMARY:
                 obs.emit(
                     TraceLevel.SUMMARY,
@@ -636,11 +740,21 @@ def replay_cluster(
             migrator = migration["migrator"]
             assert migrator is not None
             links = migrator.next_batch(rb.entries_per_batch)
+            if sampler is not None:
+                sampler.note_activity(sim.now, "migration", migrator.progress)
             for src, dst in sorted(links):
                 moved = links[(src, dst)]
                 done = fabric.round_trip(
                     sim.now, src, dst, moved * cluster.net.entry_bytes
                 )
+                if sampler is not None:
+                    sampler.note_rpc(
+                        sim.now,
+                        src,
+                        dst,
+                        moved * cluster.net.entry_bytes,
+                        fabric.last_service,
+                    )
                 if obs.level >= TraceLevel.CHUNK:
                     obs.emit(
                         TraceLevel.CHUNK,
@@ -689,6 +803,12 @@ def replay_cluster(
     # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
+
+    slo_stats: Optional[Dict[str, Any]] = None
+    if sampler is not None:
+        sampler.finish(sim.now)
+        if config.slo is not None:
+            slo_stats = evaluate_slo(config.slo, sampler.as_dict())
 
     volumes: List[Dict[str, Any]] = []
     if per_volume_metrics:
@@ -824,4 +944,7 @@ def replay_cluster(
         fault_stats=None,
         nodes=node_summaries,
         cluster_stats=cluster_stats,
+        timeline=sampler,
+        spans=tracer,
+        slo_stats=slo_stats,
     )

@@ -59,6 +59,18 @@ def memoize_result(key: tuple, result: ReplayResult) -> None:
     _run_cache[key] = result
 
 
+def telemetry_armed(config: ReplayConfig) -> bool:
+    """True when the config arms timeline/span/SLO telemetry.  Such
+    runs bypass the memo like :func:`run_observed` does: the result
+    carries per-run mutable telemetry state (sampler, tracer) that
+    must be fresh for each caller."""
+    return (
+        config.timeline is not None
+        or config.spans
+        or config.slo is not None
+    )
+
+
 def get_trace(spec: TraceSpec, scale: float = 1.0, seed: Optional[int] = None) -> Trace:
     """Generate (or fetch the memoised) trace for a spec."""
     key = (spec.name, scale, seed)
@@ -132,13 +144,15 @@ def run_single(
         replay_config,
         tuple(sorted(config_overrides.items())),
     )
-    if key in _run_cache:
+    bypass = telemetry_armed(replay_config)
+    if not bypass and key in _run_cache:
         return _run_cache[key]
     spec = specs[trace_name]
     trace = get_trace(spec, scale=scale, seed=seed)
     scheme = build_scheme(scheme_name, spec, scale=scale, **config_overrides)
     result = replay_trace(trace, scheme, replay_config)
-    _run_cache[key] = result
+    if not bypass:
+        _run_cache[key] = result
     return result
 
 
@@ -194,12 +208,14 @@ def run_custom(
         replay_config,
         tuple(sorted(config_overrides.items())),
     )
-    if key in _run_cache:
+    bypass = telemetry_armed(replay_config)
+    if not bypass and key in _run_cache:
         return _run_cache[key]
     trace = get_trace(spec, scale=scale, seed=seed)
     scheme = build_scheme(scheme_name, spec, scale=scale, **config_overrides)
     result = replay_trace(trace, scheme, replay_config)
-    _run_cache[key] = result
+    if not bypass:
+        _run_cache[key] = result
     return result
 
 

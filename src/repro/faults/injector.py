@@ -90,6 +90,11 @@ class FaultInjector:
         #: recovery (NVRAM-loss replay is a stop-the-world pause).
         self.blocked_until = 0.0
         self.obs: TraceRecorder = NULL_RECORDER
+        #: Attached windowed sampler and span tracer (``None`` unless
+        #: the replay armed telemetry): recovery work annotates its
+        #: windows and emits ``recovery.*`` spans.  Observation only.
+        self.timeline: Optional[Any] = None
+        self.spans: Optional[Any] = None
         #: Per-fault counters (mirrored into the registry at finalize).
         self.counters: Dict[str, int] = {}
         if registry is not None:
@@ -258,6 +263,13 @@ class FaultInjector:
         self._count("lse_reconstructions")
         self._count("lse_sectors_recovered", len(hit))
         self.recovery_hist.observe(repaired - now)
+        if self.timeline is not None:
+            self.timeline.note_activity(now, "lse_recovery")
+        if self.spans is not None:
+            self.spans.emit(
+                now, repaired, "recovery.lse",
+                disk=op.disk_id, sectors=len(hit),
+            )
         if self.obs.level >= TraceLevel.SUMMARY:
             self.obs.emit(
                 TraceLevel.SUMMARY, now, EventType.FAULT_RECOVER,
@@ -284,6 +296,8 @@ class FaultInjector:
             else None
         )
         self.rebuild = RebuildController(sim.raid, spec.disk, disk_rows, live)
+        if self.timeline is not None:
+            self.timeline.note_activity(sim.now, "degraded", 1.0)
         if self.obs.level >= TraceLevel.SUMMARY:
             self.obs.emit(
                 TraceLevel.SUMMARY, sim.now, EventType.FAULT_INJECT,
@@ -301,12 +315,19 @@ class FaultInjector:
                 # Background load: competes for the spindles, gates
                 # nothing.
                 sim.issue_disk_ops(ops, lambda _t: None)
+        if self.timeline is not None:
+            self.timeline.note_activity(sim.now, "rebuild", ctrl.progress)
         if ctrl.done:
             sim.failed_disk = None
             assert self._member_failed_at is not None
             duration = sim.now - self._member_failed_at
             self._count("rebuilds_completed")
             self.recovery_hist.observe(duration)
+            if self.spans is not None:
+                self.spans.emit(
+                    self._member_failed_at, sim.now, "recovery.rebuild",
+                    disk=spec.disk, rows_rebuilt=ctrl.rows_rebuilt,
+                )
             if self.obs.level >= TraceLevel.SUMMARY:
                 self.obs.emit(
                     TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
@@ -379,6 +400,15 @@ class FaultInjector:
         cost = spec.base_recovery_cost + spec.replay_cost_per_record * replayed
         self.blocked_until = max(self.blocked_until, sim.now + cost)
         self.recovery_hist.observe(cost)
+        if self.timeline is not None:
+            # Stop-the-world recovery spans a known interval; stamp it
+            # on every overlapping window.
+            self.timeline.annotate_interval("nvram_recovery", sim.now, sim.now + cost)
+        if self.spans is not None:
+            self.spans.emit(
+                sim.now, sim.now + cost, "recovery.nvram",
+                replayed=replayed, quarantined=len(diverged),
+            )
         if self.obs.level >= TraceLevel.SUMMARY:
             self.obs.emit(
                 TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
@@ -448,6 +478,8 @@ class FaultInjector:
                 scheme.cache.note_index_evictions(evicted)
             flipped_total += 1
         self._count("index_corruptions", flipped_total)
+        if self.timeline is not None and flipped_total:
+            self.timeline.note_activity(sim.now, "index_corruption")
         if self.obs.level >= TraceLevel.SUMMARY:
             self.obs.emit(
                 TraceLevel.SUMMARY, sim.now, EventType.FAULT_INJECT,

@@ -189,6 +189,15 @@ class MetricsCollector:
         self._volumes: Optional[Dict[int, _VolumeSeries]] = None
         #: node_id -> per-node series (None until track_nodes()).
         self._nodes: Optional[Dict[int, _NodeSeries]] = None
+        #: Attached windowed sampler (None unless --timeline).  Fed
+        #: from record()/record_node() so the timeline's window sums
+        #: reconcile with the whole-run aggregates *by construction*.
+        self._timeline = None
+
+    def attach_timeline(self, sampler) -> None:
+        """Mirror every recorded completion into ``sampler``
+        (a :class:`repro.obs.timeline.TimelineSampler`)."""
+        self._timeline = sampler
 
     # ------------------------------------------------------------------
     # per-volume tracking
@@ -272,6 +281,18 @@ class MetricsCollector:
                 series.cross_volume_deduped_blocks.inc(cross_volume_blocks)
             if cache_hit_blocks:
                 series.cache_hit_blocks.inc(cache_hit_blocks)
+        if self._timeline is not None:
+            self._timeline.note_request(
+                completion,
+                is_read=request.op is OpType.READ,
+                nblocks=request.nblocks,
+                response=response,
+                volume_id=(request.volume_id if self._volumes is not None else -1),
+                eliminated=eliminated,
+                deduped_blocks=deduped_blocks,
+                cache_hit_blocks=cache_hit_blocks,
+                cross_volume_blocks=cross_volume_blocks,
+            )
 
     # ------------------------------------------------------------------
     # per-node tracking (cluster replays)
@@ -341,6 +362,19 @@ class MetricsCollector:
             series.remote_lookups.inc(remote_lookups)
         if remote_duplicate_blocks:
             series.remote_duplicate_blocks.inc(remote_duplicate_blocks)
+        if self._timeline is not None:
+            self._timeline.note_node_request(
+                completion,
+                node_id=node_id,
+                is_read=request.op is OpType.READ,
+                nblocks=request.nblocks,
+                response=response,
+                eliminated=eliminated,
+                deduped_blocks=deduped_blocks,
+                cache_hit_blocks=cache_hit_blocks,
+                net_delay=net_delay,
+                remote_lookups=remote_lookups,
+            )
 
     def node_ids(self) -> list:
         """Node ids with recorded traffic (empty unless tracking)."""

@@ -26,6 +26,26 @@ from repro.obs.events import (
     TraceEvent,
     TraceLevel,
 )
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA_VERSION,
+    TimelineConfig,
+    TimelineSampler,
+    load_timeline,
+    write_timeline_jsonl,
+)
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanTracer,
+)
+from repro.obs.slo import (
+    SLO_SCHEMA_VERSION,
+    SloObjective,
+    SloPolicy,
+    evaluate_slo,
+)
+from repro.obs.openmetrics import to_openmetrics
+from repro.obs.dash import build_dashboard_html
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -77,4 +97,18 @@ __all__ = [
     "render_report",
     "render_run_report",
     "write_report",
+    "TIMELINE_SCHEMA_VERSION",
+    "TimelineConfig",
+    "TimelineSampler",
+    "load_timeline",
+    "write_timeline_jsonl",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanTracer",
+    "SLO_SCHEMA_VERSION",
+    "SloObjective",
+    "SloPolicy",
+    "evaluate_slo",
+    "to_openmetrics",
+    "build_dashboard_html",
 ]

@@ -1,0 +1,393 @@
+"""Self-contained HTML dashboard for a run report's timeline.
+
+``repro dash report.json -o dash.html`` renders the windowed series
+as inline-SVG line charts — throughput, read/write p95 latency,
+dedup ratio and read-cache hit rate, per-node latency, per-link
+network utilisation — with shaded bands for background activity
+(fail-slow, rebuild, rebalance, migration) and markers on SLO
+violation windows.  The output is one HTML file with zero external
+dependencies (no JS, no CSS frameworks, no fonts): it renders in any
+browser, attaches to a paper artifact, and diffs deterministically.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+_WIDTH = 860
+_HEIGHT = 180
+_PAD_L = 64
+_PAD_R = 12
+_PAD_T = 10
+_PAD_B = 22
+
+_PALETTE = ("#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+            "#0891b2", "#be185d", "#4d7c0f")
+_BAND_COLOURS = {
+    "fail_slow": "#fecaca",
+    "node_failure": "#fca5a5",
+    "rebuild": "#fde68a",
+    "rebalance": "#bfdbfe",
+    "migration": "#ddd6fe",
+}
+_DEFAULT_BAND = "#e5e7eb"
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 920px; color: #111827; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #d1d5db; padding: 0.3em 0.7em; text-align: right; }
+th { background: #f3f4f6; } td.name { text-align: left; }
+.legend { font-size: 0.8em; margin: 0.2em 0 0.6em; }
+.legend span { margin-right: 1.2em; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em;
+          margin-right: 0.3em; vertical-align: middle; }
+.meta { color: #6b7280; font-size: 0.85em; }
+.violation { color: #b91c1c; }
+svg { background: #fafafa; border: 1px solid #e5e7eb; }
+"""
+
+
+def _fmt_val(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:.3g}"
+    if abs(v) >= 1:
+        return f"{v:.3g}"
+    return f"{v:.3g}"
+
+
+def _polyline(
+    points: Sequence[Tuple[float, float]],
+    t_lo: float,
+    t_hi: float,
+    v_hi: float,
+    colour: str,
+) -> str:
+    if not points or t_hi <= t_lo:
+        return ""
+    span_t = t_hi - t_lo
+    span_v = v_hi if v_hi > 0 else 1.0
+    coords = []
+    for t, v in points:
+        x = _PAD_L + (t - t_lo) / span_t * (_WIDTH - _PAD_L - _PAD_R)
+        y = _HEIGHT - _PAD_B - (min(v, span_v) / span_v) * (_HEIGHT - _PAD_T - _PAD_B)
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<polyline fill="none" stroke="{colour}" stroke-width="1.5" '
+        f'points="{" ".join(coords)}" />'
+    )
+
+
+def _chart(
+    title: str,
+    series: Mapping[str, List[Tuple[float, float]]],
+    t_lo: float,
+    t_hi: float,
+    bands: Sequence[Tuple[str, float, float]] = (),
+    markers: Sequence[float] = (),
+    unit: str = "",
+) -> str:
+    """One SVG line chart with an HTML legend above it."""
+    v_hi = 0.0
+    for points in series.values():
+        for _, v in points:
+            if v > v_hi:
+                v_hi = v
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    parts: List[str] = [f"<h2>{escape(title)}</h2>"]
+    legend = []
+    for i, name in enumerate(series):
+        colour = _PALETTE[i % len(_PALETTE)]
+        legend.append(
+            f'<span><span class="swatch" style="background:{colour}"></span>'
+            f"{escape(name)}</span>"
+        )
+    for name, colour in sorted(_BAND_COLOURS.items()):
+        if any(b[0] == name for b in bands):
+            legend.append(
+                f'<span><span class="swatch" style="background:{colour}"></span>'
+                f"{escape(name)}</span>"
+            )
+    parts.append(f'<div class="legend">{"".join(legend)}</div>')
+
+    svg: List[str] = [
+        f'<svg viewBox="0 0 {_WIDTH} {_HEIGHT}" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" xmlns="http://www.w3.org/2000/svg">'
+    ]
+    span_t = t_hi - t_lo
+    for name, b_lo, b_hi in bands:
+        colour = _BAND_COLOURS.get(name, _DEFAULT_BAND)
+        x0 = _PAD_L + max(0.0, (b_lo - t_lo)) / span_t * (_WIDTH - _PAD_L - _PAD_R)
+        x1 = _PAD_L + min(1.0, (b_hi - t_lo) / span_t) * (_WIDTH - _PAD_L - _PAD_R)
+        if x1 > x0:
+            svg.append(
+                f'<rect x="{x0:.1f}" y="{_PAD_T}" width="{x1 - x0:.1f}" '
+                f'height="{_HEIGHT - _PAD_T - _PAD_B}" fill="{colour}" '
+                f'fill-opacity="0.6" />'
+            )
+    # axes + gridlines
+    svg.append(
+        f'<line x1="{_PAD_L}" y1="{_HEIGHT - _PAD_B}" x2="{_WIDTH - _PAD_R}" '
+        f'y2="{_HEIGHT - _PAD_B}" stroke="#9ca3af" />'
+    )
+    svg.append(
+        f'<line x1="{_PAD_L}" y1="{_PAD_T}" x2="{_PAD_L}" '
+        f'y2="{_HEIGHT - _PAD_B}" stroke="#9ca3af" />'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        v = v_hi * frac
+        y = _HEIGHT - _PAD_B - frac * (_HEIGHT - _PAD_T - _PAD_B)
+        svg.append(
+            f'<text x="{_PAD_L - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="10" fill="#6b7280">{_fmt_val(v)}{escape(unit)}</text>'
+        )
+    for frac in (0.0, 0.5, 1.0):
+        t = t_lo + frac * span_t
+        x = _PAD_L + frac * (_WIDTH - _PAD_L - _PAD_R)
+        svg.append(
+            f'<text x="{x:.1f}" y="{_HEIGHT - 6}" text-anchor="middle" '
+            f'font-size="10" fill="#6b7280">{_fmt_val(t)}s</text>'
+        )
+    for t in markers:
+        x = _PAD_L + (t - t_lo) / span_t * (_WIDTH - _PAD_L - _PAD_R)
+        svg.append(
+            f'<line x1="{x:.1f}" y1="{_PAD_T}" x2="{x:.1f}" '
+            f'y2="{_HEIGHT - _PAD_B}" stroke="#b91c1c" stroke-width="1" '
+            f'stroke-dasharray="3,2" />'
+        )
+    for i, (name, points) in enumerate(series.items()):
+        svg.append(
+            _polyline(points, t_lo, t_hi, v_hi, _PALETTE[i % len(_PALETTE)])
+        )
+    svg.append("</svg>")
+    parts.append("".join(svg))
+    return "\n".join(parts)
+
+
+def _mid(window: Mapping[str, Any]) -> float:
+    return (float(window["t0"]) + float(window["t1"])) / 2.0
+
+
+def _activity_bands(
+    windows: Sequence[Mapping[str, Any]]
+) -> List[Tuple[str, float, float]]:
+    """Coalesce per-window activity flags into contiguous bands."""
+    open_bands: Dict[str, Tuple[float, float]] = {}
+    bands: List[Tuple[str, float, float]] = []
+    for window in windows:
+        t0, t1 = float(window["t0"]), float(window["t1"])
+        names = set(window.get("activity", {}))
+        for name in list(open_bands):
+            if name not in names:
+                lo, hi = open_bands.pop(name)
+                bands.append((name, lo, hi))
+        for name in names:
+            if name in open_bands:
+                lo, _ = open_bands[name]
+                open_bands[name] = (lo, t1)
+            else:
+                open_bands[name] = (t0, t1)
+    for name, (lo, hi) in open_bands.items():
+        bands.append((name, lo, hi))
+    bands.sort(key=lambda b: (b[1], b[0]))
+    return bands
+
+
+def build_dashboard_html(report: Mapping[str, Any]) -> str:
+    """Render a run report (must carry a ``timeline`` section) as a
+    self-contained HTML dashboard."""
+    timeline = report.get("timeline")
+    if not timeline or not timeline.get("windows"):
+        raise ConfigError(
+            "report has no timeline windows -- re-run with --timeline"
+        )
+    windows: List[Mapping[str, Any]] = list(timeline["windows"])
+    t_lo = float(windows[0]["t0"])
+    t_hi = float(windows[-1]["t1"])
+    width = float(timeline.get("window") or 1.0)
+    bands = _activity_bands(windows)
+
+    slo = report.get("slo")
+    violation_times: List[float] = []
+    if slo:
+        for obj in slo.get("objectives", []):
+            for v in obj.get("violations", []):
+                violation_times.append((float(v["t0"]) + float(v["t1"])) / 2.0)
+    violation_times = sorted(set(violation_times))
+
+    charts: List[str] = []
+
+    charts.append(_chart(
+        "Throughput (requests/s)",
+        {
+            "total": [(_mid(w), w.get("requests", 0) / width) for w in windows],
+            "reads": [(_mid(w), w.get("reads", 0) / width) for w in windows],
+            "writes": [(_mid(w), w.get("writes", 0) / width) for w in windows],
+        },
+        t_lo, t_hi, bands, violation_times,
+    ))
+    charts.append(_chart(
+        "Latency p95 (s)",
+        {
+            "read p95": [
+                (_mid(w), w.get("read_latency", {}).get("p95", 0.0))
+                for w in windows
+            ],
+            "write p95": [
+                (_mid(w), w.get("write_latency", {}).get("p95", 0.0))
+                for w in windows
+            ],
+        },
+        t_lo, t_hi, bands, violation_times, unit="s",
+    ))
+    charts.append(_chart(
+        "Dedup ratio & read-cache hit rate",
+        {
+            "dedup ratio": [(_mid(w), w.get("dedup_ratio", 0.0)) for w in windows],
+            "cache hit rate": [
+                (_mid(w), w.get("read_cache_hit_rate", 0.0)) for w in windows
+            ],
+        },
+        t_lo, t_hi, bands,
+    ))
+
+    gauge_names = sorted({g for w in windows for g in w.get("gauges", {})})
+    if gauge_names:
+        charts.append(_chart(
+            "Gauges (per-window max)",
+            {
+                name: [
+                    (_mid(w), w.get("gauges", {}).get(name, 0.0)) for w in windows
+                ]
+                for name in gauge_names
+            },
+            t_lo, t_hi, bands,
+        ))
+
+    volume_ids = sorted({int(v) for w in windows for v in w.get("volumes", {})})
+    if volume_ids:
+        charts.append(_chart(
+            "Per-volume p95 latency (s)",
+            {
+                f"volume {vid}": [
+                    (
+                        _mid(w),
+                        max(
+                            w.get("volumes", {}).get(str(vid), {})
+                            .get("read_latency", {}).get("p95", 0.0),
+                            w.get("volumes", {}).get(str(vid), {})
+                            .get("write_latency", {}).get("p95", 0.0),
+                        ),
+                    )
+                    for w in windows
+                ]
+                for vid in volume_ids
+            },
+            t_lo, t_hi, bands, violation_times, unit="s",
+        ))
+
+    node_ids = sorted({int(n) for w in windows for n in w.get("nodes", {})})
+    if node_ids:
+        charts.append(_chart(
+            "Per-node p95 latency (s)",
+            {
+                f"node {nid}": [
+                    (
+                        _mid(w),
+                        max(
+                            w.get("nodes", {}).get(str(nid), {})
+                            .get("read_latency", {}).get("p95", 0.0),
+                            w.get("nodes", {}).get(str(nid), {})
+                            .get("write_latency", {}).get("p95", 0.0),
+                        ),
+                    )
+                    for w in windows
+                ]
+                for nid in node_ids
+            },
+            t_lo, t_hi, bands, violation_times, unit="s",
+        ))
+
+    links = sorted({l for w in windows for l in w.get("net", {})})
+    if links:
+        charts.append(_chart(
+            "Network link utilisation",
+            {
+                link: [
+                    (
+                        _mid(w),
+                        w.get("net", {}).get(link, {}).get("utilisation", 0.0),
+                    )
+                    for w in windows
+                ]
+                for link in links
+            },
+            t_lo, t_hi, bands,
+        ))
+
+    # SLO table
+    slo_html = ""
+    if slo:
+        rows = []
+        for obj in slo.get("objectives", []):
+            cls = ' class="violation"' if obj.get("violation_count") else ""
+            rows.append(
+                "<tr>"
+                f'<td class="name">{escape(str(obj.get("name")))}</td>'
+                f'<td class="name">{escape(str(obj.get("scope")))}</td>'
+                f'<td class="name">{escape(str(obj.get("metric")))}'
+                f'/{escape(str(obj.get("op")))}</td>'
+                f'<td>{_fmt_val(float(obj.get("threshold", 0)))}</td>'
+                f'<td>{_fmt_val(float(obj.get("target", 0)))}</td>'
+                f'<td>{obj.get("windows_evaluated", 0)}</td>'
+                f'<td{cls}>{obj.get("violation_count", 0)}</td>'
+                f'<td>{_fmt_val(float(obj.get("worst_burn", 0)))}</td>'
+                "</tr>"
+            )
+        annotated = []
+        for obj in slo.get("objectives", []):
+            for v in obj.get("violations", []):
+                if v.get("annotations"):
+                    annotated.append(
+                        f'<li class="violation">{escape(str(obj["name"]))} @ '
+                        f'[{_fmt_val(float(v["t0"]))}s, {_fmt_val(float(v["t1"]))}s): '
+                        f'concurrent {escape(", ".join(v["annotations"]))}</li>'
+                    )
+        slo_html = (
+            "<h2>SLO objectives</h2>"
+            "<table><tr><th>name</th><th>scope</th><th>metric</th>"
+            "<th>threshold</th><th>target</th><th>windows</th>"
+            "<th>violations</th><th>worst burn</th></tr>"
+            + "".join(rows)
+            + "</table>"
+            + (
+                "<h2>Violations with concurrent activity</h2><ul>"
+                + "".join(annotated) + "</ul>"
+                if annotated else ""
+            )
+        )
+
+    trace = escape(str(report.get("trace", "?")))
+    scheme = escape(str(report.get("scheme", "?")))
+    meta = (
+        f'<p class="meta">trace <b>{trace}</b> · scheme <b>{scheme}</b> · '
+        f'{len(windows)} windows × {_fmt_val(width)}s · '
+        f"t ∈ [{_fmt_val(t_lo)}s, {_fmt_val(t_hi)}s]</p>"
+    )
+
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>repro dash · {trace} · {scheme}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>POD replay timeline</h1>{meta}"
+        + "\n".join(charts)
+        + slo_html
+        + "</body></html>\n"
+    )

@@ -102,6 +102,10 @@ class EventType:
     CLUSTER_MIGRATE = "cluster.migrate"      # moved, remaining      (SUMMARY)
     CLUSTER_NODE_FAIL = "cluster.node_fail"  # node, disk            (SUMMARY)
 
+    # -- causal span tracing (repro.obs.spans JSONL) -------------------
+    SPAN = "span"                      # span_id, parent, name, req_id,
+    #                                    node, end, attrs
+
 
 #: Event type -> required field names (schema-stability tests check
 #: emitted events against this table).
@@ -131,6 +135,9 @@ EVENT_FIELDS: Dict[str, tuple] = {
     EventType.CLUSTER_REBALANCE: ("added", "removed", "moves", "ring_size"),
     EventType.CLUSTER_MIGRATE: ("moved", "remaining"),
     EventType.CLUSTER_NODE_FAIL: ("node", "disk"),
+    EventType.SPAN: (
+        "span_id", "parent", "name", "req_id", "node", "end", "attrs",
+    ),
 }
 
 #: Event types only emitted under fault injection (the golden no-fault
@@ -147,6 +154,10 @@ CLUSTER_EVENT_TYPES = frozenset(
         EventType.CLUSTER_NODE_FAIL,
     }
 )
+
+#: Span records live in their own JSONL stream (``--spans-out``), not
+#: the event trace, so the golden trace coverage check excludes them.
+SPAN_EVENT_TYPES = frozenset({EventType.SPAN})
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,118 @@
+"""OpenMetrics text export of a timeline document.
+
+Renders the windowed series as gauge samples with explicit
+timestamps (the window's right edge, in simulated seconds), one
+family per series with ``scope``/``op``/``link`` labels — the
+standard exposition format, so the export drops into promtool,
+Grafana or any OpenMetrics-aware tooling without adapters.  Pure
+text generation: deterministic, no wall clock, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+_LATENCY_SERIES = (("p50", "p50"), ("p95", "p95"), ("p99", "p99"), ("mean", "mean"))
+
+
+def _fmt(value: float) -> str:
+    """Shortest faithful decimal (repr of float), ints unmarked."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _sample(
+    out: List[str], name: str, labels: Mapping[str, str], value: float, ts: float
+) -> None:
+    if labels:
+        body = ",".join(f'{k}="{v}"' for k, v in labels.items())
+        out.append(f"{name}{{{body}}} {_fmt(value)} {_fmt(ts)}")
+    else:
+        out.append(f"{name} {_fmt(value)} {_fmt(ts)}")
+
+
+def _scope_samples(
+    out: List[str],
+    prefix: str,
+    scope_doc: Mapping[str, Any],
+    labels: Mapping[str, str],
+    ts: float,
+    width: float,
+) -> None:
+    _sample(out, f"{prefix}_requests_per_second", labels,
+            scope_doc.get("requests", 0) / width, ts)
+    _sample(out, f"{prefix}_dedup_ratio", labels,
+            scope_doc.get("dedup_ratio", 0.0), ts)
+    _sample(out, f"{prefix}_read_cache_hit_rate", labels,
+            scope_doc.get("read_cache_hit_rate", 0.0), ts)
+    for op in ("read", "write"):
+        lat = scope_doc.get(f"{op}_latency", {})
+        if not lat.get("count"):
+            continue
+        for key, suffix in _LATENCY_SERIES:
+            _sample(
+                out, f"{prefix}_{op}_latency_{suffix}_seconds",
+                labels, lat.get(key, 0.0), ts,
+            )
+
+
+def to_openmetrics(timeline: Mapping[str, Any], prefix: str = "pod") -> str:
+    """Render ``timeline`` (a timeline document) as OpenMetrics text."""
+    windows: List[Mapping[str, Any]] = list(timeline.get("windows", []))
+    width = float(timeline.get("window") or 1.0)
+    lines: List[str] = []
+    families = [
+        f"{prefix}_requests_per_second",
+        f"{prefix}_dedup_ratio",
+        f"{prefix}_read_cache_hit_rate",
+        f"{prefix}_read_latency_p50_seconds",
+        f"{prefix}_read_latency_p95_seconds",
+        f"{prefix}_read_latency_p99_seconds",
+        f"{prefix}_read_latency_mean_seconds",
+        f"{prefix}_write_latency_p50_seconds",
+        f"{prefix}_write_latency_p95_seconds",
+        f"{prefix}_write_latency_p99_seconds",
+        f"{prefix}_write_latency_mean_seconds",
+        f"{prefix}_gauge",
+        f"{prefix}_net_link_utilisation",
+        f"{prefix}_net_link_bytes",
+        f"{prefix}_activity",
+    ]
+    for family in families:
+        lines.append(f"# TYPE {family} gauge")
+
+    for window in windows:
+        ts = float(window.get("t1", 0.0))
+        _scope_samples(lines, prefix, window, {"scope": "run"}, ts, width)
+        for vid in sorted(window.get("volumes", {}), key=int):
+            _scope_samples(
+                lines, prefix, window["volumes"][vid],
+                {"scope": f"volume:{vid}"}, ts, width,
+            )
+        for nid in sorted(window.get("nodes", {}), key=int):
+            _scope_samples(
+                lines, prefix, window["nodes"][nid],
+                {"scope": f"node:{nid}"}, ts, width,
+            )
+        for gname in sorted(window.get("gauges", {})):
+            _sample(lines, f"{prefix}_gauge",
+                    {"scope": "run", "name": gname},
+                    window["gauges"][gname], ts)
+        for nid in sorted(window.get("node_gauges", {}), key=int):
+            for gname in sorted(window["node_gauges"][nid]):
+                _sample(lines, f"{prefix}_gauge",
+                        {"scope": f"node:{nid}", "name": gname},
+                        window["node_gauges"][nid][gname], ts)
+        for link in sorted(window.get("net", {})):
+            doc = window["net"][link]
+            _sample(lines, f"{prefix}_net_link_utilisation",
+                    {"link": link}, doc.get("utilisation", 0.0), ts)
+            _sample(lines, f"{prefix}_net_link_bytes",
+                    {"link": link}, doc.get("bytes", 0), ts)
+        for aname in sorted(window.get("activity", {})):
+            _sample(lines, f"{prefix}_activity",
+                    {"name": aname}, window["activity"][aname], ts)
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -32,12 +32,12 @@ _WALL_CLOCK: Clock = time.time
 
 
 def build_run_report(
-    result,
+    result: Any,
     *,
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     trace_level: str = "off",
-    recorder=None,
+    recorder: Optional[Any] = None,
     config: Optional[Dict[str, Any]] = None,
     overhead: Optional[Dict[str, float]] = None,
     clock: Optional[Clock] = None,
@@ -106,6 +106,21 @@ def build_run_report(
         # Cluster-wide summary: ring state, network fabric totals,
         # rebalance and node-failure progress.
         report["cluster"] = dict(cluster)
+    # Telemetry sections appear only when armed (absent, not empty,
+    # when disabled -- report bytes must not change for old configs).
+    timeline = getattr(result, "timeline", None)
+    if timeline is not None:
+        report["timeline"] = (
+            timeline.as_dict() if hasattr(timeline, "as_dict") else dict(timeline)
+        )
+    spans = getattr(result, "spans", None)
+    if spans is not None:
+        report["spans"] = (
+            spans.summary() if hasattr(spans, "summary") else dict(spans)
+        )
+    slo_stats = getattr(result, "slo_stats", None)
+    if slo_stats is not None:
+        report["slo"] = dict(slo_stats)
     return report
 
 
@@ -129,13 +144,13 @@ def build_compare_report(
 # ----------------------------------------------------------------------
 
 
-def write_report(report: Dict[str, Any], path) -> None:
+def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
 
 
-def load_report(path) -> Dict[str, Any]:
+def load_report(path: str) -> Dict[str, Any]:
     """Read and validate a report file (version/kind checked)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -313,6 +328,92 @@ def render_run_report(report: Dict[str, Any]) -> str:
             )
         )
 
+    timeline_doc = report.get("timeline")
+    if timeline_doc and timeline_doc.get("windows"):
+        windows = timeline_doc["windows"]
+        width = timeline_doc.get("window") or 1.0
+        wrows = [
+            [
+                w.get("index"),
+                _fmt_val(w.get("t0")),
+                w.get("requests", 0),
+                _fmt_val(w.get("requests", 0) / width),
+                _fmt_val(w.get("read_latency", {}).get("p95", 0.0) * 1e3),
+                _fmt_val(w.get("write_latency", {}).get("p95", 0.0) * 1e3),
+                _fmt_val(w.get("dedup_ratio", 0.0)),
+                _fmt_val(w.get("read_cache_hit_rate", 0.0)),
+                ",".join(sorted(w.get("activity", {}))) or "-",
+            ]
+            for w in windows
+        ]
+        parts.append(
+            render_table(
+                f"timeline ({len(windows)} windows x {_fmt_val(width)}s, "
+                f"schema v{timeline_doc.get('schema_version')})",
+                ["win", "t0", "reqs", "req/s", "rd p95 ms", "wr p95 ms",
+                 "dedup", "cache hit", "activity"],
+                wrows,
+            )
+        )
+
+    spans_doc = report.get("spans")
+    if spans_doc:
+        srows: List[List[Any]] = [
+            ["schema_version", spans_doc.get("schema_version")],
+            ["spans", spans_doc.get("spans")],
+            ["dropped", spans_doc.get("dropped")],
+        ]
+        srows += [
+            [f"by_name.{k}", v]
+            for k, v in sorted(spans_doc.get("by_name", {}).items())
+        ]
+        parts.append(render_table("span tracing", ["field", "value"], srows))
+
+    slo_doc = report.get("slo")
+    if slo_doc:
+        orows = [
+            [
+                o.get("name"),
+                o.get("scope"),
+                f"{o.get('metric')}/{o.get('op')}",
+                _fmt_val(o.get("threshold")),
+                _fmt_val(o.get("target")),
+                o.get("windows_evaluated", 0),
+                o.get("violation_count", 0),
+                _fmt_val(o.get("worst_burn", 0.0)),
+            ]
+            for o in slo_doc.get("objectives", [])
+        ]
+        parts.append(
+            render_table(
+                f"SLO objectives (schema v{slo_doc.get('schema_version')}, "
+                f"{slo_doc.get('violations_total', 0)} violation windows)",
+                ["name", "scope", "metric", "threshold", "target",
+                 "windows", "violations", "worst burn"],
+                orows,
+            )
+        )
+        vrows = [
+            [
+                o.get("name"),
+                v.get("index"),
+                _fmt_val(v.get("t0")),
+                _fmt_val(v.get("value")),
+                _fmt_val(v.get("burn_rate")),
+                ",".join(v.get("annotations", [])) or "-",
+            ]
+            for o in slo_doc.get("objectives", [])
+            for v in o.get("violations", [])
+        ]
+        if vrows:
+            parts.append(
+                render_table(
+                    "SLO violation windows",
+                    ["objective", "win", "t0", "value", "burn", "concurrent activity"],
+                    vrows,
+                )
+            )
+
     tracing = report.get("tracing", {})
     if tracing:
         parts.append(
@@ -414,7 +515,13 @@ def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> str:
 
     ha, hb = a.get("histograms", {}), b.get("histograms", {})
     hrows = []
-    for name in sorted(set(ha) & set(hb)):
+    for name in sorted(set(ha) | set(hb)):
+        if name not in ha:
+            hrows.append([name, "--", "(only in B)", ""])
+            continue
+        if name not in hb:
+            hrows.append([name, "(only in A)", "--", ""])
+            continue
         for q in ("p50", "p95", "p99", "p999"):
             va, vb = ha[name].get(q, 0.0), hb[name].get(q, 0.0)
             delta = f"{(vb - va) / va * 100.0:+.1f}%" if va else ""
@@ -422,4 +529,23 @@ def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> str:
     if hrows:
         parts.append(render_table("histogram percentiles (ms)",
                                   ["series", "A", "B", "delta"], hrows))
+
+    # Sections present in only one report (e.g. a report from a newer
+    # build with a timeline vs an old golden) get an explicit marker
+    # instead of silently vanishing from the diff.
+    section_rows = []
+    for section in ("volumes", "nodes", "cluster", "faults", "timeline",
+                    "spans", "slo", "icache_timeline"):
+        in_a = bool(a.get(section))
+        in_b = bool(b.get(section))
+        if in_a != in_b:
+            section_rows.append(
+                [section, "present" if in_a else "--",
+                 "present" if in_b else "--",
+                 "only in A" if in_a else "only in B"]
+            )
+    if section_rows:
+        parts.append(render_table("sections present in only one report",
+                                  ["section", "A", "B", "marker"],
+                                  section_rows))
     return "\n\n".join(parts)

@@ -103,6 +103,17 @@ class Simulator:
         """Attach a trace recorder for disk-level micro-events."""
         self.obs = recorder
 
+    def queue_lag(self, now: float) -> float:
+        """Worst backlog across member disks: how far the busiest
+        disk's busy horizon extends past ``now`` (0 when idle).  The
+        timeline sampler records this as a per-window gauge."""
+        lag = 0.0
+        for disk in self.disks:
+            d = disk.busy_until - now
+            if d > lag:
+                lag = d
+        return lag
+
     def _translate(self, vop: VolumeOp) -> List[DiskOp]:
         if self.raid is None:
             raise SimulationError("bare event-loop engine cannot translate volume ops")

@@ -39,6 +39,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import EventType, TraceLevel
+from repro.obs.slo import SloPolicy, evaluate_slo
+from repro.obs.spans import SpanTracer
+from repro.obs.timeline import TimelineConfig, TimelineSampler
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.request import IORequest
@@ -89,6 +92,18 @@ class ReplayConfig:
     #: Override the plan's RNG seed (CLI ``--fault-seed``; requires
     #: :attr:`faults`).
     fault_seed: Optional[int] = None
+    #: Windowed time-series sampling (see :mod:`repro.obs.timeline`).
+    #: ``None`` keeps the replay on the zero-overhead path -- one
+    #: ``is not None`` test per instrumentation site, bit-identical
+    #: output to a build without the telemetry subsystem.
+    timeline: Optional[TimelineConfig] = None
+    #: Causal span tracing through the request lifecycle
+    #: (see :mod:`repro.obs.spans`).  Observation only.
+    spans: bool = False
+    #: Per-tenant SLO objectives evaluated over the timeline
+    #: (see :mod:`repro.obs.slo`).  Arming a policy implies a default
+    #: timeline when none is configured explicitly.
+    slo: Optional[SloPolicy] = None
 
     def geometry(self) -> RaidGeometry:
         return RaidGeometry(
@@ -96,6 +111,15 @@ class ReplayConfig:
             ndisks=self.ndisks,
             stripe_unit_blocks=self.stripe_unit_blocks,
         )
+
+    def effective_timeline(self) -> Optional[TimelineConfig]:
+        """The timeline config this replay samples with: the explicit
+        one, a default when an SLO policy needs windows, else None."""
+        if self.timeline is not None:
+            return self.timeline
+        if self.slo is not None:
+            return TimelineConfig()
+        return None
 
 
 @dataclass
@@ -133,6 +157,14 @@ class ReplayResult:
     #: rebalance and node-failure progress); ``None`` outside cluster
     #: replays.
     cluster_stats: Optional[Dict[str, Any]] = None
+    #: Windowed time-series sampler (``None`` unless the replay armed
+    #: ``ReplayConfig.timeline``/``slo``); its ``as_dict()`` is the run
+    #: report's ``timeline`` section.
+    timeline: Optional[TimelineSampler] = None
+    #: Causal span tracer (``None`` unless ``ReplayConfig.spans``).
+    spans: Optional[SpanTracer] = None
+    #: SLO evaluation output (``None`` unless ``ReplayConfig.slo``).
+    slo_stats: Optional[Dict[str, Any]] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -312,6 +344,19 @@ def replay_traces(
         metrics.track_volumes()
     ssd = Ssd(config.ssd_params) if config.ssd_params is not None else None
 
+    # Telemetry (all observation only; None = zero-overhead off path).
+    tl_config = config.effective_timeline()
+    sampler: Optional[TimelineSampler] = (
+        TimelineSampler(tl_config, policy=config.slo)
+        if tl_config is not None
+        else None
+    )
+    if sampler is not None:
+        metrics.attach_timeline(sampler)
+    tracer: Optional[SpanTracer] = SpanTracer() if config.spans else None
+    if tracer is not None:
+        scheme.spans = tracer
+
     obs = recorder if recorder is not None else NULL_RECORDER
     if recorder is not None:
         scheme.attach_observer(recorder)
@@ -333,6 +378,14 @@ def replay_traces(
         injector.install(sim, scheme)
         if recorder is not None:
             injector.attach_observer(recorder)
+        injector.timeline = sampler
+        injector.spans = tracer
+        if sampler is not None:
+            # Known-in-advance fault intervals become window bands up
+            # front; tick-driven activity (rebuild progress) is noted
+            # live by the injector.
+            for fs in plan.fail_slow:
+                sampler.annotate_interval("fail_slow", fs.start, fs.end)
     elif config.fault_seed is not None:
         raise ConfigError("fault_seed given without a fault plan")
 
@@ -360,7 +413,11 @@ def replay_traces(
         )
 
     def finish(
-        request: IORequest, planned: PlannedIO, arrival: float, cross: int
+        request: IORequest,
+        planned: PlannedIO,
+        arrival: float,
+        cross: int,
+        root: int = -1,
     ) -> None:
         issue_time = sim.now
 
@@ -380,6 +437,13 @@ def replay_traces(
             completion = max(completion, ssd_done)
             measured = config.collect_warmup or measured_flags[request.req_id]
             completed_at = max(completion, issue_time)
+            if tracer is not None and root > 0:
+                if planned.volume_ops:
+                    tracer.emit(
+                        issue_time, completed_at, "disk",
+                        parent=root, req_id=request.req_id,
+                    )
+                tracer.end(completed_at, root, response=completed_at - arrival)
             if measured:
                 metrics.record(
                     request,
@@ -423,6 +487,23 @@ def replay_traces(
             boundary["writes"] = scheme.writes_total
             boundary["removed"] = scheme.write_requests_removed
             boundary["taken"] = True
+        root = -1
+        if tracer is not None:
+            # Root span: arrival to completion (ended in complete()).
+            root = tracer.start(arrival, "request", req_id=request.req_id)
+            if now > arrival:
+                # Admission stalled behind crash recovery.
+                tracer.emit(
+                    arrival, now, "admission.stall",
+                    parent=root, req_id=request.req_id,
+                )
+            scheme.span_parent = root
+        if sampler is not None:
+            sampler.note_gauges(
+                now,
+                nvram_bytes=float(scheme.nvram.bytes_used),
+                queue_lag=sim.queue_lag(now),
+            )
         if obs.level >= TraceLevel.REQUEST:
             extra = {"volume": request.volume_id} if multi else {}
             obs.emit(
@@ -457,11 +538,18 @@ def replay_traces(
             if arrivals["count"] % config.sanitize_every == 0:
                 sanitizer.assert_clean(scheme, now)
         if planned.delay > 0:
+            if tracer is not None and root > 0:
+                # Fingerprint classification: the planning delay
+                # between arrival handling and op issue.
+                tracer.emit(
+                    now, now + planned.delay, "classify",
+                    parent=root, req_id=request.req_id,
+                )
             sim.schedule_callback(
-                now + planned.delay, finish, request, planned, arrival, cross
+                now + planned.delay, finish, request, planned, arrival, cross, root
             )
         else:
-            finish(request, planned, arrival, cross)
+            finish(request, planned, arrival, cross, root)
 
     def on_arrival(now: float, request: IORequest) -> None:
         if injector is not None and injector.blocked_until > now:
@@ -483,6 +571,14 @@ def replay_traces(
 
         def epoch_tick() -> None:
             ops = scheme.on_epoch(sim.now)
+            if sampler is not None:
+                # iCache partition sizes are only interesting at epoch
+                # boundaries -- that is when they move.
+                sampler.note_gauges(
+                    sim.now,
+                    icache_index_bytes=float(scheme.cache.index.capacity_bytes),
+                    icache_read_bytes=float(scheme.cache.read.capacity_bytes),
+                )
             if sanitizer is not None:
                 # Epoch boundaries are where iCache repartitions; check
                 # the partition budgets right after the move.
@@ -529,6 +625,12 @@ def replay_traces(
                 entry["requests"] = 0
             volumes.append(entry)
 
+    slo_stats: Optional[Dict[str, Any]] = None
+    if sampler is not None:
+        sampler.finish(sim.now)
+        if config.slo is not None:
+            slo_stats = evaluate_slo(config.slo, sampler.as_dict())
+
     timeline = getattr(scheme.cache, "epoch_timeline", [])
     return ReplayResult(
         trace_name=run_name,
@@ -546,4 +648,7 @@ def replay_traces(
         sanitizer=sanitizer,
         volumes=volumes,
         fault_stats=injector.summary() if injector is not None else None,
+        timeline=sampler,
+        spans=tracer,
+        slo_stats=slo_stats,
     )

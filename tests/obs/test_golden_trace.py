@@ -21,6 +21,7 @@ from repro.obs.events import (
     EVENT_FIELDS,
     EVENT_SCHEMA_VERSION,
     FAULT_EVENT_TYPES,
+    SPAN_EVENT_TYPES,
 )
 from repro.obs.trace import TraceRecorder, read_jsonl
 from repro.obs.events import TraceLevel
@@ -91,10 +92,18 @@ def test_golden_covers_every_event_type():
     healthy replay by definition never carries (their field contract
     is pinned by tests/faults/test_injector.py instead); cluster
     events only fire in multi-node cluster replays (pinned by
-    tests/cluster/)."""
+    tests/cluster/); span events only exist in span-tracer JSONL
+    streams (pinned by tests/obs/test_spans.py)."""
     etypes = {e.etype for e in _golden_replay().events}
-    assert etypes == set(EVENT_FIELDS) - FAULT_EVENT_TYPES - CLUSTER_EVENT_TYPES
-    assert not (etypes & (FAULT_EVENT_TYPES | CLUSTER_EVENT_TYPES))
+    assert etypes == (
+        set(EVENT_FIELDS)
+        - FAULT_EVENT_TYPES
+        - CLUSTER_EVENT_TYPES
+        - SPAN_EVENT_TYPES
+    )
+    assert not (
+        etypes & (FAULT_EVENT_TYPES | CLUSTER_EVENT_TYPES | SPAN_EVENT_TYPES)
+    )
 
 
 def test_emitted_events_match_field_contract():
