@@ -1,0 +1,53 @@
+"""Wall-clock budget for the dataflow tier over the whole repository.
+
+The ``lint-flow`` CI job runs ``repro lint --flow src tests`` on every
+push; the analysis (symbol table + call graph + fixpoint summaries +
+per-file abstract interpretation) must stay cheap enough to sit in the
+inner loop.  Budget: the full-repo run completes in under 30 seconds
+(it takes ~3 s today -- the bound is a regression tripwire, not a
+target).
+
+Runnable two ways::
+
+    PYTHONPATH=src python benchmarks/bench_lint_flow.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint_flow.py -q
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+
+REPO = Path(__file__).resolve().parent.parent
+MAX_SECONDS = 30.0
+
+
+def _run() -> "tuple[float, int]":
+    t0 = time.perf_counter()
+    report = lint_paths(
+        [str(REPO / "src"), str(REPO / "tests")],
+        flow=True,
+        baseline=REPO / ".pod-baseline.json",
+    )
+    return time.perf_counter() - t0, report.files_checked
+
+
+def test_full_repo_flow_analysis_under_budget() -> None:
+    elapsed, files = _run()
+    assert files > 100, f"expected a full-repo run, saw {files} files"
+    assert elapsed < MAX_SECONDS, (
+        f"flow analysis over {files} files took {elapsed:.1f}s "
+        f"(budget {MAX_SECONDS:.0f}s)"
+    )
+
+
+def main() -> None:
+    elapsed, files = _run()
+    print(f"repro lint --flow src tests: {files} files in {elapsed:.2f}s "
+          f"(budget {MAX_SECONDS:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,21 +17,46 @@ Two cooperating tools enforce those contracts:
 
 * :mod:`repro.analysis.lint` -- a custom AST lint pass
   (``repro lint`` / ``python -m repro.analysis.lint``) with
-  project-specific rules ``POD001``..``POD006``, a
-  ``# pod: ignore[POD00x]`` escape hatch and machine-readable JSON
-  output; and
+  project-specific syntactic rules ``POD001``..``POD007``, a
+  ``# pod: ignore[POD00x]`` escape hatch, a suppression baseline, and
+  machine-readable JSON/SARIF output;
+* :mod:`repro.analysis.flow` -- the ``--flow`` dataflow tier: a
+  flow-sensitive abstract interpreter with interprocedural call
+  summaries (:mod:`repro.analysis.summaries`) tainting values as
+  SimTime/WallClock/UnseededRng/Unordered and producing rules
+  ``POD008``..``POD012`` (autofixable via :mod:`repro.analysis.fix`);
+  and
 * :mod:`repro.analysis.sanitizer` -- :class:`PodSanitizer`, a
   debug-mode runtime validator hooked into the replay engine by
   ``--check-invariants`` that re-derives every invariant from the live
   scheme state and raises with a precise diagnostic when one breaks.
 
-Both are documented rule-by-rule in ``docs/analysis.md``.
+All are documented rule-by-rule in ``docs/analysis.md``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.lint import Finding, LintReport, lint_paths, lint_source
-from repro.analysis.rules import ALL_RULES, DETERMINISTIC_PACKAGES, Rule
+from repro.analysis.flow import (
+    FlowFinding,
+    FlowReport,
+    FunctionSummary,
+    Taint,
+    analyze_files,
+)
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+    normalize_path,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    DETERMINISTIC_PACKAGES,
+    FLOW_RULES,
+    Rule,
+    RuleTier,
+)
 from repro.analysis.sanitizer import (
     InvariantViolationError,
     PodSanitizer,
@@ -42,13 +67,21 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "ALL_RULES",
     "DETERMINISTIC_PACKAGES",
+    "FLOW_RULES",
     "Finding",
+    "FlowFinding",
+    "FlowReport",
+    "FunctionSummary",
     "InvariantViolationError",
     "LintReport",
     "PodSanitizer",
     "Rule",
+    "RuleTier",
+    "Taint",
     "Violation",
+    "analyze_files",
     "lint_paths",
     "lint_source",
+    "normalize_path",
     "validate_dedupe_selection",
 ]

@@ -1,0 +1,82 @@
+"""The ``repro lint --fix`` autofixer.
+
+Findings from the mechanical rules carry insert-only text edits
+(``Finding.fixes``: ``(line, col, text)`` triples, 1-based lines,
+0-based columns):
+
+* **POD009** -- wrap the unordered iterable in ``sorted(...)`` (two
+  inserts around the expression);
+* **POD002** (unseeded ``np.random.default_rng()``) -- splice in a seed
+  expression, preferring an in-scope ``seed``/``config.seed`` over the
+  literal ``0`` fallback.
+
+Edits never delete text, so applying them cannot destroy code: the
+worst a bad fix can do is fail to compile, which the post-fix re-lint
+(and CI) catches immediately.  Fixing is idempotent -- a fixed site no
+longer produces its finding, so a second ``--fix`` run is a no-op
+(asserted by ``tests/analysis/test_fix.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.lint import Finding
+
+__all__ = ["FixResult", "apply_edits", "fix_findings"]
+
+Edit = Tuple[int, int, str]
+
+
+def apply_edits(source: str, edits: Sequence[Edit]) -> str:
+    """Apply insert-only edits to ``source``.
+
+    Inserts are applied bottom-up (sorted descending by position) so
+    earlier positions stay valid; duplicate edits collapse.
+    """
+    lines = source.splitlines(keepends=True)
+    for line, col, text in sorted(set(edits), reverse=True):
+        index = line - 1
+        if not 0 <= index < len(lines):
+            continue
+        row = lines[index]
+        if col > len(row):
+            continue
+        lines[index] = row[:col] + text + row[col:]
+    return "".join(lines)
+
+
+class FixResult:
+    """What one ``--fix`` pass changed."""
+
+    def __init__(self) -> None:
+        self.files_changed: List[str] = []
+        self.findings_fixed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.files_changed)
+
+
+def fix_findings(findings: Iterable[Finding]) -> FixResult:
+    """Apply every finding's edits to the files on disk."""
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.fixes:
+            by_path.setdefault(finding.path, []).append(finding)
+    result = FixResult()
+    for path in sorted(by_path):
+        file = Path(path)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        edits: List[Edit] = []
+        for finding in by_path[path]:
+            edits.extend(finding.fixes)
+        fixed = apply_edits(source, edits)
+        if fixed != source:
+            file.write_text(fixed, encoding="utf-8")
+            result.files_changed.append(path)
+            result.findings_fixed += len(by_path[path])
+    return result

@@ -1,0 +1,1052 @@
+"""The dataflow lint tier: taint tracking for determinism bugs.
+
+``repro lint --flow`` runs this engine over the whole analysis set at
+once (``src/`` *and* ``tests/`` in CI).  It is flow-sensitive within a
+function and interprocedural through call summaries:
+
+* :mod:`repro.analysis.summaries` parses every module into a symbol
+  table (functions, methods, imports, callable aliases, frozen
+  dataclasses, container annotations);
+* a small abstract domain (:class:`Taint`) tags values as ``SimTime``,
+  ``WallClock``, ``UnseededRng``, ``SeededRng`` or ``Unordered``
+  (dict/set iteration order);
+* an abstract interpreter propagates taint through assignments,
+  attribute stores, f-strings, container/builtin ops, comprehensions
+  and calls, joining environments at control-flow merges;
+* function summaries (``returns`` taint + which parameters flow into
+  the return value) are computed to a fixpoint over the call graph, so
+  a ``time.time()`` laundered through two helper modules still arrives
+  at its deterministic-package call site carrying ``WallClock``.
+
+The five rules this tier produces (POD008..POD012) are catalogued in
+:mod:`repro.analysis.rules` and documented with examples in
+``docs/analysis.md`` ("Dataflow tier").
+
+The sanctioned injected-clock idiom is recognised structurally: calling
+a value that *any parameter flows into* (``(clock or _WALL_CLOCK)()``)
+is injection, not laundering, and produces no taint.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field, replace
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.rules import (
+    ALL_RULES,
+    NP_RNG_OK,
+    Rule,
+    RuleScope,
+    WALL_CLOCK_SUFFIXES,
+    is_timey_identifier,
+    matches_suffix,
+)
+from repro.analysis.summaries import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    annotation_is_int,
+    annotation_is_unordered,
+    build_symbol_table,
+    dotted_name,
+)
+
+__all__ = [
+    "FlowReport",
+    "FlowFinding",
+    "FunctionSummary",
+    "Taint",
+    "TaintValue",
+    "analyze_files",
+    "compute_summaries",
+]
+
+#: Summary fixpoint rounds; the call graph is shallow (helpers rarely
+#: nest more than 3 deep) and the domain is a finite union lattice, so
+#: this converges almost immediately.
+_MAX_ROUNDS = 5
+
+
+class Taint(enum.Flag):
+    """The abstract domain: what a value is derived from."""
+
+    NONE = 0
+    SIM_TIME = enum.auto()      #: simulated-time floats (Simulator.now, ...)
+    WALL_CLOCK = enum.auto()    #: host wall-clock reads
+    UNSEEDED_RNG = enum.auto()  #: global/unseeded RNG draws
+    SEEDED_RNG = enum.auto()    #: draws from an explicitly seeded Generator
+    UNORDERED = enum.auto()     #: iteration order of dict/set-like values
+
+    def names(self) -> List[str]:
+        return [t.name or "" for t in Taint if t is not Taint.NONE and t in self]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Interprocedural call summary: what calling a function yields.
+
+    ``returns`` is the taint the return value intrinsically carries
+    (independent of arguments); ``param_flow`` lists the parameter
+    indices whose taint flows into the return value, so call sites can
+    splice in argument taint.  ``as_dict`` is the JSON format dumped by
+    ``repro lint --flow --dump-summaries``.
+    """
+
+    returns: Taint = Taint.NONE
+    param_flow: FrozenSet[int] = frozenset()
+    param_names: Tuple[str, ...] = ()
+    is_method: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "returns": sorted(self.returns.names()),
+            "param_flow": sorted(self.param_flow),
+            "params": list(self.param_names),
+            "method": self.is_method,
+        }
+
+
+_EMPTY_SUMMARY = FunctionSummary()
+
+
+@dataclass(frozen=True)
+class TaintValue:
+    """One abstract value: taint flags, parameter provenance, and --
+    for function-valued expressions -- the summary of calling it."""
+
+    taint: Taint = Taint.NONE
+    params: FrozenSet[int] = frozenset()
+    summary: Optional[FunctionSummary] = None
+
+    def join(self, other: "TaintValue") -> "TaintValue":
+        summary = self.summary
+        if other.summary is not None:
+            if summary is None:
+                summary = other.summary
+            else:
+                summary = FunctionSummary(
+                    returns=summary.returns | other.summary.returns,
+                    param_flow=summary.param_flow | other.summary.param_flow,
+                    param_names=summary.param_names or other.summary.param_names,
+                    is_method=summary.is_method or other.summary.is_method,
+                )
+        return TaintValue(
+            taint=self.taint | other.taint,
+            params=self.params | other.params,
+            summary=summary,
+        )
+
+    def with_taint(self, taint: Taint) -> "TaintValue":
+        return replace(self, taint=taint)
+
+
+_NONE_VALUE = TaintValue()
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One dataflow finding, pre-merge (lint.py turns these into
+    :class:`repro.analysis.lint.Finding` rows, applying pragmas)."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Insert-only text edits ((line, col, text), applied by fix.py)
+    #: for mechanically fixable findings.
+    fixes: Tuple[Tuple[int, int, str], ...] = ()
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow-analysis run produced."""
+
+    findings: List[FlowFinding]
+    parse_errors: List[str]
+    summaries: Dict[str, FunctionSummary]
+
+    def summaries_as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            key: s.as_dict()
+            for key, s in sorted(self.summaries.items())
+            if s != _EMPTY_SUMMARY
+        }
+
+
+# ----------------------------------------------------------------------
+# call classification helpers
+# ----------------------------------------------------------------------
+
+#: Builtins whose result preserves the argument's iteration (dis)order.
+_ORDER_PRESERVING = {"list", "tuple", "iter", "reversed", "enumerate", "zip"}
+#: Builtins whose result is order-insensitive (or scalar).
+_ORDER_INSENSITIVE = {"min", "max", "sum", "len", "any", "all", "abs",
+                      "round", "str", "repr", "int", "float", "bool",
+                      "format", "id", "hash"}
+#: Constructors whose result iterates in hash order regardless of input.
+_UNORDERED_CTORS = {"set", "frozenset"}
+#: Mapping methods whose result iterates in the mapping's order.
+_MAPPING_VIEWS = {"keys", "values", "items"}
+
+#: Method calls that write loop-ordered output: appending to report
+#: rows, emitting JSONL events, serialising documents.  A dict/set
+#: iteration whose body reaches one of these is POD009.
+_ORDER_SINK_METHODS = {"append", "extend", "write", "writelines", "emit",
+                       "writerow", "dump", "dumps"}
+
+
+def _rng_classify(node: ast.Call, dotted: Optional[str]) -> Optional[str]:
+    """``"unseeded"``/``"seeded"`` for RNG constructor/draw calls."""
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    has_args = bool(node.args or node.keywords)
+    if parts[0] == "random" and len(parts) > 1:
+        if parts[-1] in ("Random", "SystemRandom"):
+            return "seeded" if has_args else "unseeded"
+        return "unseeded"
+    for i in range(1, len(parts) - 1):
+        if parts[i] == "random" and parts[i - 1] in ("np", "numpy"):
+            tail = parts[-1]
+            if tail == "default_rng":
+                return "seeded" if has_args else "unseeded"
+            if tail in NP_RNG_OK:
+                return "seeded" if has_args else "unseeded"
+            return "unseeded"
+    return None
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_timey_node(node: ast.AST) -> bool:
+    return is_timey_identifier(_terminal_identifier(node))
+
+
+def _has_order_sink(body: Sequence[ast.stmt]) -> bool:
+    """Does a loop body write anything whose order the loop dictates?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ORDER_SINK_METHODS
+                ):
+                    return True
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    return True
+    return False
+
+
+#: Single-argument wrappers the sorted() fix descends through, so
+#: ``enumerate(series)`` becomes ``enumerate(sorted(series))`` (sorting
+#: *outside* enumerate would order by index, fixing nothing).
+_WRAP_THROUGH = {"enumerate", "list", "tuple", "iter"}
+
+
+def _fix_target(node: ast.expr) -> ast.expr:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _WRAP_THROUGH
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        node = node.args[0]
+    return node
+
+
+def _wrap_sorted_fixes(node: ast.expr) -> Tuple[Tuple[int, int, str], ...]:
+    """Insert-edits wrapping an expression in ``sorted(...)``."""
+    node = _fix_target(node)
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:  # pragma: no cover
+        return ()
+    if isinstance(node, ast.GeneratorExp):
+        # A generator expression's span includes its parentheses (for a
+        # sole call argument, the *call's* parentheses); insert inside
+        # them so ``join(x for y)`` becomes ``join(sorted(x for y))``.
+        return (
+            (node.lineno, node.col_offset + 1, "sorted("),
+            (end_line, end_col - 1, ")"),
+        )
+    return (
+        (node.lineno, node.col_offset, "sorted("),
+        (end_line, end_col, ")"),
+    )
+
+
+# ----------------------------------------------------------------------
+# the abstract interpreter
+# ----------------------------------------------------------------------
+
+
+class _Interp:
+    """Abstract interpretation of one function (or module body)."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        symtab: SymbolTable,
+        summaries: Dict[str, FunctionSummary],
+        *,
+        deterministic: bool,
+        current_class: Optional[ClassInfo] = None,
+        func: Optional[FunctionInfo] = None,
+        emit: bool = True,
+    ) -> None:
+        self.module = module
+        self.symtab = symtab
+        self.summaries = summaries
+        self.deterministic = deterministic
+        self.current_class = current_class
+        self.func = func
+        self.func_name = func.name if func is not None else "<module>"
+        self.emit_findings = emit
+        self.env: Dict[str, TaintValue] = {}
+        self.findings: List[FlowFinding] = []
+        self._seen: Set[Tuple[str, int, int]] = set()
+        #: enclosing-loop unordered flags (POD011 accumulation check)
+        self._loops: List[bool] = []
+        self._ret = _NONE_VALUE
+
+        if func is not None:
+            annotations = func.param_annotations()
+            for idx, name in enumerate(func.param_names()):
+                ann = annotations.get(name)
+                taint = Taint.NONE
+                if is_timey_identifier(name) and not annotation_is_int(ann):
+                    taint |= Taint.SIM_TIME
+                if annotation_is_unordered(ann):
+                    taint |= Taint.UNORDERED
+                self.env[name] = TaintValue(
+                    taint=taint, params=frozenset((idx,))
+                )
+
+    # -- plumbing ------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> TaintValue:
+        self._exec_block(body)
+        return self._ret
+
+    def _emit(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        fixes: Tuple[Tuple[int, int, str], ...] = (),
+    ) -> None:
+        if not self.emit_findings:
+            return
+        if rule.scope is RuleScope.DETERMINISTIC and not self.deterministic:
+            return
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule.code, line, col)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            FlowFinding(
+                code=rule.code,
+                path=self.module.path,
+                line=line,
+                col=col,
+                message=message,
+                fixes=fixes,
+            )
+        )
+
+    # -- statements ----------------------------------------------------
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+            return
+        # Generic fallback: evaluate expressions, recurse into nested
+        # statement blocks sequentially (match/try*/async variants).
+        for name, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                stmts = [s for s in value if isinstance(s, ast.stmt)]
+                if stmts:
+                    self._exec_block(stmts)
+            elif isinstance(value, ast.expr):
+                self._eval(value)
+
+    def _exec_Expr(self, stmt: ast.Expr) -> None:
+        if isinstance(stmt.value, ast.Call):
+            # A bare call statement discards its result: evaluate for
+            # side-conditions (POD012, argument taint) but do not
+            # report laundering on a value nobody consumes.
+            self._eval_call(stmt.value, consume=False)
+        else:
+            self._eval(stmt.value)
+
+    def _exec_Assign(self, stmt: ast.Assign) -> None:
+        value = self._eval(stmt.value)
+        for target in stmt.targets:
+            self._bind(target, value)
+
+    def _exec_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        value = (
+            self._eval(stmt.value) if stmt.value is not None else _NONE_VALUE
+        )
+        if annotation_is_unordered(stmt.annotation):
+            value = value.with_taint(value.taint | Taint.UNORDERED)
+        self._bind(stmt.target, value)
+
+    def _exec_AugAssign(self, stmt: ast.AugAssign) -> None:
+        value = self._eval(stmt.value)
+        if (
+            isinstance(stmt.op, ast.Add)
+            and Taint.SIM_TIME in value.taint
+            and any(self._loops)
+        ):
+            self._emit(
+                ALL_RULES["POD011"],
+                stmt,
+                "accumulating a SimTime-tainted float inside a loop over "
+                "an unordered (dict/set) iterable; float summation is "
+                "evaluation-order dependent -- sort the iterable",
+            )
+        old = self._eval(_target_as_expr(stmt.target))
+        self._bind(stmt.target, old.join(value))
+
+    def _exec_Return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            self._ret = self._ret.join(self._eval(stmt.value))
+
+    def _exec_If(self, stmt: ast.If) -> None:
+        self._eval(stmt.test)
+        before = dict(self.env)
+        self._exec_block(stmt.body)
+        after_body = self.env
+        self.env = dict(before)
+        self._exec_block(stmt.orelse)
+        self.env = _join_envs(after_body, self.env)
+
+    def _exec_For(self, stmt: ast.For) -> None:
+        self._run_loop(stmt.iter, stmt.target, stmt.body, stmt.orelse)
+
+    def _exec_AsyncFor(self, stmt: ast.AsyncFor) -> None:
+        self._run_loop(stmt.iter, stmt.target, stmt.body, stmt.orelse)
+
+    def _run_loop(
+        self,
+        iter_node: ast.expr,
+        target: ast.expr,
+        body: Sequence[ast.stmt],
+        orelse: Sequence[ast.stmt],
+    ) -> None:
+        itv = self._eval(iter_node)
+        unordered = Taint.UNORDERED in itv.taint
+        if unordered and _has_order_sink(body):
+            self._emit(
+                ALL_RULES["POD009"],
+                iter_node,
+                "iteration over a dict/set-ordered iterable feeds an "
+                "ordered output sink (append/write/emit/dump/yield); "
+                "wrap the iterable in sorted(...) for report-stable "
+                "order",
+                fixes=_wrap_sorted_fixes(iter_node),
+            )
+        # Element taint is not tracked; bind loop targets clean but
+        # remember parameter provenance so injected callables survive.
+        self._bind(target, _NONE_VALUE)
+        self._loops.append(unordered)
+        for _ in range(2):  # fixpoint: 2 passes saturate a union domain
+            self._exec_block(body)
+        self._loops.pop()
+        self._exec_block(orelse)
+
+    def _exec_While(self, stmt: ast.While) -> None:
+        self._eval(stmt.test)
+        self._loops.append(False)
+        for _ in range(2):
+            self._exec_block(stmt.body)
+        self._loops.pop()
+        self._exec_block(stmt.orelse)
+
+    def _exec_With(self, stmt: ast.With) -> None:
+        self._with_items(stmt.items)
+        self._exec_block(stmt.body)
+
+    def _exec_AsyncWith(self, stmt: ast.AsyncWith) -> None:
+        self._with_items(stmt.items)
+        self._exec_block(stmt.body)
+
+    def _with_items(self, items: Sequence[ast.withitem]) -> None:
+        for item in items:
+            value = self._eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, value)
+
+    def _exec_Try(self, stmt: ast.Try) -> None:
+        before = dict(self.env)
+        self._exec_block(stmt.body)
+        merged = self.env
+        for handler in stmt.handlers:
+            self.env = dict(before)
+            self._exec_block(handler.body)
+            merged = _join_envs(merged, self.env)
+        self.env = merged
+        self._exec_block(stmt.orelse)
+        self._exec_block(stmt.finalbody)
+
+    def _exec_FunctionDef(self, stmt: ast.FunctionDef) -> None:
+        # Nested defs are not summarised; bind as an unknown callable.
+        self.env[stmt.name] = _NONE_VALUE
+
+    def _exec_AsyncFunctionDef(self, stmt: ast.AsyncFunctionDef) -> None:
+        self.env[stmt.name] = _NONE_VALUE
+
+    def _exec_ClassDef(self, stmt: ast.ClassDef) -> None:
+        self.env[stmt.name] = _NONE_VALUE
+
+    # -- binding -------------------------------------------------------
+
+    def _bind(self, target: ast.expr, value: TaintValue) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, value)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, value)
+        elif isinstance(target, ast.Attribute):
+            dotted = dotted_name(target)
+            if dotted is not None and dotted.startswith("self."):
+                self.env[dotted] = value
+        # Subscript stores: the container's element taint is untracked.
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> TaintValue:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # Generic: join the taints of every child expression.
+        out = _NONE_VALUE
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out = out.join(self._eval(child))
+        return out
+
+    def _eval_Constant(self, node: ast.Constant) -> TaintValue:
+        return _NONE_VALUE
+
+    def _eval_Name(self, node: ast.Name) -> TaintValue:
+        if node.id in self.env:
+            return self.env[node.id]
+        return self._module_level_value(node.id)
+
+    def _module_level_value(self, name: str) -> TaintValue:
+        """A name resolved at module scope: alias, function, import."""
+        alias = self.symtab.resolve_alias(self.module, name)
+        if alias is not None:
+            if matches_suffix(alias, WALL_CLOCK_SUFFIXES):
+                return TaintValue(
+                    summary=FunctionSummary(returns=Taint.WALL_CLOCK)
+                )
+            head = alias.split(".")[0]
+            if head == "random" or ".random." in f".{alias}.":
+                return TaintValue(
+                    summary=FunctionSummary(returns=Taint.UNSEEDED_RNG)
+                )
+        fn = self.symtab.resolve_function(
+            self.module, name, self.current_class
+        )
+        if fn is not None:
+            return TaintValue(
+                summary=self.summaries.get(fn.key, _EMPTY_SUMMARY)
+            )
+        return _NONE_VALUE
+
+    def _eval_Attribute(self, node: ast.Attribute) -> TaintValue:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            if dotted in self.env:  # tracked ``self.x`` store
+                return self.env[dotted]
+            if matches_suffix(dotted, WALL_CLOCK_SUFFIXES):
+                # Referencing a wall clock is the sanctioned binding
+                # idiom; only *calling* it produces taint.
+                return TaintValue(
+                    summary=FunctionSummary(returns=Taint.WALL_CLOCK)
+                )
+            fn = self.symtab.resolve_function(
+                self.module, dotted, self.current_class
+            )
+            if fn is not None:
+                return TaintValue(
+                    summary=self.summaries.get(fn.key, _EMPTY_SUMMARY)
+                )
+        taint = Taint.NONE
+        if is_timey_identifier(node.attr):
+            taint |= Taint.SIM_TIME
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+            and annotation_is_unordered(
+                self.symtab.class_attr_annotation(
+                    self.current_class, node.attr
+                )
+            )
+        ):
+            taint |= Taint.UNORDERED
+        # Evaluate the receiver for side effects only; attribute access
+        # does not inherit the receiver's container taint.
+        self._eval(node.value)
+        return TaintValue(taint=taint)
+
+    def _eval_BinOp(self, node: ast.BinOp) -> TaintValue:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        return TaintValue(taint=left.taint | right.taint)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> TaintValue:
+        return self._eval(node.operand)
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> TaintValue:
+        out = _NONE_VALUE
+        for value in node.values:
+            out = out.join(self._eval(value))
+        return out
+
+    def _eval_IfExp(self, node: ast.IfExp) -> TaintValue:
+        self._eval(node.test)
+        return self._eval(node.body).join(self._eval(node.orelse))
+
+    def _eval_Subscript(self, node: ast.Subscript) -> TaintValue:
+        value = self._eval(node.value)
+        self._eval(node.slice)
+        # Element access: drop iteration-order taint, keep the rest.
+        return TaintValue(taint=value.taint & ~Taint.UNORDERED)
+
+    def _eval_Compare(self, node: ast.Compare) -> TaintValue:
+        operands = [node.left, *node.comparators]
+        values = [self._eval(op) for op in operands]
+        for op, (ln, lv), (rn, rv) in zip(
+            node.ops, zip(operands, values), zip(operands[1:], values[1:])
+        ):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(side, ast.Constant)
+                and (side.value is None or isinstance(side.value, (str, bool)))
+                for side in (ln, rn)
+            ):
+                continue
+            if Taint.SIM_TIME not in (lv.taint | rv.taint):
+                continue
+            if _is_timey_node(ln) or _is_timey_node(rn):
+                continue  # POD003's (syntactic) territory
+            self._emit(
+                ALL_RULES["POD011"],
+                node,
+                "==/!= on a value carrying SimTime taint (aliased "
+                "simulated-time float the POD003 name heuristic cannot "
+                "see); exact identity of derived times is evaluation-"
+                "order dependent -- compare with a tolerance or "
+                "restructure",
+            )
+        return _NONE_VALUE
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> TaintValue:
+        out = _NONE_VALUE
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                out = out.join(self._eval(value.value))
+        return TaintValue(taint=out.taint)
+
+    def _eval_Dict(self, node: ast.Dict) -> TaintValue:
+        # A dict literal iterates in source order: deterministic.
+        for key in node.keys:
+            if key is not None:
+                self._eval(key)
+        for value in node.values:
+            self._eval(value)
+        return _NONE_VALUE
+
+    def _eval_Set(self, node: ast.Set) -> TaintValue:
+        for elt in node.elts:
+            self._eval(elt)
+        return TaintValue(taint=Taint.UNORDERED)
+
+    def _eval_List(self, node: ast.List) -> TaintValue:
+        out = _NONE_VALUE
+        for elt in node.elts:
+            out = out.join(self._eval(elt))
+        return TaintValue(taint=out.taint & ~Taint.UNORDERED)
+
+    def _eval_Tuple(self, node: ast.Tuple) -> TaintValue:
+        out = _NONE_VALUE
+        for elt in node.elts:
+            out = out.join(self._eval(elt))
+        return TaintValue(taint=out.taint & ~Taint.UNORDERED)
+
+    def _eval_Starred(self, node: ast.Starred) -> TaintValue:
+        return self._eval(node.value)
+
+    def _eval_Lambda(self, node: ast.Lambda) -> TaintValue:
+        return _NONE_VALUE
+
+    def _eval_Await(self, node: ast.Await) -> TaintValue:
+        return self._eval(node.value)
+
+    def _eval_Yield(self, node: ast.Yield) -> TaintValue:
+        if node.value is not None:
+            self._ret = self._ret.join(self._eval(node.value))
+        return _NONE_VALUE
+
+    def _eval_YieldFrom(self, node: ast.YieldFrom) -> TaintValue:
+        self._ret = self._ret.join(self._eval(node.value))
+        return _NONE_VALUE
+
+    # -- comprehensions ------------------------------------------------
+
+    def _eval_comp(
+        self, generators: Sequence[ast.comprehension], *elements: ast.expr
+    ) -> Tuple[TaintValue, bool]:
+        """(joined element taint, any generator iterates unordered)."""
+        unordered = False
+        saved = dict(self.env)
+        for gen in generators:
+            itv = self._eval(gen.iter)
+            unordered = unordered or Taint.UNORDERED in itv.taint
+            self._bind(gen.target, _NONE_VALUE)
+            for cond in gen.ifs:
+                self._eval(cond)
+        out = _NONE_VALUE
+        for element in elements:
+            out = out.join(self._eval(element))
+        self.env = saved
+        return out, unordered
+
+    def _eval_ListComp(self, node: ast.ListComp) -> TaintValue:
+        out, unordered = self._eval_comp(node.generators, node.elt)
+        taint = out.taint | (Taint.UNORDERED if unordered else Taint.NONE)
+        return TaintValue(taint=taint)
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> TaintValue:
+        out, unordered = self._eval_comp(node.generators, node.elt)
+        taint = out.taint | (Taint.UNORDERED if unordered else Taint.NONE)
+        return TaintValue(taint=taint)
+
+    def _eval_SetComp(self, node: ast.SetComp) -> TaintValue:
+        out, _ = self._eval_comp(node.generators, node.elt)
+        return TaintValue(taint=out.taint | Taint.UNORDERED)
+
+    def _eval_DictComp(self, node: ast.DictComp) -> TaintValue:
+        out, unordered = self._eval_comp(node.generators, node.key, node.value)
+        taint = out.taint | (Taint.UNORDERED if unordered else Taint.NONE)
+        return TaintValue(taint=taint)
+
+    # -- calls ---------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call) -> TaintValue:
+        return self._eval_call(node, consume=True)
+
+    def _eval_call(self, node: ast.Call, consume: bool) -> TaintValue:
+        dotted = dotted_name(node.func)
+
+        # POD012: frozen-config mutation escape hatch used outside
+        # __post_init__.
+        if dotted == "object.__setattr__":
+            if self.func_name != "__post_init__":
+                frozen_note = ""
+                if (
+                    node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id == "self"
+                    and self.current_class is not None
+                    and self.current_class.frozen_dataclass
+                ):
+                    frozen_note = (
+                        f" (mutates frozen dataclass "
+                        f"{self.current_class.name})"
+                    )
+                self._emit(
+                    ALL_RULES["POD012"],
+                    node,
+                    "object.__setattr__ outside __post_init__ mutates a "
+                    "frozen dataclass after construction"
+                    + frozen_note
+                    + "; frozen configs must stay immutable",
+                )
+
+        arg_values = [self._eval(a) for a in node.args]
+        kw_values = {
+            kw.arg: self._eval(kw.value)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:  # **kwargs expansions
+            if kw.arg is None:
+                self._eval(kw.value)
+        joined_args = _NONE_VALUE
+        for v in [*arg_values, *kw_values.values()]:
+            joined_args = joined_args.join(v)
+
+        # Builtins with known ordering/taint behaviour.
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "sorted":
+                return TaintValue(taint=joined_args.taint & ~Taint.UNORDERED)
+            if name in _UNORDERED_CTORS:
+                return TaintValue(taint=joined_args.taint | Taint.UNORDERED)
+            if name == "dict":
+                return TaintValue(taint=joined_args.taint)
+            if name in _ORDER_PRESERVING:
+                return TaintValue(taint=joined_args.taint)
+            if name in _ORDER_INSENSITIVE:
+                return TaintValue(taint=joined_args.taint & ~Taint.UNORDERED)
+
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _MAPPING_VIEWS:
+                # Views iterate in the mapping's order: a dict literal
+                # is source-ordered (clean); an annotation-unordered
+                # mapping (parameter, attribute) stays unordered.
+                recv = self._eval(node.func.value)
+                return TaintValue(taint=recv.taint)
+            recv = self._eval(node.func.value)
+            rng_taint = recv.taint & (Taint.UNSEEDED_RNG | Taint.SEEDED_RNG)
+            if rng_taint:
+                # A draw from an RNG-tainted receiver (``rng.random()``,
+                # ``rng.integers(...)``) yields RNG-derived values.
+                return TaintValue(taint=rng_taint)
+            if attr == "join" and arg_values:
+                if Taint.UNORDERED in arg_values[0].taint:
+                    self._emit(
+                        ALL_RULES["POD009"],
+                        node,
+                        "str.join over a dict/set-ordered sequence; the "
+                        "joined text depends on iteration order -- wrap "
+                        "the argument in sorted(...)",
+                        fixes=_wrap_sorted_fixes(node.args[0]),
+                    )
+                return TaintValue(
+                    taint=joined_args.taint & ~Taint.UNORDERED
+                )
+
+        # Direct wall-clock / RNG calls: the *syntactic* tier (POD001/
+        # POD002) owns these sites; flow only records the taint.
+        if dotted is not None and matches_suffix(dotted, WALL_CLOCK_SUFFIXES):
+            return TaintValue(taint=Taint.WALL_CLOCK)
+        rng = _rng_classify(node, dotted)
+        if rng == "unseeded":
+            return TaintValue(taint=Taint.UNSEEDED_RNG)
+        if rng == "seeded":
+            return TaintValue(taint=Taint.SEEDED_RNG)
+
+        callee = self._eval(node.func)
+        if callee.params:
+            # Calling a value a parameter flows into is the injected-
+            # callable idiom ((clock or _WALL_CLOCK)()): sanctioned.
+            return _NONE_VALUE
+        summary = callee.summary
+        if summary is None:
+            return _NONE_VALUE
+
+        taint = summary.returns
+        params: FrozenSet[int] = frozenset()
+        offset = 1 if summary.is_method and isinstance(
+            node.func, ast.Attribute
+        ) else 0
+        for index in summary.param_flow:
+            pos = index - offset
+            if 0 <= pos < len(arg_values):
+                taint |= arg_values[pos].taint
+                params |= arg_values[pos].params
+            elif (
+                summary.param_names
+                and index < len(summary.param_names)
+                and summary.param_names[index] in kw_values
+            ):
+                kv = kw_values[summary.param_names[index]]
+                taint |= kv.taint
+                params |= kv.params
+
+        if consume:
+            if Taint.WALL_CLOCK in summary.returns:
+                self._emit(
+                    ALL_RULES["POD010"],
+                    node,
+                    f"call to {dotted or 'a helper'}() returns a "
+                    "wall-clock-derived value (laundered through the "
+                    "callee); inject a Clock instead of reading the "
+                    "host clock",
+                )
+            if Taint.UNSEEDED_RNG in summary.returns:
+                self._emit(
+                    ALL_RULES["POD008"],
+                    node,
+                    f"call to {dotted or 'a helper'}() returns a value "
+                    "derived from unseeded/global RNG; seed the "
+                    "generator from configuration and thread it "
+                    "explicitly",
+                )
+        return TaintValue(taint=taint, params=params)
+
+
+def _target_as_expr(target: ast.expr) -> ast.expr:
+    """Re-read an assignment target as a load expression (for AugAssign)."""
+    return target
+
+
+def _join_envs(
+    a: Dict[str, TaintValue], b: Dict[str, TaintValue]
+) -> Dict[str, TaintValue]:
+    out = dict(a)
+    for name, value in b.items():
+        prev = out.get(name)
+        out[name] = value if prev is None else prev.join(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# summary fixpoint + findings driver
+# ----------------------------------------------------------------------
+
+#: Taints worth remembering across calls.
+_SUMMARY_MASK = (
+    Taint.SIM_TIME
+    | Taint.WALL_CLOCK
+    | Taint.UNSEEDED_RNG
+    | Taint.SEEDED_RNG
+    | Taint.UNORDERED
+)
+
+
+def _summarize(
+    fn: FunctionInfo,
+    symtab: SymbolTable,
+    summaries: Dict[str, FunctionSummary],
+) -> FunctionSummary:
+    cls = (
+        fn.module.classes.get(fn.class_name)
+        if fn.class_name is not None
+        else None
+    )
+    interp = _Interp(
+        fn.module,
+        symtab,
+        summaries,
+        deterministic=False,
+        current_class=cls,
+        func=fn,
+        emit=False,
+    )
+    ret = interp.run(fn.node.body)  # type: ignore[attr-defined]
+    return FunctionSummary(
+        returns=ret.taint & _SUMMARY_MASK,
+        param_flow=ret.params,
+        param_names=tuple(fn.param_names()),
+        is_method=fn.class_name is not None,
+    )
+
+
+def compute_summaries(symtab: SymbolTable) -> Dict[str, FunctionSummary]:
+    """Fixpoint the call-summary map over the whole analysis set."""
+    summaries: Dict[str, FunctionSummary] = {}
+    functions: List[FunctionInfo] = [
+        fn
+        for module in symtab.modules.values()
+        for fn in module.functions.values()
+    ]
+    for fn in functions:
+        summaries[fn.key] = _EMPTY_SUMMARY
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for fn in functions:
+            new = _summarize(fn, symtab, summaries)
+            if new != summaries[fn.key]:
+                summaries[fn.key] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _deterministic(path: str) -> bool:
+    # Local import: lint imports flow lazily, so this cannot cycle at
+    # module-import time.
+    from repro.analysis.lint import is_deterministic_path
+
+    return is_deterministic_path(path)
+
+
+def analyze_files(files: Sequence[Tuple[str, str]]) -> FlowReport:
+    """Run the dataflow tier over ``(path, source)`` pairs.
+
+    The whole set is analysed as one program: summaries computed over
+    every file, then one findings pass per module.
+    """
+    symtab, parse_errors = build_symbol_table(files)
+    summaries = compute_summaries(symtab)
+    findings: List[FlowFinding] = []
+    for path in sorted(symtab.modules):
+        module = symtab.modules[path]
+        deterministic = _deterministic(path)
+
+        def run(
+            body: Sequence[ast.stmt],
+            func: Optional[FunctionInfo],
+            cls: Optional[ClassInfo],
+        ) -> None:
+            interp = _Interp(
+                module,
+                symtab,
+                summaries,
+                deterministic=deterministic,
+                current_class=cls,
+                func=func,
+                emit=True,
+            )
+            interp.run(body)
+            findings.extend(interp.findings)
+
+        module_stmts = [
+            s
+            for s in module.tree.body
+            if not isinstance(
+                s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        run(module_stmts, None, None)
+        for fn in module.functions.values():
+            cls = (
+                module.classes.get(fn.class_name)
+                if fn.class_name is not None
+                else None
+            )
+            run(fn.node.body, fn, cls)  # type: ignore[attr-defined]
+    return FlowReport(
+        findings=findings, parse_errors=parse_errors, summaries=summaries
+    )

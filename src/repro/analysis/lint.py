@@ -4,9 +4,21 @@ Usage::
 
     repro lint                                # lint src/, text output
     python -m repro.analysis.lint src tests   # explicit paths
+    repro lint --flow src tests               # + dataflow tier (POD008..)
     repro lint --format json                  # machine readable
+    repro lint --format sarif                 # GitHub code scanning
+    repro lint --flow --fix src               # autofix mechanical rules
+    repro lint --flow --baseline .pod-baseline.json
     repro lint --select POD001,POD005         # subset of rules
     repro lint --list-rules                   # rule catalogue
+
+Two tiers produce findings:
+
+* the **syntactic** tier (always on): single-module AST pattern rules
+  ``POD001``..``POD007``;
+* the **dataflow** tier (``--flow``): whole-package taint analysis
+  (:mod:`repro.analysis.flow`) producing ``POD008``..``POD012``, plus
+  the ``POD090`` meta-rule flagging suppressions that suppress nothing.
 
 Each finding carries a stable rule code (``POD001``...).  A finding can
 be suppressed on its line with the escape hatch::
@@ -14,26 +26,46 @@ be suppressed on its line with the escape hatch::
     t0 = time.time()  # pod: ignore[POD001]
     t0 = time.time()  # pod: ignore          (all rules on this line)
 
+Pragmas are read from real comment tokens only (a pragma inside a
+string literal is inert), and under ``--flow`` a pragma that suppresses
+nothing is itself reported (``POD090``).  Accepted legacy findings live
+in a committed baseline file (``--baseline``/``--write-baseline``); a
+finding matching the baseline is filtered out, and stale entries are
+reported so the baseline only ever shrinks.
+
 Exit status: 0 = clean, 1 = findings, 2 = usage or parse errors.
 
 The rules themselves are catalogued in :mod:`repro.analysis.rules` and
 documented with examples in ``docs/analysis.md``.  The linter is
-self-hosting: CI runs it over the whole of ``src/`` and fails on any
-finding.
+self-hosting: CI runs the syntactic tier over ``src/`` and the flow
+tier over ``src/`` *and* ``tests/`` (SARIF-uploaded to code scanning)
+and fails on any non-baselined finding.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import io
 import json
 import re
 import sys
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.rules import ALL_RULES, DETERMINISTIC_PACKAGES, Rule, RuleScope
+from repro.analysis.rules import (
+    ALL_RULES,
+    DETERMINISTIC_PACKAGES,
+    ENTROPY_SUFFIXES,
+    NP_RNG_OK,
+    Rule,
+    RuleScope,
+    WALL_CLOCK_SUFFIXES,
+    is_timey_identifier,
+    matches_suffix,
+)
 
 #: Bumped on any breaking change to the JSON findings layout.
 LINT_OUTPUT_VERSION = 1
@@ -45,13 +77,19 @@ LINT_OUTPUT_VERSION = 1
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``fixes`` carries insert-only text edits ((line, col, text)) for
+    mechanically fixable findings; it is tool plumbing, not part of the
+    reported document (``as_dict``/``render`` omit it).
+    """
 
     code: str
     path: str
     line: int
     col: int
     message: str
+    fixes: Tuple[Tuple[int, int, str], ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -73,6 +111,10 @@ class LintReport:
     findings: List[Finding]
     files_checked: int
     parse_errors: List[str]
+    #: findings filtered out by the suppression baseline
+    baselined: int = 0
+    #: baseline entries that matched nothing (candidates for pruning)
+    stale_baseline: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -85,29 +127,48 @@ class LintReport:
             "files_checked": self.files_checked,
             "findings": [f.as_dict() for f in self.findings],
             "parse_errors": list(self.parse_errors),
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
         }
 
 
-#: ``# pod: ignore`` or ``# pod: ignore[POD001, POD005]``
+#: matches the ``pod: ignore`` comment pragma, bare or with a
+#: bracketed rule-code list
 _IGNORE_RE = re.compile(
     r"#\s*pod:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]*)\])?", re.IGNORECASE
 )
 
 
+def _pragma_from_comment(comment: str) -> Optional[FrozenSet[str]]:
+    m = _IGNORE_RE.search(comment)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
 def _ignored_lines(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> suppressed rule codes (empty set = all)."""
+    """Map line number -> suppressed rule codes (empty set = all).
+
+    Pragmas are extracted from real COMMENT tokens, so ``# pod:
+    ignore`` inside a string literal is inert (it used to suppress).
+    Falls back to a plain line scan if tokenisation fails -- the AST
+    parse will report the underlying syntax error anyway.
+    """
     out: Dict[int, FrozenSet[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _IGNORE_RE.search(line)
-        if m is None:
-            continue
-        codes = m.group("codes")
-        if codes is None:
-            out[lineno] = frozenset()
-        else:
-            out[lineno] = frozenset(
-                c.strip().upper() for c in codes.split(",") if c.strip()
-            )
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                codes = _pragma_from_comment(tok.string)
+                if codes is not None:
+                    out[tok.start[0]] = codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            codes = _pragma_from_comment(line)
+            if codes is not None:
+                out[lineno] = codes
     return out
 
 
@@ -118,6 +179,20 @@ def _suppressed(
     if codes is None:
         return False
     return not codes or code in codes
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative POSIX path for baselines and SARIF URIs.
+
+    Anchors at the last ``src``/``tests``/``benchmarks`` component so
+    the same file fingerprints identically whether linted as
+    ``src/repro/x.py`` or ``/abs/repo/src/repro/x.py``.
+    """
+    parts = Path(path).as_posix().split("/")
+    for anchor in ("src", "tests", "benchmarks", "scripts", "examples"):
+        if anchor in parts:
+            return "/".join(parts[len(parts) - 1 - parts[::-1].index(anchor):])
+    return parts[-1]
 
 
 # ----------------------------------------------------------------------
@@ -137,53 +212,17 @@ def _dotted_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-#: Wall-clock call suffixes banned in deterministic packages (POD001).
-_WALL_CLOCK_SUFFIXES: Tuple[str, ...] = (
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-)
-
-#: numpy RNG constructors that are fine when explicitly seeded.
-_NP_RNG_OK = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox",
-              "SFC64", "MT19937", "RandomState"}
-
-#: Ambient-entropy call/attribute suffixes (POD006).
-_ENTROPY_SUFFIXES: Tuple[str, ...] = (
-    "uuid.uuid1",
-    "uuid.uuid4",
-    "os.urandom",
-    "os.getpid",
-    "os.getenv",
-)
+#: Shared domain tables now live in :mod:`repro.analysis.rules` so the
+#: dataflow tier can match the same vocabulary; module-local aliases
+#: keep this file's rule checks readable.
+_WALL_CLOCK_SUFFIXES = WALL_CLOCK_SUFFIXES
+_NP_RNG_OK = NP_RNG_OK
+_ENTROPY_SUFFIXES = ENTROPY_SUFFIXES
+_matches_suffix = matches_suffix
 
 #: Mutable default constructors (POD004), by callable name.
 _MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "OrderedDict", "deque",
                   "defaultdict", "Counter"}
-
-#: Identifier segments that mark an expression as simulated time
-#: (POD003).  Matched against ``_``-separated segments of the terminal
-#: identifier, so ``arrival_time`` and ``t`` match but ``total`` and
-#: ``threshold`` do not.
-_TIMEY_SEGMENTS = {"t", "now", "time", "arrival", "completion", "deadline",
-                   "timestamp", "makespan"}
-_TIMEY_EXACT = {"busy_until", "next_time", "last_arrival", "completed_at",
-                "issue_time", "ssd_done"}
-
-
-def _matches_suffix(dotted: str, suffixes: Sequence[str]) -> Optional[str]:
-    for suffix in suffixes:
-        if dotted == suffix or dotted.endswith("." + suffix):
-            return suffix
-    return None
 
 
 def _terminal_identifier(node: ast.AST) -> Optional[str]:
@@ -194,13 +233,14 @@ def _terminal_identifier(node: ast.AST) -> Optional[str]:
     return None
 
 
+def _param_names(args: ast.arguments) -> Tuple[str, ...]:
+    return tuple(
+        a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    )
+
+
 def _is_timey(node: ast.AST) -> bool:
-    ident = _terminal_identifier(node)
-    if ident is None:
-        return False
-    if ident in _TIMEY_EXACT:
-        return True
-    return any(seg in _TIMEY_SEGMENTS for seg in ident.lower().split("_"))
+    return is_timey_identifier(_terminal_identifier(node))
 
 
 def _is_level_guard_test(test: ast.AST) -> bool:
@@ -244,10 +284,19 @@ class _PodVisitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         #: Stack of enclosing ``if`` guard flags (True = level guard).
         self._guards: List[bool] = []
+        #: Stack of enclosing function parameter tuples (seed lookup
+        #: for the POD002 autofix).
+        self._param_stack: List[Tuple[str, ...]] = []
 
     # -- plumbing ------------------------------------------------------
 
-    def _add(self, rule: Rule, node: ast.AST, message: str) -> None:
+    def _add(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        fixes: Tuple[Tuple[int, int, str], ...] = (),
+    ) -> None:
         if rule.scope is RuleScope.DETERMINISTIC and not self.deterministic:
             return
         self.findings.append(
@@ -257,8 +306,23 @@ class _PodVisitor(ast.NodeVisitor):
                 line=getattr(node, "lineno", 0),
                 col=getattr(node, "col_offset", 0),
                 message=message,
+                fixes=fixes,
             )
         )
+
+    def _seed_expr(self) -> str:
+        """Seed expression for the POD002 autofix: prefer an in-scope
+        ``seed`` parameter, then ``config.seed``/``cfg.seed``, then the
+        literal ``0`` fallback."""
+        for params in reversed(self._param_stack):
+            if "seed" in params:
+                return "seed"
+        for params in reversed(self._param_stack):
+            if "config" in params:
+                return "config.seed"
+            if "cfg" in params:
+                return "cfg.seed"
+        return "0"
 
     # -- POD001 / POD002 / POD005 / POD006: calls ----------------------
 
@@ -298,11 +362,17 @@ class _PodVisitor(ast.NodeVisitor):
                 tail = parts[-1]
                 if tail == "default_rng":
                     if not node.args and not node.keywords:
+                        fixes: Tuple[Tuple[int, int, str], ...] = ()
+                        end_line = getattr(node, "end_lineno", None)
+                        end_col = getattr(node, "end_col_offset", None)
+                        if end_line is not None and end_col:
+                            fixes = ((end_line, end_col - 1, self._seed_expr()),)
                         self._add(
                             rule,
                             node,
                             "unseeded np.random.default_rng(); pass an "
                             "explicit seed",
+                            fixes=fixes,
                         )
                 elif tail not in _NP_RNG_OK:
                     self._add(
@@ -442,12 +512,17 @@ class _PodVisitor(ast.NodeVisitor):
                 )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node.args)
-        self.generic_visit(node)
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node.args)
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        self._check_defaults(args)
+        self._param_stack.append(_param_names(args))
         self.generic_visit(node)
+        self._param_stack.pop()
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node.args)
@@ -492,31 +567,52 @@ def is_deterministic_path(path: str) -> bool:
     return any(fragment in posix for fragment in DETERMINISTIC_PACKAGES)
 
 
+def _collect_raw(
+    source: str,
+    path: str,
+    deterministic: Optional[bool],
+    select: Optional[Set[str]],
+) -> List[Finding]:
+    """Syntactic-tier findings before pragma suppression."""
+    if deterministic is None:
+        deterministic = is_deterministic_path(path)
+    tree = ast.parse(source, filename=path)
+    visitor = _PodVisitor(path, deterministic)
+    visitor.visit(tree)
+    return [
+        f for f in visitor.findings if select is None or f.code in select
+    ]
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     deterministic: Optional[bool] = None,
     select: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Lint one module's source text.
+    """Lint one module's source text (syntactic tier only).
 
     ``deterministic`` forces the scope decision (``None`` = infer from
     ``path``); ``select`` restricts to a subset of rule codes.
     """
-    if deterministic is None:
-        deterministic = is_deterministic_path(path)
-    tree = ast.parse(source, filename=path)
-    visitor = _PodVisitor(path, deterministic)
-    visitor.visit(tree)
     ignores = _ignored_lines(source)
     findings = [
         f
-        for f in visitor.findings
+        for f in _collect_raw(source, path, deterministic, select)
         if not _suppressed(ignores, f.line, f.code)
-        and (select is None or f.code in select)
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+#: Marker file: a directory containing it is skipped when expanding
+#: directories (the seeded-bug fixture corpus must not self-host-fail
+#: the tree it lives in).  Explicit file arguments are always linted.
+EXCLUDE_MARKER = ".pod-lint-exclude"
+
+
+def _excluded(file: Path) -> bool:
+    return any((parent / EXCLUDE_MARKER).exists() for parent in file.parents)
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
@@ -528,33 +624,201 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
             out.extend(
                 f
                 for f in sorted(p.rglob("*.py"))
-                if "__pycache__" not in f.parts and ".egg-info" not in str(f)
+                if "__pycache__" not in f.parts
+                and ".egg-info" not in str(f)
+                and not _excluded(f)
             )
         elif p.suffix == ".py":
             out.append(p)
     return sorted(set(out))
 
 
+# ----------------------------------------------------------------------
+# suppression baseline
+# ----------------------------------------------------------------------
+
+#: Bumped on any breaking change to the baseline file layout.
+BASELINE_VERSION = 1
+
+_Fingerprint = Tuple[str, str, str]  # (code, normalized path, line text)
+
+
+def _fingerprint(finding: Finding, sources: Dict[str, str]) -> _Fingerprint:
+    """Line-number-free identity of a finding, stable across edits
+    elsewhere in the file (code, repo-relative path, stripped line)."""
+    text = ""
+    source = sources.get(finding.path)
+    if source is not None:
+        lines = source.splitlines()
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1].strip()
+    return (finding.code, normalize_path(finding.path), text)
+
+
+def load_baseline(path: Path) -> Dict[_Fingerprint, int]:
+    """Baseline file -> fingerprint multiset.  Missing file = empty."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}
+    counts: Dict[_Fingerprint, int] = {}
+    for entry in data.get("entries", []):
+        key = (str(entry["code"]), str(entry["path"]), str(entry["text"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(
+    path: Path, findings: Sequence[Finding], sources: Dict[str, str]
+) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    counts: Dict[_Fingerprint, int] = {}
+    for finding in findings:
+        key = _fingerprint(finding, sources)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"code": code, "path": npath, "text": text, "count": count}
+        for (code, npath, text), count in sorted(counts.items())
+    ]
+    document = {
+        "version": BASELINE_VERSION,
+        "kind": "pod-lint-baseline",
+        "entries": entries,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
 def lint_paths(
-    paths: Iterable[str], select: Optional[Set[str]] = None
+    paths: Iterable[str],
+    select: Optional[Set[str]] = None,
+    *,
+    flow: bool = False,
+    baseline: Optional[Path] = None,
+    write_baseline_to: Optional[Path] = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths``."""
-    findings: List[Finding] = []
+    """Lint every Python file under ``paths``.
+
+    ``flow=True`` adds the whole-program dataflow tier (POD008..POD012)
+    and the POD090 unused-suppression meta-check.  ``baseline`` filters
+    findings against a committed suppression baseline (stale entries
+    are reported); ``write_baseline_to`` writes the current findings as
+    the new baseline instead of failing on them.
+    """
     parse_errors: List[str] = []
     files = iter_python_files(paths)
+    sources: Dict[str, str] = {}
+    raw: List[Finding] = []
     for file in files:
+        key = str(file)
         try:
             source = file.read_text(encoding="utf-8")
-            findings.extend(
-                lint_source(source, path=str(file), select=select)
-            )
-        except SyntaxError as exc:
-            parse_errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
         except OSError as exc:
             parse_errors.append(f"{file}: {exc}")
+            continue
+        sources[key] = source
+        try:
+            raw.extend(_collect_raw(source, key, None, select))
+        except SyntaxError as exc:
+            parse_errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+
+    if flow:
+        # Imported lazily: the flow tier pulls in the whole summary
+        # machinery, which plain syntactic lints never need.
+        from repro.analysis.flow import analyze_files
+
+        flow_report = analyze_files(sorted(sources.items()))
+        for ff in flow_report.findings:
+            if select is None or ff.code in select:
+                raw.append(
+                    Finding(
+                        code=ff.code,
+                        path=ff.path,
+                        line=ff.line,
+                        col=ff.col,
+                        message=ff.message,
+                        fixes=ff.fixes,
+                    )
+                )
+
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    findings: List[Finding] = []
+    for path, source in sources.items():
+        ignores = _ignored_lines(source)
+        used_lines: Set[int] = set()
+        for finding in by_path.get(path, []):
+            if _suppressed(ignores, finding.line, finding.code):
+                used_lines.add(finding.line)
+            else:
+                findings.append(finding)
+        # POD090: a pragma must suppress something.  Only meaningful
+        # when the full rule set ran (otherwise a narrowed --select
+        # would make every other pragma look dead).
+        if flow and select is None:
+            for line, codes in sorted(ignores.items()):
+                unknown = sorted(c for c in codes if c not in ALL_RULES)
+                if unknown:
+                    findings.append(
+                        Finding(
+                            code="POD090",
+                            path=path,
+                            line=line,
+                            col=0,
+                            message=(
+                                "`# pod: ignore` pragma names unknown rule "
+                                f"code(s) {', '.join(unknown)}; fix or "
+                                "remove them"
+                            ),
+                        )
+                    )
+                elif line not in used_lines:
+                    findings.append(
+                        Finding(
+                            code="POD090",
+                            path=path,
+                            line=line,
+                            col=0,
+                            message=(
+                                "`# pod: ignore` pragma suppresses nothing "
+                                "(no enabled rule fires on this line); "
+                                "remove or narrow it"
+                            ),
+                        )
+                    )
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    if write_baseline_to is not None:
+        write_baseline(write_baseline_to, findings, sources)
+
+    baselined = 0
+    stale: List[str] = []
+    if baseline is not None:
+        remaining = load_baseline(baseline)
+        kept: List[Finding] = []
+        for finding in findings:
+            key = _fingerprint(finding, sources)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        findings = kept
+        stale = [
+            f"{code} {npath}: {text!r} x{count}"
+            for (code, npath, text), count in sorted(remaining.items())
+            if count > 0
+        ]
+
     return LintReport(
-        findings=findings, files_checked=len(files), parse_errors=parse_errors
+        findings=findings,
+        files_checked=len(files),
+        parse_errors=parse_errors,
+        baselined=baselined,
+        stale_baseline=stale,
     )
 
 
@@ -566,19 +830,47 @@ def lint_paths(
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="POD determinism linter (rules POD001..POD007)",
+        description=(
+            "POD determinism linter (syntactic rules POD001..POD007; "
+            "--flow adds the dataflow tier POD008..POD012 + POD090)"
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="findings output format",
+        "--flow", action="store_true",
+        help="run the whole-program dataflow tier (taint analysis, "
+             "rules POD008..POD012, unused-suppression POD090)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="findings output format (sarif = SARIF 2.1.0 for GitHub "
+             "code scanning)",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
         help="comma list of rule codes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (sorted() wraps for POD009, RNG "
+             "seeds for POD002), then re-lint",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression baseline: findings matching it are filtered "
+             "out; stale entries are reported and fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--dump-summaries", action="store_true",
+        help="print the interprocedural call summaries as JSON and exit "
+             "(implies --flow)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -598,7 +890,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ))
         else:
             for rule in ALL_RULES.values():
-                print(f"{rule.code}  {rule.name} [{rule.scope.value}]")
+                print(f"{rule.code}  {rule.name} "
+                      f"[{rule.scope.value}/{rule.tier.value}]")
                 print(f"        {rule.summary}")
         return 0
 
@@ -611,22 +904,82 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    report = lint_paths(args.paths, select=select)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not pass as "0 findings in 0 files" --
+        # this tool gates CI.
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.dump_summaries:
+        from repro.analysis.flow import analyze_files
+
+        pairs: List[Tuple[str, str]] = []
+        for file in iter_python_files(args.paths):
+            try:
+                pairs.append((str(file), file.read_text(encoding="utf-8")))
+            except OSError:
+                continue
+        print(json.dumps(analyze_files(pairs).summaries_as_dict(), indent=2))
+        return 0
+
+    baseline = Path(args.baseline) if args.baseline else None
+
+    def run() -> LintReport:
+        return lint_paths(
+            args.paths, select=select, flow=args.flow, baseline=baseline
+        )
+
+    report = run()
+    if args.fix:
+        from repro.analysis.fix import fix_findings
+
+        result = fix_findings(f for f in report.findings if f.fixes)
+        if result:
+            print(
+                f"fixed {result.findings_fixed} finding(s) in "
+                f"{len(result.files_changed)} file(s)",
+                file=sys.stderr,
+            )
+            report = run()
+
+    if args.write_baseline:
+        report = lint_paths(
+            args.paths,
+            select=select,
+            flow=args.flow,
+            write_baseline_to=Path(args.write_baseline),
+        )
+        print(
+            f"wrote {len(report.findings)} finding(s) to baseline "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(json.dumps(render_sarif(report), indent=2))
     else:
         for finding in report.findings:
             print(finding.render())
         for error in report.parse_errors:
             print(f"parse error: {error}", file=sys.stderr)
+        for entry in report.stale_baseline:
+            print(f"stale baseline entry: {entry}", file=sys.stderr)
         summary = (
             f"{len(report.findings)} finding(s) in "
             f"{report.files_checked} file(s)"
         )
+        if report.baselined:
+            summary += f" ({report.baselined} baselined)"
         print(("" if not report.findings else "\n") + summary)
     if report.parse_errors:
         return 2
-    return 1 if report.findings else 0
+    return 1 if report.findings or report.stale_baseline else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 #: Package path fragments (POSIX style, relative to the repo) whose
 #: modules must be deterministic: anything on the simulated-results
@@ -47,14 +47,26 @@ class RuleScope(enum.Enum):
     EVERYWHERE = "everywhere"
 
 
+class RuleTier(enum.Enum):
+    """Which analysis pass produces a rule's findings."""
+
+    #: Single-module AST pattern matching (always on).
+    SYNTAX = "syntax"
+    #: Whole-package dataflow/taint analysis (``repro lint --flow``).
+    FLOW = "flow"
+    #: Findings about the lint run itself (unused suppressions, ...).
+    META = "meta"
+
+
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: stable code, summary, scope."""
+    """One lint rule: stable code, summary, scope, producing tier."""
 
     code: str
     name: str
     summary: str
     scope: RuleScope
+    tier: RuleTier = RuleTier.SYNTAX
 
     def as_dict(self) -> Dict[str, str]:
         return {
@@ -62,6 +74,7 @@ class Rule:
             "name": self.name,
             "summary": self.summary,
             "scope": self.scope.value,
+            "tier": self.tier.value,
         }
 
 
@@ -140,7 +153,148 @@ POD007 = Rule(
     scope=RuleScope.EVERYWHERE,
 )
 
+POD008 = Rule(
+    code="POD008",
+    name="laundered-unseeded-rng",
+    summary=(
+        "value derived from unseeded/global RNG reaches replay state "
+        "through a helper call (interprocedural taint); seed the RNG "
+        "from configuration and thread the Generator explicitly"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+    tier=RuleTier.FLOW,
+)
+
+POD009 = Rule(
+    code="POD009",
+    name="unordered-iteration-into-output",
+    summary=(
+        "dict/set iteration order flows into an ordered output sink "
+        "(report rows, histograms, JSONL, joins) without sorted(); "
+        "wrap the iterable in sorted(...) -- autofixable"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+    tier=RuleTier.FLOW,
+)
+
+POD010 = Rule(
+    code="POD010",
+    name="laundered-wall-clock",
+    summary=(
+        "wall-clock value laundered through a helper/alias call in a "
+        "deterministic package (the POD001 gap: time.time() called "
+        "elsewhere, its result consumed here); inject a Clock instead"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+    tier=RuleTier.FLOW,
+)
+
+POD011 = Rule(
+    code="POD011",
+    name="tainted-sim-time-equality",
+    summary=(
+        "==/!= (or unordered-loop accumulation) on a value carrying "
+        "SimTime taint under names the POD003 heuristic cannot see "
+        "(aliased time variables); compare with tolerance or restructure"
+    ),
+    scope=RuleScope.DETERMINISTIC,
+    tier=RuleTier.FLOW,
+)
+
+POD012 = Rule(
+    code="POD012",
+    name="frozen-dataclass-mutation",
+    summary=(
+        "object.__setattr__ outside __post_init__ mutates a frozen "
+        "(config) dataclass after construction; frozen configs are "
+        "hashable replay keys and must never change"
+    ),
+    scope=RuleScope.EVERYWHERE,
+    tier=RuleTier.FLOW,
+)
+
+POD090 = Rule(
+    code="POD090",
+    name="unused-suppression",
+    summary=(
+        "`# pod: ignore` pragma suppresses nothing (no enabled rule "
+        "fires on the line) or names an unknown rule code; remove or "
+        "narrow the pragma"
+    ),
+    scope=RuleScope.EVERYWHERE,
+    tier=RuleTier.META,
+)
+
 #: Every rule, by code, in catalogue order.
 ALL_RULES: Dict[str, Rule] = {
-    r.code: r for r in (POD001, POD002, POD003, POD004, POD005, POD006, POD007)
+    r.code: r
+    for r in (POD001, POD002, POD003, POD004, POD005, POD006, POD007,
+              POD008, POD009, POD010, POD011, POD012, POD090)
 }
+
+#: Rules produced by the dataflow tier (``repro lint --flow``).
+FLOW_RULES: Dict[str, Rule] = {
+    c: r for c, r in ALL_RULES.items() if r.tier is RuleTier.FLOW
+}
+
+
+# ----------------------------------------------------------------------
+# shared domain tables -- the vocabulary both the syntactic tier
+# (lint.py) and the dataflow tier (flow.py) match against
+# ----------------------------------------------------------------------
+
+#: Wall-clock call suffixes banned in deterministic packages (POD001),
+#: and the WallClock taint sources of the dataflow tier (POD010).
+WALL_CLOCK_SUFFIXES: Tuple[str, ...] = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: numpy RNG constructors that are fine when explicitly seeded.
+NP_RNG_OK: Set[str] = {"Generator", "SeedSequence", "BitGenerator", "PCG64",
+                       "Philox", "SFC64", "MT19937", "RandomState"}
+
+#: Ambient-entropy call/attribute suffixes (POD006).
+ENTROPY_SUFFIXES: Tuple[str, ...] = (
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getpid",
+    "os.getenv",
+)
+
+#: Identifier segments that mark an expression as simulated time
+#: (POD003 directly; SimTime taint *sources* for POD011).  Matched
+#: against ``_``-separated segments of the terminal identifier, so
+#: ``arrival_time`` and ``t`` match but ``total`` and ``threshold``
+#: do not.
+TIMEY_SEGMENTS: Set[str] = {"t", "now", "time", "arrival", "completion",
+                            "deadline", "timestamp", "makespan"}
+TIMEY_EXACT: Set[str] = {"busy_until", "next_time", "last_arrival",
+                         "completed_at", "issue_time", "ssd_done"}
+
+
+def matches_suffix(dotted: str, suffixes: Sequence[str]) -> Optional[str]:
+    """The first suffix ``dotted`` matches (whole-segment), else None."""
+    for suffix in suffixes:
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return suffix
+    return None
+
+
+def is_timey_identifier(ident: Optional[str]) -> bool:
+    """Does a terminal identifier name a simulated-time quantity?"""
+    if ident is None:
+        return False
+    if ident in TIMEY_EXACT:
+        return True
+    return any(seg in TIMEY_SEGMENTS for seg in ident.lower().split("_"))

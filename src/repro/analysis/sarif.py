@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 output for the POD linter.
+
+``repro lint --format sarif`` renders a :class:`LintReport` as a
+Static Analysis Results Interchange Format document that GitHub code
+scanning ingests directly (the CI ``lint-flow`` job uploads it, so
+findings land as inline PR annotations).
+
+The document is fully deterministic: rules in catalogue order,
+results in (path, line, col, code) order, no timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.lint import LintReport, normalize_path
+from repro.analysis.rules import ALL_RULES, Rule, RuleScope
+
+__all__ = ["SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://github.com/pod-repro/pod-repro/blob/main/docs/analysis.md"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "helpUri": _INFO_URI,
+        "properties": {
+            "scope": rule.scope.value,
+            "tier": rule.tier.value,
+        },
+        "defaultConfiguration": {
+            "level": "error"
+            if rule.scope is RuleScope.DETERMINISTIC
+            else "warning"
+        },
+    }
+
+
+def render_sarif(report: LintReport, tool_version: str = "1.0.0") -> Dict[str, Any]:
+    """A SARIF 2.1.0 document (a plain JSON-serialisable dict)."""
+    results: List[Dict[str, Any]] = []
+    for finding in report.findings:
+        rule = ALL_RULES.get(finding.code)
+        level = (
+            "error"
+            if rule is not None and rule.scope is RuleScope.DETERMINISTIC
+            else "warning"
+        )
+        results.append(
+            {
+                "ruleId": finding.code,
+                "level": level,
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": normalize_path(finding.path),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    invocation: Dict[str, Any] = {
+        "executionSuccessful": not report.parse_errors,
+    }
+    if report.parse_errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": error}}
+            for error in report.parse_errors
+        ]
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pod-lint",
+                        "informationUri": _INFO_URI,
+                        "version": tool_version,
+                        "rules": [
+                            _rule_descriptor(r) for r in ALL_RULES.values()
+                        ],
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -1,0 +1,419 @@
+"""Symbol table + call graph for the dataflow lint tier.
+
+This is the *syntactic* half of ``repro.analysis.flow``: it parses every
+module under analysis once and records just enough structure for the
+abstract interpreter to resolve calls across module boundaries --
+
+* top-level functions and class methods (by qualified name),
+* import aliases (``import numpy as np``, ``from repro.sim.engine
+  import simulate``), resolved to the modules in the same analysis set,
+* module-level *callable aliases* (``_WALL_CLOCK = time.time``) whose
+  call produces a known taint,
+* frozen-dataclass registry (for POD012), and
+* class attribute annotations (``Dict``/``Set`` fields feed the
+  ``Unordered`` taint; see :mod:`repro.analysis.flow`).
+
+The semantic summaries themselves (which taints a function's return
+value carries, and which parameters flow into it) are computed on top
+of this table by the fixpoint driver in :mod:`repro.analysis.flow`;
+``FunctionSummary.as_dict`` documents the JSON summary format used by
+``repro lint --flow --dump-summaries``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "annotation_is_int",
+    "annotation_is_unordered",
+    "build_symbol_table",
+    "dotted_name",
+    "module_name_for_path",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: Annotation heads whose instances iterate in no committed order.
+#: ``OrderedDict`` is deliberately absent (its order is the contract);
+#: plain ``dict`` iteration is insertion-ordered in CPython but the
+#: insertion *history* is replay-path dependent, so report-stable
+#: output must still sort (docs/analysis.md, POD009).
+_UNORDERED_ANN_HEADS = {
+    "dict", "Dict", "DefaultDict", "defaultdict", "Mapping",
+    "MutableMapping", "Counter", "set", "Set", "MutableSet",
+    "AbstractSet", "frozenset", "FrozenSet",
+}
+
+_INT_ANN_HEADS = {"int"}
+
+
+def _annotation_head(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the head identifier.
+        text = node.value.split("[", 1)[0].strip()
+        return text.split(".")[-1] or None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return name.split(".")[-1]
+
+
+def annotation_is_unordered(node: Optional[ast.AST]) -> bool:
+    """Does an annotation denote a dict/set-like (unordered) container?"""
+    if node is None:
+        return False
+    head = _annotation_head(node)
+    if head in _UNORDERED_ANN_HEADS:
+        return True
+    # Optional[Dict[...]] / Union[..., Set[...]]
+    if head in ("Optional", "Union") and isinstance(node, ast.Subscript):
+        inner = node.slice
+        elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return any(annotation_is_unordered(e) for e in elts)
+    return False
+
+
+def annotation_is_int(node: Optional[ast.AST]) -> bool:
+    return node is not None and _annotation_head(node) in _INT_ANN_HEADS
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: ``func`` or ``Class.method``, module-relative
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    module: "ModuleInfo"
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def key(self) -> str:
+        """Globally unique summary key."""
+        return f"{self.module.name}::{self.qualname}"
+
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs] if args.posonlyargs else []
+        names += [a.arg for a in args.args]
+        names += [a.arg for a in args.kwonlyargs]
+        return names
+
+    def param_annotations(self) -> Dict[str, Optional[ast.AST]]:
+        args = self.node.args  # type: ignore[attr-defined]
+        out: Dict[str, Optional[ast.AST]] = {}
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            out[a.arg] = a.annotation
+        return out
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, annotated attributes."""
+
+    name: str
+    module: "ModuleInfo"
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: Tuple[str, ...] = ()
+    frozen_dataclass: bool = False
+    #: attribute name -> annotation AST (class body + __init__ AnnAssigns)
+    attr_annotations: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the resolver knows about one parsed module."""
+
+    path: str
+    name: str  #: dotted module name, e.g. ``repro.sim.engine``
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> dotted target (``np`` -> ``numpy``,
+    #: ``simulate`` -> ``repro.sim.engine.simulate``)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level ``NAME = <dotted>`` callable aliases
+    #: (``_WALL_CLOCK`` -> ``time.time``)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo file path.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``tests/sim/test_engine.py`` -> ``tests.sim.test_engine``;
+    package ``__init__.py`` maps to the package name itself.
+    """
+    p = Path(path)
+    parts = list(p.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    else:
+        # Anchor at the last well-known tree root, else use the stem.
+        for anchor in ("tests", "benchmarks", "scripts", "examples"):
+            if anchor in parts:
+                parts = parts[parts.index(anchor):]
+                break
+        else:
+            parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_dataclass_decorator(node: ast.AST) -> Tuple[bool, bool]:
+    """(is dataclass decorator, frozen=True present)."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            frozen = any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            return True, frozen
+        return False, False
+    name = dotted_name(node)
+    return (name is not None and name.split(".")[-1] == "dataclass"), False
+
+
+class SymbolTable:
+    """All parsed modules plus cross-module call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}  #: by file path
+        self.by_name: Dict[str, ModuleInfo] = {}  #: by dotted name
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.path] = info
+        self.by_name[info.name] = info
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_function(
+        self,
+        module: ModuleInfo,
+        dotted: str,
+        current_class: Optional[ClassInfo] = None,
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call target's dotted name to a known function.
+
+        Handles bare names (same module or ``from m import f``),
+        ``self.method``/``cls.method`` (enclosing class, then bases in
+        the analysis set), and ``alias.attr`` chains through imported
+        modules.  Returns ``None`` for anything outside the analysis
+        set (stdlib, numpy, ...), which the interpreter treats as an
+        unknown call with no taint.
+        """
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+
+        if head in ("self", "cls") and current_class is not None and rest:
+            return self._resolve_method(current_class, rest[0], depth=0) \
+                if len(rest) == 1 else None
+
+        if not rest:
+            # Bare name: same-module function, or from-import.
+            fn = module.functions.get(head)
+            if fn is not None:
+                return fn
+            target = module.imports.get(head)
+            if target is not None:
+                return self._resolve_dotted(target)
+            return None
+
+        # ``alias.attr...``: follow the import alias, then the chain.
+        target = module.imports.get(head)
+        if target is not None:
+            return self._resolve_dotted(".".join([target, *rest]))
+        # ``Class.method`` in the same module (unbound-style call).
+        cls = module.classes.get(head)
+        if cls is not None and len(rest) == 1:
+            return self._resolve_method(cls, rest[0], depth=0)
+        return None
+
+    def _resolve_method(
+        self, cls: ClassInfo, name: str, depth: int
+    ) -> Optional[FunctionInfo]:
+        if depth > 4:
+            return None
+        fn = cls.methods.get(name)
+        if fn is not None:
+            return fn
+        for base in cls.base_names:
+            base_cls = cls.module.classes.get(base)
+            if base_cls is None:
+                target = cls.module.imports.get(base)
+                if target is not None:
+                    mod, _, leaf = target.rpartition(".")
+                    owner = self.by_name.get(mod)
+                    base_cls = owner.classes.get(leaf) if owner else None
+            if base_cls is not None:
+                found = self._resolve_method(base_cls, name, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> Optional[FunctionInfo]:
+        """``repro.sim.engine.simulate`` -> its FunctionInfo, if parsed."""
+        mod, _, leaf = dotted.rpartition(".")
+        while mod:
+            info = self.by_name.get(mod)
+            if info is not None:
+                fn = info.functions.get(leaf)
+                if fn is not None:
+                    return fn
+                # One more level: Class.method
+                return None
+            nxt, _, inner = mod.rpartition(".")
+            info = self.by_name.get(nxt)
+            if info is not None and inner in info.classes:
+                return self._resolve_method(info.classes[inner], leaf, 0)
+            mod, leaf = nxt, inner
+        return None
+
+    def resolve_alias(self, module: ModuleInfo, name: str) -> Optional[str]:
+        """Module-level callable alias target (``_WALL_CLOCK`` -> ``time.time``)."""
+        return module.aliases.get(name)
+
+    def class_attr_annotation(
+        self, cls: Optional[ClassInfo], attr: str
+    ) -> Optional[ast.AST]:
+        if cls is None:
+            return None
+        return cls.attr_annotations.get(attr)
+
+
+def _collect_class(info: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+    frozen = False
+    for deco in node.decorator_list:
+        is_dc, dc_frozen = _is_dataclass_decorator(deco)
+        if is_dc:
+            frozen = frozen or dc_frozen
+    bases = tuple(
+        n for n in (dotted_name(b) for b in node.bases) if n is not None
+    )
+    cls = ClassInfo(
+        name=node.name,
+        module=info,
+        base_names=tuple(b.split(".")[-1] for b in bases),
+        frozen_dataclass=frozen,
+    )
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{node.name}.{child.name}",
+                node=child,
+                module=info,
+                class_name=node.name,
+            )
+            cls.methods[child.name] = fn
+            info.functions[fn.qualname] = fn
+            if child.name == "__init__":
+                for stmt in ast.walk(child):
+                    if (
+                        isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Attribute)
+                        and isinstance(stmt.target.value, ast.Name)
+                        and stmt.target.value.id == "self"
+                    ):
+                        cls.attr_annotations[stmt.target.attr] = stmt.annotation
+        elif isinstance(child, ast.AnnAssign) and isinstance(
+            child.target, ast.Name
+        ):
+            cls.attr_annotations[child.target.id] = child.annotation
+    return cls
+
+
+def parse_module(path: str, source: str) -> ModuleInfo:
+    """Parse one module into its symbol-table entry."""
+    tree = ast.parse(source, filename=path)
+    info = ModuleInfo(
+        path=path, name=module_name_for_path(path), tree=tree
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(qualname=node.name, node=node, module=info)
+            info.functions[node.name] = fn
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = _collect_class(info, node)
+    # Imports and module-level callable aliases (any nesting level for
+    # imports -- function-local ``import`` is common in the CLI).
+    pkg_parts = info.name.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports.setdefault(local, target)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: anchor inside this package.
+                anchor = pkg_parts[: len(pkg_parts) - node.level]
+                base = ".".join([*anchor, base] if base else anchor)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports.setdefault(local, f"{base}.{alias.name}")
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            target_name = dotted_name(node.value)
+            if target_name is not None and "." in target_name:
+                info.aliases[node.targets[0].id] = target_name
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.value is not None:
+                target_name = dotted_name(node.value)
+                if target_name is not None and "." in target_name:
+                    info.aliases[node.target.id] = target_name
+    return info
+
+
+def build_symbol_table(
+    files: Sequence[Tuple[str, str]]
+) -> Tuple[SymbolTable, List[str]]:
+    """Parse ``(path, source)`` pairs into one table.
+
+    Returns the table plus parse-error strings (mirroring
+    ``lint_paths``' error reporting).
+    """
+    table = SymbolTable()
+    errors: List[str] = []
+    for path, source in files:
+        try:
+            table.add(parse_module(path, source))
+        except SyntaxError as exc:
+            errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+    return table, errors

@@ -604,7 +604,7 @@ class DedupScheme(abc.ABC):
     # reporting
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """Counter snapshot for reports and tests."""
         out = {
             "scheme": self.name,
@@ -645,7 +645,7 @@ class DedupScheme(abc.ABC):
         consistent).
         """
         problems: List[str] = []
-        for lba, fp in expected.items():
+        for lba, fp in sorted(expected.items()):
             pba = self.map_table.translate(lba)
             stored = self.content.read(pba)
             if stored != fp:

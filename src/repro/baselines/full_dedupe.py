@@ -27,9 +27,9 @@ Consequences reproduced here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.baselines.base import DedupScheme
+from repro.baselines.base import DedupScheme, SchemeConfig
 from repro.sim.request import IORequest, OpType
 from repro.storage.volume import VolumeOp
 
@@ -46,7 +46,7 @@ class FullDedupe(DedupScheme):
         "cache_partitioning": "static",
     }
 
-    def __init__(self, config) -> None:
+    def __init__(self, config: SchemeConfig) -> None:
         super().__init__(config)
         #: The complete fingerprint index (conceptually on disk).
         self._full_index: Dict[int, int] = {}
@@ -96,14 +96,14 @@ class FullDedupe(DedupScheme):
         self._full_by_pba[pba] = fingerprint
         super()._admit_to_index(fingerprint, pba)
 
-    def _reclaim(self, freed, keep=None) -> None:
+    def _reclaim(self, freed: Optional[int], keep: Optional[int] = None) -> None:
         if freed is not None and freed != keep:
             stale_fp = self._full_by_pba.pop(freed, None)
             if stale_fp is not None and self._full_index.get(stale_fp) == freed:
                 del self._full_index[stale_fp]
         super()._reclaim(freed, keep)
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["full_index_entries"] = len(self._full_index)
         return out

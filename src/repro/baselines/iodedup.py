@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.baselines.base import DedupScheme, PlannedIO
+from repro.baselines.base import DedupScheme, PlannedIO, SchemeConfig
 from repro.sim.request import IORequest, OpType
 from repro.storage.volume import VolumeOp, extents_to_ops
 
@@ -43,7 +43,7 @@ class IODedup(DedupScheme):
         "cache_partitioning": "static",
     }
 
-    def __init__(self, config) -> None:
+    def __init__(self, config: SchemeConfig) -> None:
         super().__init__(config)
         #: Content fingerprint currently stored at each PBA (what the
         #: original system tracks in its content-addressed metadata).

@@ -31,7 +31,7 @@ overwritten in place afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.base import DedupScheme, SchemeConfig
 from repro.sim.request import IORequest, OpType
@@ -140,14 +140,14 @@ class PostProcessDedupe(DedupScheme):
         # and survives.
         self._dirty.clear()
 
-    def _reclaim(self, freed, keep=None) -> None:
+    def _reclaim(self, freed: Optional[int], keep: Optional[int] = None) -> None:
         if freed is not None and freed != keep:
             stale = self._offline_by_pba.pop(freed, None)
             if stale is not None and self._offline_index.get(stale) == freed:
                 del self._offline_index[stale]
         super()._reclaim(freed, keep)
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["offline_scans"] = self.scans
         out["offline_scan_blocks"] = self.scan_blocks

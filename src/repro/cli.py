@@ -239,13 +239,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "(requires --faults)")
 
     lint = sub.add_parser(
-        "lint", help="run the POD determinism linter (rules POD001..POD007)"
+        "lint", help="run the POD determinism linter (POD001..POD007; "
+        "--flow adds the dataflow tier POD008..POD012)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--flow", action="store_true",
+                      help="run the whole-program dataflow tier too")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text")
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="comma list of rule codes to enable")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply mechanical fixes, then re-lint")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppression baseline to filter findings against")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="write current findings as the new baseline")
+    lint.add_argument("--dump-summaries", action="store_true",
+                      help="print interprocedural call summaries and exit")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
@@ -1003,8 +1015,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     argv: List[str] = list(args.paths) or ["src"]
     argv += ["--format", args.format]
+    if args.flow:
+        argv += ["--flow"]
     if args.select is not None:
         argv += ["--select", args.select]
+    if args.fix:
+        argv += ["--fix"]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline is not None:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.dump_summaries:
+        argv += ["--dump-summaries"]
     if args.list_rules:
         argv += ["--list-rules"]
     return lint.main(argv)

@@ -103,7 +103,7 @@ def _chart(
         t_hi = t_lo + 1.0
     parts: List[str] = [f"<h2>{escape(title)}</h2>"]
     legend = []
-    for i, name in enumerate(series):
+    for i, name in enumerate(sorted(series)):
         colour = _PALETTE[i % len(_PALETTE)]
         legend.append(
             f'<span><span class="swatch" style="background:{colour}"></span>'
@@ -162,7 +162,7 @@ def _chart(
             f'y2="{_HEIGHT - _PAD_B}" stroke="#b91c1c" stroke-width="1" '
             f'stroke-dasharray="3,2" />'
         )
-    for i, (name, points) in enumerate(series.items()):
+    for i, (name, points) in enumerate(sorted(series.items())):
         svg.append(
             _polyline(points, t_lo, t_hi, v_hi, _PALETTE[i % len(_PALETTE)])
         )
@@ -184,7 +184,7 @@ def _activity_bands(
     for window in windows:
         t0, t1 = float(window["t0"]), float(window["t1"])
         names = set(window.get("activity", {}))
-        for name in list(open_bands):
+        for name in list(sorted(open_bands)):
             if name not in names:
                 lo, hi = open_bands.pop(name)
                 bands.append((name, lo, hi))
@@ -194,7 +194,7 @@ def _activity_bands(
                 open_bands[name] = (lo, t1)
             else:
                 open_bands[name] = (t0, t1)
-    for name, (lo, hi) in open_bands.items():
+    for name, (lo, hi) in sorted(open_bands.items()):
         bands.append((name, lo, hi))
     bands.sort(key=lambda b: (b[1], b[0]))
     return bands

@@ -26,7 +26,7 @@ def _sample(
     out: List[str], name: str, labels: Mapping[str, str], value: float, ts: float
 ) -> None:
     if labels:
-        body = ",".join(f'{k}="{v}"' for k, v in labels.items())
+        body = ",".join(sorted(f'{k}="{v}"' for k, v in labels.items()))
         out.append(f"{name}{{{body}}} {_fmt(value)} {_fmt(ts)}")
     else:
         out.append(f"{name} {_fmt(value)} {_fmt(ts)}")

@@ -22,7 +22,7 @@ different LBA.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TraceError
 from repro.traces.format import Trace, TraceRecord
@@ -87,7 +87,7 @@ def redundancy_by_size(trace: Trace, measured_only: bool = True) -> List[SizeBuc
     least one (but not all) was.
     """
     records = trace.measured_records if measured_only else trace.records
-    seen: set = set()
+    seen: Set[int] = set()
     # Warm the content history with the warm-up prefix so day-15
     # duplicates of day-1..14 content count as redundant, like the
     # paper's analysis over the full three weeks.

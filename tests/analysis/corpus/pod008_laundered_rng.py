@@ -1,0 +1,22 @@
+"""Seeded bug: an unseeded RNG draw laundered through a helper.
+
+The syntactic tier (POD002) sees the ``default_rng()`` call inside the
+helper; only the dataflow tier sees the *call site* where the tainted
+value reaches replay state.
+"""
+
+from typing import List
+
+import numpy as np
+
+
+def _jitter() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def arrival_offsets(n: int) -> List[float]:
+    out: List[float] = []
+    for _ in range(n):
+        out.append(_jitter())  # expect: POD008
+    return out

@@ -1,0 +1,10 @@
+"""Seeded bug: histogram rows emitted in mapping iteration order."""
+
+from typing import Dict, List
+
+
+def histogram_rows(counts: Dict[str, int]) -> List[str]:
+    rows: List[str] = []
+    for name in counts:  # expect: POD009
+        rows.append(f"{name} {counts[name]}")
+    return rows

@@ -1,0 +1,18 @@
+"""Seeded bug: a wall-clock read laundered through a helper.
+
+``time.time()`` is called in ``_stamp`` (POD001's syntactic site); the
+dataflow tier flags the *consumer* that records the laundered value.
+"""
+
+from typing import List
+
+
+import time
+
+
+def _stamp() -> float:
+    return time.time()
+
+
+def record(events: List[float]) -> None:
+    events.append(_stamp())  # expect: POD010

@@ -1,0 +1,12 @@
+"""Seeded bug: exact equality on aliased simulated-time floats.
+
+POD003's name heuristic sees ``arrival_time == deadline``; it cannot
+see the same comparison through the ``a``/``b`` aliases.  The taint
+survives the renaming.
+"""
+
+
+def same_slot(arrival_time: float, deadline: float) -> bool:
+    a = arrival_time
+    b = deadline
+    return a == b  # expect: POD011

@@ -1,0 +1,20 @@
+"""Seeded bug: a frozen config dataclass mutated after construction.
+
+The ``object.__setattr__`` inside ``__post_init__`` is the sanctioned
+normalisation idiom and must NOT be flagged; the one in ``bump`` is the
+bug.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+
+
+def bump(config: Config) -> None:
+    object.__setattr__(config, "seed", config.seed + 1)  # expect: POD012

@@ -1,0 +1,123 @@
+"""The ``repro lint --fix`` autofixer: edits are correct, minimal and
+idempotent (a second --fix run is a no-op and the output lints clean).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.fix import apply_edits, fix_findings
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def test_apply_edits_inserts_bottom_up():
+    source = "a = x\nb = y\n"
+    edits = [(1, 4, "sorted("), (1, 5, ")"), (2, 4, "f("), (2, 5, ")")]
+    assert apply_edits(source, edits) == "a = sorted(x)\nb = f(y)\n"
+
+
+def test_apply_edits_out_of_range_ignored():
+    source = "a = 1\n"
+    assert apply_edits(source, [(9, 0, "x"), (1, 99, "y")]) == source
+
+
+def test_apply_edits_duplicates_collapse():
+    source = "a = x\n"
+    edits = [(1, 4, "sorted("), (1, 4, "sorted("), (1, 5, ")")]
+    assert apply_edits(source, edits) == "a = sorted(x)\n"
+
+
+# -- POD002 seed splicing ----------------------------------------------
+
+DET = "src/repro/sim/mod.py"
+
+
+def _fixed(source: str, path: str = DET) -> str:
+    source = textwrap.dedent(source)
+    findings = lint_source(source, path=path)
+    edits = [e for f in findings for e in f.fixes]
+    assert edits, "expected an autofixable finding"
+    return apply_edits(source, edits)
+
+
+def test_default_rng_seeded_from_seed_param():
+    src = """
+        import numpy as np
+
+
+        def build(seed: int):
+            return np.random.default_rng()
+    """
+    assert "np.random.default_rng(seed)" in _fixed(src)
+
+
+def test_default_rng_seeded_from_config_param():
+    src = """
+        import numpy as np
+
+
+        def build(config):
+            return np.random.default_rng()
+    """
+    assert "np.random.default_rng(config.seed)" in _fixed(src)
+
+
+def test_default_rng_literal_fallback():
+    src = """
+        import numpy as np
+
+        RNG = np.random.default_rng()
+    """
+    assert "np.random.default_rng(0)" in _fixed(src)
+
+
+# -- end-to-end idempotency --------------------------------------------
+
+BUGGY = '''
+from typing import Dict, List
+
+import numpy as np
+
+
+def histogram(counts: Dict[str, int]) -> List[str]:
+    rows: List[str] = []
+    for name in counts:
+        rows.append(f"{name} {counts[name]}")
+    return rows
+
+
+def build_rng(seed: int):
+    return np.random.default_rng()
+'''
+
+
+def _tree(tmp_path: Path) -> Path:
+    mod = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(BUGGY, encoding="utf-8")
+    return mod
+
+
+def test_fix_then_relint_clean_and_idempotent(tmp_path: Path):
+    mod = _tree(tmp_path)
+
+    report = lint_paths([str(mod)], flow=True)
+    assert sorted(f.code for f in report.findings) == ["POD002", "POD009"]
+
+    result = fix_findings(report.findings)
+    assert result.files_changed == [str(mod)]
+    assert result.findings_fixed == 2
+
+    fixed = mod.read_text(encoding="utf-8")
+    assert "for name in sorted(counts):" in fixed
+    assert "np.random.default_rng(seed)" in fixed
+
+    # The fixed tree lints clean...
+    report = lint_paths([str(mod)], flow=True)
+    assert report.ok
+
+    # ...and a second --fix pass is a byte-level no-op.
+    result = fix_findings(report.findings)
+    assert not result
+    assert mod.read_text(encoding="utf-8") == fixed

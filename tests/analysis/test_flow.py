@@ -1,0 +1,350 @@
+"""Unit tests for the dataflow tier's abstract interpreter.
+
+Each test feeds a tiny synthetic module (at a deterministic-package
+path) through :func:`repro.analysis.flow.analyze_files` and asserts on
+the produced (line, code) pairs -- the corpus tests in
+``test_flow_corpus.py`` cover the end-to-end seeded-bug fixtures.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Tuple
+
+from repro.analysis.flow import Taint, analyze_files
+
+DET = "src/repro/sim/mod.py"
+NON_DET = "src/repro/cli_helper.py"
+
+
+def flow(source: str, path: str = DET) -> List[Tuple[int, str]]:
+    report = analyze_files([(path, textwrap.dedent(source))])
+    assert not report.parse_errors
+    return sorted((f.line, f.code) for f in report.findings)
+
+
+def codes(source: str, path: str = DET) -> List[str]:
+    return [code for _, code in flow(source, path)]
+
+
+# -- POD010: laundered wall clock --------------------------------------
+
+
+def test_laundered_wall_clock_flagged_at_consumer():
+    src = """
+        import time
+
+
+        def _stamp():
+            return time.time()
+
+
+        def record(events):
+            events.append(_stamp())
+    """
+    assert codes(src) == ["POD010"]
+
+
+def test_laundering_through_two_helpers():
+    src = """
+        import time
+
+
+        def _raw():
+            return time.time()
+
+
+        def _stamp():
+            return _raw() + 1.0
+
+
+        def record(events):
+            events.append(_stamp())
+    """
+    # _stamp's own consumption of _raw() is flagged, and the taint
+    # still reaches record() through the second hop.
+    assert codes(src) == ["POD010", "POD010"]
+
+
+def test_injected_clock_idiom_is_sanctioned():
+    src = """
+        import time
+        from typing import Callable, Optional
+
+        Clock = Callable[[], float]
+        _WALL_CLOCK: Clock = time.time
+
+
+        def snapshot(clock: Optional[Clock] = None) -> float:
+            return (clock if clock is not None else _WALL_CLOCK)()
+
+
+        def consumer(events):
+            events.append(snapshot())
+    """
+    assert codes(src) == []
+
+
+def test_bare_statement_call_not_flagged():
+    # A discarded return value launders nothing.
+    src = """
+        import time
+
+
+        def _stamp():
+            return time.time()
+
+
+        def tick():
+            _stamp()
+    """
+    assert codes(src) == []
+
+
+def test_deterministic_scope_respected():
+    src = """
+        import time
+
+
+        def _stamp():
+            return time.time()
+
+
+        def record(events):
+            events.append(_stamp())
+    """
+    assert codes(src, path=NON_DET) == []
+
+
+# -- POD008: laundered unseeded RNG ------------------------------------
+
+
+def test_rng_draw_from_tainted_generator():
+    src = """
+        import numpy as np
+
+
+        def _jitter():
+            rng = np.random.default_rng()
+            return float(rng.random())
+
+
+        def offsets(out):
+            out.append(_jitter())
+    """
+    assert codes(src) == ["POD008"]
+
+
+def test_seeded_generator_is_clean():
+    src = """
+        import numpy as np
+
+
+        def _jitter(seed):
+            rng = np.random.default_rng(seed)
+            return float(rng.random())
+
+
+        def offsets(out):
+            out.append(_jitter(0))
+    """
+    assert codes(src) == []
+
+
+# -- POD009: unordered iteration into output ---------------------------
+
+
+def test_annotated_mapping_param_iteration_flagged():
+    src = """
+        from typing import Dict, List
+
+
+        def rows(counts: Dict[str, int]) -> List[str]:
+            out: List[str] = []
+            for name in counts:
+                out.append(name)
+            return out
+    """
+    assert flow(src) == [(7, "POD009")]
+
+
+def test_sorted_iteration_is_clean():
+    src = """
+        from typing import Dict, List
+
+
+        def rows(counts: Dict[str, int]) -> List[str]:
+            out: List[str] = []
+            for name in sorted(counts):
+                out.append(name)
+            return out
+    """
+    assert codes(src) == []
+
+
+def test_dict_literal_iteration_is_clean():
+    # A dict literal iterates in source order: deterministic.
+    src = """
+        def rows():
+            table = {"b": 2, "a": 1}
+            out = []
+            for name, value in table.items():
+                out.append((name, value))
+            return out
+    """
+    assert codes(src) == []
+
+
+def test_set_literal_iteration_flagged():
+    src = """
+        def rows(out):
+            for name in {"a", "b"}:
+                out.append(name)
+    """
+    assert codes(src) == ["POD009"]
+
+
+def test_loop_without_order_sink_is_clean():
+    src = """
+        def total(counts: dict) -> int:
+            acc = 0
+            for name in counts:
+                acc += 1
+            return acc
+    """
+    assert codes(src) == []
+
+
+def test_str_join_over_unordered_flagged():
+    src = """
+        from typing import Mapping
+
+
+        def label(tags: Mapping[str, str]) -> str:
+            return ",".join(f"{k}={v}" for k, v in tags.items())
+    """
+    assert codes(src) == ["POD009"]
+
+
+# -- POD011: tainted sim-time equality ---------------------------------
+
+
+def test_aliased_sim_time_equality_flagged():
+    src = """
+        def same(arrival_time: float, deadline: float) -> bool:
+            a = arrival_time
+            b = deadline
+            return a == b
+    """
+    assert codes(src) == ["POD011"]
+
+
+def test_timey_named_compare_left_to_pod003():
+    # When the names are visibly timey the syntactic POD003 owns the
+    # site; flow must not double-report.
+    src = """
+        def same(arrival_time: float, deadline: float) -> bool:
+            return arrival_time == deadline
+    """
+    assert codes(src) == []
+
+
+def test_int_annotated_param_not_sim_time():
+    src = """
+        def same(arrival_time: int, deadline: int) -> bool:
+            a = arrival_time
+            b = deadline
+            return a == b
+    """
+    assert codes(src) == []
+
+
+def test_accumulation_in_unordered_loop_flagged():
+    src = """
+        from typing import Set
+
+
+        def total_wait(jobs: Set[object]) -> float:
+            acc = 0.0
+            for job in jobs:
+                acc += job.arrival_time
+            return acc
+    """
+    assert codes(src) == ["POD011"]
+
+
+# -- POD012: frozen dataclass mutation ---------------------------------
+
+
+def test_setattr_outside_post_init_flagged_everywhere():
+    src = """
+        def bump(config):
+            object.__setattr__(config, "epoch", 2.0)
+    """
+    assert codes(src, path=NON_DET) == ["POD012"]
+
+
+def test_setattr_in_post_init_sanctioned():
+    src = """
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True)
+        class Config:
+            seed: int = 0
+
+            def __post_init__(self):
+                object.__setattr__(self, "seed", int(self.seed))
+    """
+    assert codes(src) == []
+
+
+# -- summaries ---------------------------------------------------------
+
+
+def test_summaries_record_wall_clock_returns():
+    src = """
+        import time
+
+
+        def _stamp():
+            return time.time()
+    """
+    report = analyze_files([(DET, textwrap.dedent(src))])
+    summary = report.summaries["repro.sim.mod::_stamp"]
+    assert Taint.WALL_CLOCK in summary.returns
+
+
+def test_summaries_record_param_flow():
+    src = """
+        def identity(value):
+            return value
+    """
+    report = analyze_files([(DET, textwrap.dedent(src))])
+    summary = report.summaries["repro.sim.mod::identity"]
+    assert summary.param_flow == frozenset({0})
+
+
+def test_cross_module_laundering():
+    helper = """
+        import time
+
+
+        def stamp():
+            return time.time()
+    """
+    consumer = """
+        from repro.sim.helper import stamp
+
+
+        def record(events):
+            events.append(stamp())
+    """
+    report = analyze_files(
+        [
+            ("src/repro/sim/helper.py", textwrap.dedent(helper)),
+            ("src/repro/sim/consumer.py", textwrap.dedent(consumer)),
+        ]
+    )
+    found = [(f.path, f.code) for f in report.findings]
+    assert found == [("src/repro/sim/consumer.py", "POD010")]

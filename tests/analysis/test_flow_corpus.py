@@ -1,0 +1,61 @@
+"""The seeded-bug fixture corpus: every POD008..POD012 fixture must
+yield *exactly* its annotated finding -- no more, no less.
+
+Each ``tests/analysis/corpus/pod*.py`` file contains one seeded
+determinism bug marked with a ``# expect: PODxxx`` comment on the
+offending line.  The corpus directory carries a ``.pod-lint-exclude``
+marker so self-hosting lint runs over ``tests/`` skip it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis.flow import analyze_files
+from repro.analysis.lint import EXCLUDE_MARKER, iter_python_files
+
+CORPUS = Path(__file__).parent / "corpus"
+FIXTURES = sorted(CORPUS.glob("pod*.py"))
+
+
+def _expected(source: str) -> List[Tuple[int, str]]:
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "# expect: " in line:
+            out.append((lineno, line.split("# expect: ")[1].strip()))
+    return out
+
+
+def test_corpus_covers_every_flow_rule():
+    covered = set()
+    for fixture in FIXTURES:
+        for _, code in _expected(fixture.read_text(encoding="utf-8")):
+            covered.add(code)
+    assert covered == {"POD008", "POD009", "POD010", "POD011", "POD012"}
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_yields_exactly_its_finding(fixture: Path):
+    source = fixture.read_text(encoding="utf-8")
+    expected = _expected(source)
+    assert expected, f"{fixture.name} has no '# expect:' annotation"
+    # Analysed at a deterministic-package path so scoped rules apply.
+    report = analyze_files([(f"src/repro/sim/{fixture.name}", source)])
+    assert not report.parse_errors
+    got = sorted((f.line, f.code) for f in report.findings)
+    assert got == sorted(expected), (
+        f"{fixture.name}: expected exactly {sorted(expected)}, "
+        f"got {got}"
+    )
+
+
+def test_corpus_is_excluded_from_directory_lints():
+    assert (CORPUS / EXCLUDE_MARKER).exists()
+    files = iter_python_files([str(Path(__file__).parent)])
+    assert not any("corpus" in f.parts for f in files)
+    # Explicit file arguments still lint.
+    direct = iter_python_files([str(FIXTURES[0])])
+    assert direct == [FIXTURES[0]]

@@ -269,6 +269,11 @@ class TestCli:
     def test_exit_two_on_unknown_rule(self, capsys):
         assert main(["--select", "POD999"]) == 2
 
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        # A typo'd path must not pass as "0 findings in 0 files".
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out

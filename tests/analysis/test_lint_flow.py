@@ -1,0 +1,230 @@
+"""The flow-mode driver: pragma accounting (POD090), the suppression
+baseline, SARIF-adjacent report fields, and repo self-hosting.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List
+
+from repro.analysis.lint import (
+    Finding,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _write_tree(tmp_path: Path, source: str) -> Path:
+    mod = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(textwrap.dedent(source), encoding="utf-8")
+    return mod
+
+
+def _codes(findings: List[Finding]) -> List[str]:
+    return [f.code for f in findings]
+
+
+# -- pragma accounting -------------------------------------------------
+
+
+def test_used_pragma_suppresses_and_is_not_reported(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        import time
+
+
+        def now():
+            return time.time()  # pod: ignore[POD001]
+        """,
+    )
+    # lint_source (no flow): suppression works as before...
+    assert lint_source(
+        mod.read_text(encoding="utf-8"), path="src/repro/sim/mod.py"
+    ) == []
+    # ...and in flow mode the pragma counts as used: no POD090.
+    report = lint_paths([str(mod)], flow=True)
+    assert report.ok
+
+
+def test_unused_pragma_reported_in_flow_mode(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        X = 1  # pod: ignore[POD001]
+        """,
+    )
+    report = lint_paths([str(mod)], flow=True)
+    assert _codes(report.findings) == ["POD090"]
+    assert "suppresses nothing" in report.findings[0].message
+
+
+def test_unknown_code_in_pragma_reported(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        X = 1  # pod: ignore[POD999]
+        """,
+    )
+    report = lint_paths([str(mod)], flow=True)
+    assert _codes(report.findings) == ["POD090"]
+    assert "POD999" in report.findings[0].message
+
+
+def test_unused_pragma_not_reported_without_flow(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        X = 1  # pod: ignore[POD001]
+        """,
+    )
+    report = lint_paths([str(mod)], flow=False)
+    assert report.ok
+
+
+def test_pragma_inside_string_is_inert(tmp_path: Path):
+    # Before the tokenizer-based extraction a pragma in a string
+    # literal suppressed findings on its line (and would now be a
+    # false POD090).  It must do neither.
+    mod = _write_tree(
+        tmp_path,
+        '''
+        import time
+
+        DOC = "suppress with  # pod: ignore[POD001]"
+        t0 = time.time()
+        ''',
+    )
+    report = lint_paths([str(mod)], flow=True)
+    assert _codes(report.findings) == ["POD001"]
+
+
+def test_pragma_rule_list_narrows(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        import time
+
+        t0 = time.time()  # pod: ignore[POD001, POD002]
+        """,
+    )
+    report = lint_paths([str(mod)], flow=True)
+    # POD001 suppressed; the pragma is used, so no POD090 either.
+    assert report.ok
+
+
+# -- suppression baseline ----------------------------------------------
+
+
+def test_baseline_roundtrip(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        import time
+
+        t0 = time.time()
+        """,
+    )
+    baseline = tmp_path / "baseline.json"
+
+    dirty = lint_paths([str(mod)], flow=True)
+    assert _codes(dirty.findings) == ["POD001"]
+
+    lint_paths([str(mod)], flow=True, write_baseline_to=baseline)
+    assert len(load_baseline(baseline)) == 1
+
+    clean = lint_paths([str(mod)], flow=True, baseline=baseline)
+    assert clean.ok
+    assert clean.baselined == 1
+    assert clean.stale_baseline == []
+
+
+def test_baseline_entry_goes_stale_when_fixed(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        import time
+
+        t0 = time.time()
+        """,
+    )
+    baseline = tmp_path / "baseline.json"
+    lint_paths([str(mod)], flow=True, write_baseline_to=baseline)
+
+    mod.write_text("t0 = 0.0\n", encoding="utf-8")
+    report = lint_paths([str(mod)], flow=True, baseline=baseline)
+    assert report.findings == []
+    assert report.baselined == 0
+    assert len(report.stale_baseline) == 1
+    assert "POD001" in report.stale_baseline[0]
+
+
+def test_baseline_survives_line_number_drift(tmp_path: Path):
+    mod = _write_tree(
+        tmp_path,
+        """
+        import time
+
+        t0 = time.time()
+        """,
+    )
+    baseline = tmp_path / "baseline.json"
+    lint_paths([str(mod)], flow=True, write_baseline_to=baseline)
+
+    # Prepend unrelated lines: the finding moves but its fingerprint
+    # (code, path, line text) does not.
+    mod.write_text(
+        "VERSION = 2\n\n" + mod.read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    report = lint_paths([str(mod)], flow=True, baseline=baseline)
+    assert report.ok
+    assert report.baselined == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path: Path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_write_baseline_is_deterministic(tmp_path: Path):
+    findings = [
+        Finding("POD001", "src/repro/sim/b.py", 3, 0, "m"),
+        Finding("POD001", "src/repro/sim/a.py", 1, 0, "m"),
+        Finding("POD001", "src/repro/sim/a.py", 1, 0, "m"),
+    ]
+    p1, p2 = tmp_path / "one.json", tmp_path / "two.json"
+    write_baseline(p1, findings, {})
+    write_baseline(p2, list(reversed(findings)), {})
+    assert p1.read_text() == p2.read_text()
+
+
+def test_normalize_path_anchors_at_tree_roots():
+    assert normalize_path("/abs/repo/src/repro/sim/mod.py") == (
+        "src/repro/sim/mod.py"
+    )
+    assert normalize_path("tests/analysis/test_lint.py") == (
+        "tests/analysis/test_lint.py"
+    )
+    assert normalize_path("mod.py") == "mod.py"
+
+
+# -- repo self-hosting -------------------------------------------------
+
+
+def test_flow_tier_self_hosts_clean_over_src_and_tests():
+    """The acceptance bar: ``repro lint --flow src tests`` is clean
+    modulo the committed baseline, with zero stale entries."""
+    report = lint_paths(
+        [str(REPO / "src"), str(REPO / "tests")],
+        flow=True,
+        baseline=REPO / ".pod-baseline.json",
+    )
+    assert report.parse_errors == []
+    assert report.findings == [], [f.render() for f in report.findings]
+    assert report.stale_baseline == []

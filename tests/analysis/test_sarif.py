@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output stability: a golden byte-for-byte snapshot.
+
+GitHub code scanning ingests this document; any drift in the schema
+(rule catalogue, result layout, URI normalisation) must be deliberate.
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src:tests python -c \
+        "from analysis.test_sarif import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import Finding, LintReport
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import SARIF_VERSION, render_sarif
+
+GOLDEN = Path(__file__).parent / "data" / "golden_sarif.json"
+
+
+def _report() -> LintReport:
+    return LintReport(
+        findings=[
+            Finding(
+                code="POD001",
+                path="/work/repo/src/repro/sim/replay.py",
+                line=42,
+                col=8,
+                message="wall-clock call time.time() in a deterministic "
+                "package; inject a clock (callable) instead",
+            ),
+            Finding(
+                code="POD009",
+                path="src/repro/obs/report.py",
+                line=7,
+                col=0,
+                message="iteration over a dict/set-ordered iterable feeds "
+                "an ordered output sink",
+                fixes=((7, 0, "sorted("),),
+            ),
+            Finding(
+                code="POD004",
+                path="tests/analysis/sample.py",
+                line=3,
+                col=10,
+                message="mutable default argument",
+            ),
+        ],
+        files_checked=3,
+        parse_errors=["src/repro/sim/bad.py: invalid syntax (line 2)"],
+    )
+
+
+def _render() -> str:
+    return json.dumps(render_sarif(_report()), indent=2) + "\n"
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(_render(), encoding="utf-8")
+    print(f"wrote {GOLDEN}")
+
+
+def test_sarif_golden_snapshot():
+    assert _render() == GOLDEN.read_text(encoding="utf-8"), (
+        "SARIF output drifted from the golden snapshot -- if the schema "
+        "change is intentional, regenerate (see module docstring)"
+    )
+
+
+def test_sarif_structure():
+    doc = render_sarif(_report())
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "pod-lint"
+    # Every catalogued rule ships a descriptor.
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == list(ALL_RULES)
+    # Paths are normalised to repo-relative URIs.
+    uris = [
+        r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        for r in run["results"]
+    ]
+    assert uris == [
+        "src/repro/sim/replay.py",
+        "src/repro/obs/report.py",
+        "tests/analysis/sample.py",
+    ]
+    # Deterministic-scope rules are errors, everywhere-rules warnings.
+    levels = [r["level"] for r in run["results"]]
+    assert levels == ["error", "error", "warning"]
+    # Parse errors surface as an unsuccessful invocation.
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is False
+    assert "bad.py" in (
+        invocation["toolExecutionNotifications"][0]["message"]["text"]
+    )
+
+
+def test_sarif_clean_report_is_successful():
+    doc = render_sarif(LintReport([], files_checked=5, parse_errors=[]))
+    (run,) = doc["runs"]
+    assert run["results"] == []
+    assert run["invocations"][0]["executionSuccessful"] is True
