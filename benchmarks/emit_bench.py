@@ -1,0 +1,171 @@
+"""Emit the committed replay-throughput trajectory (BENCH_replay.json).
+
+Measures object-path vs columnar-batch replay throughput on fixed
+(trace, scheme) pairs and appends one run record -- git revision,
+requests/sec for both paths, speedup, and a bit-identity verdict -- to
+``BENCH_replay.json`` at the repo root.  The file is committed: each
+PR that touches replay performance appends a run, building a
+trajectory reviewers can diff instead of re-measuring.
+
+Method: every number is the best of ``--trials`` runs (min wall time;
+single-core CI boxes jitter 20%+, and the minimum is the least noisy
+location estimate of machine capability).  The columnar variant
+replays a pre-interned ColumnarTrace -- conversion is load-time cost,
+like parsing.  Bit-identity is asserted on the full result fingerprint
+(metrics, scheme stats, utilisation), not just sampled fields.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py [--trials 3] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.base import SchemeConfig
+from repro.experiments.runner import SCHEME_CLASSES
+from repro.sim.batch import DEFAULT_BATCH_SIZE
+from repro.sim.replay import ReplayResult, replay_trace
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.format import Trace
+from repro.traces.synthetic import HOMES, WEB_VM, generate_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_replay.json"
+
+#: The fixed measurement grid: (trace name, generator spec, scale,
+#: scheme).  Small enough to run in CI, large enough that per-run
+#: wall times sit well above timer resolution.
+GRID = [
+    ("web-vm", WEB_VM, 0.2, "Native"),
+    ("homes", HOMES, 1.0, "Native"),
+    ("web-vm", WEB_VM, 0.2, "POD"),
+]
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT, text=True
+        ).strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def _fingerprint(result: ReplayResult) -> str:
+    return json.dumps(
+        {
+            "summary": result.metrics.as_dict(),
+            "stats": result.scheme_stats,
+            "util": result.utilisation,
+            "capacity": result.capacity_blocks,
+            "epochs": result.epoch_timeline,
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _replay(
+    trace: Any, logical_blocks: int, scheme_name: str, batch_size: Optional[int]
+) -> ReplayResult:
+    scheme = SCHEME_CLASSES[scheme_name](
+        SchemeConfig(logical_blocks=logical_blocks, memory_bytes=256 * 1024)
+    )
+    return replay_trace(trace, scheme, batch_size=batch_size)
+
+
+def _best_rate(
+    trace: Any,
+    logical_blocks: int,
+    requests: int,
+    scheme_name: str,
+    batch_size: Optional[int],
+    trials: int,
+) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        _replay(trace, logical_blocks, scheme_name, batch_size)
+        best = min(best, time.perf_counter() - t0)
+    return requests / best
+
+
+def measure(trials: int) -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    for trace_name, spec, scale, scheme_name in GRID:
+        trace: Trace = generate_trace(spec, scale=scale)
+        ctrace = ColumnarTrace.from_trace(trace)
+        n = len(trace.records)
+        logical = trace.logical_blocks
+        identical = _fingerprint(
+            _replay(trace, logical, scheme_name, None)
+        ) == _fingerprint(_replay(ctrace, logical, scheme_name, DEFAULT_BATCH_SIZE))
+        obj = _best_rate(trace, logical, n, scheme_name, None, trials)
+        col = _best_rate(
+            ctrace, logical, n, scheme_name, DEFAULT_BATCH_SIZE, trials
+        )
+        entry = {
+            "trace": trace_name,
+            "scale": scale,
+            "scheme": scheme_name,
+            "requests": n,
+            "batch_size": DEFAULT_BATCH_SIZE,
+            "object_req_per_s": round(obj, 1),
+            "columnar_req_per_s": round(col, 1),
+            "speedup": round(col / obj, 2),
+            "bit_identical": identical,
+        }
+        entries.append(entry)
+        print(
+            f"{trace_name:8s} {scheme_name:8s} object {obj:9.0f} req/s  "
+            f"columnar {col:9.0f} req/s  speedup {col / obj:5.2f}x  "
+            f"bit-identical {identical}"
+        )
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and print, but do not rewrite the trajectory file",
+    )
+    args = parser.parse_args()
+
+    entries = measure(args.trials)
+    run = {
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "trials": args.trials,
+        "entries": entries,
+    }
+    if args.dry_run:
+        print(json.dumps(run, indent=2))
+        return 0
+
+    trajectory: Dict[str, Any] = {"runs": []}
+    if args.out.exists():
+        trajectory = json.loads(args.out.read_text())
+    trajectory.setdefault("runs", []).append(run)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(trajectory['runs'])} runs)")
+    if not all(e["bit_identical"] for e in entries):
+        print("FAIL: columnar path diverged from the object path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

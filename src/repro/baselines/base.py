@@ -35,7 +35,7 @@ can never corrupt data.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constants import (
@@ -44,6 +44,7 @@ from repro.constants import (
     IDEDUP_THRESHOLD,
     SELECT_DEDUPE_THRESHOLD,
 )
+from repro.dedup.chunking import ChunkingConfig, ChunkTransform
 from repro.dedup.index_table import IndexTable
 from repro.dedup.map_table import MapTable
 from repro.dedup.fingerprint import HashEngine
@@ -108,6 +109,10 @@ class SchemeConfig:
     icache_write_saved_cost: float = 20e-3
     #: SSD staging capacity for the SAR extension, bytes (0 = no SSD).
     ssd_bytes: int = 0
+    #: Content-defined chunking (see :mod:`repro.dedup.chunking`).
+    #: ``None`` keeps the paper's fixed 4 KB chunks -- the default path
+    #: is bit-identical to a build without the chunking subsystem.
+    chunking: Optional[ChunkingConfig] = None
 
     def __post_init__(self) -> None:
         if self.logical_blocks <= 0:
@@ -126,9 +131,11 @@ class SchemeConfig:
         )
 
 
-@dataclass
 class PlannedIO:
     """What one request costs: a delay plus physical extent ops.
+
+    Hand-written ``__slots__`` class (not a dataclass): one is built
+    per processed request, squarely on the replay hot path.
 
     Attributes
     ----------
@@ -155,19 +162,67 @@ class PlannedIO:
         inline (``len(deduped_idx) == deduped_blocks``).  The
         multi-volume replay driver uses these to classify each
         eliminated block as cross-volume or intra-volume redundancy.
+    ssd_read_blocks:
+        Blocks served by the SSD tier (gates completion; SAR only).
+    ssd_write_blocks:
+        Blocks copied to the SSD tier in the background (SAR only).
     """
 
-    delay: float = 0.0
-    volume_ops: List[VolumeOp] = field(default_factory=list)
-    background_ops: List[VolumeOp] = field(default_factory=list)
-    eliminated: bool = False
-    deduped_blocks: int = 0
-    cache_hit_blocks: int = 0
-    deduped_idx: Tuple[int, ...] = ()
-    #: Blocks served by the SSD tier (gates completion; SAR only).
-    ssd_read_blocks: int = 0
-    #: Blocks copied to the SSD tier in the background (SAR only).
-    ssd_write_blocks: int = 0
+    __slots__ = (
+        "delay",
+        "volume_ops",
+        "background_ops",
+        "eliminated",
+        "deduped_blocks",
+        "cache_hit_blocks",
+        "deduped_idx",
+        "ssd_read_blocks",
+        "ssd_write_blocks",
+    )
+
+    delay: float
+    volume_ops: List[VolumeOp]
+    background_ops: List[VolumeOp]
+    eliminated: bool
+    deduped_blocks: int
+    cache_hit_blocks: int
+    deduped_idx: Tuple[int, ...]
+    ssd_read_blocks: int
+    ssd_write_blocks: int
+
+    def __init__(
+        self,
+        delay: float = 0.0,
+        volume_ops: Optional[List[VolumeOp]] = None,
+        background_ops: Optional[List[VolumeOp]] = None,
+        eliminated: bool = False,
+        deduped_blocks: int = 0,
+        cache_hit_blocks: int = 0,
+        deduped_idx: Tuple[int, ...] = (),
+        ssd_read_blocks: int = 0,
+        ssd_write_blocks: int = 0,
+    ) -> None:
+        self.delay = delay
+        self.volume_ops = [] if volume_ops is None else volume_ops
+        self.background_ops = [] if background_ops is None else background_ops
+        self.eliminated = eliminated
+        self.deduped_blocks = deduped_blocks
+        self.cache_hit_blocks = cache_hit_blocks
+        self.deduped_idx = deduped_idx
+        self.ssd_read_blocks = ssd_read_blocks
+        self.ssd_write_blocks = ssd_write_blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedIO(delay={self.delay!r}, volume_ops={self.volume_ops!r}, "
+            f"background_ops={self.background_ops!r}, "
+            f"eliminated={self.eliminated!r}, "
+            f"deduped_blocks={self.deduped_blocks!r}, "
+            f"cache_hit_blocks={self.cache_hit_blocks!r}, "
+            f"deduped_idx={self.deduped_idx!r}, "
+            f"ssd_read_blocks={self.ssd_read_blocks!r}, "
+            f"ssd_write_blocks={self.ssd_write_blocks!r})"
+        )
 
 
 class DedupScheme(abc.ABC):
@@ -181,6 +236,13 @@ class DedupScheme(abc.ABC):
     features: Dict[str, object] = {}
     #: Simulated seconds between cache-management epochs, or ``None``.
     epoch_interval: Optional[float] = None
+    #: Whether a *guaranteed-miss* index probe may be replaced by
+    #: :meth:`_lookup_unique` (the columnar batch driver proves
+    #: first-stream-occurrence fingerprints can't be in any index).
+    #: ``False`` for schemes whose miss path has side effects beyond
+    #: the LRU miss counter and the cache notification (Full-Dedupe
+    #: pays an on-disk lookup either way).
+    fast_unique: bool = True
 
     def __init__(self, config: SchemeConfig) -> None:
         self.config = config
@@ -190,6 +252,12 @@ class DedupScheme(abc.ABC):
         self.content = ContentStore(self.regions.total_blocks)
         self.log_alloc = LogAllocator(self.regions.log_base, self.regions.log_blocks)
         self.hash_engine = HashEngine(config.fingerprint_delay)
+        #: Optional content-defined chunking transform, applied to
+        #: every write's fingerprints before dedup planning.  Stream-
+        #: stateful (boundaries are content-defined across requests).
+        self.chunker: Optional[ChunkTransform] = (
+            ChunkTransform(config.chunking) if config.chunking is not None else None
+        )
         self.cache: DramCache = self._make_cache()
         self.index_table: Optional[IndexTable] = (
             IndexTable(self.cache.index) if self.uses_fingerprints else None
@@ -279,6 +347,8 @@ class DedupScheme(abc.ABC):
     def process(self, request: IORequest, now: float) -> PlannedIO:
         """Plan the physical I/O for one user request."""
         self._obs_now = now
+        if self.chunker is not None and request.op is OpType.WRITE:
+            request = self._chunked(request)
         if self.spans is None:
             if request.is_write:
                 return self._process_write(request, now)
@@ -302,6 +372,164 @@ class DedupScheme(abc.ABC):
             cache_hit_blocks=planned.cache_hit_blocks,
         )
         return planned
+
+    def _chunked(self, request: IORequest) -> IORequest:
+        """Rewrite a write's fingerprints through the CDC transform.
+
+        Shape-preserving (``nblocks`` fingerprints in and out), so the
+        commit path is untouched; the request object handed onward is
+        a fresh one -- callers holding the original (the replay
+        driver, the metrics collector) still see the raw trace record.
+        """
+        assert self.chunker is not None and request.fingerprints is not None
+        return IORequest.raw(
+            request.time,
+            request.op,
+            request.lba,
+            request.nblocks,
+            self.chunker.transform(request.fingerprints),
+            request.req_id,
+            request.volume_id,
+        )
+
+    def plan_batch(
+        self,
+        requests: Sequence[IORequest],
+        chunk_unique: Optional[Sequence[Optional[Sequence[bool]]]] = None,
+    ) -> List[PlannedIO]:
+        """Plan a window of requests, in arrival order.
+
+        The batched front-end of the columnar replay driver.  The
+        default implementation is the per-request :meth:`process` at
+        each request's own arrival time -- exactly what the event loop
+        would have done, since planning never reads the clock on the
+        fast path.
+
+        ``chunk_unique`` optionally carries, per write request, a
+        per-chunk flag marking fingerprints whose occurrence is the
+        first in the whole replayed stream (``None`` per read).  Such
+        a chunk can't be in any index, so eligible schemes replace the
+        probe with its exact miss side effects
+        (:meth:`_lookup_unique`) -- a pure shortcut, bit-identical by
+        the golden batch-replay tests.  Hints are ignored whenever any
+        scheme feature could invalidate them (no-fingerprint schemes,
+        chunking rewrites, span tracing, ``fast_unique = False``).
+        """
+        if (
+            chunk_unique is None
+            or not self.fast_unique
+            or not self.uses_fingerprints
+            or self.chunker is not None
+            or self.spans is not None
+        ):
+            process = self.process
+            return [process(request, request.time) for request in requests]
+        out: List[PlannedIO] = []
+        append = out.append
+        process = self.process
+        hinted = self._process_write_hinted
+        for request, mask in zip(requests, chunk_unique):
+            if mask is not None:
+                append(hinted(request, mask))
+            else:
+                append(process(request, request.time))
+        return out
+
+    def plan_columns(
+        self,
+        a: int,
+        b: int,
+        is_write: Sequence[bool],
+        lbas: Sequence[int],
+        nblocks: Sequence[int],
+        fp_offsets: Sequence[int],
+        fp_ids: Sequence[int],
+        pool: Sequence[int],
+    ) -> Optional[List[PlannedIO]]:
+        """Plan arrivals ``[a, b)`` straight from merged columns.
+
+        The zero-materialisation tier of the batched front-end: a
+        scheme that can plan from the raw column lists (request ``i``
+        is ``lbas[i]``/``nblocks[i]``; its write chunks are
+        ``pool[fp_ids[k]]`` for ``k`` in ``fp_offsets[i] ..
+        fp_offsets[i+1]``) returns the plans and the driver never
+        builds :class:`~repro.sim.request.IORequest` objects for the
+        window.  Returning ``None`` (the default) falls back to
+        materialised :meth:`plan_batch`.  Implementations must be
+        bit-identical to the generic path -- the golden batch-replay
+        tests pin this.
+        """
+        return None
+
+    def _lookup_unique(self, fingerprint: int) -> None:
+        """Charge the exact side effects of a guaranteed index miss.
+
+        Called in place of :meth:`_lookup_fingerprint` for a chunk the
+        batch classifier proved absent from every index (first stream
+        occurrence): the LRU's miss counter advances and the cache is
+        notified (iCache's ghost index measures the opportunity cost),
+        exactly as the missed probe would have done -- only the
+        fruitless dictionary search is skipped.
+        """
+        assert self.index_table is not None
+        self.index_table.lru.misses += 1
+        self.cache.on_index_miss(fingerprint)
+
+    def _process_write_hinted(
+        self, request: IORequest, unique_mask: Sequence[bool]
+    ) -> PlannedIO:
+        """:meth:`_process_write` with first-occurrence probe hints.
+
+        Line-for-line the unhinted write path, except flagged chunks
+        take :meth:`_lookup_unique`.  Only reachable through
+        :meth:`plan_batch` on the hint-eligible fast path.
+        """
+        now = request.time
+        self._obs_now = now
+        self.writes_total += 1
+        self.write_blocks_total += request.nblocks
+        fingerprints = request.fingerprints
+        assert fingerprints is not None
+
+        delay = self.hash_engine.delay_for(request.nblocks)
+        extra_ops: List[VolumeOp] = []
+        duplicate_pbas: List[Optional[int]] = []
+        append_pba = duplicate_pbas.append
+        lookup = self._lookup_fingerprint
+        unique = self._lookup_unique
+        for i, fp in enumerate(fingerprints):
+            if unique_mask[i]:
+                unique(fp)
+                append_pba(None)
+            else:
+                pba, ops = lookup(fp)
+                if ops:
+                    extra_ops.extend(ops)
+                append_pba(pba)
+
+        dedupe_idx = self._choose_dedupe(request, duplicate_pbas)
+        if self.decision_hook is not None:
+            self.decision_hook(request, duplicate_pbas, dedupe_idx)
+        if self.quarantined_lbas:
+            bypassed = {
+                i for i in dedupe_idx
+                if request.lba + i in self.quarantined_lbas
+            }
+            if bypassed:
+                self.dedupe_bypass_writes += len(bypassed)
+                dedupe_idx = dedupe_idx - bypassed
+        write_ops, deduped_idx = self._commit_write(request, duplicate_pbas, dedupe_idx)
+        eliminated = not write_ops and request.nblocks > 0
+        if eliminated:
+            self.write_requests_removed += 1
+        self.write_blocks_deduped += len(deduped_idx)
+        return PlannedIO(
+            delay=delay,
+            volume_ops=extra_ops + write_ops,
+            eliminated=eliminated,
+            deduped_blocks=len(deduped_idx),
+            deduped_idx=deduped_idx,
+        )
 
     def on_epoch(self, now: float) -> List[VolumeOp]:
         """Periodic cache management; returns background swap traffic.
@@ -632,6 +860,8 @@ class DedupScheme(abc.ABC):
         if self.map_table.journal is not None:
             out["journal_records_appended"] = self.map_table.journal.records_appended
             out["journal_checkpoints"] = self.map_table.journal.checkpoints_taken
+        if self.chunker is not None:
+            out.update({f"chunking_{k}": v for k, v in self.chunker.stats().items()})
         out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
         if self.index_table is not None:
             out.update({f"index_{k}": v for k, v in self.index_table.stats().items()})

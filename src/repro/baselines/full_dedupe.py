@@ -38,6 +38,9 @@ class FullDedupe(DedupScheme):
     """Deduplicate every redundant chunk, whatever the cost."""
 
     name = "Full-Dedupe"
+    #: Even a guaranteed-miss probe pays the on-disk index lookup, so
+    #: the batch driver's first-occurrence shortcut does not apply.
+    fast_unique = False
     features = {
         "capacity_saving": True,
         "performance_enhancement": False,

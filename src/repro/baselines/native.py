@@ -10,10 +10,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.baselines.base import DedupScheme, SchemeConfig
+from repro.baselines.base import DedupScheme, PlannedIO, SchemeConfig
 from repro.cache.partition import PartitionedCache
-from repro.sim.request import IORequest
-from repro.storage.volume import VolumeOp
+from repro.constants import BLOCK_SIZE
+from repro.obs.trace import NULL_RECORDER
+from repro.sim.request import IORequest, OpType
+from repro.storage.volume import VolumeOp, extents_to_ops
+
+#: Shared empty op list for the fast-path plans below.  Consumers of
+#: a PlannedIO only iterate its op lists, so sharing one immutable-by-
+#: convention instance avoids two list allocations per request.
+_NO_OPS: List[VolumeOp] = []
 
 
 class Native(DedupScheme):
@@ -41,3 +48,249 @@ class Native(DedupScheme):
         self, request: IORequest, duplicate_pbas: Sequence[Optional[int]]
     ) -> Set[int]:
         return set()
+
+    # ------------------------------------------------------------------
+    # batched fast path
+    # ------------------------------------------------------------------
+
+    def _batch_fast_ok(self) -> bool:
+        """Is the specialised :meth:`plan_batch` below exactly the
+        generic write/read path?
+
+        Native never deduplicates, so ``MapTable.set_mapping`` is never
+        called and the map stays empty for the scheme's whole lifetime:
+        every LBA translates to itself, ``choose_write_target`` always
+        returns the (unreferenced) home block, and the log allocator is
+        never consulted.  The specialisation additionally requires the
+        plain fixed-partition read cache with uniform 4 KB entries and
+        none of the optional hooks (observation, spans, decision hook,
+        quarantine, chunking) armed.
+        """
+        return (
+            type(self) is Native
+            and len(self.map_table) == 0
+            and not self.quarantined_lbas
+            and self.decision_hook is None
+            and self.spans is None
+            and self.chunker is None
+            and self.obs is NULL_RECORDER
+            and type(self.cache) is PartitionedCache
+            and self.cache.read.capacity_bytes >= BLOCK_SIZE
+        )
+
+    def plan_batch(
+        self,
+        requests: Sequence[IORequest],
+        chunk_unique: Optional[Sequence[Optional[Sequence[bool]]]] = None,
+    ) -> List[PlannedIO]:
+        """Plan a window of requests through the no-dedup fast path.
+
+        Bit-identical to the generic path (pinned by the golden batch
+        tests): with an always-empty map table the write commit per
+        block reduces to recording the content, touching the written
+        set and invalidating the read cache, and the write extent is a
+        single contiguous :class:`VolumeOp`.  The read path inlines the
+        LRU read cache (uniform ``BLOCK_SIZE`` entries), reproducing
+        its hit/miss/eviction accounting exactly; counters accumulate
+        in locals and flush once per call.
+        """
+        if not self._batch_fast_ok():
+            return super().plan_batch(requests, chunk_unique)
+        read_lru = self.cache.read
+        entries = read_lru._entries  # pod: ignore[POD007]
+        e_get = entries.get
+        e_pop = entries.pop
+        e_popitem = entries.popitem
+        move_to_end = entries.move_to_end
+        capacity = read_lru.capacity_bytes
+        used = read_lru._used  # pod: ignore[POD007]
+        hits_c = misses_c = evictions_c = 0
+        content = self.content._content  # pod: ignore[POD007]
+        written_add = self.written_lbas.add
+        reads_c = read_blocks_c = read_hits_c = read_extents_c = 0
+        writes_c = write_blocks_c = 0
+        write_op = OpType.WRITE
+        read_op = OpType.READ
+        out: List[PlannedIO] = []
+        append = out.append
+
+        for request in requests:
+            lba = request.lba
+            n = request.nblocks
+            if request.op is write_op:
+                writes_c += 1
+                write_blocks_c += n
+                fps = request.fingerprints
+                assert fps is not None
+                for pba, fp in zip(range(lba, lba + n), fps):
+                    written_add(pba)
+                    content[pba] = fp
+                    e = e_pop(pba, None)
+                    if e is not None:
+                        used -= e[1]
+                append(PlannedIO(0.0, [VolumeOp(write_op, lba, n)], _NO_OPS))
+            else:
+                reads_c += 1
+                read_blocks_c += n
+                missing: List[int] = []
+                mappend = missing.append
+                hits = 0
+                for pba in range(lba, lba + n):
+                    e = e_get(pba)
+                    if e is None:
+                        misses_c += 1
+                        mappend(pba)
+                    else:
+                        move_to_end(pba)
+                        hits_c += 1
+                        hits += 1
+                read_hits_c += hits
+                if missing:
+                    ops = extents_to_ops(read_op, missing)
+                    read_extents_c += len(ops)
+                    # Same iteration order as the generic path's
+                    # ``set(missing)`` insert loop (LRU insertion order
+                    # is observable through later evictions).
+                    for pba in set(missing):
+                        entries[pba] = (True, BLOCK_SIZE)
+                        used += BLOCK_SIZE
+                        while used > capacity:
+                            _k, (_v, s) = e_popitem(last=False)
+                            used -= s
+                            evictions_c += 1
+                    append(PlannedIO(0.0, ops, _NO_OPS, False, 0, hits))
+                else:
+                    append(PlannedIO(0.0, _NO_OPS, _NO_OPS, False, 0, hits))
+
+        read_lru._used = used  # pod: ignore[POD007]
+        read_lru.hits += hits_c
+        read_lru.misses += misses_c
+        read_lru.evictions += evictions_c
+        self.reads_total += reads_c
+        self.read_blocks_total += read_blocks_c
+        self.read_cache_hit_blocks += read_hits_c
+        self.read_extents_issued += read_extents_c
+        self.writes_total += writes_c
+        self.write_blocks_total += write_blocks_c
+        self.write_blocks_written += write_blocks_c
+        return out
+
+    def plan_columns(
+        self,
+        a: int,
+        b: int,
+        is_write: Sequence[bool],
+        lbas: Sequence[int],
+        nblocks: Sequence[int],
+        fp_offsets: Sequence[int],
+        fp_ids: Sequence[int],
+        pool: Sequence[int],
+    ) -> Optional[List[PlannedIO]]:
+        """Columns-native twin of :meth:`plan_batch` (same inlined
+        no-dedup core, kept in lockstep): plans straight off the merged
+        column lists so the driver skips request materialisation."""
+        if not self._batch_fast_ok():
+            return None
+        read_lru = self.cache.read
+        entries = read_lru._entries  # pod: ignore[POD007]
+        e_get = entries.get
+        e_pop = entries.pop
+        e_popitem = entries.popitem
+        move_to_end = entries.move_to_end
+        capacity = read_lru.capacity_bytes
+        used = read_lru._used  # pod: ignore[POD007]
+        hits_c = misses_c = evictions_c = 0
+        content = self.content._content  # pod: ignore[POD007]
+        written_add = self.written_lbas.add
+        reads_c = read_blocks_c = read_hits_c = read_extents_c = 0
+        writes_c = write_blocks_c = 0
+        write_op = OpType.WRITE
+        read_op = OpType.READ
+        out: List[PlannedIO] = []
+        append = out.append
+
+        for i in range(a, b):
+            lba = lbas[i]
+            n = nblocks[i]
+            if is_write[i]:
+                writes_c += 1
+                write_blocks_c += n
+                k = fp_offsets[i]
+                if n == 1:
+                    written_add(lba)
+                    content[lba] = pool[fp_ids[k]]
+                    e = e_pop(lba, None)
+                    if e is not None:
+                        used -= e[1]
+                else:
+                    for pba, fid in zip(range(lba, lba + n), fp_ids[k : k + n]):
+                        written_add(pba)
+                        content[pba] = pool[fid]
+                        e = e_pop(pba, None)
+                        if e is not None:
+                            used -= e[1]
+                append(PlannedIO(0.0, [VolumeOp(write_op, lba, n)], _NO_OPS))
+            elif n == 1:
+                # Single-block read: one probe, one extent on a miss.
+                reads_c += 1
+                read_blocks_c += 1
+                e = e_get(lba)
+                if e is None:
+                    misses_c += 1
+                    read_extents_c += 1
+                    entries[lba] = (True, BLOCK_SIZE)
+                    used += BLOCK_SIZE
+                    while used > capacity:
+                        _k, (_v, s) = e_popitem(last=False)
+                        used -= s
+                        evictions_c += 1
+                    append(
+                        PlannedIO(0.0, [VolumeOp(read_op, lba, 1)], _NO_OPS)
+                    )
+                else:
+                    move_to_end(lba)
+                    hits_c += 1
+                    read_hits_c += 1
+                    append(PlannedIO(0.0, _NO_OPS, _NO_OPS, False, 0, 1))
+            else:
+                reads_c += 1
+                read_blocks_c += n
+                missing: List[int] = []
+                mappend = missing.append
+                hits = 0
+                for pba in range(lba, lba + n):
+                    e = e_get(pba)
+                    if e is None:
+                        misses_c += 1
+                        mappend(pba)
+                    else:
+                        move_to_end(pba)
+                        hits_c += 1
+                        hits += 1
+                read_hits_c += hits
+                if missing:
+                    ops = extents_to_ops(read_op, missing)
+                    read_extents_c += len(ops)
+                    for pba in set(missing):
+                        entries[pba] = (True, BLOCK_SIZE)
+                        used += BLOCK_SIZE
+                        while used > capacity:
+                            _k, (_v, s) = e_popitem(last=False)
+                            used -= s
+                            evictions_c += 1
+                    append(PlannedIO(0.0, ops, _NO_OPS, False, 0, hits))
+                else:
+                    append(PlannedIO(0.0, _NO_OPS, _NO_OPS, False, 0, hits))
+
+        read_lru._used = used  # pod: ignore[POD007]
+        read_lru.hits += hits_c
+        read_lru.misses += misses_c
+        read_lru.evictions += evictions_c
+        self.reads_total += reads_c
+        self.read_blocks_total += read_blocks_c
+        self.read_cache_hit_blocks += read_hits_c
+        self.read_extents_issued += read_extents_c
+        self.writes_total += writes_c
+        self.write_blocks_total += write_blocks_c
+        self.write_blocks_written += write_blocks_c
+        return out

@@ -116,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-seed", type=int, default=None, metavar="N",
                      help="override the fault plan's RNG seed "
                      "(requires --faults)")
+    run.add_argument("--batch-size", type=int, default=None, metavar="N",
+                     help="replay through the columnar batch driver, planning "
+                          "N requests per batch (bit-identical to the default "
+                          "event loop, several times faster; incompatible "
+                          "configs fall back silently)")
+    run.add_argument("--chunking", default=None, metavar="MIN:AVG:MAX",
+                     help="enable content-defined chunking with the given "
+                          "chunk bounds in 4 KB blocks (AVG must be a power "
+                          "of two), or 'gear' for the defaults (2:4:16)")
     run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
@@ -150,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--fault-seed", type=int, default=None, metavar="N",
                        help="override the fault plan's RNG seed "
                        "(requires --faults)")
+    multi.add_argument("--batch-size", type=int, default=None, metavar="N",
+                       help="replay through the columnar batch driver "
+                            "(bit-identical to the event loop; incompatible "
+                            "configs fall back silently)")
+    multi.add_argument("--chunking", default=None, metavar="MIN:AVG:MAX",
+                       help="enable content-defined chunking (see 'run')")
     multi.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                        help="structural-check cadence in requests "
                        "(with --check-invariants; default 1000)")
@@ -346,6 +361,33 @@ def _print_result(result) -> None:
     print(render_table(f"{result.scheme_name} on {result.trace_name}", ["metric", "value"], rows))
 
 
+def _chunking_config(args: argparse.Namespace):
+    """Parse ``--chunking`` into a :class:`ChunkingConfig`, if given.
+
+    Accepts ``gear`` (defaults) or ``MIN:AVG:MAX`` in 4 KB blocks.
+    """
+    from repro.dedup.chunking import ChunkingConfig
+    from repro.errors import ConfigError
+
+    spec = getattr(args, "chunking", None)
+    if spec is None:
+        return None
+    if spec == "gear":
+        return ChunkingConfig()
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ConfigError(
+            f"--chunking expects 'gear' or MIN:AVG:MAX, got {spec!r}"
+        )
+    try:
+        lo, avg, hi = (int(p) for p in parts)
+    except ValueError:
+        raise ConfigError(
+            f"--chunking bounds must be integers, got {spec!r}"
+        ) from None
+    return ChunkingConfig(min_blocks=lo, avg_blocks=avg, max_blocks=hi)
+
+
 def _fault_plan(args: argparse.Namespace):
     """Load the ``--faults`` plan, if any (``--fault-seed`` needs it)."""
     from repro.errors import ConfigError
@@ -453,6 +495,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.index_fraction is not None:
         overrides["index_fraction"] = args.index_fraction
+    chunking = _chunking_config(args)
+    if chunking is not None:
+        overrides["chunking"] = chunking
     level = {
         "raid5": RaidLevel.RAID5,
         "raid0": RaidLevel.RAID0,
@@ -483,7 +528,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         # Plain run: share the memoised fast path with the figure benches.
         result = runner.run_single(
             args.trace, args.scheme, scale=args.scale,
-            replay_config=replay_config, **overrides,
+            replay_config=replay_config, batch_size=args.batch_size,
+            **overrides,
         )
         _print_result(result)
         if result.sanitizer is not None:
@@ -502,7 +548,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = runner.run_observed(
         args.trace, args.scheme, scale=args.scale, seed=args.seed,
-        replay_config=replay_config, recorder=recorder, **overrides,
+        replay_config=replay_config, recorder=recorder,
+        batch_size=args.batch_size, **overrides,
     )
     wall = time.perf_counter() - t0
     _print_result(result)
@@ -551,6 +598,10 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         **_telemetry_config(args),
     )
+    overrides = {}
+    chunking = _chunking_config(args)
+    if chunking is not None:
+        overrides["chunking"] = chunking
     result = runner.run_multi(
         args.traces,
         args.scheme,
@@ -560,6 +611,8 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         divergence=args.divergence,
         arrival_skew=args.skew,
         replay_config=replay_config,
+        batch_size=args.batch_size,
+        **overrides,
     )
     _print_result(result)
     print()

@@ -173,7 +173,7 @@ class IndexTable:
 
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, float]:
         return {
             "entries": len(self.lru),
             "hits": self.lru.hits,

@@ -216,4 +216,16 @@ class MapTable:
         written LBA resolves to exactly one physical block; shared
         blocks are counted once.
         """
-        return {self.translate(lba) for lba in written_lbas}
+        if not self._map:
+            # No redirections: every LBA sits at its home block, which
+            # is the LBA itself (``home_base`` is 0).  Skips a method
+            # call per written block on the no-dedup reporting path.
+            return set(written_lbas)
+        get = self._map.get
+        home_of = self.regions.home_of
+        out: Set[int] = set()
+        add = out.add
+        for lba in written_lbas:
+            pba = get(lba)
+            add(home_of(lba) if pba is None else pba)
+        return out

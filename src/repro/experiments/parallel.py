@@ -7,39 +7,53 @@ the (trace, scheme) grid out over a process pool and folds the results
 back into the in-process memo cache, so the figure drivers can be
 called afterwards without re-simulating.
 
-Determinism is preserved: every job is fully specified by
-``(trace, scheme, scale, seed, replay config, overrides)`` and traces
-are regenerated per worker from the same seed, so the parallel matrix
-is bit-identical to the serial one (asserted by the integration
-tests).
+Traces are shipped to workers as :class:`~repro.traces.columnar.
+ColumnarTrace` payloads: flat NumPy column buffers plus the interned
+fingerprint pool.  Pickling a column payload is orders of magnitude
+cheaper than pickling a deep list of per-record objects, and the
+master generates (and memoises) each trace exactly once instead of
+every worker regenerating it.
+
+Determinism is preserved: the column round-trip is lossless and the
+columnar batch driver is bit-identical to the object path (both pinned
+by golden tests), so the parallel matrix is bit-identical to the
+serial one at any worker count (asserted by the worker-count
+invariance test).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.baselines.base import SchemeConfig
 from repro.baselines.registry import DEFAULT_REGISTRY
 from repro.sim.replay import ReplayConfig, ReplayResult
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.synthetic import paper_traces
 
-#: One fully serialised job: everything a worker needs.
-Job = Tuple[str, str, float, Optional[int], ReplayConfig, tuple]
+#: One fully serialised job: the trace as a columnar payload (flat
+#: NumPy buffers -- cheap to pickle), the resolved scheme name, its
+#: full configuration, the replay configuration and the batch size.
+Job = Tuple[Dict[str, Any], str, SchemeConfig, ReplayConfig, Optional[int]]
 
 
 def _run_job(job: Job) -> ReplayResult:
-    """Worker entry point (module-level for picklability)."""
-    from repro.experiments import runner
+    """Worker entry point (module-level for picklability).
 
-    trace_name, scheme_name, scale, seed, replay_config, overrides = job
-    return runner.run_single(
-        trace_name,
-        scheme_name,
-        scale=scale,
-        seed=seed,
-        replay_config=replay_config,
-        **dict(overrides),
+    Rebuilds the columnar trace from its shipped columns and replays
+    it exactly as :func:`repro.experiments.runner.run_single` would:
+    through the batch driver when a batch size is given, otherwise via
+    the lossless ``to_trace`` materialisation onto the object path.
+    """
+    from repro.sim.replay import replay_trace
+
+    payload, scheme_name, scheme_config, replay_config, batch_size = job
+    ctrace = ColumnarTrace.from_payload(payload)
+    scheme = DEFAULT_REGISTRY.build(scheme_name, scheme_config)
+    return replay_trace(
+        ctrace, scheme, replay_config, batch_size=batch_size
     )
 
 
@@ -50,7 +64,8 @@ def run_matrix_parallel(
     seed: Optional[int] = None,
     replay_config: Optional[ReplayConfig] = None,
     max_workers: Optional[int] = None,
-    **config_overrides,
+    batch_size: Optional[int] = None,
+    **config_overrides: Any,
 ) -> Dict[Tuple[str, str], ReplayResult]:
     """Replay every (trace, scheme) pair on a process pool.
 
@@ -63,16 +78,24 @@ def run_matrix_parallel(
     traces = (
         list(trace_names) if trace_names is not None else sorted(paper_traces())
     )
-    schemes = (
-        list(scheme_names)
-        if scheme_names is not None
-        else list(DEFAULT_REGISTRY.paper_schemes())
-    )
+    schemes = [
+        runner.resolve_scheme_name(s)
+        for s in (
+            list(scheme_names)
+            if scheme_names is not None
+            else list(DEFAULT_REGISTRY.paper_schemes())
+        )
+    ]
     replay_config = replay_config if replay_config is not None else ReplayConfig()
     overrides = tuple(sorted(config_overrides.items()))
-    jobs: list = [
-        (t, s, scale, seed, replay_config, overrides) for t in traces for s in schemes
-    ]
+    specs = paper_traces()
+    jobs: List[Job] = []
+    for t in traces:
+        trace = runner.get_trace(specs[t], scale=scale, seed=seed)
+        payload = ColumnarTrace.from_trace(trace).payload()
+        config = runner.scheme_config_for(specs[t], scale, **config_overrides)
+        for s in schemes:
+            jobs.append((payload, s, config, replay_config, batch_size))
 
     workers = max_workers or min(len(jobs), os.cpu_count() or 1)
     out: Dict[Tuple[str, str], ReplayResult] = {}
@@ -81,8 +104,8 @@ def run_matrix_parallel(
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             results = list(executor.map(_run_job, jobs))
-    for job, result in zip(jobs, results):
-        trace_name, scheme_name, *_ = job
+    pairs = [(t, s) for t in traces for s in schemes]
+    for (trace_name, scheme_name), result in zip(pairs, results):
         out[(trace_name, scheme_name)] = result
         cache_key = (
             trace_name,
@@ -90,6 +113,7 @@ def run_matrix_parallel(
             scale,
             seed,
             replay_config,
+            batch_size,
             overrides,
         )
         runner.memoize_result(cache_key, result)

@@ -253,39 +253,62 @@ class Simulator:
         max_events:
             Safety valve for tests.
         """
-        while self.queue:
-            next_time = self.queue.peek_time()
-            if until is not None and next_time is not None and next_time > until:
-                break
-            event = self.queue.pop()
-            if event.time < self.now:
-                raise SimulationError("event queue returned an event in the past")
-            self.now = event.time
-            self.events_processed += 1
-            if event.kind is EventKind.CALLBACK:
-                fn, args = event.payload
-                fn(*args)
-            elif event.kind is EventKind.REQUEST_ARRIVAL:
-                if arrival_handler is None:
-                    raise SimulationError("arrival event with no registered handler")
-                arrival_handler(self.now, event.payload)
-            else:  # pragma: no cover - future event kinds
-                raise SimulationError(f"unhandled event kind {event.kind}")
-            if max_events is not None and self.events_processed >= max_events:
-                break
+        # Hot loop: hoist every invariant attribute/global into locals
+        # (measured: the pop/dispatch overhead is paid once per event,
+        # millions of times on production-size replays).
+        queue = self.queue
+        pop = queue.pop
+        callback_kind = EventKind.CALLBACK
+        arrival_kind = EventKind.REQUEST_ARRIVAL
+        processed = self.events_processed
+        try:
+            while queue:
+                if until is not None:
+                    next_time = queue.peek_time()
+                    if next_time is not None and next_time > until:
+                        break
+                event = pop()
+                time = event.time
+                if time < self.now:
+                    raise SimulationError("event queue returned an event in the past")
+                self.now = time
+                processed += 1
+                kind = event.kind
+                if kind is callback_kind:
+                    fn, args = event.payload
+                    fn(*args)
+                elif kind is arrival_kind:
+                    if arrival_handler is None:
+                        raise SimulationError("arrival event with no registered handler")
+                    arrival_handler(time, event.payload)
+                else:  # pragma: no cover - future event kinds
+                    raise SimulationError(f"unhandled event kind {kind}")
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self.events_processed = processed
 
     # ------------------------------------------------------------------
 
     def utilisation(self) -> Dict[int, Dict[str, float]]:
         """Per-disk utilisation summary (for reports and debugging)."""
-        return {
-            disk.disk_id: {
-                "ops": disk.ops_serviced,
-                "blocks": disk.blocks_moved,
-                "busy_time": disk.busy_time,
-                "seek_time": disk.seek_time_total,
-                "rotation_time": disk.rotation_time_total,
-                "transfer_time": disk.transfer_time_total,
-            }
-            for disk in self.disks
+        return disk_utilisation(self.disks)
+
+
+def disk_utilisation(disks: Sequence[Disk]) -> Dict[int, Dict[str, float]]:
+    """Per-disk utilisation summary for any disk set.
+
+    Shared by the engine and the columnar batch driver (which services
+    disks without a :class:`Simulator`) so both report identically.
+    """
+    return {
+        disk.disk_id: {
+            "ops": disk.ops_serviced,
+            "blocks": disk.blocks_moved,
+            "busy_time": disk.busy_time,
+            "seek_time": disk.seek_time_total,
+            "rotation_time": disk.rotation_time_total,
+            "transfer_time": disk.transfer_time_total,
         }
+        for disk in disks
+    }

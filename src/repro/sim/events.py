@@ -11,7 +11,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -29,18 +28,30 @@ class EventKind(enum.Enum):
     CALLBACK = "callback"
 
 
-@dataclass(order=False)
 class Event:
     """One scheduled event.
 
     ``payload`` is interpreted by the handler for the event kind; the
-    queue itself never looks at it.
+    queue itself never looks at it.  A ``__slots__`` class rather than
+    a dataclass: one is allocated per scheduled event, which makes it
+    part of the replay hot path.
     """
 
-    time: float
-    kind: EventKind
-    payload: Any = None
-    seq: int = field(default=-1, compare=False)
+    __slots__ = ("time", "kind", "payload", "seq")
+
+    def __init__(
+        self, time: float, kind: EventKind, payload: Any = None, seq: int = -1
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, seq={self.seq!r})"
+        )
 
 
 class EventQueue:

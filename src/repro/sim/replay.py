@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import DedupScheme, PlannedIO
@@ -50,6 +50,7 @@ from repro.storage.namespace import NamespaceMapper
 from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
 from repro.storage.scheduler import DiskScheduler, SchedulingPolicy
 from repro.storage.ssd import Ssd, SsdParams
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.format import Trace
 
 
@@ -261,11 +262,12 @@ def _merge_streams(
 
 
 def replay_trace(
-    trace: Trace,
+    trace: Union[Trace, ColumnarTrace],
     scheme: DedupScheme,
     config: ReplayConfig = ReplayConfig(),
     collector: Optional[MetricsCollector] = None,
     recorder: Optional[TraceRecorder] = None,
+    batch_size: Optional[int] = None,
 ) -> ReplayResult:
     """Replay ``trace`` through ``scheme`` on the configured array.
 
@@ -279,6 +281,13 @@ def replay_trace(
     are identical to an un-instrumented replay; the disabled path
     costs one integer compare per instrumentation site.
 
+    ``batch_size`` opts into the columnar batch driver
+    (:mod:`repro.sim.batch`): requests are planned in vectorized
+    batches and completions replayed through a specialised loop --
+    bit-identical to the event-loop path (pinned by golden tests) at a
+    multiple of its throughput.  Configs outside the fast path fall
+    back to the object path silently.
+
     This is the N=1 special case of :func:`replay_traces` (without
     the per-volume metric breakdowns); the two are bit-identical for
     a single volume.
@@ -290,16 +299,18 @@ def replay_trace(
         collector=collector,
         recorder=recorder,
         per_volume_metrics=False,
+        batch_size=batch_size,
     )
 
 
 def replay_traces(
-    traces: Sequence[Trace],
+    traces: Sequence[Union[Trace, ColumnarTrace]],
     scheme: DedupScheme,
     config: ReplayConfig = ReplayConfig(),
     collector: Optional[MetricsCollector] = None,
     recorder: Optional[TraceRecorder] = None,
     per_volume_metrics: bool = True,
+    batch_size: Optional[int] = None,
 ) -> ReplayResult:
     """Replay N trace streams onto one shared-dedup-domain array.
 
@@ -318,6 +329,29 @@ def replay_traces(
     """
     if not traces:
         raise ConfigError("replay_traces needs at least one trace")
+    if scheme.chunker is not None and config.faults is not None:
+        # The fault oracle checks reads against the raw trace
+        # fingerprints; CDC rewrites what the scheme stores, so the
+        # two are incompatible by construction.
+        raise ConfigError("content-defined chunking cannot run under fault injection")
+    if batch_size is not None and recorder is None:
+        from repro.sim.batch import batch_eligible, replay_columnar
+
+        if batch_eligible(config):
+            return replay_columnar(
+                traces,
+                scheme,
+                config,
+                collector=collector,
+                batch_size=batch_size,
+                per_volume_metrics=per_volume_metrics,
+            )
+    # Columnar inputs that did not take the batch driver (or were
+    # passed with batch_size=None) materialise back to request-level
+    # traces -- the round-trip is lossless, so the result is identical.
+    traces = [
+        t.to_trace() if isinstance(t, ColumnarTrace) else t for t in traces
+    ]
     mapper = NamespaceMapper((t.name, t.logical_blocks) for t in traces)
     multi = len(traces) > 1
     if mapper.total_logical_blocks > scheme.regions.logical_blocks:

@@ -6,12 +6,19 @@ layers (the FIU traces the paper replays were collected beneath the
 buffer cache).  Write requests carry one fingerprint per 4 KB chunk;
 the fingerprint stands in for the SHA-1 of the chunk's content, so two
 chunks are duplicates iff their fingerprints are equal.
+
+Both classes here are deliberately *not* dataclasses: the replay hot
+path materialises one ``IORequest`` per trace record and several
+``DiskOp`` objects per request, so they are hand-written ``__slots__``
+classes (no per-instance ``__dict__``, no generated-``__init__``
+indirection).  The columnar batch driver additionally constructs
+requests through :meth:`IORequest.raw`, which skips re-validation of
+fields the trace layer already validated.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.constants import BLOCK_SIZE
@@ -28,7 +35,6 @@ class OpType(enum.Enum):
         return self.value
 
 
-@dataclass
 class IORequest:
     """A single block-level I/O request.
 
@@ -58,33 +64,95 @@ class IORequest:
         :class:`~repro.storage.namespace.NamespaceMapper`.
     """
 
-    time: float
-    op: OpType
-    lba: int
-    nblocks: int
-    fingerprints: Optional[Tuple[int, ...]] = None
-    req_id: int = field(default=-1)
-    volume_id: int = 0
+    __slots__ = ("time", "op", "lba", "nblocks", "fingerprints", "req_id", "volume_id")
 
-    def __post_init__(self) -> None:
-        if self.nblocks < 1:
-            raise TraceError(f"request length must be >= 1 block, got {self.nblocks}")
-        if self.lba < 0:
-            raise TraceError(f"negative LBA {self.lba}")
-        if self.volume_id < 0:
-            raise TraceError(f"negative volume id {self.volume_id}")
-        if self.time < 0:
-            raise TraceError(f"negative timestamp {self.time}")
-        if self.op is OpType.WRITE:
-            if self.fingerprints is None:
+    def __init__(
+        self,
+        time: float,
+        op: OpType,
+        lba: int,
+        nblocks: int,
+        fingerprints: Optional[Tuple[int, ...]] = None,
+        req_id: int = -1,
+        volume_id: int = 0,
+    ) -> None:
+        if nblocks < 1:
+            raise TraceError(f"request length must be >= 1 block, got {nblocks}")
+        if lba < 0:
+            raise TraceError(f"negative LBA {lba}")
+        if volume_id < 0:
+            raise TraceError(f"negative volume id {volume_id}")
+        if time < 0:
+            raise TraceError(f"negative timestamp {time}")
+        if op is OpType.WRITE:
+            if fingerprints is None:
                 raise TraceError("write request requires per-block fingerprints")
-            if len(self.fingerprints) != self.nblocks:
+            if len(fingerprints) != nblocks:
                 raise TraceError(
-                    f"write of {self.nblocks} blocks carries "
-                    f"{len(self.fingerprints)} fingerprints"
+                    f"write of {nblocks} blocks carries "
+                    f"{len(fingerprints)} fingerprints"
                 )
-        elif self.fingerprints is not None:
+        elif fingerprints is not None:
             raise TraceError("read request must not carry fingerprints")
+        self.time = time
+        self.op = op
+        self.lba = lba
+        self.nblocks = nblocks
+        self.fingerprints = fingerprints
+        self.req_id = req_id
+        self.volume_id = volume_id
+
+    @classmethod
+    def raw(
+        cls,
+        time: float,
+        op: OpType,
+        lba: int,
+        nblocks: int,
+        fingerprints: Optional[Tuple[int, ...]],
+        req_id: int,
+        volume_id: int,
+    ) -> "IORequest":
+        """Construct without validation.
+
+        Only for callers that re-materialise requests from an already
+        validated source (a :class:`~repro.traces.format.Trace` checks
+        every record in ``__post_init__``; the columnar layer round-
+        trips through it) -- the hot path must not pay for the same
+        checks twice.
+        """
+        self = cls.__new__(cls)
+        self.time = time
+        self.op = op
+        self.lba = lba
+        self.nblocks = nblocks
+        self.fingerprints = fingerprints
+        self.req_id = req_id
+        self.volume_id = volume_id
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"IORequest(time={self.time!r}, op={self.op!r}, lba={self.lba!r}, "
+            f"nblocks={self.nblocks!r}, fingerprints={self.fingerprints!r}, "
+            f"req_id={self.req_id!r}, volume_id={self.volume_id!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IORequest):
+            return NotImplemented
+        # Value equality over the record's fields (what the replaced
+        # dataclass generated): timestamps here are trace *identity*,
+        # not derived simulation times.
+        return (
+            self.time == other.time  # pod: ignore[POD003]
+            and self.op is other.op
+            and self.lba == other.lba
+            and self.nblocks == other.nblocks
+            and self.fingerprints == other.fingerprints
+            and self.req_id == other.req_id
+            and self.volume_id == other.volume_id
+        )
 
     @property
     def size_bytes(self) -> int:
@@ -142,13 +210,14 @@ class IORequest:
         )
 
 
-@dataclass(frozen=True)
 class DiskOp:
     """A physical operation issued to one member disk.
 
     Produced by the RAID layer when it translates a volume-level
     extent operation; consumed by the engine, which serialises the
-    per-disk queue and computes mechanical service times.
+    per-disk queue and computes mechanical service times.  Value
+    semantics (equality, hashing) are those of the frozen dataclass it
+    replaced; instances are treated as immutable by convention.
 
     Attributes
     ----------
@@ -162,13 +231,33 @@ class DiskOp:
         Length in blocks.
     """
 
-    disk_id: int
-    op: OpType
-    pba: int
-    nblocks: int
+    __slots__ = ("disk_id", "op", "pba", "nblocks")
 
-    def __post_init__(self) -> None:
-        if self.nblocks < 1:
-            raise TraceError(f"disk op length must be >= 1, got {self.nblocks}")
-        if self.pba < 0:
-            raise TraceError(f"negative PBA {self.pba}")
+    def __init__(self, disk_id: int, op: OpType, pba: int, nblocks: int) -> None:
+        if nblocks < 1:
+            raise TraceError(f"disk op length must be >= 1, got {nblocks}")
+        if pba < 0:
+            raise TraceError(f"negative PBA {pba}")
+        self.disk_id = disk_id
+        self.op = op
+        self.pba = pba
+        self.nblocks = nblocks
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskOp(disk_id={self.disk_id!r}, op={self.op!r}, "
+            f"pba={self.pba!r}, nblocks={self.nblocks!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiskOp):
+            return NotImplemented
+        return (
+            self.disk_id == other.disk_id
+            and self.op is other.op
+            and self.pba == other.pba
+            and self.nblocks == other.nblocks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.disk_id, self.op, self.pba, self.nblocks))

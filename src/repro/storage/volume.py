@@ -19,16 +19,19 @@ paying its own seek.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.sim.request import OpType
 
 
-@dataclass(frozen=True)
 class VolumeOp:
     """One contiguous extent operation against the volume.
+
+    Hand-written ``__slots__`` class (not a dataclass): schemes create
+    one per planned extent, which puts construction on the replay hot
+    path.  Treat instances as immutable, like the frozen dataclass
+    this used to be.
 
     Attributes
     ----------
@@ -40,19 +43,39 @@ class VolumeOp:
         Extent length in blocks.
     """
 
+    __slots__ = ("op", "pba", "nblocks")
+
     op: OpType
     pba: int
     nblocks: int
 
-    def __post_init__(self) -> None:
-        if self.pba < 0:
-            raise StorageError(f"negative PBA {self.pba}")
-        if self.nblocks < 1:
-            raise StorageError(f"extent length must be >= 1, got {self.nblocks}")
+    def __init__(self, op: OpType, pba: int, nblocks: int) -> None:
+        if pba < 0:
+            raise StorageError(f"negative PBA {pba}")
+        if nblocks < 1:
+            raise StorageError(f"extent length must be >= 1, got {nblocks}")
+        self.op = op
+        self.pba = pba
+        self.nblocks = nblocks
 
     @property
     def end_pba(self) -> int:
         return self.pba + self.nblocks
+
+    def __repr__(self) -> str:
+        return f"VolumeOp(op={self.op!r}, pba={self.pba}, nblocks={self.nblocks})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VolumeOp):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.pba == other.pba
+            and self.nblocks == other.nblocks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.pba, self.nblocks))
 
 
 def coalesce_extents(pbas: Sequence[int]) -> List[Tuple[int, int]]:

@@ -44,3 +44,50 @@ def test_single_worker_path():
 def test_defaults_cover_paper_grid():
     out = run_matrix_parallel(scale=0.01, max_workers=2)
     assert len(out) == 3 * len(runner.PAPER_SCHEMES)
+
+
+def _fingerprints(matrix):
+    return {
+        key: (
+            result.metrics.as_dict(),
+            result.scheme_stats,
+            result.capacity_blocks,
+        )
+        for key, result in matrix.items()
+    }
+
+
+def test_worker_count_invariance():
+    """Shipping traces as column payloads must not leak any worker-
+    count dependence: 1, 2 and 3 workers produce bit-identical
+    matrices, with and without the columnar batch driver."""
+    grid = dict(
+        trace_names=["web-vm", "homes"], scheme_names=["Native", "POD"],
+        scale=SCALE,
+    )
+    for batch_size in (None, 4096):
+        base = None
+        for workers in (1, 2, 3):
+            runner.clear_run_cache()
+            got = _fingerprints(
+                run_matrix_parallel(
+                    max_workers=workers, batch_size=batch_size, **grid
+                )
+            )
+            if base is None:
+                base = got
+            assert got == base, (
+                f"matrix differs at max_workers={workers}, "
+                f"batch_size={batch_size}"
+            )
+
+
+def test_batch_size_matches_object_path():
+    """The batched parallel matrix equals the object-path serial one
+    (the columnar driver's bit-identity, end to end through workers)."""
+    serial = runner.run_matrix(["web-vm"], ["POD"], scale=SCALE)
+    runner.clear_run_cache()
+    batched = run_matrix_parallel(
+        ["web-vm"], ["POD"], scale=SCALE, max_workers=2, batch_size=4096
+    )
+    assert _fingerprints(batched) == _fingerprints(serial)
