@@ -24,6 +24,7 @@ import time
 
 from repro.baselines.base import SchemeConfig
 from repro.core.pod import POD
+from repro.jobs import JobsConfig, ScrubberSpec
 from repro.obs import TraceLevel, TraceRecorder
 from repro.obs.slo import SloObjective, SloPolicy
 from repro.obs.timeline import TimelineConfig
@@ -54,6 +55,16 @@ TELEMETRY = ReplayConfig(
     )),
 )
 
+#: Armed leased-jobs configuration for the informational measurement:
+#: two workers plus a capped background scrub pass.  The jobs-*off*
+#: path has zero cost by construction (``config.jobs is None`` is the
+#: only new branch on the baseline replay, covered by the <5% off-path
+#: contract below); this row shows what running the subsystem costs.
+JOBS = ReplayConfig(
+    jobs=JobsConfig(scrub=ScrubberSpec(region_blocks=4096, interval=0.05,
+                                       regions=50)),
+)
+
 
 def _time_replay(recorder, config: ReplayConfig = ReplayConfig()) -> float:
     scheme = _scheme()
@@ -82,6 +93,7 @@ def measure() -> dict:
         "request": _median_runtime(lambda: TraceRecorder(level=TraceLevel.REQUEST)),
         "chunk": _median_runtime(lambda: TraceRecorder(level=TraceLevel.CHUNK)),
         "telemetry": _median_runtime(lambda: None, TELEMETRY),
+        "jobs": _median_runtime(lambda: None, JOBS),
     }
     out["off_overhead"] = out["off"] / out["baseline"] - 1.0
     return out
@@ -108,6 +120,8 @@ def main() -> None:  # pragma: no cover - manual entry point
           f"({(m['chunk'] / m['baseline'] - 1) * 100:+.1f}%)")
     print(f"timeline+spans+slo  : {m['telemetry'] * 1e3:8.1f} ms "
           f"({(m['telemetry'] / m['baseline'] - 1) * 100:+.1f}%)")
+    print(f"leased jobs + scrub : {m['jobs'] * 1e3:8.1f} ms "
+          f"({(m['jobs'] / m['baseline'] - 1) * 100:+.1f}%)")
     status = "OK" if m["off_overhead"] < MAX_OFF_OVERHEAD else "FAIL"
     print(f"off-level contract (<{MAX_OFF_OVERHEAD * 100:.0f}%): {status}")
 

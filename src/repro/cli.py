@@ -69,6 +69,21 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
                    "(requires --spans)")
 
 
+def _add_jobs_args(p: argparse.ArgumentParser) -> None:
+    """Leased-job flags shared by run / run-multi / run-cluster."""
+    p.add_argument("--jobs", default=None, nargs="?", const="",
+                   metavar="CONFIG.json",
+                   help="arm the leased background-job subsystem (workers, "
+                   "lease policy, scrubber, admission; JSON, see "
+                   "examples/jobs.json; bare flag: defaults)")
+    p.add_argument("--scrub", action="store_true",
+                   help="run a background scrubber job over the volume "
+                   "(implies --jobs)")
+    p.add_argument("--admission", default=None, metavar="RATE:BURST",
+                   help="per-tenant token-bucket admission control in "
+                   "blocks/s and burst blocks (implies --jobs)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.baselines.registry import DEFAULT_REGISTRY
 
@@ -129,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
     _add_telemetry_args(run)
+    _add_jobs_args(run)
 
     multi = sub.add_parser(
         "run-multi",
@@ -169,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="structural-check cadence in requests "
                        "(with --check-invariants; default 1000)")
     _add_telemetry_args(multi)
+    _add_jobs_args(multi)
 
     cluster = sub.add_parser(
         "run-cluster",
@@ -223,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--fail-node-at", type=float, default=None,
                          metavar="SECONDS",
                          help="simulated time of the node failure")
+    cluster.add_argument("--fail-slow", action="append", default=None,
+                         metavar="DISK:START:END:MULT", dest="fail_slow",
+                         help="fail-slow window on a cluster disk (global "
+                         "disk id = node * ndisks + member); repeatable. "
+                         "A window overlapping a leased rebuild exercises "
+                         "stale-lease recovery")
     cluster.add_argument("--verify-content", action="store_true",
                          help="arm a per-node content oracle that checks "
                          "every read against the write history")
@@ -236,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the run report with per-node and "
                          "cluster sections")
     _add_telemetry_args(cluster)
+    _add_jobs_args(cluster)
 
     compare = sub.add_parser("compare", help="replay one trace through every scheme")
     compare.add_argument("--trace", required=True, choices=["web-vm", "homes", "mail"])
@@ -419,6 +443,65 @@ def _print_fault_summary(result) -> None:
           f"{oracle.get('at_risk_reads', 0)} at-risk reads")
 
 
+def _jobs_config(args: argparse.Namespace):
+    """Resolve the leased-job flags into a JobsConfig (or None).
+
+    ``--scrub`` and ``--admission`` imply ``--jobs`` so the common
+    cases need no config file; an explicit ``--jobs CONFIG.json``
+    provides the full policy and the convenience flags overlay it.
+    """
+    import dataclasses
+
+    from repro.errors import ConfigError
+    from repro.jobs import AdmissionSpec, JobsConfig, ScrubberSpec
+
+    jobs = getattr(args, "jobs", None)
+    scrub = getattr(args, "scrub", False)
+    admission = getattr(args, "admission", None)
+    if jobs is None and not scrub and admission is None:
+        return None
+    config = JobsConfig.load(jobs) if jobs else JobsConfig()
+    if scrub and config.scrub is None:
+        config = dataclasses.replace(config, scrub=ScrubberSpec())
+    if admission is not None:
+        parts = admission.split(":")
+        if len(parts) != 2:
+            raise ConfigError(
+                f"--admission expects RATE:BURST, got {admission!r}"
+            )
+        try:
+            rate, burst = float(parts[0]), float(parts[1])
+        except ValueError:
+            raise ConfigError(
+                f"--admission expects numeric RATE:BURST, got {admission!r}"
+            )
+        config = dataclasses.replace(
+            config,
+            admission=AdmissionSpec(rate_blocks=rate, burst_blocks=burst),
+        )
+    return config
+
+
+def _print_jobs_summary(result) -> None:
+    """One-line leased-jobs digest after a run (when armed)."""
+    stats = getattr(result, "jobs_stats", None)
+    if not stats:
+        return
+    c = stats.get("counters", {})
+    ledger = stats.get("oracle", {})
+    print(f"jobs: {c.get('jobs_completed', 0)}/{c.get('jobs_submitted', 0)} "
+          f"completed, {c.get('claims', 0)} claims "
+          f"({c.get('stale_lease_reclaims', 0)} stale re-claims), "
+          f"{c.get('steps_committed', 0)} steps committed "
+          f"({c.get('fenced_commits', 0)} fenced), "
+          f"ledger violations {len(ledger.get('violations', []))}")
+    adm = stats.get("admission")
+    if adm:
+        print(f"admission: {adm.get('requests_admitted', 0)} admitted, "
+              f"{adm.get('requests_throttled', 0)} throttled, "
+              f"{adm.get('throttle_delay_total', 0.0):.3f}s total delay")
+
+
 def _effective_trace_level(args: argparse.Namespace) -> str:
     """Resolve the recording verbosity from the CLI flags.
 
@@ -505,6 +588,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     }[args.raid]
     ndisks = args.ndisks if args.ndisks is not None else (1 if level is RaidLevel.SINGLE else 4)
     telemetry = _telemetry_config(args)
+    jobs_config = _jobs_config(args)
     replay_config = ReplayConfig(
         raid_level=level,
         ndisks=ndisks,
@@ -514,6 +598,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         sanitize_every=args.sanitize_every,
         faults=_fault_plan(args),
         fault_seed=args.fault_seed,
+        jobs=jobs_config,
         **telemetry,
     )
 
@@ -537,6 +622,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"invariants clean: {s['checks_run']} structural checks, "
                   f"{s['decisions_validated']} dedupe decisions validated")
         _print_fault_summary(result)
+        _print_jobs_summary(result)
         return 0
 
     trace_level = _effective_trace_level(args)
@@ -559,27 +645,31 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
     _print_fault_summary(result)
+    _print_jobs_summary(result)
     _print_telemetry(result, args)
     if args.trace_out is not None:
         lines = recorder.write_jsonl(args.trace_out)
         print(f"wrote {args.trace_out}: {lines - 1} events "
               f"(level {trace_level.name.lower()}, {recorder.dropped} dropped)")
     if args.report_out is not None:
+        config_doc = {
+            "raid": args.raid,
+            "ndisks": ndisks,
+            "scheduler": args.scheduler,
+            "failed_disk": args.failed_disk,
+            "index_fraction": args.index_fraction,
+            "faults": args.faults,
+            "fault_seed": args.fault_seed,
+        }
+        if jobs_config is not None:
+            config_doc["jobs"] = jobs_config.as_dict()
         report = build_run_report(
             result,
             seed=args.seed,
             scale=args.scale,
             trace_level=trace_level.name.lower(),
             recorder=recorder,
-            config={
-                "raid": args.raid,
-                "ndisks": ndisks,
-                "scheduler": args.scheduler,
-                "failed_disk": args.failed_disk,
-                "index_fraction": args.index_fraction,
-                "faults": args.faults,
-                "fault_seed": args.fault_seed,
-            },
+            config=config_doc,
             overhead={"replay_wall_s": wall},
         )
         write_report(report, args.report_out)
@@ -591,11 +681,13 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
     from repro.experiments import runner
     from repro.sim.replay import ReplayConfig
 
+    jobs_config = _jobs_config(args)
     replay_config = ReplayConfig(
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
         faults=_fault_plan(args),
         fault_seed=args.fault_seed,
+        jobs=jobs_config,
         **_telemetry_config(args),
     )
     overrides = {}
@@ -639,22 +731,26 @@ def cmd_run_multi(args: argparse.Namespace) -> int:
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
     _print_fault_summary(result)
+    _print_jobs_summary(result)
     _print_telemetry(result, args)
     if args.report_out is not None:
         from repro.obs import build_run_report, write_report
 
+        config_doc = {
+            "traces": list(args.traces),
+            "copies": args.copies,
+            "divergence": args.divergence,
+            "arrival_skew": args.skew,
+            "faults": args.faults,
+            "fault_seed": args.fault_seed,
+        }
+        if jobs_config is not None:
+            config_doc["jobs"] = jobs_config.as_dict()
         report = build_run_report(
             result,
             seed=args.seed,
             scale=args.scale,
-            config={
-                "traces": list(args.traces),
-                "copies": args.copies,
-                "divergence": args.divergence,
-                "arrival_skew": args.skew,
-                "faults": args.faults,
-                "fault_seed": args.fault_seed,
-            },
+            config=config_doc,
         )
         write_report(report, args.report_out)
         print(f"wrote {args.report_out}")
@@ -665,7 +761,7 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, NetworkModel, RebalanceSpec
     from repro.errors import ConfigError
     from repro.experiments import runner
-    from repro.faults import NodeFailureSpec
+    from repro.faults import FailSlowSpec, NodeFailureSpec
     from repro.sim.replay import ReplayConfig
 
     net_kwargs = {}
@@ -693,18 +789,41 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
         node_failure = NodeFailureSpec(node=args.fail_node, time=args.fail_node_at)
     elif args.fail_node_at is not None:
         raise ConfigError("--fail-node-at requires --fail-node")
+    fail_slow = []
+    for spec_str in args.fail_slow or []:
+        parts = spec_str.split(":")
+        if len(parts) != 4:
+            raise ConfigError(
+                f"--fail-slow expects DISK:START:END:MULT, got {spec_str!r}"
+            )
+        try:
+            fail_slow.append(FailSlowSpec(
+                disk=int(parts[0]),
+                start=float(parts[1]),
+                end=float(parts[2]),
+                multiplier=float(parts[3]),
+            ))
+        except ValueError:
+            raise ConfigError(
+                f"--fail-slow expects numeric DISK:START:END:MULT, "
+                f"got {spec_str!r}"
+            )
     cluster_kwargs = dict(
         net=NetworkModel(**net_kwargs),
         rebalance=rebalance,
         node_failure=node_failure,
         verify_content=args.verify_content,
     )
+    if fail_slow:
+        cluster_kwargs["fail_slow"] = tuple(fail_slow)
     if args.vnodes is not None:
         cluster_kwargs["vnodes"] = args.vnodes
     cluster_config = ClusterConfig(**cluster_kwargs)
+    jobs_config = _jobs_config(args)
     replay_config = ReplayConfig(
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
+        jobs=jobs_config,
         **_telemetry_config(args),
     )
     result = runner.run_cluster(
@@ -768,29 +887,35 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
         s = result.sanitizer.summary()
         print(f"invariants clean: {s['checks_run']} structural checks, "
               f"{s['decisions_validated']} dedupe decisions validated")
+    _print_jobs_summary(result)
     _print_telemetry(result, args)
     if args.report_out is not None:
         from repro.obs import build_run_report, write_report
 
+        config_doc = {
+            "traces": list(args.traces),
+            "nodes": args.nodes,
+            "copies": args.copies,
+            "divergence": args.divergence,
+            "arrival_skew": args.skew,
+            "vnodes": args.vnodes,
+            "net_latency": args.net_latency,
+            "net_bandwidth": args.net_bandwidth,
+            "rebalance_at": args.rebalance_at,
+            "rebalance_add": args.rebalance_add,
+            "rebalance_remove": args.rebalance_remove,
+            "fail_node": args.fail_node,
+            "fail_node_at": args.fail_node_at,
+        }
+        if fail_slow:
+            config_doc["fail_slow"] = list(args.fail_slow)
+        if jobs_config is not None:
+            config_doc["jobs"] = jobs_config.as_dict()
         report = build_run_report(
             result,
             seed=args.seed,
             scale=args.scale,
-            config={
-                "traces": list(args.traces),
-                "nodes": args.nodes,
-                "copies": args.copies,
-                "divergence": args.divergence,
-                "arrival_skew": args.skew,
-                "vnodes": args.vnodes,
-                "net_latency": args.net_latency,
-                "net_bandwidth": args.net_bandwidth,
-                "rebalance_at": args.rebalance_at,
-                "rebalance_add": args.rebalance_add,
-                "rebalance_remove": args.rebalance_remove,
-                "fail_node": args.fail_node,
-                "fail_node_at": args.fail_node_at,
-            },
+            config=config_doc,
         )
         write_report(report, args.report_out)
         print(f"wrote {args.report_out}")

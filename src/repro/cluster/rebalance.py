@@ -126,23 +126,52 @@ class ShardMigrator:
             return 1.0
         return self._cursor / len(self._moves)
 
-    def next_batch(self, entries: int) -> Dict[Tuple[int, int], int]:
-        """Migrate up to ``entries`` queued movers.
+    @property
+    def cursor(self) -> int:
+        """Committed migration cursor: the next mover to process."""
+        return self._cursor
 
-        Returns the wire cost grouped per directed link:
-        ``(src, dst) -> entries moved`` (the driver charges the
-        network fabric per link).  Entries superseded by a write that
-        already re-registered the fingerprint at the destination are
-        dropped (first registration wins) but still counted against
-        the batch -- the bytes were already on the wire.
+    def plan_batch(
+        self, start: int, entries: int
+    ) -> Tuple[Dict[Tuple[int, int], int], int]:
+        """Plan up to ``entries`` movers from ``start`` *without*
+        touching the shards.
+
+        Pure with respect to migrator state (wire costs depend only
+        on the immutable move list), so a leased-job worker can
+        re-plan the same step after a stale-lease re-claim.  Returns
+        ``(links, end)`` where ``links`` is the per-directed-link wire
+        cost the driver charges the fabric.
         """
         if entries <= 0:
             raise ClusterError(f"batch size must be positive, got {entries}")
         links: Dict[Tuple[int, int], int] = {}
-        end = min(self._cursor + entries, len(self._moves))
-        while self._cursor < end:
-            fp, src, dst, writer = self._moves[self._cursor]
-            self._cursor += 1
+        end = min(start + entries, len(self._moves))
+        if end < start:
+            end = start
+        for i in range(start, end):
+            _fp, src, dst, _writer = self._moves[i]
+            links[(src, dst)] = links.get((src, dst), 0) + 1
+        return links, end
+
+    def commit_batch(self, start: int, end: int) -> None:
+        """Apply one planned batch: move the directory entries.
+
+        Rejects a commit whose start does not match the committed
+        cursor -- the hard stop against a fenced worker's step being
+        double-applied.
+        """
+        if start != self._cursor:
+            raise ClusterError(
+                f"migration commit at entry {start} does not match the "
+                f"committed cursor {self._cursor}"
+            )
+        if end < start or end > len(self._moves):
+            raise ClusterError(
+                f"migration commit range [{start}, {end}) out of bounds"
+            )
+        for i in range(start, end):
+            fp, src, dst, writer = self._moves[i]
             src_shard = self._shards.get(src)
             if src_shard is not None:
                 src_shard.pop(fp, None)
@@ -153,7 +182,23 @@ class ShardMigrator:
                 dst_shard[fp] = writer
             self.entries_migrated += 1
             self.pending.discard(fp)
-            links[(src, dst)] = links.get((src, dst), 0) + 1
+        self._cursor = end
+
+    def next_batch(self, entries: int) -> Dict[Tuple[int, int], int]:
+        """Migrate up to ``entries`` queued movers.
+
+        Returns the wire cost grouped per directed link:
+        ``(src, dst) -> entries moved`` (the driver charges the
+        network fabric per link).  Entries superseded by a write that
+        already re-registered the fingerprint at the destination are
+        dropped (first registration wins) but still counted against
+        the batch -- the bytes were already on the wire.
+
+        Equivalent to :meth:`plan_batch` + :meth:`commit_batch` in one
+        call (the jobs-off pacing path).
+        """
+        links, end = self.plan_batch(self._cursor, entries)
+        self.commit_batch(self._cursor, end)
         return links
 
     def note_registered(self, fingerprint: int) -> None:

@@ -46,7 +46,10 @@ from repro.cluster.rebalance import RebalanceSpec, ShardMigrator
 from repro.cluster.router import FingerprintRouter
 from repro.errors import ClusterError, ConfigError
 from repro.faults.oracle import ContentOracle
-from repro.faults.plan import NodeFailureSpec
+from repro.faults.plan import FailSlowSpec, NodeFailureSpec
+from repro.jobs.admission import AdmissionController
+from repro.jobs.jobs import MigrationJob, RebuildJob, ScrubJob
+from repro.jobs.runtime import JobRuntime
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import EventType, TraceLevel
 from repro.obs.slo import evaluate_slo
@@ -55,12 +58,13 @@ from repro.obs.timeline import TimelineSampler
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.replay import ReplayConfig, ReplayResult, size_disks
-from repro.sim.request import IORequest
+from repro.sim.request import IORequest, OpType
 from repro.storage.disk import Disk
 from repro.storage.namespace import NamespaceMapper
 from repro.storage.raid import RaidArray
 from repro.storage.rebuild import RebuildController
 from repro.storage.ssd import Ssd
+from repro.storage.volume import VolumeOp
 from repro.traces.format import Trace
 
 
@@ -80,6 +84,12 @@ class ClusterConfig:
     node_failure:
         An optional whole-node fault (one member disk of that node's
         array fails and is rebuilt in place).
+    fail_slow:
+        Fail-slow windows on individual cluster disks, addressed by
+        *global* disk id (``node * ndisks + member``).  A window
+        overlapping a leased rebuild is the stale-lease recovery
+        scenario: the stalled worker's lease expires mid-step and the
+        job is re-claimed at the next epoch.
     verify_content:
         Run one end-to-end :class:`~repro.faults.oracle.ContentOracle`
         per node (observation only; raises on any wrong read).
@@ -89,6 +99,7 @@ class ClusterConfig:
     net: NetworkModel = NetworkModel()
     rebalance: Optional[RebalanceSpec] = None
     node_failure: Optional[NodeFailureSpec] = None
+    fail_slow: Tuple[FailSlowSpec, ...] = ()
     verify_content: bool = False
 
     def __post_init__(self) -> None:
@@ -266,6 +277,17 @@ def replay_cluster(
 
     node_of: List[ClusterNode] = [nodes[assignment[vid]] for vid in range(len(traces))]
 
+    for fs in cluster.fail_slow:
+        fs_node, fs_member = divmod(fs.disk, geometry.ndisks)
+        if not (0 <= fs_node < nnodes):
+            raise ClusterError(
+                f"fail-slow spec names unknown cluster disk {fs.disk} "
+                f"(have {nnodes * geometry.ndisks})"
+            )
+        nodes[fs_node].disks[fs_member].add_slow_window(
+            fs.start, fs.end, fs.multiplier
+        )
+
     sim = Simulator([], None)
     metrics = collector if collector is not None else MetricsCollector()
     if per_volume_metrics:
@@ -289,6 +311,8 @@ def replay_cluster(
     if timeline_config is not None:
         sampler = TimelineSampler(timeline_config, policy=config.slo)
         metrics.attach_timeline(sampler)
+        for fs in cluster.fail_slow:
+            sampler.annotate_interval("fail_slow", fs.start, fs.end)
     tracer: Optional[SpanTracer] = SpanTracer() if config.spans else None
     if tracer is not None:
         for node in nodes:
@@ -316,6 +340,52 @@ def replay_cluster(
     requests, measured_flags = _merge_cluster_streams(traces, bases)
     for request in requests:
         sim.schedule_arrival(request.time, request)
+
+    # Leased background jobs (see repro.jobs): the cluster's
+    # maintenance work -- node-failure rebuild, shard migration, one
+    # scrubber per node -- runs under epoch-fenced worker leases when
+    # armed; None keeps the legacy self-paced tick path bit-identical.
+    jobs_runtime: Optional[JobRuntime] = None
+    admission: Optional[AdmissionController] = None
+    if config.jobs is not None:
+        jobs_runtime = JobRuntime(
+            config.jobs,
+            sim,
+            horizon=requests[-1].time if requests else 0.0,
+            registry=metrics.registry,
+        )
+        jobs_runtime.timeline = sampler
+        jobs_runtime.spans = tracer
+        admission = jobs_runtime.admission
+        scrub_spec = config.jobs.scrub
+        if scrub_spec is not None:
+            for node in nodes:
+
+                def scrub_read(
+                    pba: int, nblocks: int, node: ClusterNode = node
+                ) -> float:
+                    # Through the RAID layer so degraded rows
+                    # reconstruct like any foreground read.
+                    return node.service_volume_ops(
+                        obs, sim.now, [VolumeOp(OpType.READ, pba, nblocks)]
+                    )
+
+                jobs_runtime.submit(
+                    f"scrub.n{node.node_id}",
+                    ScrubJob(
+                        node.scheme.regions.total_blocks,
+                        scrub_spec.region_blocks,
+                        scrub_read,
+                        regions_cap=(
+                            scrub_spec.regions
+                            if scrub_spec.regions is not None
+                            else 0
+                        ),
+                    ),
+                    scrub_spec.interval,
+                    not_before=scrub_spec.start,
+                )
+        jobs_runtime.start()
 
     run_name = traces[0].name if not multi else "+".join(t.name for t in traces)
     total_warmup = sum(t.warmup_count for t in traces)
@@ -593,6 +663,13 @@ def replay_cluster(
             finish(request, planned, arrival, cross, net_info, root)
 
     def on_arrival(now: float, request: IORequest) -> None:
+        if admission is not None:
+            # Per-tenant token bucket; the stall is charged to the
+            # request's response time (arrival timestamp is kept).
+            admitted = admission.admit(request.volume_id, now, request.nblocks)
+            if admitted > now:
+                sim.schedule_callback(admitted, handle_request, request, now)
+                return
         handle_request(request, now)
 
     # ------------------------------------------------------------------
@@ -639,6 +716,36 @@ def replay_cluster(
     if node_failure is not None:
         spec = node_failure
 
+        def complete_node_failure() -> None:
+            node = nodes[spec.node]
+            ctrl = rebuild_state["controller"]
+            assert ctrl is not None
+            node.failed_disk = None
+            failed_at = rebuild_state["failed_at"]
+            assert failed_at is not None
+            if tracer is not None:
+                tracer.emit(
+                    failed_at,
+                    sim.now,
+                    "recovery.rebuild",
+                    node=spec.node,
+                    disk=spec.disk,
+                    rows_rebuilt=ctrl.rows_rebuilt,
+                )
+            if obs.level >= TraceLevel.SUMMARY:
+                obs.emit(
+                    TraceLevel.SUMMARY,
+                    sim.now,
+                    EventType.FAULT_RECOVER,
+                    kind="node_failure",
+                    latency=sim.now - failed_at,
+                    detail=(
+                        f"node {spec.node} disk {spec.disk} rebuilt: "
+                        f"{ctrl.rows_rebuilt} rows rebuilt, "
+                        f"{ctrl.rows_skipped} skipped"
+                    ),
+                )
+
         def begin_node_failure() -> None:
             node = nodes[spec.node]
             node.failed_disk = spec.disk
@@ -662,6 +769,22 @@ def replay_cluster(
                     node=spec.node,
                     disk=spec.disk,
                 )
+            if jobs_runtime is not None:
+                # Reconstruction runs as a leased job: a worker claims
+                # it, plans batches from the committed cursor, and a
+                # fail-slow stall that outlives the lease hands the job
+                # to the next epoch's claimant.
+                def issue(ops: List[Any], node: ClusterNode = node) -> float:
+                    # Background load on the failed node's spindles only.
+                    return node.service_disk_ops(obs, sim.now, ops)
+
+                jobs_runtime.submit(
+                    "rebuild",
+                    RebuildJob(ctrl, spec.rows_per_batch, issue),
+                    spec.interval,
+                    on_done=lambda _t: complete_node_failure(),
+                )
+                return
             sim.schedule_callback(sim.now + spec.interval, rebuild_tick)
 
         def rebuild_tick() -> None:
@@ -676,31 +799,7 @@ def replay_cluster(
             if sampler is not None:
                 sampler.note_activity(sim.now, "rebuild", ctrl.progress)
             if ctrl.done:
-                node.failed_disk = None
-                failed_at = rebuild_state["failed_at"]
-                assert failed_at is not None
-                if tracer is not None:
-                    tracer.emit(
-                        failed_at,
-                        sim.now,
-                        "recovery.rebuild",
-                        node=spec.node,
-                        disk=spec.disk,
-                        rows_rebuilt=ctrl.rows_rebuilt,
-                    )
-                if obs.level >= TraceLevel.SUMMARY:
-                    obs.emit(
-                        TraceLevel.SUMMARY,
-                        sim.now,
-                        EventType.FAULT_RECOVER,
-                        kind="node_failure",
-                        latency=sim.now - failed_at,
-                        detail=(
-                            f"node {spec.node} disk {spec.disk} rebuilt: "
-                            f"{ctrl.rows_rebuilt} rows rebuilt, "
-                            f"{ctrl.rows_skipped} skipped"
-                        ),
-                    )
+                complete_node_failure()
                 return
             sim.schedule_callback(sim.now + spec.interval, rebuild_tick)
 
@@ -733,8 +832,50 @@ def replay_cluster(
                     moves=migrator.entries_total,
                     ring_size=router.ring_size(),
                 )
-            if not migrator.done:
-                sim.schedule_callback(sim.now + rb.interval, migrate_tick)
+            if migrator.done:
+                return
+            if jobs_runtime is not None:
+                # Migration runs as a leased job; the per-link wire
+                # charge happens at plan time (sunk cost on a fenced
+                # step -- the bytes were already on the wire), the
+                # directory mutation only at the fenced commit.
+                def send(links: Dict[Tuple[int, int], int]) -> float:
+                    done = sim.now
+                    for src, dst in sorted(links):
+                        moved = links[(src, dst)]
+                        t = fabric.round_trip(
+                            sim.now, src, dst, moved * cluster.net.entry_bytes
+                        )
+                        if sampler is not None:
+                            sampler.note_rpc(
+                                sim.now,
+                                src,
+                                dst,
+                                moved * cluster.net.entry_bytes,
+                                fabric.last_service,
+                            )
+                        if obs.level >= TraceLevel.CHUNK:
+                            obs.emit(
+                                TraceLevel.CHUNK,
+                                sim.now,
+                                EventType.NET_RPC,
+                                src=src,
+                                dst=dst,
+                                bytes=moved * cluster.net.entry_bytes,
+                                queued=fabric.last_queue_wait,
+                                done=t,
+                            )
+                        if t > done:
+                            done = t
+                    return done
+
+                jobs_runtime.submit(
+                    "migrate",
+                    MigrationJob(migrator, rb.entries_per_batch, send),
+                    rb.interval,
+                )
+                return
+            sim.schedule_callback(sim.now + rb.interval, migrate_tick)
 
         def migrate_tick() -> None:
             migrator = migration["migrator"]
@@ -782,6 +923,11 @@ def replay_cluster(
     # ------------------------------------------------------------------
 
     sim.run(arrival_handler=on_arrival)
+
+    if jobs_runtime is not None:
+        # Mirror job counters into the registry and verify the step
+        # ledger (no step lost, none double-applied).
+        jobs_runtime.finalize()
 
     if sanitizer is not None:
         for node in nodes:
@@ -947,4 +1093,5 @@ def replay_cluster(
         timeline=sampler,
         spans=tracer,
         slo_stats=slo_stats,
+        jobs_stats=jobs_runtime.summary() if jobs_runtime is not None else None,
     )

@@ -41,6 +41,11 @@ class FaultError(ReproError):
     plan)."""
 
 
+class JobError(ReproError):
+    """A leased-job invariant was violated (commit against the wrong
+    cursor, malformed job parameters, a fenced write applied)."""
+
+
 class ClusterError(ReproError):
     """A cluster-layer invariant was violated (empty hash ring,
     unknown shard owner, malformed rebalance spec, node/volume

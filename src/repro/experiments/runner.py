@@ -60,14 +60,16 @@ def memoize_result(key: tuple, result: ReplayResult) -> None:
 
 
 def telemetry_armed(config: ReplayConfig) -> bool:
-    """True when the config arms timeline/span/SLO telemetry.  Such
-    runs bypass the memo like :func:`run_observed` does: the result
-    carries per-run mutable telemetry state (sampler, tracer) that
-    must be fresh for each caller."""
+    """True when the config arms timeline/span/SLO telemetry or the
+    leased-job subsystem.  Such runs bypass the memo like
+    :func:`run_observed` does: the result carries per-run mutable
+    state (sampler, tracer, job runtime summaries) that must be fresh
+    for each caller."""
     return (
         config.timeline is not None
         or config.spans
         or config.slo is not None
+        or config.jobs is not None
     )
 
 

@@ -19,6 +19,7 @@ from repro.faults.plan import (
     FaultPlan,
     IndexCorruptionSpec,
     LatentSectorErrorSpec,
+    LseBurstSpec,
     MemberFailureSpec,
     NodeFailureSpec,
     NvramLossSpec,
@@ -32,6 +33,7 @@ __all__ = [
     "FaultPlan",
     "IndexCorruptionSpec",
     "LatentSectorErrorSpec",
+    "LseBurstSpec",
     "MemberFailureSpec",
     "NodeFailureSpec",
     "NvramLossSpec",

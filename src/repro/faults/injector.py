@@ -89,6 +89,22 @@ class FaultInjector:
         #: Simulated time before which arrivals stall behind crash
         #: recovery (NVRAM-loss replay is a stop-the-world pause).
         self.blocked_until = 0.0
+        #: Per-volume admission stalls (``NvramLossSpec.scope ==
+        #: "volume"``): volume_id -> blocked-until time.  Consulted via
+        #: :meth:`blocked_until_for`; empty for global-scope plans.
+        self._blocked_by_volume: Dict[int, float] = {}
+        #: The replay's namespace mapper (set by the harness on
+        #: multi-volume replays); needed to attribute recovered journal
+        #: records to tenant namespaces for per-volume recovery.
+        self.mapper: Optional[Any] = None
+        #: Leased-job runtime (set by the harness when jobs are armed):
+        #: the rebuild then runs as a leased job instead of the legacy
+        #: pacing tick.
+        self.jobs: Optional[Any] = None
+        #: True while the scrubber job's region read is in flight
+        #: (synchronous in the analytic path); attributes LSE
+        #: discoveries to the scrubber.
+        self.in_scrub = False
         self.obs: TraceRecorder = NULL_RECORDER
         #: Attached windowed sampler and span tracer (``None`` unless
         #: the replay armed telemetry): recovery work annotates its
@@ -193,6 +209,23 @@ class FaultInjector:
             if pba not in chosen:
                 chosen.add(pba)
                 budget -= 1
+        # Correlated bursts draw *after* the independent errors so a
+        # plan without bursts keeps its exact legacy RNG sequence.
+        burst = self.plan.lse_bursts
+        if burst is not None:
+            tracks = max(1, logical // burst.track_blocks)
+            injected = 0
+            for _burst in range(burst.bursts):
+                anchor = int(self.rng.integers(0, tracks))
+                offset = int(self.rng.integers(0, burst.track_blocks))
+                for t in range(burst.adjacency):
+                    track_base = ((anchor + t) % tracks) * burst.track_blocks
+                    for i in range(burst.length):
+                        pba = track_base + (offset + i) % burst.track_blocks
+                        if pba < logical and pba not in chosen:
+                            chosen.add(pba)
+                            injected += 1
+            self._count("lse_burst_blocks", injected)
         return sorted(chosen)
 
     # ------------------------------------------------------------------
@@ -220,6 +253,9 @@ class FaultInjector:
 
         disk = sim.disks[op.disk_id]
         self._count("lse_read_failures")
+        if self.in_scrub:
+            # The scrubber got here before any foreground read did.
+            self._count("lse_scrub_discoveries", len(hit))
         # The failed attempt still costs a full mechanical access.
         done = disk.service(now, op.pba, op.nblocks)
         retry = self.plan.lse_retry
@@ -295,7 +331,8 @@ class FaultInjector:
             if spec.capacity_aware
             else None
         )
-        self.rebuild = RebuildController(sim.raid, spec.disk, disk_rows, live)
+        ctrl = RebuildController(sim.raid, spec.disk, disk_rows, live)
+        self.rebuild = ctrl
         if self.timeline is not None:
             self.timeline.note_activity(sim.now, "degraded", 1.0)
         if self.obs.level >= TraceLevel.SUMMARY:
@@ -304,7 +341,51 @@ class FaultInjector:
                 kind="member_failure",
                 detail=f"disk {spec.disk} failed; rebuilding {disk_rows} rows",
             )
+        if self.jobs is not None:
+            # Jobs armed: the rebuild runs as a leased job -- a worker
+            # claims it, paces the same batches, and survives stale
+            # leases via epoch-fenced re-claim.
+            from repro.jobs.jobs import RebuildJob
+
+            def issue(ops: List[DiskOp]) -> float:
+                holder: Dict[str, float] = {}
+                sim.issue_disk_ops(ops, lambda t: holder.setdefault("t", t))
+                return holder.get("t", sim.now)
+
+            self.jobs.submit(
+                "rebuild",
+                RebuildJob(ctrl, spec.rows_per_batch, issue),
+                spec.interval,
+                on_done=lambda _t: self._complete_member_failure(sim, spec),
+            )
+            return
         sim.schedule_callback(sim.now + spec.interval, self._rebuild_tick, sim, spec)
+
+    def _complete_member_failure(
+        self, sim: "Simulator", spec: MemberFailureSpec
+    ) -> None:
+        """The array heals: shared by the legacy tick and the job path."""
+        ctrl = self.rebuild
+        assert ctrl is not None
+        sim.failed_disk = None
+        assert self._member_failed_at is not None
+        duration = sim.now - self._member_failed_at
+        self._count("rebuilds_completed")
+        self.recovery_hist.observe(duration)
+        if self.spans is not None:
+            self.spans.emit(
+                self._member_failed_at, sim.now, "recovery.rebuild",
+                disk=spec.disk, rows_rebuilt=ctrl.rows_rebuilt,
+            )
+        if self.obs.level >= TraceLevel.SUMMARY:
+            self.obs.emit(
+                TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
+                kind="member_failure", latency=duration,
+                detail=(
+                    f"disk {spec.disk} rebuilt: {ctrl.rows_rebuilt} rows "
+                    f"rebuilt, {ctrl.rows_skipped} skipped"
+                ),
+            )
 
     def _rebuild_tick(self, sim: "Simulator", spec: MemberFailureSpec) -> None:
         ctrl = self.rebuild
@@ -318,25 +399,7 @@ class FaultInjector:
         if self.timeline is not None:
             self.timeline.note_activity(sim.now, "rebuild", ctrl.progress)
         if ctrl.done:
-            sim.failed_disk = None
-            assert self._member_failed_at is not None
-            duration = sim.now - self._member_failed_at
-            self._count("rebuilds_completed")
-            self.recovery_hist.observe(duration)
-            if self.spans is not None:
-                self.spans.emit(
-                    self._member_failed_at, sim.now, "recovery.rebuild",
-                    disk=spec.disk, rows_rebuilt=ctrl.rows_rebuilt,
-                )
-            if self.obs.level >= TraceLevel.SUMMARY:
-                self.obs.emit(
-                    TraceLevel.SUMMARY, sim.now, EventType.FAULT_RECOVER,
-                    kind="member_failure", latency=duration,
-                    detail=(
-                        f"disk {spec.disk} rebuilt: {ctrl.rows_rebuilt} rows "
-                        f"rebuilt, {ctrl.rows_skipped} skipped"
-                    ),
-                )
+            self._complete_member_failure(sim, spec)
             return
         sim.schedule_callback(sim.now + spec.interval, self._rebuild_tick, sim, spec)
 
@@ -398,7 +461,32 @@ class FaultInjector:
             self._count("lbas_quarantined", len(diverged))
 
         cost = spec.base_recovery_cost + spec.replay_cost_per_record * replayed
-        self.blocked_until = max(self.blocked_until, sim.now + cost)
+        if spec.scope == "volume" and self.mapper is not None:
+            # Per-volume recovery: each tenant namespace replays its own
+            # journal partition (cost proportional to the map entries
+            # re-derived for that namespace, plus the shared base
+            # pause), so unaffected tenants resume admission first.
+            counts: Dict[int, int] = {
+                volume.volume_id: 0 for volume in self.mapper
+            }
+            for lba in mapping:
+                vid, _local = self.mapper.locate(lba)
+                counts[vid] = counts.get(vid, 0) + 1
+            worst = spec.base_recovery_cost
+            for vid in sorted(counts):
+                cost_v = (
+                    spec.base_recovery_cost
+                    + spec.replay_cost_per_record * counts[vid]
+                )
+                until = sim.now + cost_v
+                if until > self._blocked_by_volume.get(vid, 0.0):
+                    self._blocked_by_volume[vid] = until
+                if cost_v > worst:
+                    worst = cost_v
+            cost = worst
+            self._count("nvram_volume_recoveries", len(counts))
+        else:
+            self.blocked_until = max(self.blocked_until, sim.now + cost)
         self.recovery_hist.observe(cost)
         if self.timeline is not None:
             # Stop-the-world recovery spans a known interval; stamp it
@@ -445,6 +533,13 @@ class FaultInjector:
                 del mapping[lba]
                 scrubbed += 1
         return scrubbed
+
+    def blocked_until_for(self, volume_id: int) -> float:
+        """Admission stall horizon for one tenant: the global
+        stop-the-world stall or the volume's own recovery, whichever
+        ends later."""
+        blocked = self._blocked_by_volume.get(volume_id, 0.0)
+        return blocked if blocked > self.blocked_until else self.blocked_until
 
     # ------------------------------------------------------------------
     # index corruption

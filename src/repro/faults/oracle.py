@@ -21,7 +21,7 @@ correctness bug and fails the run.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Set
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Set, Tuple
 
 from repro.errors import FaultError
 
@@ -51,6 +51,13 @@ class ContentOracle:
         self.mismatches = 0
         #: First ``MAX_MISMATCHES`` mismatch diagnostics.
         self.mismatch_details: List[str] = []
+        # -- leased-job step ledger -------------------------------------
+        #: job name -> committed cursor intervals, in commit order.
+        self.job_steps: Dict[str, List[Tuple[int, int]]] = {}
+        #: job name -> final cursor the job must reach when done.
+        self.job_totals: Dict[str, int] = {}
+        #: Jobs that reported completion.
+        self.jobs_done: Set[str] = set()
 
     # ------------------------------------------------------------------
     # replay hooks
@@ -89,6 +96,74 @@ class ContentOracle:
         self.at_risk.update(lbas)
 
     # ------------------------------------------------------------------
+    # leased-job step ledger
+    # ------------------------------------------------------------------
+    #
+    # A leased job advances a monotone cursor in committed steps; the
+    # runtime records every *accepted* commit here.  Stale-lease
+    # recovery is correct iff the committed intervals chain exactly
+    # 0 -> total: a gap means a step was lost, an overlap or a
+    # backwards start means a fenced worker's step was double-applied.
+
+    def note_job_total(self, name: str, total: int) -> None:
+        """Register a job and the final cursor it must reach."""
+        self.job_totals[name] = total
+        self.job_steps.setdefault(name, [])
+
+    def note_job_step(self, name: str, start: int, end: int) -> None:
+        """Record one committed step covering ``[start, end)``."""
+        self.job_steps.setdefault(name, []).append((start, end))
+
+    def note_job_done(self, name: str) -> None:
+        """Record that a job reported completion."""
+        self.jobs_done.add(name)
+
+    def verify_job_steps(self) -> List[str]:
+        """Step-ledger diagnostics (empty = clean).
+
+        Committed intervals must chain contiguously from cursor 0; a
+        completed job's chain must end exactly at its registered total.
+        """
+        problems: List[str] = []
+        for name in sorted(self.job_steps):
+            cursor = 0
+            for start, end in self.job_steps[name]:
+                if start != cursor:
+                    verb = "double-applied" if start < cursor else "lost"
+                    problems.append(
+                        f"job {name}: committed step [{start}, {end}) but the "
+                        f"ledger cursor is {cursor} (a step was {verb})"
+                    )
+                if end > cursor:
+                    cursor = end
+            if name in self.jobs_done:
+                total = self.job_totals.get(name)
+                if total is not None and cursor != total:
+                    problems.append(
+                        f"job {name}: completed at cursor {cursor}, "
+                        f"expected {total}"
+                    )
+        return problems
+
+    def assert_job_steps_clean(self) -> None:
+        """Raise :class:`~repro.errors.FaultError` on ledger violations."""
+        problems = self.verify_job_steps()
+        if problems:
+            lines = "\n  ".join(problems)
+            raise FaultError(
+                f"job-step ledger found {len(problems)} violation(s):\n  {lines}"
+            )
+
+    def job_steps_summary(self) -> Dict[str, Any]:
+        """Ledger self-description for the run report's jobs section."""
+        return {
+            "jobs_tracked": len(self.job_steps),
+            "steps_committed": sum(len(v) for v in self.job_steps.values()),
+            "jobs_completed": len(self.jobs_done),
+            "violations": self.verify_job_steps(),
+        }
+
+    # ------------------------------------------------------------------
     # whole-state check
     # ------------------------------------------------------------------
 
@@ -117,6 +192,7 @@ class ContentOracle:
         inline or in the final whole-state sweep."""
         problems = list(self.mismatch_details)
         problems.extend(self.verify_all(scheme))
+        problems.extend(self.verify_job_steps())
         if self.mismatches > len(self.mismatch_details):
             problems.append(
                 f"... and {self.mismatches - len(self.mismatch_details)} "
@@ -137,7 +213,7 @@ class ContentOracle:
 
     def summary(self) -> Dict[str, Any]:
         """Oracle self-description for run reports."""
-        return {
+        out: Dict[str, Any] = {
             "writes_noted": self.writes_noted,
             "reads_checked": self.reads_checked,
             "blocks_checked": self.blocks_checked,
@@ -145,3 +221,8 @@ class ContentOracle:
             "at_risk_lbas": len(self.at_risk),
             "mismatches": self.mismatches,
         }
+        # Step-ledger keys appear only when jobs ran, so jobs-off fault
+        # reports keep their golden bytes.
+        if self.job_steps:
+            out["job_steps"] = self.job_steps_summary()
+        return out

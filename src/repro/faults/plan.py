@@ -64,6 +64,40 @@ class LatentSectorErrorSpec:
 
 
 @dataclass(frozen=True)
+class LseBurstSpec:
+    """Correlated latent-sector-error bursts on adjacent tracks.
+
+    Field studies (Bairavasundaram et al., SIGMETRICS'07) show latent
+    sector errors cluster: a media defect scratches a run of sectors
+    and bleeds onto neighbouring tracks.  Each of the ``bursts`` draws
+    a seeded anchor track and in-track offset, then marks ``length``
+    consecutive blocks on that track and on the next ``adjacency - 1``
+    adjacent tracks (a track is ``track_blocks`` consecutive volume
+    PBAs -- a deliberately crude cylinder model).  The resulting
+    clustered errors are exactly what the background scrubber job is
+    paced to discover before foreground reads do.
+    """
+
+    bursts: int = 1
+    #: Consecutive bad blocks per affected track.
+    length: int = 4
+    #: Blocks per modelled track.
+    track_blocks: int = 64
+    #: Total tracks touched per burst (anchor + neighbours).
+    adjacency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bursts < 1:
+            raise FaultError("bursts must be >= 1")
+        if self.length < 1:
+            raise FaultError("burst length must be >= 1")
+        if self.track_blocks < 1:
+            raise FaultError("track_blocks must be >= 1")
+        if self.adjacency < 1:
+            raise FaultError("adjacency must be >= 1")
+
+
+@dataclass(frozen=True)
 class FailSlowSpec:
     """A fail-slow window: one disk serves I/O ``multiplier`` x slower."""
 
@@ -169,6 +203,12 @@ class NvramLossSpec:
     #: Recovery time model: fixed cost plus per-replayed-record cost.
     base_recovery_cost: float = 5e-3
     replay_cost_per_record: float = 2e-6
+    #: ``"global"`` stalls all admission behind recovery (legacy
+    #: stop-the-world); ``"volume"`` replays each tenant namespace's
+    #: journal records independently, so volume *v* admits again at
+    #: ``base + per_record * records(v)`` while unaffected tenants
+    #: resume after just the base pause.
+    scope: str = "global"
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -178,6 +218,10 @@ class NvramLossSpec:
                 raise FaultError(f"{name} must be non-negative")
         if self.base_recovery_cost < 0 or self.replay_cost_per_record < 0:
             raise FaultError("recovery costs must be non-negative")
+        if self.scope not in ("global", "volume"):
+            raise FaultError(
+                f"nvram-loss scope must be 'global' or 'volume', got {self.scope!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -211,6 +255,7 @@ class FaultPlan:
 
     seed: int = 0
     latent_sector_errors: LatentSectorErrorSpec = LatentSectorErrorSpec()
+    lse_bursts: Optional[LseBurstSpec] = None
     lse_retry: RetryPolicy = RetryPolicy()
     fail_slow: Tuple[FailSlowSpec, ...] = ()
     member_failure: Optional[MemberFailureSpec] = None
@@ -228,6 +273,7 @@ class FaultPlan:
         return (
             not self.latent_sector_errors.pbas
             and self.latent_sector_errors.random_count == 0
+            and self.lse_bursts is None
             and not self.fail_slow
             and self.member_failure is None
             and not self.nvram_loss
@@ -247,8 +293,8 @@ class FaultPlan:
         """Build a plan from a JSON-shaped mapping (see
         ``examples/faults.json``)."""
         known = {
-            "seed", "latent_sector_errors", "lse_retry", "fail_slow",
-            "member_failure", "nvram_loss", "index_corruption",
+            "seed", "latent_sector_errors", "lse_bursts", "lse_retry",
+            "fail_slow", "member_failure", "nvram_loss", "index_corruption",
         }
         unknown = set(data) - known
         if unknown:
@@ -264,9 +310,11 @@ class FaultPlan:
         if "pbas" in lse:
             lse = dict(lse, pbas=tuple(lse["pbas"]))
         mf = data.get("member_failure")
+        bursts = data.get("lse_bursts")
         return FaultPlan(
             seed=int(data.get("seed", 0)),
             latent_sector_errors=build(LatentSectorErrorSpec, lse),
+            lse_bursts=build(LseBurstSpec, bursts) if bursts is not None else None,
             lse_retry=build(RetryPolicy, data.get("lse_retry", {})),
             fail_slow=tuple(
                 build(FailSlowSpec, f) for f in data.get("fail_slow", ())
@@ -308,6 +356,8 @@ class FaultPlan:
                 dataclasses.asdict(c) for c in self.index_corruption
             ],
         }
+        if self.lse_bursts is not None:
+            out["lse_bursts"] = dataclasses.asdict(self.lse_bursts)
         if self.member_failure is not None:
             out["member_failure"] = dataclasses.asdict(self.member_failure)
         return out

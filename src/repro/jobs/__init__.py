@@ -1,0 +1,43 @@
+"""Leased background jobs: control-plane/data-plane split.
+
+* :mod:`repro.jobs.plan` -- frozen, JSON-loadable :class:`JobsConfig`
+  (lease policy, scrubber spec, per-tenant admission spec).
+* :mod:`repro.jobs.store` -- the pure :class:`JobStore` control plane:
+  job records, epoch-fenced leases, the recovery sweep's state flips.
+* :mod:`repro.jobs.jobs` -- data-plane job types with plan/commit
+  step separation (:class:`RebuildJob`, :class:`MigrationJob`,
+  :class:`ScrubJob`).
+* :mod:`repro.jobs.admission` -- per-tenant token buckets with
+  maintenance back-off.
+* :mod:`repro.jobs.runtime` -- simulated workers, heartbeats and the
+  recovery sweep driving it all inside the Simulator.
+
+See docs/robustness.md ("Leased background jobs") for the lease /
+epoch / recovery state machine.
+"""
+
+from __future__ import annotations
+
+from repro.jobs.admission import AdmissionController, TokenBucket
+from repro.jobs.jobs import LeasedJob, MigrationJob, RebuildJob, ScrubJob, Step
+from repro.jobs.plan import AdmissionSpec, JobsConfig, LeasePolicy, ScrubberSpec
+from repro.jobs.runtime import JobRuntime
+from repro.jobs.store import JobRecord, JobState, JobStore
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSpec",
+    "JobRecord",
+    "JobRuntime",
+    "JobState",
+    "JobStore",
+    "JobsConfig",
+    "LeasePolicy",
+    "LeasedJob",
+    "MigrationJob",
+    "RebuildJob",
+    "ScrubJob",
+    "ScrubberSpec",
+    "Step",
+    "TokenBucket",
+]

@@ -1,0 +1,222 @@
+"""Frozen, JSON-loadable configuration for the leased-job subsystem.
+
+Mirrors the :class:`~repro.faults.plan.FaultPlan` conventions: every
+knob lives in a frozen dataclass validated at construction, the whole
+config is hashable (it rides inside :class:`ReplayConfig`, which the
+experiment runner uses as a memo key), and a JSON file round-trips
+through :meth:`JobsConfig.from_dict` / :meth:`JobsConfig.as_dict`.
+
+All times are simulated seconds.  The lease policy is the heart of the
+control plane: a worker that claims a job holds its lease for
+``duration`` seconds unless renewed (claims, renewals and step commits
+all renew).  A worker stuck in a slow I/O step -- the fail-slow fault
+windows of :mod:`repro.faults` are the canonical cause -- cannot
+renew, so the recovery sweep (every ``sweep_interval``) flips the job
+back to claimable and the next claim bumps the epoch, fencing the
+stuck worker's eventual commit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LeasePolicy:
+    """Lease, heartbeat and retry knobs shared by every job.
+
+    Attributes
+    ----------
+    duration:
+        Seconds a lease stays valid without renewal.  Must comfortably
+        exceed a *healthy* job step so only genuinely stalled workers
+        expire.
+    poll_interval:
+        Idle-worker heartbeat: how often a worker with no job asks the
+        store for claimable work.
+    sweep_interval:
+        Recovery-sweep cadence.  Expired leases are detected within
+        one sweep interval of expiring.
+    max_retries:
+        Bounded retry budget after a fenced step: the superseded
+        worker re-polls with exponential backoff up to this many
+        consecutive times before falling back to the idle cadence.
+    backoff:
+        Base backoff seconds; doubled per consecutive fenced step.
+    """
+
+    duration: float = 0.5
+    poll_interval: float = 0.05
+    sweep_interval: float = 0.25
+    max_retries: int = 4
+    backoff: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigError(f"lease duration must be positive, got {self.duration}")
+        if self.poll_interval <= 0:
+            raise ConfigError(
+                f"lease poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.sweep_interval <= 0:
+            raise ConfigError(
+                f"lease sweep_interval must be positive, got {self.sweep_interval}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"negative max_retries {self.max_retries}")
+        if self.backoff <= 0:
+            raise ConfigError(f"lease backoff must be positive, got {self.backoff}")
+
+
+@dataclass(frozen=True)
+class ScrubberSpec:
+    """Background scrubber: paced sequential reads over the volume.
+
+    The scrubber walks the volume address space in ``region_blocks``
+    extents, one region per job step, ``interval`` seconds apart.
+    Reads go through the normal RAID + fault-hook path, so a latent
+    sector error in a scrubbed region is discovered (and repaired by
+    parity reconstruction) *before* a foreground read trips over it.
+
+    ``regions`` caps the pass length (None scrubs the whole volume
+    once); short replays use a cap so the scrub pass ends near the
+    trace horizon instead of dominating simulated time.
+    """
+
+    start: float = 0.0
+    region_blocks: int = 1024
+    interval: float = 0.05
+    regions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"scrub start must be >= 0, got {self.start}")
+        if self.region_blocks <= 0:
+            raise ConfigError(
+                f"scrub region_blocks must be positive, got {self.region_blocks}"
+            )
+        if self.interval <= 0:
+            raise ConfigError(f"scrub interval must be positive, got {self.interval}")
+        if self.regions is not None and self.regions <= 0:
+            raise ConfigError(f"scrub regions cap must be positive, got {self.regions}")
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Per-tenant token-bucket admission in front of foreground replay.
+
+    Each volume gets its own bucket refilled at ``rate_blocks`` tokens
+    (blocks) per second up to ``burst_blocks`` deep; a request that
+    finds the bucket dry is admitted when its debt refills, in FIFO
+    order per tenant.  Maintenance jobs yield first: while any tenant
+    has admission debt outstanding, job steps defer up to
+    ``maintenance_yield`` seconds before touching the spindles.
+    """
+
+    rate_blocks: float = 262144.0
+    burst_blocks: float = 65536.0
+    maintenance_yield: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rate_blocks <= 0:
+            raise ConfigError(
+                f"admission rate_blocks must be positive, got {self.rate_blocks}"
+            )
+        if self.burst_blocks <= 0:
+            raise ConfigError(
+                f"admission burst_blocks must be positive, got {self.burst_blocks}"
+            )
+        if self.maintenance_yield < 0:
+            raise ConfigError(
+                f"negative maintenance_yield {self.maintenance_yield}"
+            )
+
+
+@dataclass(frozen=True)
+class JobsConfig:
+    """Top-level switch for the leased-job subsystem.
+
+    ``None`` anywhere a :class:`JobsConfig` is accepted means *jobs
+    off* -- the replay takes the exact legacy code path and stays
+    bit-identical per seed.
+    """
+
+    workers: int = 2
+    lease: LeasePolicy = LeasePolicy()
+    scrub: Optional[ScrubberSpec] = None
+    admission: Optional[AdmissionSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"need at least one worker, got {self.workers}")
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (FaultPlan conventions)
+    # ------------------------------------------------------------------
+
+    _KNOWN = ("workers", "lease", "scrub", "admission")
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "JobsConfig":
+        unknown = sorted(set(obj) - set(cls._KNOWN))
+        if unknown:
+            raise ConfigError(f"unknown jobs config keys: {', '.join(unknown)}")
+        try:
+            lease = LeasePolicy(**obj.get("lease", {}))
+            scrub = (
+                ScrubberSpec(**obj["scrub"]) if obj.get("scrub") is not None else None
+            )
+            admission = (
+                AdmissionSpec(**obj["admission"])
+                if obj.get("admission") is not None
+                else None
+            )
+            return cls(
+                workers=int(obj.get("workers", 2)),
+                lease=lease,
+                scrub=scrub,
+                admission=admission,
+            )
+        except TypeError as exc:
+            raise ConfigError(f"malformed jobs config: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str) -> "JobsConfig":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                obj = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load jobs config {path!r}: {exc}") from None
+        if not isinstance(obj, dict):
+            raise ConfigError(f"jobs config {path!r} must hold a JSON object")
+        return cls.from_dict(obj)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "workers": self.workers,
+            "lease": {
+                "duration": self.lease.duration,
+                "poll_interval": self.lease.poll_interval,
+                "sweep_interval": self.lease.sweep_interval,
+                "max_retries": self.lease.max_retries,
+                "backoff": self.lease.backoff,
+            },
+        }
+        if self.scrub is not None:
+            out["scrub"] = {
+                "start": self.scrub.start,
+                "region_blocks": self.scrub.region_blocks,
+                "interval": self.scrub.interval,
+                "regions": self.scrub.regions,
+            }
+        if self.admission is not None:
+            out["admission"] = {
+                "rate_blocks": self.admission.rate_blocks,
+                "burst_blocks": self.admission.burst_blocks,
+                "maintenance_yield": self.admission.maintenance_yield,
+            }
+        return out

@@ -1,0 +1,226 @@
+"""Control plane: job records with epoch-fenced leases.
+
+The :class:`JobStore` is deliberately tiny and *pure* -- it never
+touches the simulator, so the hypothesis property suite can drive the
+lease state machine directly with arbitrary interleavings of claims,
+renewals, commits, sweeps and clock advances.
+
+State machine (see docs/robustness.md for the diagram)::
+
+    PENDING --claim--> RUNNING --commit*--> DONE
+       ^                  |
+       +---sweep(expired)-+
+
+Every claim bumps the record's **epoch** and stamps the claimant as
+owner; the sweep clears the owner when a lease expires.  A renewal,
+commit or completion is accepted only when both the owner *and* the
+epoch match -- a worker that lost its lease (and whose job was
+re-claimed at a higher epoch) is *fenced*: its late write is counted
+and discarded, never applied.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from repro.errors import JobError
+from repro.jobs.jobs import LeasedJob
+from repro.jobs.plan import LeasePolicy
+
+#: Owner value meaning "no worker holds this record".
+NO_OWNER = -1
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class JobRecord:
+    """One job's control-plane state.  Mutated only by the store."""
+
+    __slots__ = (
+        "job_id",
+        "name",
+        "job",
+        "interval",
+        "not_before",
+        "state",
+        "epoch",
+        "owner",
+        "lease_expiry",
+        "stale",
+        "last_claim_stale",
+        "steps_committed",
+        "claims",
+        "reclaims",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        name: str,
+        job: LeasedJob,
+        interval: float,
+        not_before: float,
+    ) -> None:
+        self.job_id = job_id
+        self.name = name
+        self.job = job
+        #: Pacing: seconds between committed steps.
+        self.interval = interval
+        #: Earliest simulated time the job may be claimed.
+        self.not_before = not_before
+        self.state = JobState.PENDING
+        self.epoch = 0
+        self.owner = NO_OWNER
+        self.lease_expiry = 0.0
+        #: Set by the sweep when an expired lease returned the job to
+        #: PENDING; the next claim counts as a stale re-claim.
+        self.stale = False
+        #: Whether the most recent claim re-claimed an expired lease.
+        self.last_claim_stale = False
+        self.steps_committed = 0
+        self.claims = 0
+        self.reclaims = 0
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "id": self.job_id,
+            "name": self.name,
+            "kind": self.job.kind,
+            "state": self.state.value,
+            "epoch": self.epoch,
+            "claims": self.claims,
+            "stale_reclaims": self.reclaims,
+            "steps_committed": self.steps_committed,
+            "progress": self.job.progress(),
+        }
+        out["detail"] = self.job.summary()
+        return out
+
+
+class JobStore:
+    """Holds job records; arbitrates leases with epoch fencing."""
+
+    _COUNTERS = (
+        "jobs_submitted",
+        "claims",
+        "stale_leases_detected",
+        "stale_lease_reclaims",
+        "renewals",
+        "fenced_renewals",
+        "steps_committed",
+        "fenced_commits",
+        "fenced_completions",
+        "step_retries",
+        "maintenance_yields",
+        "jobs_completed",
+    )
+
+    def __init__(self, lease: LeasePolicy) -> None:
+        self.lease = lease
+        self._records: List[JobRecord] = []
+        self.counters: Dict[str, int] = {name: 0 for name in self._COUNTERS}
+
+    # ------------------------------------------------------------------
+    # control-plane operations
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        job: LeasedJob,
+        interval: float,
+        not_before: float = 0.0,
+    ) -> JobRecord:
+        if interval <= 0:
+            raise JobError(f"job pacing interval must be positive, got {interval}")
+        rec = JobRecord(len(self._records), name, job, interval, not_before)
+        self._records.append(rec)
+        self.counters["jobs_submitted"] += 1
+        return rec
+
+    def claim(self, worker_id: int, now: float) -> Optional[JobRecord]:
+        """Hand the first claimable job to ``worker_id``, bumping its
+        epoch (which fences any superseded holder)."""
+        for rec in self._records:
+            if rec.state is not JobState.PENDING:
+                continue
+            if now < rec.not_before:
+                continue
+            rec.last_claim_stale = rec.stale
+            rec.stale = False
+            rec.epoch += 1
+            rec.owner = worker_id
+            rec.state = JobState.RUNNING
+            rec.lease_expiry = now + self.lease.duration
+            rec.claims += 1
+            self.counters["claims"] += 1
+            if rec.last_claim_stale:
+                rec.reclaims += 1
+                self.counters["stale_lease_reclaims"] += 1
+            return rec
+        return None
+
+    def _holds(self, rec: JobRecord, worker_id: int, epoch: int) -> bool:
+        return (
+            rec.state is JobState.RUNNING
+            and rec.owner == worker_id
+            and rec.epoch == epoch
+        )
+
+    def renew(self, rec: JobRecord, worker_id: int, epoch: int, now: float) -> bool:
+        if not self._holds(rec, worker_id, epoch):
+            self.counters["fenced_renewals"] += 1
+            return False
+        rec.lease_expiry = now + self.lease.duration
+        self.counters["renewals"] += 1
+        return True
+
+    def commit(self, rec: JobRecord, worker_id: int, epoch: int, now: float) -> bool:
+        """Accept one step commit (and renew) iff the fence holds."""
+        if not self._holds(rec, worker_id, epoch):
+            self.counters["fenced_commits"] += 1
+            return False
+        rec.steps_committed += 1
+        rec.lease_expiry = now + self.lease.duration
+        self.counters["steps_committed"] += 1
+        return True
+
+    def complete(self, rec: JobRecord, worker_id: int, epoch: int) -> bool:
+        if not self._holds(rec, worker_id, epoch):
+            self.counters["fenced_completions"] += 1
+            return False
+        rec.state = JobState.DONE
+        rec.owner = NO_OWNER
+        self.counters["jobs_completed"] += 1
+        return True
+
+    def sweep(self, now: float) -> List[JobRecord]:
+        """Return leases that expired; each flips back to claimable
+        (PENDING, stale) with its owner cleared so the old holder is
+        fenced even before the next claim bumps the epoch."""
+        expired: List[JobRecord] = []
+        for rec in self._records:
+            if rec.state is JobState.RUNNING and now > rec.lease_expiry:
+                rec.state = JobState.PENDING
+                rec.owner = NO_OWNER
+                rec.stale = True
+                self.counters["stale_leases_detected"] += 1
+                expired.append(rec)
+        return expired
+
+    # ------------------------------------------------------------------
+
+    def all_done(self) -> bool:
+        return all(rec.state is JobState.DONE for rec in self._records)
+
+    @property
+    def records(self) -> List[JobRecord]:
+        return list(self._records)
+
+    def summary(self) -> List[Dict[str, Any]]:
+        return [rec.summary() for rec in self._records]

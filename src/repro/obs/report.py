@@ -121,6 +121,11 @@ def build_run_report(
     slo_stats = getattr(result, "slo_stats", None)
     if slo_stats is not None:
         report["slo"] = dict(slo_stats)
+    jobs_stats = getattr(result, "jobs_stats", None)
+    if jobs_stats is not None:
+        # Leased-job subsystem: lease/claim counters, per-job records,
+        # step-ledger verdict, admission totals.
+        report["jobs"] = dict(jobs_stats)
     return report
 
 
@@ -466,6 +471,59 @@ def render_run_report(report: Dict[str, Any]) -> str:
                     hrows2,
                 )
             )
+
+    jobs_doc = report.get("jobs")
+    if jobs_doc:
+        jrows: List[List[Any]] = [["workers", jobs_doc.get("workers")]]
+        jrows += [
+            [f"lease.{k}", _fmt_val(v)]
+            for k, v in sorted(jobs_doc.get("lease", {}).items())
+        ]
+        jrows += [
+            [k, _fmt_val(v)]
+            for k, v in sorted(jobs_doc.get("counters", {}).items())
+        ]
+        jrows += [
+            [f"oracle.{k}", _fmt_val(v)]
+            for k, v in sorted(jobs_doc.get("oracle", {}).items())
+            if not isinstance(v, (dict, list))
+        ]
+        admission_doc = jobs_doc.get("admission")
+        if admission_doc:
+            jrows += [
+                [f"admission.{k}", _fmt_val(v)]
+                for k, v in sorted(admission_doc.items())
+            ]
+        parts.append(
+            render_table(
+                f"leased jobs (schema v{jobs_doc.get('schema_version')})",
+                ["field", "value"],
+                jrows,
+            )
+        )
+        jobrows = [
+            [
+                j.get("id"),
+                j.get("name"),
+                j.get("kind"),
+                j.get("state"),
+                j.get("epoch"),
+                j.get("claims"),
+                j.get("stale_reclaims"),
+                j.get("steps_committed"),
+                _fmt_val(j.get("progress")),
+            ]
+            for j in jobs_doc.get("jobs", [])
+        ]
+        if jobrows:
+            parts.append(
+                render_table(
+                    "jobs",
+                    ["id", "name", "kind", "state", "epoch", "claims",
+                     "reclaims", "steps", "progress"],
+                    jobrows,
+                )
+            )
     return "\n\n".join(parts)
 
 
@@ -535,7 +593,7 @@ def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> str:
     # instead of silently vanishing from the diff.
     section_rows = []
     for section in ("volumes", "nodes", "cluster", "faults", "timeline",
-                    "spans", "slo", "icache_timeline"):
+                    "spans", "slo", "jobs", "icache_timeline"):
         in_a = bool(a.get(section))
         in_b = bool(b.get(section))
         if in_a != in_b:

@@ -89,6 +89,7 @@ def batch_eligible(config: ReplayConfig) -> bool:
         and config.timeline is None
         and not config.spans
         and config.slo is None
+        and config.jobs is None
     )
 
 

@@ -37,6 +37,10 @@ from repro.constants import BLOCKS_PER_STRIPE_UNIT
 from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.jobs.admission import AdmissionController
+from repro.jobs.jobs import ScrubJob
+from repro.jobs.plan import JobsConfig
+from repro.jobs.runtime import JobRuntime
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import EventType, TraceLevel
 from repro.obs.slo import SloPolicy, evaluate_slo
@@ -44,12 +48,13 @@ from repro.obs.spans import SpanTracer
 from repro.obs.timeline import TimelineConfig, TimelineSampler
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Simulator
-from repro.sim.request import IORequest
+from repro.sim.request import IORequest, OpType
 from repro.storage.disk import Disk, DiskParams
 from repro.storage.namespace import NamespaceMapper
 from repro.storage.raid import RaidArray, RaidGeometry, RaidLevel
 from repro.storage.scheduler import DiskScheduler, SchedulingPolicy
 from repro.storage.ssd import Ssd, SsdParams
+from repro.storage.volume import VolumeOp
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.format import Trace
 
@@ -105,6 +110,12 @@ class ReplayConfig:
     #: (see :mod:`repro.obs.slo`).  Arming a policy implies a default
     #: timeline when none is configured explicitly.
     slo: Optional[SloPolicy] = None
+    #: Leased background-job subsystem (see :mod:`repro.jobs`):
+    #: simulated workers claim maintenance jobs under epoch-fenced
+    #: leases, with stale-lease recovery, an optional scrubber and
+    #: per-tenant admission control.  ``None`` keeps the replay
+    #: bit-identical to a build without the jobs subsystem.
+    jobs: Optional[JobsConfig] = None
 
     def geometry(self) -> RaidGeometry:
         return RaidGeometry(
@@ -166,6 +177,10 @@ class ReplayResult:
     spans: Optional[SpanTracer] = None
     #: SLO evaluation output (``None`` unless ``ReplayConfig.slo``).
     slo_stats: Optional[Dict[str, Any]] = None
+    #: Leased-job subsystem summary (lease/claim counters, per-job
+    #: records, step-ledger verdict, admission totals); ``None``
+    #: unless ``ReplayConfig.jobs`` armed the subsystem.
+    jobs_stats: Optional[Dict[str, Any]] = None
 
     @property
     def removed_write_pct(self) -> float:
@@ -367,9 +382,10 @@ def replay_traces(
         if config.scheduler is not None
         else None
     )
+    array = RaidArray(geometry)
     sim = Simulator(
         disks,
-        RaidArray(geometry),
+        array,
         schedulers=schedulers,
         failed_disk=config.failed_disk,
     )
@@ -414,6 +430,9 @@ def replay_traces(
             injector.attach_observer(recorder)
         injector.timeline = sampler
         injector.spans = tracer
+        # Volume-id -> namespace resolution for per-volume NVRAM-loss
+        # recovery (NvramLossSpec.scope == "volume").
+        injector.mapper = mapper
         if sampler is not None:
             # Known-in-advance fault intervals become window bands up
             # front; tick-driven activity (rebuild progress) is noted
@@ -426,6 +445,65 @@ def replay_traces(
     requests, measured_flags = _merge_streams(traces, mapper)
     for request in requests:
         sim.schedule_arrival(request.time, request)
+
+    # Leased background jobs (see repro.jobs): workers claim
+    # maintenance work under epoch-fenced leases; an optional scrubber
+    # walks the volume hunting latent sector errors; per-tenant
+    # admission throttles foreground arrivals.  None = the jobs-off
+    # path, bit-identical to a build without the subsystem.
+    jobs_runtime: Optional[JobRuntime] = None
+    admission: Optional[AdmissionController] = None
+    if config.jobs is not None:
+        if config.scheduler is not None:
+            raise ConfigError(
+                "leased jobs issue maintenance I/O through the analytic "
+                "service path (event-driven schedulers are not supported)"
+            )
+        jobs_runtime = JobRuntime(
+            config.jobs,
+            sim,
+            horizon=requests[-1].time if requests else 0.0,
+            oracle=injector.oracle if injector is not None else None,
+            registry=metrics.registry,
+        )
+        jobs_runtime.timeline = sampler
+        jobs_runtime.spans = tracer
+        admission = jobs_runtime.admission
+        if injector is not None:
+            # Member-failure rebuilds become leased jobs instead of
+            # self-paced ticks.
+            injector.jobs = jobs_runtime
+        scrub_spec = config.jobs.scrub
+        if scrub_spec is not None:
+
+            def scrub_read(pba: int, nblocks: int) -> float:
+                ops = array.map(VolumeOp(OpType.READ, pba, nblocks))
+                holder: Dict[str, float] = {}
+                if injector is not None:
+                    injector.in_scrub = True
+                try:
+                    sim.issue_disk_ops(ops, lambda t: holder.setdefault("t", t))
+                finally:
+                    if injector is not None:
+                        injector.in_scrub = False
+                return holder.get("t", sim.now)
+
+            jobs_runtime.submit(
+                "scrub",
+                ScrubJob(
+                    scheme.regions.total_blocks,
+                    scrub_spec.region_blocks,
+                    scrub_read,
+                    regions_cap=(
+                        scrub_spec.regions
+                        if scrub_spec.regions is not None
+                        else 0
+                    ),
+                ),
+                scrub_spec.interval,
+                not_before=scrub_spec.start,
+            )
+        jobs_runtime.start()
 
     run_name = traces[0].name if not multi else "+".join(t.name for t in traces)
     total_warmup = sum(t.warmup_count for t in traces)
@@ -586,13 +664,26 @@ def replay_traces(
             finish(request, planned, arrival, cross, root)
 
     def on_arrival(now: float, request: IORequest) -> None:
-        if injector is not None and injector.blocked_until > now:
-            # Crash recovery stalls the array: the request keeps its
-            # arrival timestamp (the stall is charged to its response
-            # time) and is processed once recovery completes.
-            sim.schedule_callback(
-                injector.blocked_until, handle_request, request, now
-            )
+        release = now
+        if injector is not None:
+            # Crash recovery stalls admission: globally, or only for
+            # the volume whose namespace is replaying (per-volume
+            # NVRAM-loss scope).  For a global-scope stall this is
+            # exactly the legacy blocked_until value.
+            blocked = injector.blocked_until_for(request.volume_id)
+            if blocked > release:
+                release = blocked
+        if admission is not None:
+            # Per-tenant token bucket; charged even when not
+            # throttling so the bucket drains deterministically.
+            admitted = admission.admit(request.volume_id, release, request.nblocks)
+            if admitted > release:
+                release = admitted
+        if release > now:
+            # The request keeps its arrival timestamp (the stall is
+            # charged to its response time) and is processed once
+            # recovery/throttling releases it.
+            sim.schedule_callback(release, handle_request, request, now)
             return
         handle_request(request, now)
 
@@ -629,6 +720,11 @@ def replay_traces(
 
     if sanitizer is not None:
         sanitizer.assert_clean(scheme, sim.now)
+
+    if jobs_runtime is not None:
+        # Mirror job counters into the registry and verify the step
+        # ledger (no step lost, none double-applied).
+        jobs_runtime.finalize()
 
     if injector is not None:
         # Sweep still-latent faults into the blast-radius histogram and
@@ -685,4 +781,5 @@ def replay_traces(
         timeline=sampler,
         spans=tracer,
         slo_stats=slo_stats,
+        jobs_stats=jobs_runtime.summary() if jobs_runtime is not None else None,
     )

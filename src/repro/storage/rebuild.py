@@ -22,7 +22,7 @@ batches and charges them as background load.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StorageError
 from repro.sim.request import DiskOp, OpType
@@ -73,6 +73,62 @@ class RebuildController:
         """Fraction of rows processed (rebuilt or skipped)."""
         return self._next_row / self.disk_rows
 
+    @property
+    def cursor(self) -> int:
+        """Committed scan cursor: the next row to examine."""
+        return self._next_row
+
+    def plan_rows(self, start_row: int, rows: int) -> Tuple[List[DiskOp], int]:
+        """Plan reconstruction traffic for ``rows`` rows from
+        ``start_row`` *without* advancing any state.
+
+        Pure with respect to controller state so a leased-job worker
+        can re-plan the same step after a stale-lease re-claim; the
+        legacy pacing path composes this with :meth:`commit_rows`.
+        Returns ``(ops, next_row)``.
+        """
+        if rows < 1:
+            raise StorageError("batch must cover at least one row")
+        g = self.raid.geometry
+        su = g.stripe_unit_blocks
+        ops: List[DiskOp] = []
+        end = min(start_row + rows, self.disk_rows)
+        if end < start_row:
+            end = start_row
+        for row in range(start_row, end):
+            if self._live_rows is not None and row not in self._live_rows:
+                continue
+            disk_pba = row * su
+            for disk in range(g.ndisks):
+                if disk != self.failed_disk:
+                    ops.append(DiskOp(disk, OpType.READ, disk_pba, su))
+            ops.append(DiskOp(self.failed_disk, OpType.WRITE, disk_pba, su))
+        return ops, end
+
+    def commit_rows(self, start_row: int, next_row: int) -> None:
+        """Apply one planned batch: advance the cursor and counters.
+
+        Rejects a commit whose start does not match the committed
+        cursor -- the hard stop against a fenced worker's step being
+        double-applied.
+        """
+        if start_row != self._next_row:
+            raise StorageError(
+                f"rebuild commit at row {start_row} does not match the "
+                f"committed cursor {self._next_row}"
+            )
+        if next_row < start_row or next_row > self.disk_rows:
+            raise StorageError(
+                f"rebuild commit range [{start_row}, {next_row}) out of bounds"
+            )
+        for row in range(start_row, next_row):
+            self.rows_scanned += 1
+            if self._live_rows is not None and row not in self._live_rows:
+                self.rows_skipped += 1
+            else:
+                self.rows_rebuilt += 1
+        self._next_row = next_row
+
     def next_batch(self, rows: int = 1) -> List[DiskOp]:
         """Plan the next ``rows`` rows' reconstruction traffic.
 
@@ -87,24 +143,10 @@ class RebuildController:
         decrementing the budget only for rebuilt rows -- let a single
         call walk arbitrarily many rows on a mostly-empty disk,
         defeating the pacing the replay harness relies on.)
+
+        Equivalent to :meth:`plan_rows` + :meth:`commit_rows` in one
+        call (the jobs-off pacing path).
         """
-        if rows < 1:
-            raise StorageError("batch must cover at least one row")
-        g = self.raid.geometry
-        su = g.stripe_unit_blocks
-        ops: List[DiskOp] = []
-        while rows > 0 and not self.done:
-            row = self._next_row
-            self._next_row += 1
-            rows -= 1
-            self.rows_scanned += 1
-            if self._live_rows is not None and row not in self._live_rows:
-                self.rows_skipped += 1
-                continue
-            self.rows_rebuilt += 1
-            disk_pba = row * su
-            for disk in range(g.ndisks):
-                if disk != self.failed_disk:
-                    ops.append(DiskOp(disk, OpType.READ, disk_pba, su))
-            ops.append(DiskOp(self.failed_disk, OpType.WRITE, disk_pba, su))
+        ops, end = self.plan_rows(self._next_row, rows)
+        self.commit_rows(self._next_row, end)
         return ops

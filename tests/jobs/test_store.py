@@ -1,0 +1,271 @@
+"""Deterministic unit tests for the job control plane.
+
+The :class:`~repro.jobs.store.JobStore` lease state machine is also
+covered property-style (tests/properties/test_prop_lease.py); these
+are the example-based anchors: one explicit walk through every edge of
+PENDING -> RUNNING -> DONE plus the sweep edge, the fence counters,
+the config round-trip, and the oracle step ledger.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, JobError
+from repro.faults.oracle import ContentOracle
+from repro.jobs import (
+    AdmissionSpec,
+    JobsConfig,
+    JobState,
+    JobStore,
+    LeasePolicy,
+    LeasedJob,
+    ScrubberSpec,
+    ScrubJob,
+    Step,
+)
+from repro.jobs.store import NO_OWNER
+
+LEASE = LeasePolicy(duration=1.0, poll_interval=0.1, sweep_interval=0.5)
+
+
+class CountJob(LeasedJob):
+    """Toy data-plane job: cursor 0..total, one unit per step."""
+
+    kind = "count"
+
+    def __init__(self, total):
+        self._total = total
+        self.cursor = 0
+
+    def done(self):
+        return self.cursor >= self._total
+
+    def progress(self):
+        return self.cursor / self._total
+
+    def total(self):
+        return self._total
+
+    def run_step(self, now):
+        start = self.cursor
+
+        def commit():
+            self.cursor = start + 1
+
+        return Step(now, (start, start + 1), commit)
+
+    def summary(self):
+        return {"cursor": self.cursor}
+
+
+class TestLeaseStateMachine:
+    def test_happy_path_claim_commit_complete(self):
+        store = JobStore(LEASE)
+        job = CountJob(2)
+        rec = store.submit("count", job, interval=0.1)
+        assert rec.state is JobState.PENDING and rec.owner == NO_OWNER
+
+        assert store.claim(0, 0.0) is rec
+        assert rec.state is JobState.RUNNING
+        assert rec.owner == 0 and rec.epoch == 1
+        assert not rec.last_claim_stale
+
+        for _ in range(2):
+            step = job.run_step(0.0)
+            assert store.commit(rec, 0, 1, 0.0)
+            step.commit()
+        assert job.done()
+        assert store.complete(rec, 0, 1)
+        assert rec.state is JobState.DONE and rec.owner == NO_OWNER
+        assert store.all_done()
+        assert store.counters["steps_committed"] == 2
+        assert store.counters["jobs_completed"] == 1
+        assert store.counters["stale_leases_detected"] == 0
+
+    def test_running_job_is_not_claimable(self):
+        store = JobStore(LEASE)
+        rec = store.submit("count", CountJob(1), interval=0.1)
+        assert store.claim(0, 0.0) is rec
+        assert store.claim(1, 0.0) is None
+
+    def test_not_before_gates_the_claim(self):
+        store = JobStore(LEASE)
+        rec = store.submit("count", CountJob(1), interval=0.1, not_before=5.0)
+        assert store.claim(0, 4.9) is None
+        assert store.claim(0, 5.0) is rec
+
+    def test_sweep_ignores_live_leases(self):
+        store = JobStore(LEASE)
+        rec = store.submit("count", CountJob(1), interval=0.1)
+        store.claim(0, 0.0)
+        assert store.sweep(rec.lease_expiry) == []
+        assert rec.state is JobState.RUNNING
+
+    def test_sweep_expires_and_reclaim_bumps_epoch(self):
+        store = JobStore(LEASE)
+        job = CountJob(1)
+        rec = store.submit("count", job, interval=0.1)
+        store.claim(0, 0.0)
+        t = rec.lease_expiry + 0.01
+        assert store.sweep(t) == [rec]
+        assert rec.state is JobState.PENDING
+        assert rec.owner == NO_OWNER and rec.stale
+        assert store.counters["stale_leases_detected"] == 1
+
+        assert store.claim(1, t) is rec
+        assert rec.epoch == 2 and rec.last_claim_stale
+        assert store.counters["stale_lease_reclaims"] == 1
+
+    def test_fence_rejects_superseded_worker(self):
+        store = JobStore(LEASE)
+        job = CountJob(3)
+        rec = store.submit("count", job, interval=0.1)
+        store.claim(0, 0.0)
+        store.sweep(rec.lease_expiry + 0.01)
+        store.claim(1, rec.lease_expiry + 0.01)
+
+        # worker 0's epoch-1 handle is dead on every fenced operation
+        assert not store.renew(rec, 0, 1, 2.0)
+        assert not store.commit(rec, 0, 1, 2.0)
+        assert not store.complete(rec, 0, 1)
+        assert store.counters["fenced_renewals"] == 1
+        assert store.counters["fenced_commits"] == 1
+        assert store.counters["fenced_completions"] == 1
+        # nothing was applied on its behalf
+        assert rec.steps_committed == 0 and job.cursor == 0
+        # the live holder is unaffected
+        assert store.commit(rec, 1, 2, 2.0)
+
+    def test_fence_requires_owner_and_epoch_both(self):
+        store = JobStore(LEASE)
+        rec = store.submit("count", CountJob(1), interval=0.1)
+        store.claim(0, 0.0)
+        assert not store.commit(rec, 1, 1, 0.0)  # wrong worker, right epoch
+        assert not store.commit(rec, 0, 2, 0.0)  # right worker, wrong epoch
+
+    def test_commit_renews_the_lease(self):
+        store = JobStore(LEASE)
+        rec = store.submit("count", CountJob(2), interval=0.1)
+        store.claim(0, 0.0)
+        assert store.commit(rec, 0, 1, 0.9)
+        assert rec.lease_expiry > LEASE.duration  # pushed past the claim's
+
+    def test_bad_interval_rejected(self):
+        store = JobStore(LEASE)
+        with pytest.raises(JobError):
+            store.submit("count", CountJob(1), interval=0.0)
+
+
+class TestScrubJob:
+    def test_region_arithmetic_covers_the_tail(self):
+        reads = []
+
+        def read(pba, nblocks):
+            reads.append((pba, nblocks))
+            return 0.0
+
+        job = ScrubJob(total_blocks=10, region_blocks=4, read=read)
+        assert job.total_regions == 3
+        while not job.done():
+            job.run_step(0.0).commit()
+        assert reads == [(0, 4), (4, 4), (8, 2)]
+        assert job.blocks_scrubbed == 10
+
+    def test_regions_cap_bounds_the_pass(self):
+        job = ScrubJob(total_blocks=100, region_blocks=10, read=lambda p, n: 0.0,
+                       regions_cap=3)
+        assert job.total_regions == 3
+
+    def test_rejects_empty_volume(self):
+        with pytest.raises(JobError):
+            ScrubJob(total_blocks=0, region_blocks=4, read=lambda p, n: 0.0)
+
+
+class TestStepLedger:
+    def test_clean_chain_passes(self):
+        oracle = ContentOracle()
+        oracle.note_job_total("j", 3)
+        for i in range(3):
+            oracle.note_job_step("j", i, i + 1)
+        oracle.note_job_done("j")
+        assert oracle.verify_job_steps() == []
+        assert "job_steps" in oracle.summary()
+
+    def test_double_applied_step_is_flagged(self):
+        oracle = ContentOracle()
+        oracle.note_job_total("j", 2)
+        oracle.note_job_step("j", 0, 1)
+        oracle.note_job_step("j", 0, 1)  # replayed commit
+        problems = oracle.verify_job_steps()
+        assert problems and any("j" in p for p in problems)
+
+    def test_lost_step_is_flagged(self):
+        oracle = ContentOracle()
+        oracle.note_job_total("j", 2)
+        oracle.note_job_step("j", 1, 2)  # step 0 never committed
+        assert oracle.verify_job_steps()
+
+    def test_done_must_reach_total(self):
+        oracle = ContentOracle()
+        oracle.note_job_total("j", 2)
+        oracle.note_job_step("j", 0, 1)
+        oracle.note_job_done("j")
+        assert oracle.verify_job_steps()
+
+    def test_no_jobs_means_no_ledger_keys(self):
+        # bit-identity guard: jobs-off fault reports keep their bytes
+        assert "job_steps" not in ContentOracle().summary()
+
+
+class TestJobsConfig:
+    def test_round_trips_through_dict(self):
+        config = JobsConfig(
+            workers=3,
+            lease=LeasePolicy(duration=0.3, poll_interval=0.02,
+                              sweep_interval=0.1, max_retries=2, backoff=0.01),
+            scrub=ScrubberSpec(start=1.0, region_blocks=4096, interval=0.05,
+                               regions=20),
+            admission=AdmissionSpec(rate_blocks=1e5, burst_blocks=1e4,
+                                    maintenance_yield=0.5),
+        )
+        assert JobsConfig.from_dict(config.as_dict()) == config
+
+    def test_defaults_round_trip(self):
+        assert JobsConfig.from_dict(JobsConfig().as_dict()) == JobsConfig()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            JobsConfig.from_dict({"workerz": 2})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"workers": 0},
+            {"lease": {"duration": 0.0}},
+            {"lease": {"poll_interval": -1}},
+            {"lease": {"sweep_interval": 0}},
+            {"lease": {"backoff": 0}},
+            {"lease": {"max_retries": -1}},
+            {"scrub": {"region_blocks": 0}},
+            {"scrub": {"interval": 0}},
+            {"scrub": {"regions": 0}},
+            {"scrub": {"start": -1.0}},
+            {"admission": {"rate_blocks": 0}},
+            {"admission": {"burst_blocks": -1}},
+            {"admission": {"maintenance_yield": -0.1}},
+            {"lease": {"durationn": 1.0}},
+        ],
+    )
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            JobsConfig.from_dict(bad)
+
+    def test_example_config_loads(self, tmp_path):
+        import json
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "jobs.json"
+        config = JobsConfig.load(str(example))
+        assert config.workers >= 2
+        assert config.scrub is not None and config.admission is not None
+        # and the shipped file is exactly its own canonical form
+        assert JobsConfig.from_dict(json.loads(example.read_text())) == config

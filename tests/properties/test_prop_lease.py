@@ -1,0 +1,233 @@
+"""Property-based lease state machine: the control plane under chaos.
+
+Hypothesis drives the pure :class:`~repro.jobs.store.JobStore` with
+arbitrary interleavings of claims, clock advances, recovery sweeps and
+(possibly long-superseded) commit attempts -- no simulator involved.
+Whatever the interleaving, three invariants must hold:
+
+* **mutual exclusion** -- at most one ``(worker, epoch)`` handle
+  passes the fence at any instant, and every accepted commit comes
+  from the record's current owner at its current epoch;
+* **eventual re-claim** -- a lease the sweep expires returns the job
+  to claimable; the next claim bumps the epoch and is counted as a
+  stale re-claim, and driving the store to completion re-claims every
+  expired lease (detections == re-claims at the end);
+* **epoch fencing** -- renew/commit/complete from a superseded handle
+  are rejected and apply nothing, so the oracle step ledger still
+  chains ``0 -> total`` with no lost and no double-applied step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.oracle import ContentOracle
+from repro.jobs import JobState, JobStore, LeasePolicy, LeasedJob, Step
+from repro.jobs.store import NO_OWNER
+
+
+class CountJob(LeasedJob):
+    """Toy data-plane job honouring plan/commit separation."""
+
+    kind = "count"
+
+    def __init__(self, total):
+        self._total = total
+        self.cursor = 0
+
+    def done(self):
+        return self.cursor >= self._total
+
+    def progress(self):
+        return self.cursor / self._total
+
+    def total(self):
+        return self._total
+
+    def run_step(self, now):
+        start = self.cursor
+
+        def commit():
+            self.cursor = start + 1
+
+        return Step(now, (start, start + 1), commit)
+
+    def summary(self):
+        return {"cursor": self.cursor}
+
+
+def live_handles(store, rec, handles):
+    """Handles that would currently pass the store's fence."""
+    return [
+        (w, e)
+        for (w, e) in handles
+        if rec.state is JobState.RUNNING and rec.owner == w and rec.epoch == e
+    ]
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_interleavings_preserve_all_invariants(data):
+    total = data.draw(st.integers(1, 6), label="total")
+    workers = data.draw(st.integers(2, 4), label="workers")
+    duration = data.draw(
+        st.floats(0.05, 2.0, allow_nan=False), label="lease_duration"
+    )
+    lease = LeasePolicy(duration=duration, poll_interval=0.01, sweep_interval=0.01)
+    store = JobStore(lease)
+    job = CountJob(total)
+    rec = store.submit("count", job, interval=0.01)
+    oracle = ContentOracle()
+    oracle.note_job_total("count", total)
+
+    now = 0.0
+    # every (worker, epoch) handle the store ever granted, with the
+    # step each holder planned from the committed cursor at claim time
+    handles = []  # [worker, epoch, planned Step]
+
+    def plan(worker, epoch):
+        handles.append([worker, epoch, job.run_step(now)])
+
+    def try_commit(handle):
+        worker, epoch, step = handle
+        cursor_before = job.cursor
+        ok = store.commit(rec, worker, epoch, now)
+        if ok:
+            # mutual exclusion: only the current owner at the current
+            # epoch ever gets a commit accepted
+            assert rec.owner == worker and rec.epoch == epoch
+            step.commit()
+            oracle.note_job_step("count", *step.span)
+            # plan/commit separation: exactly one unit applied, from
+            # the committed cursor the step was planned at
+            assert job.cursor == cursor_before + 1 == rec.steps_committed
+            if not job.done():
+                handle[2] = job.run_step(now)  # next step, fresh cursor
+        else:
+            assert job.cursor == cursor_before  # fenced => nothing applied
+        return ok
+
+    for _ in range(64):
+        if rec.state is JobState.DONE:
+            break
+        action = data.draw(
+            st.sampled_from(["claim", "commit", "advance", "sweep"]),
+            label="action",
+        )
+        if action == "claim":
+            worker = data.draw(st.integers(0, workers - 1), label="claimant")
+            got = store.claim(worker, now)
+            if rec.state is JobState.RUNNING:
+                if got is not None:
+                    plan(worker, rec.epoch)
+            else:
+                assert got is None
+        elif action == "commit" and handles:
+            idx = data.draw(st.integers(0, len(handles) - 1), label="handle")
+            handle = handles[idx]
+            if try_commit(handle) and job.done():
+                assert store.complete(rec, handle[0], handle[1])
+                oracle.note_job_done("count")
+        elif action == "advance":
+            now += data.draw(
+                st.floats(0.01, 3.0, allow_nan=False), label="dt"
+            )
+        elif action == "sweep":
+            for expired in store.sweep(now):
+                assert expired.state is JobState.PENDING
+                assert expired.owner == NO_OWNER and expired.stale
+
+        # mutual exclusion, checked after *every* action: at most one
+        # handle ever granted can pass the fence right now
+        assert len(live_handles(store, rec, [(h[0], h[1]) for h in handles])) <= 1
+
+    # eventual re-claim: drive the store to completion -- every lease
+    # the sweep expired must be re-claimable and the job must finish
+    while rec.state is not JobState.DONE:
+        now += lease.duration + 0.01
+        store.sweep(now)
+        got = store.claim(0, now)
+        if got is None:
+            continue
+        plan(0, rec.epoch)
+        handle = handles[-1]
+        while not job.done():
+            assert try_commit(handle)
+        assert store.complete(rec, 0, rec.epoch)
+        oracle.note_job_done("count")
+
+    assert job.cursor == total
+    assert rec.steps_committed == total == store.counters["steps_committed"]
+    # every stale lease detected was eventually re-claimed
+    assert (
+        store.counters["stale_leases_detected"]
+        == store.counters["stale_lease_reclaims"]
+    )
+    assert rec.claims == 1 + rec.reclaims
+    # the ledger proves no step was lost or double-applied
+    assert oracle.verify_job_steps() == []
+
+
+@given(
+    duration=st.floats(0.05, 5.0, allow_nan=False),
+    overshoot=st.floats(0.001, 10.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_expired_lease_is_reclaimed_at_the_next_epoch(duration, overshoot):
+    lease = LeasePolicy(duration=duration, poll_interval=0.01, sweep_interval=0.01)
+    store = JobStore(lease)
+    rec = store.submit("count", CountJob(3), interval=0.01)
+    assert store.claim(0, 0.0) is rec
+    epoch = rec.epoch
+
+    # a sweep at (or before) expiry is a no-op; one past it expires
+    assert store.sweep(rec.lease_expiry) == []
+    t = rec.lease_expiry + overshoot
+    assert store.sweep(t) == [rec]
+    assert rec.state is JobState.PENDING and rec.owner == NO_OWNER
+    assert store.counters["stale_leases_detected"] == 1
+
+    got = store.claim(1, t)
+    assert got is rec
+    assert rec.epoch == epoch + 1
+    assert rec.last_claim_stale and rec.reclaims == 1
+    assert store.counters["stale_lease_reclaims"] == 1
+
+
+@given(
+    steps_before=st.integers(0, 3),
+    same_worker=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_epoch_fencing_rejects_every_superseded_write(steps_before, same_worker):
+    lease = LeasePolicy(duration=0.5, poll_interval=0.01, sweep_interval=0.01)
+    store = JobStore(lease)
+    job = CountJob(steps_before + 2)
+    rec = store.submit("count", job, interval=0.01)
+    store.claim(0, 0.0)
+    now = 0.0
+    for _ in range(steps_before):
+        step = job.run_step(now)
+        assert store.commit(rec, 0, 1, now)
+        step.commit()
+
+    # the lease expires and is re-claimed -- possibly by the *same*
+    # worker id: the epoch alone must fence the old handle
+    now = rec.lease_expiry + 0.01
+    store.sweep(now)
+    new_worker = 0 if same_worker else 1
+    store.claim(new_worker, now)
+    assert rec.epoch == 2
+
+    cursor = job.cursor
+    assert not store.renew(rec, 0, 1, now)
+    assert not store.commit(rec, 0, 1, now)
+    assert not store.complete(rec, 0, 1)
+    assert store.counters["fenced_renewals"] == 1
+    assert store.counters["fenced_commits"] == 1
+    assert store.counters["fenced_completions"] == 1
+    assert job.cursor == cursor and rec.steps_committed == steps_before
+    assert rec.state is JobState.RUNNING  # fenced complete didn't end it
+
+    # while the live handle works fine
+    assert store.renew(rec, new_worker, 2, now)
+    assert store.commit(rec, new_worker, 2, now)
