@@ -22,7 +22,8 @@ depend on queueing details we do not want to over-pin):
 
 from conftest import emit
 
-from repro.cluster import ClusterConfig, NetworkModel
+from repro.cluster import ClusterConfig, Consistency, DirectoryConfig, NetworkModel
+from repro.cluster.directory import required
 from repro.experiments import runner
 from repro.metrics.report import render_table
 
@@ -31,6 +32,15 @@ COPIES = 4  # 8 tenant volumes -> supports up to 8 nodes
 SEED = 11
 NODE_COUNTS = (1, 2, 4, 8)
 LATENCIES = (10e-6, 200e-6, 2e-3)
+#: Replicated-directory sweep: (replication, consistency) pairs on a
+#: fixed 4-node cluster.  quorum(2) == quorum(3) == 2, so the R=3/all
+#: row is what exposes the third replica's wire cost.
+REPLICATIONS = (
+    (1, Consistency.QUORUM),
+    (2, Consistency.QUORUM),
+    (3, Consistency.QUORUM),
+    (3, Consistency.ALL),
+)
 
 
 def _row(result, nodes):
@@ -128,6 +138,80 @@ def test_cluster_node_scaling(benchmark, scale):
             sum(n["capacity_blocks"] for n in result.nodes)
             == result.capacity_blocks
         )
+
+
+def run_replication_sweep(scale):
+    rows = []
+    baseline = runner.run_cluster(
+        TRACES, "POD", nodes=4, copies=COPIES, scale=scale, seed=SEED
+    )
+    for replication, level in REPLICATIONS:
+        result = runner.run_cluster(
+            TRACES,
+            "POD",
+            nodes=4,
+            copies=COPIES,
+            scale=scale,
+            seed=SEED,
+            cluster_config=ClusterConfig(
+                directory=DirectoryConfig(
+                    replication=replication, consistency=level
+                )
+            ),
+        )
+        overall = result.metrics.overall_summary()
+        d = result.cluster_stats["directory"]
+        rows.append(
+            {
+                "replication": replication,
+                "consistency": level.value,
+                "need": required(level, replication),
+                "mean_ms": overall.mean * 1e3,
+                "p99_ms": overall.p99 * 1e3,
+                "bytes_moved": result.cluster_stats["fabric"]["bytes_moved"],
+                "entries": sum(d["entries"].values()),
+                "registrations": d["registrations"],
+                "remote_dup": result.cluster_stats["remote_duplicate_blocks"],
+            }
+        )
+    return baseline, rows
+
+
+def test_cluster_replication_sweep(benchmark, scale):
+    baseline, rows = benchmark(run_replication_sweep, scale)
+    text = render_table(
+        "Replicated directory: R x consistency sweep (4 nodes)",
+        ["R", "level", "ack", "mean (ms)", "p99 (ms)", "fabric bytes", "entries"],
+        [
+            [
+                r["replication"],
+                r["consistency"],
+                r["need"],
+                r["mean_ms"],
+                r["p99_ms"],
+                r["bytes_moved"],
+                r["entries"],
+            ]
+            for r in rows
+        ],
+        note="replication buys kill tolerance with wire bytes, never dedup",
+    )
+    emit("cluster_replication_sweep", text)
+
+    overall = baseline.metrics.overall_summary()
+    # R=1 armed is the legacy sharded directory, bit for bit
+    assert rows[0]["mean_ms"] == overall.mean * 1e3
+    assert rows[0]["p99_ms"] == overall.p99 * 1e3
+    # entry placement is exactly "required acks" copies per first write
+    for r in rows:
+        assert r["entries"] == r["need"] * r["registrations"]
+    # consistency changes wire cost, never what dedup finds
+    assert len({r["remote_dup"] for r in rows}) == 1
+    # wire bytes grow with the ack count and nothing else
+    by_need = sorted(rows, key=lambda r: r["need"])
+    bytes_by_need = [r["bytes_moved"] for r in by_need]
+    assert all(b >= a for a, b in zip(bytes_by_need, bytes_by_need[1:]))
+    assert by_need[-1]["bytes_moved"] > by_need[0]["bytes_moved"]
 
 
 def test_cluster_latency_sensitivity(benchmark, scale):

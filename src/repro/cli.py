@@ -136,10 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "N requests per batch (bit-identical to the default "
                           "event loop, several times faster; incompatible "
                           "configs fall back silently)")
-    run.add_argument("--chunking", default=None, metavar="MIN:AVG:MAX",
+    run.add_argument("--chunking", default=None, metavar="[ALGO:]MIN:AVG:MAX",
                      help="enable content-defined chunking with the given "
                           "chunk bounds in 4 KB blocks (AVG must be a power "
-                          "of two), or 'gear' for the defaults (2:4:16)")
+                          "of two); ALGO is 'gear' or 'rabin', and a bare "
+                          "'gear'/'rabin' takes the default bounds (2:4:16)")
     run.add_argument("--sanitize-every", type=int, default=1000, metavar="N",
                      help="structural-check cadence in requests "
                      "(with --check-invariants; default 1000)")
@@ -246,6 +247,37 @@ def build_parser() -> argparse.ArgumentParser:
                          "disk id = node * ndisks + member); repeatable. "
                          "A window overlapping a leased rebuild exercises "
                          "stale-lease recovery")
+    cluster.add_argument("--replication", type=int, default=None, metavar="R",
+                         help="arm the replicated fingerprint directory with "
+                         "R-way replica placement (R=1 pins the legacy "
+                         "single-copy arithmetic)")
+    cluster.add_argument("--consistency", choices=["one", "quorum", "all"],
+                         default="quorum",
+                         help="directory read/write consistency level "
+                         "(with --replication; default quorum)")
+    cluster.add_argument("--gc", nargs="?", const="online",
+                         choices=["online", "stw"], default=None,
+                         help="refcount garbage collection over the "
+                         "replicated directory: 'online' (leased job; "
+                         "implies --jobs) or 'stw' (stop-the-world "
+                         "baseline). Implies --replication 1 if unset")
+    cluster.add_argument("--gc-start", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="earliest simulated time GC may run "
+                         "(default 0)")
+    cluster.add_argument("--gc-interval", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="online GC: pause between job steps "
+                         "(default 0.05)")
+    cluster.add_argument("--gc-batch", type=int, default=64, metavar="N",
+                         help="online GC: decrement intents per step "
+                         "(default 64)")
+    cluster.add_argument("--kill-metadata-node", default=None,
+                         metavar="NODE:SECONDS", dest="kill_metadata_node",
+                         help="kill one node's directory replica at a "
+                         "simulated time (data plane unaffected); degraded "
+                         "lookups fall back to surviving replicas and "
+                         "trigger read repair")
     cluster.add_argument("--verify-content", action="store_true",
                          help="arm a per-node content oracle that checks "
                          "every read against the write history")
@@ -388,7 +420,8 @@ def _print_result(result) -> None:
 def _chunking_config(args: argparse.Namespace):
     """Parse ``--chunking`` into a :class:`ChunkingConfig`, if given.
 
-    Accepts ``gear`` (defaults) or ``MIN:AVG:MAX`` in 4 KB blocks.
+    Accepts ``gear`` or ``rabin`` (default bounds) or
+    ``[ALGO:]MIN:AVG:MAX`` in 4 KB blocks.
     """
     from repro.dedup.chunking import ChunkingConfig
     from repro.errors import ConfigError
@@ -396,12 +429,17 @@ def _chunking_config(args: argparse.Namespace):
     spec = getattr(args, "chunking", None)
     if spec is None:
         return None
-    if spec == "gear":
-        return ChunkingConfig()
+    if spec in ("gear", "rabin"):
+        return ChunkingConfig(algorithm=spec)
     parts = spec.split(":")
+    algorithm = "gear"
+    if parts and parts[0] in ("gear", "rabin"):
+        algorithm = parts[0]
+        parts = parts[1:]
     if len(parts) != 3:
         raise ConfigError(
-            f"--chunking expects 'gear' or MIN:AVG:MAX, got {spec!r}"
+            f"--chunking expects 'gear', 'rabin' or [ALGO:]MIN:AVG:MAX, "
+            f"got {spec!r}"
         )
     try:
         lo, avg, hi = (int(p) for p in parts)
@@ -409,7 +447,9 @@ def _chunking_config(args: argparse.Namespace):
         raise ConfigError(
             f"--chunking bounds must be integers, got {spec!r}"
         ) from None
-    return ChunkingConfig(min_blocks=lo, avg_blocks=avg, max_blocks=hi)
+    return ChunkingConfig(
+        min_blocks=lo, avg_blocks=avg, max_blocks=hi, algorithm=algorithm
+    )
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -480,6 +520,56 @@ def _jobs_config(args: argparse.Namespace):
             admission=AdmissionSpec(rate_blocks=rate, burst_blocks=burst),
         )
     return config
+
+
+def _directory_config(args: argparse.Namespace):
+    """Resolve the replicated-directory flags (or None = legacy path).
+
+    ``--gc`` and ``--kill-metadata-node`` imply ``--replication 1`` so
+    the single-knob cases work; ``--gc online`` additionally implies
+    ``--jobs`` (handled by the caller).
+    """
+    from repro.cluster.directory import (
+        Consistency,
+        DirectoryConfig,
+        GcSpec,
+        KillSpec,
+    )
+    from repro.errors import ConfigError
+
+    replication = getattr(args, "replication", None)
+    gc_mode = getattr(args, "gc", None)
+    kill = getattr(args, "kill_metadata_node", None)
+    if replication is None and gc_mode is None and kill is None:
+        return None
+    gc = None
+    if gc_mode is not None:
+        gc = GcSpec(
+            start=args.gc_start,
+            interval=args.gc_interval,
+            batch=args.gc_batch,
+            mode=gc_mode,
+        )
+    kill_spec = None
+    if kill is not None:
+        parts = kill.split(":")
+        if len(parts) != 2:
+            raise ConfigError(
+                f"--kill-metadata-node expects NODE:SECONDS, got {kill!r}"
+            )
+        try:
+            kill_spec = KillSpec(node=int(parts[0]), time=float(parts[1]))
+        except ValueError:
+            raise ConfigError(
+                f"--kill-metadata-node expects numeric NODE:SECONDS, "
+                f"got {kill!r}"
+            ) from None
+    return DirectoryConfig(
+        replication=replication if replication is not None else 1,
+        consistency=Consistency(args.consistency),
+        gc=gc,
+        kill=kill_spec,
+    )
 
 
 def _print_jobs_summary(result) -> None:
@@ -808,6 +898,7 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
                 f"--fail-slow expects numeric DISK:START:END:MULT, "
                 f"got {spec_str!r}"
             )
+    directory_config = _directory_config(args)
     cluster_kwargs = dict(
         net=NetworkModel(**net_kwargs),
         rebalance=rebalance,
@@ -818,8 +909,20 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
         cluster_kwargs["fail_slow"] = tuple(fail_slow)
     if args.vnodes is not None:
         cluster_kwargs["vnodes"] = args.vnodes
+    if directory_config is not None:
+        cluster_kwargs["directory"] = directory_config
     cluster_config = ClusterConfig(**cluster_kwargs)
     jobs_config = _jobs_config(args)
+    if (
+        directory_config is not None
+        and directory_config.gc is not None
+        and directory_config.gc.mode == "online"
+        and jobs_config is None
+    ):
+        # Online GC runs as a leased job: --gc implies --jobs.
+        from repro.jobs import JobsConfig
+
+        jobs_config = JobsConfig()
     replay_config = ReplayConfig(
         check_invariants=args.check_invariants,
         sanitize_every=args.sanitize_every,
@@ -879,6 +982,24 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
             print(f"node failure: node {nf.get('node')} disk {nf.get('disk')} "
                   f"rebuild done={nf.get('done')} "
                   f"progress={nf.get('progress', 0.0):.2f}")
+        dstats = cs.get("directory")
+        if dstats is not None:
+            print(f"directory: R={dstats.get('replication')} "
+                  f"{dstats.get('consistency')}, "
+                  f"{dstats.get('read_repairs', 0)} read repairs "
+                  f"({dstats.get('repair_pushes', 0)} pushes), "
+                  f"{dstats.get('degraded_lookups', 0)} degraded / "
+                  f"{dstats.get('unavailable_lookups', 0)} unavailable lookups, "
+                  f"{dstats.get('remote_refs_registered', 0)} remote refs, "
+                  f"down={dstats.get('down_members', [])}")
+            gcs = dstats.get("gc")
+            if gcs is not None:
+                print(f"gc[{gcs.get('mode')}]: "
+                      f"{gcs.get('gc_reclaimed_blocks', 0)} blocks reclaimed, "
+                      f"{gcs.get('decrements_applied', 0)} decrements applied, "
+                      f"{gcs.get('gc_live_skips', 0)} live skips, "
+                      f"{gcs.get('gc_pending_intents', 0)} pending intents, "
+                      f"{gcs.get('journal_records', 0)} journal records")
         for oracle in cs.get("oracle", []):
             print(f"oracle node{oracle.get('node')}: "
                   f"{oracle.get('blocks_checked', 0)} blocks checked, "
@@ -911,6 +1032,21 @@ def cmd_run_cluster(args: argparse.Namespace) -> int:
             config_doc["fail_slow"] = list(args.fail_slow)
         if jobs_config is not None:
             config_doc["jobs"] = jobs_config.as_dict()
+        if directory_config is not None:
+            config_doc["replication"] = directory_config.replication
+            config_doc["consistency"] = directory_config.consistency.value
+            if directory_config.gc is not None:
+                config_doc["gc"] = {
+                    "mode": directory_config.gc.mode,
+                    "start": directory_config.gc.start,
+                    "interval": directory_config.gc.interval,
+                    "batch": directory_config.gc.batch,
+                }
+            if directory_config.kill is not None:
+                config_doc["kill_metadata_node"] = {
+                    "node": directory_config.kill.node,
+                    "time": directory_config.kill.time,
+                }
         report = build_run_report(
             result,
             seed=args.seed,

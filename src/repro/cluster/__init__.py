@@ -14,6 +14,13 @@ CLI entry point.
 
 from __future__ import annotations
 
+from repro.cluster.directory import (
+    Consistency,
+    DirectoryConfig,
+    GcSpec,
+    KillSpec,
+    ReplicatedDirectory,
+)
 from repro.cluster.netmodel import NetworkFabric, NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.rebalance import RebalanceSpec, ShardMigrator
@@ -23,11 +30,16 @@ from repro.cluster.router import DEFAULT_VNODES, FingerprintRouter, mix64
 __all__ = [
     "ClusterConfig",
     "ClusterNode",
+    "Consistency",
     "DEFAULT_VNODES",
+    "DirectoryConfig",
     "FingerprintRouter",
+    "GcSpec",
+    "KillSpec",
     "NetworkFabric",
     "NetworkModel",
     "RebalanceSpec",
+    "ReplicatedDirectory",
     "ShardMigrator",
     "mix64",
     "replay_cluster",

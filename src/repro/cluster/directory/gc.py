@@ -1,0 +1,308 @@
+"""Online refcount garbage collection for the replicated directory.
+
+casstor reclaims dedup space in a stop-the-world "cleanup time"
+window: foreground I/O drains, the directory is swept, and writes
+resume afterwards.  This module replaces that with an *online* GC
+built from the pieces earlier PRs proved out:
+
+* overwrites queue **decrement intents** on the directory (the truth
+  counter ``live_counts`` drops immediately; the replicated ``refs``
+  decrement is deferred);
+* a :class:`GcJob` -- a leased job in the PR 9 runtime -- consumes the
+  intent queue in bounded batches under plan/commit separation: the
+  step *plans* a batch from the committed cursor and charges its wire
+  cost, the fenced *commit* applies the decrements, so a stale worker
+  (lease lost mid fail-slow window) can never double-decrement;
+* every applied decrement and every reclaim is journaled write-ahead
+  through a :class:`~repro.storage.journal.MapJournal`
+  (fingerprint -> refs records), so the replicated refcounts are
+  recoverable from checkpoint + log replay;
+* an entry is **reclaimed** only when its refs have drained to zero
+  *and* the independent truth counter agrees no live block still
+  holds the content -- a disagreement is counted (``live_skips``) and
+  the entry survives, which is the "no live block is ever collected"
+  guarantee the acceptance criteria pin.
+
+The stop-the-world baseline (:meth:`RefcountGc.drain_all`) processes
+the whole intent queue in one synchronous sweep; the replay driver
+charges it as a foreground admission stall, which is exactly the
+casstor disruption `benchmarks/bench_gc_disruption.py` measures
+against the online job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError, ConfigError
+from repro.jobs.jobs import LeasedJob, SendFn, Step
+from repro.storage.journal import MapJournal
+
+if TYPE_CHECKING:  # imported by quorum.py; break the cycle at runtime
+    from repro.cluster.directory.quorum import ReplicatedDirectory
+
+#: GC execution modes.
+MODE_ONLINE = "online"
+MODE_STW = "stw"
+
+
+@dataclass(frozen=True)
+class GcSpec:
+    """Refcount-GC knobs (frozen; rides inside DirectoryConfig).
+
+    Attributes
+    ----------
+    start:
+        Simulated time the first GC round may run.
+    interval:
+        Online mode: seconds between GC job steps.
+    batch:
+        Online mode: decrement intents consumed per step.
+    rounds:
+        Online mode: fixed number of job steps (the leased-job ledger
+        needs a known total).  ``None`` lets the replay size the job
+        to the trace horizon.
+    entry_cost:
+        Seconds of directory processing per intent -- background pacing
+        online, a foreground stall in stop-the-world mode.
+    mode:
+        ``"online"`` (leased job) or ``"stw"`` (casstor-style
+        stop-the-world sweep at ``start``).
+    """
+
+    start: float = 0.0
+    interval: float = 0.05
+    batch: int = 64
+    rounds: Optional[int] = None
+    entry_cost: float = 2e-05
+    mode: str = MODE_ONLINE
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"gc start must be >= 0, got {self.start}")
+        if self.interval <= 0:
+            raise ConfigError(f"gc interval must be positive, got {self.interval}")
+        if self.batch < 1:
+            raise ConfigError(f"gc batch must be >= 1, got {self.batch}")
+        if self.rounds is not None and self.rounds < 1:
+            raise ConfigError(f"gc rounds must be >= 1, got {self.rounds}")
+        if self.entry_cost < 0:
+            raise ConfigError(f"negative gc entry_cost {self.entry_cost}")
+        if self.mode not in (MODE_ONLINE, MODE_STW):
+            raise ConfigError(
+                f"gc mode must be {MODE_ONLINE!r} or {MODE_STW!r}, got {self.mode!r}"
+            )
+
+
+class RefcountGc:
+    """Fenced consumer of the directory's decrement-intent queue.
+
+    Mirrors the :class:`~repro.cluster.rebalance.ShardMigrator`
+    plan/commit idiom: :meth:`plan_decrements` is a pure read from the
+    committed ``cursor``, :meth:`commit_decrements` refuses any batch
+    whose start does not match it, so a superseded worker's late
+    commit is rejected rather than double-applied.
+    """
+
+    def __init__(self, directory: "ReplicatedDirectory") -> None:
+        self.directory = directory
+        #: Committed cursor into ``directory.decrement_intents``.
+        self.cursor = 0
+        self.journal = MapJournal()
+        # -- counters ---------------------------------------------------
+        self.decrements_applied = 0
+        self.reclaimed_blocks = 0
+        self.live_skips = 0
+        self.orphan_decrements = 0
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # plan (pure) / commit (fenced)
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Intents enqueued but not yet committed."""
+        return len(self.directory.decrement_intents) - self.cursor
+
+    def plan_decrements(self, start: int, batch: int) -> Tuple[List[int], int]:
+        """The next ``batch`` intents from ``start``; mutates nothing."""
+        if start != self.cursor:
+            raise ClusterError(
+                f"gc plan from {start} but committed cursor is {self.cursor}"
+            )
+        if batch < 1:
+            raise ClusterError(f"gc batch must be >= 1, got {batch}")
+        intents = self.directory.decrement_intents
+        end = min(start + batch, len(intents))
+        return list(intents[start:end]), end
+
+    def plan_links(self, fingerprints: List[int]) -> Dict[Tuple[int, int], int]:
+        """Per-link wire batches for a planned batch: the primary
+        (live) replica coordinates each decrement and pushes one entry
+        to every other live replica."""
+        links: Dict[Tuple[int, int], int] = {}
+        for fp in fingerprints:
+            live = self.directory.live_replicas(fp)
+            if len(live) < 2:
+                continue
+            src = live[0]
+            for dst in live[1:]:
+                key = (src, dst)
+                links[key] = links.get(key, 0) + 1
+        return links
+
+    def commit_decrements(self, start: int, end: int) -> None:
+        """Apply the batch ``[start, end)``.  Epoch-fenced twice: the
+        job store rejects stale workers, and this cursor check rejects
+        any replayed or out-of-order commit outright."""
+        if start != self.cursor:
+            raise ClusterError(
+                f"gc commit [{start}, {end}) but committed cursor is {self.cursor}"
+            )
+        if end < start or end > len(self.directory.decrement_intents):
+            raise ClusterError(f"gc commit range [{start}, {end}) out of bounds")
+        for i in range(start, end):
+            self._apply_decrement(self.directory.decrement_intents[i])
+        self.cursor = end
+        self.rounds_run += 1
+
+    def _apply_decrement(self, fingerprint: int) -> None:
+        directory = self.directory
+        live = directory.live_replicas(fingerprint)
+        holders = [m for m in live if fingerprint in directory.tables[m]]
+        if not holders:
+            # Entry never reached a surviving replica (registered while
+            # unavailable, or already reclaimed): nothing to decrement.
+            self.orphan_decrements += 1
+            return
+        for m in holders:
+            directory.tables[m][fingerprint].refs -= 1
+        self.decrements_applied += 1
+        remaining = max(directory.tables[m][fingerprint].refs for m in holders)
+        self.journal.append_set(fingerprint, max(remaining, 0))
+        if remaining > 0:
+            return
+        if directory.live_counts.get(fingerprint, 0) > 0:
+            # Replicated refs drained but the truth counter says a live
+            # block still holds this content (divergence the contacted
+            # window never repaired): refuse to reclaim.
+            self.live_skips += 1
+            return
+        for m in holders:
+            del directory.tables[m][fingerprint]
+        self.journal.append_clear(fingerprint)
+        self.reclaimed_blocks += 1
+
+    # ------------------------------------------------------------------
+    # stop-the-world baseline
+    # ------------------------------------------------------------------
+
+    def drain_all(self) -> int:
+        """casstor's cleanup time: synchronously consume every pending
+        intent.  Returns the number of intents processed (the driver
+        charges ``entry_cost`` per intent as a foreground stall)."""
+        start = self.cursor
+        end = len(self.directory.decrement_intents)
+        if end > start:
+            self.commit_decrements(start, end)
+        return end - start
+
+    # ------------------------------------------------------------------
+    # recovery + summaries
+    # ------------------------------------------------------------------
+
+    def refcount_view(self) -> Dict[int, int]:
+        """The converged fingerprint -> refs map (max over live
+        replicas) -- the state journal replay must reproduce."""
+        out: Dict[int, int] = {}
+        for m in sorted(self.directory.tables):
+            if m in self.directory.down:
+                continue
+            table = self.directory.tables[m]
+            for fp in sorted(table):
+                refs = table[fp].refs
+                if fp not in out or refs > out[fp]:
+                    out[fp] = refs
+        return out
+
+    def checkpoint(self) -> None:
+        """Fold the current refcount view into the journal checkpoint."""
+        self.journal.checkpoint(self.refcount_view())
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "decrements_applied": self.decrements_applied,
+            "gc_reclaimed_blocks": self.reclaimed_blocks,
+            "gc_live_skips": self.live_skips,
+            "gc_orphan_decrements": self.orphan_decrements,
+            "gc_pending_intents": self.pending,
+            "gc_rounds": self.rounds_run,
+            "journal_records": self.journal.records_appended,
+            "journal_checkpoints": self.journal.checkpoints_taken,
+        }
+
+
+class GcJob(LeasedJob):
+    """Online refcount GC as a leased job (PR 9 runtime).
+
+    The ledger needs a fixed total, but the intent queue grows while
+    the replay runs -- so the job's cursor is the *round* index over a
+    fixed number of rounds, each consuming up to ``batch`` intents
+    from the GC's own fenced cursor.  Rounds that find the queue empty
+    complete instantly; intents arriving after the last round are
+    reported as ``gc_pending_intents``.
+    """
+
+    kind = "gc"
+
+    def __init__(
+        self,
+        gc: RefcountGc,
+        batch: int,
+        rounds: int,
+        entry_cost: float,
+        send: SendFn,
+    ) -> None:
+        if batch < 1:
+            raise ClusterError(f"gc batch must be >= 1, got {batch}")
+        if rounds < 1:
+            raise ClusterError(f"gc rounds must be >= 1, got {rounds}")
+        self.gc = gc
+        self.batch = batch
+        self.rounds_total = rounds
+        self.entry_cost = entry_cost
+        self._send = send
+        #: Committed cursor: rounds fully applied.
+        self.rounds_done = 0
+
+    def done(self) -> bool:
+        return self.rounds_done >= self.rounds_total
+
+    def progress(self) -> float:
+        return self.rounds_done / self.rounds_total
+
+    def total(self) -> int:
+        return self.rounds_total
+
+    def run_step(self, now: float) -> Step:
+        round_start = self.rounds_done
+        start = self.gc.cursor
+        fingerprints, end = self.gc.plan_decrements(start, self.batch)
+        links = self.gc.plan_links(fingerprints)
+        wire = self._send(links) if links else now
+        completion = max(wire, now + self.entry_cost * len(fingerprints))
+
+        def commit() -> None:
+            if end > start:
+                self.gc.commit_decrements(start, end)
+            self.rounds_done = round_start + 1
+
+        return Step(completion, (round_start, round_start + 1), commit)
+
+    def summary(self) -> Dict[str, object]:
+        out = dict(self.gc.summary())
+        out["rounds_total"] = self.rounds_total
+        out["rounds_done"] = self.rounds_done
+        return out

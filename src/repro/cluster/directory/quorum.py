@@ -1,0 +1,368 @@
+"""Consistency levels, read-repair and the replicated directory state.
+
+The replicated fingerprint directory stores one
+:class:`DirectoryEntry` per fingerprint on the R-way replica set named
+by :mod:`repro.cluster.directory.replica`.  Lookups and registrations
+contact the first ``required(level, R)`` *live* replicas in preference
+order -- casstor's tunable consistency over the Cassandra directory:
+
+===========  ==========================  =================================
+level        replicas contacted          survives (metadata) node kills
+===========  ==========================  =================================
+``one``      1                           R-1, but lookups may miss entries
+``quorum``   floor(R/2)+1                floor((R-1)/2) with no lost entry
+``all``      R                           0 without degrading
+===========  ==========================  =================================
+
+A killed metadata node (:class:`KillSpec`) stops answering directory
+RPCs; its *data plane* keeps serving I/O.  Lookups route around it:
+when fewer than ``required`` replicas are live the lookup degrades to
+the survivors (``degraded_lookups``), and when none are live the
+fingerprint is treated as unique -- POD's miss-as-unique semantics,
+counted as ``unavailable_lookups``.
+
+Because writes only reach the contacted subset, replicas diverge: a
+kill shifts the contact window onto a replica that never saw the
+registration.  A lookup that observes divergence among the replicas it
+contacted pushes the winning entry (lowest registration sequence --
+the true first writer) to the stale ones and counts a *read repair*;
+the driver charges the push's per-link wire cost and emits a
+``directory.repair`` span.
+
+Remote-reference bookkeeping rides the same machinery: every logical
+block that holds a fingerprint's content registers a reference on the
+contacted replicas (``refs``), every overwrite queues a decrement
+intent, and the online GC (:mod:`repro.cluster.directory.gc`) applies
+the decrements in journaled, lease-fenced batches.  ``live_counts`` is
+the independently maintained ground truth (blocks currently holding
+each content) that proves no live entry is ever collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.directory.gc import GcSpec
+from repro.cluster.directory.replica import ReplicaPlacer
+from repro.cluster.router import FingerprintRouter
+from repro.errors import ClusterError
+
+
+class Consistency(str, Enum):
+    """Read/write consistency level of the replicated directory."""
+
+    ONE = "one"
+    QUORUM = "quorum"
+    ALL = "all"
+
+
+def required(level: Consistency, replication: int) -> int:
+    """Replicas that must acknowledge a lookup or registration."""
+    if replication < 1:
+        raise ClusterError(f"replication factor must be >= 1, got {replication}")
+    if level is Consistency.ONE:
+        return 1
+    if level is Consistency.QUORUM:
+        return replication // 2 + 1
+    return replication
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Kill one node's *metadata* (directory) role at a simulated time.
+
+    The node's data plane -- its array, scheme and volumes -- keeps
+    serving; only its directory replica stops answering.  Failure
+    detection is modelled as instantaneous cluster-wide knowledge
+    (gossip abstracted away), so peers skip the dead replica rather
+    than paying a timeout.
+    """
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ClusterError(f"negative kill node id {self.node}")
+        if self.time < 0:
+            raise ClusterError(f"kill time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Replicated-directory options (frozen; rides in ClusterConfig).
+
+    ``None`` anywhere a :class:`DirectoryConfig` is accepted means the
+    legacy single-copy sharded directory -- the replay then takes
+    exactly the pre-directory code path and stays bit-identical per
+    seed (golden-tested).
+    """
+
+    replication: int = 1
+    consistency: Consistency = Consistency.QUORUM
+    gc: Optional[GcSpec] = None
+    kill: Optional[KillSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ClusterError(
+                f"replication factor must be >= 1, got {self.replication}"
+            )
+        if not isinstance(self.consistency, Consistency):
+            raise ClusterError(
+                f"unknown consistency level {self.consistency!r}"
+            )
+
+
+class DirectoryEntry:
+    """One replica's copy of a fingerprint's directory record."""
+
+    __slots__ = ("writer", "seq", "refs")
+
+    def __init__(self, writer: int, seq: int, refs: int) -> None:
+        #: First-writer node id (the node owning the physical block).
+        self.writer = writer
+        #: Global registration sequence; the lowest seq wins a
+        #: divergence (it is the true first registration).
+        self.seq = seq
+        #: References: logical blocks cluster-wide holding this content,
+        #: as seen by this replica (views converge via read repair).
+        self.refs = refs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectoryEntry(writer={self.writer}, seq={self.seq}, refs={self.refs})"
+
+
+class LookupResult:
+    """Outcome of one fingerprint lookup+register round."""
+
+    __slots__ = (
+        "contacted",
+        "repairs",
+        "writer",
+        "remote_dup",
+        "registered",
+        "degraded",
+        "unavailable",
+    )
+
+    def __init__(self) -> None:
+        #: Replicas contacted, in preference order (wire cost basis).
+        self.contacted: List[int] = []
+        #: Replicas that received a read-repair push (entry_bytes each).
+        self.repairs: List[int] = []
+        #: Winning first-writer node, or None on a directory miss.
+        self.writer: Optional[int] = None
+        #: True when the winner is a different node than the origin.
+        self.remote_dup = False
+        #: True when this lookup registered a fresh entry.
+        self.registered = False
+        #: Fewer live replicas than the consistency level wanted.
+        self.degraded = False
+        #: No live replica at all; treated as unique, nothing recorded.
+        self.unavailable = False
+
+
+class ReplicatedDirectory:
+    """R-way replicated fingerprint directory with read repair.
+
+    ``tables[m]`` is member ``m``'s replica table (fingerprint ->
+    :class:`DirectoryEntry`).  All mutation goes through
+    :meth:`lookup_register`, :meth:`note_overwrite` and the GC's
+    decrement commits, each deterministic in arrival order.
+    """
+
+    def __init__(
+        self,
+        router: FingerprintRouter,
+        nnodes: int,
+        config: DirectoryConfig,
+    ) -> None:
+        if config.replication > nnodes:
+            raise ClusterError(
+                f"replication factor {config.replication} exceeds the "
+                f"{nnodes}-node cluster"
+            )
+        self.config = config
+        self.placer = ReplicaPlacer(router, config.replication)
+        self.tables: Dict[int, Dict[int, DirectoryEntry]] = {
+            n: {} for n in range(nnodes)
+        }
+        #: Members whose directory replica is dead (KillSpec fired).
+        self.down: Set[int] = set()
+        #: Ground truth: content fingerprint -> logical blocks holding
+        #: it right now, maintained by plain counting independent of
+        #: the replicated refs (the "no live block collected" witness).
+        self.live_counts: Dict[int, int] = {}
+        #: Queued refcount-decrement intents, in overwrite order.
+        self.decrement_intents: List[int] = []
+        self._seq = 0
+        # -- counters ---------------------------------------------------
+        self.lookups = 0
+        self.registrations = 0
+        self.read_repairs = 0
+        self.repair_pushes = 0
+        self.degraded_lookups = 0
+        self.unavailable_lookups = 0
+        self.remote_refs_registered = 0
+        self.kills = 0
+        #: Per-member service counters (replica-side view).
+        self.lookups_served: Dict[int, int] = {n: 0 for n in range(nnodes)}
+        self.repairs_received: Dict[int, int] = {n: 0 for n in range(nnodes)}
+
+    # ------------------------------------------------------------------
+    # membership / failure
+    # ------------------------------------------------------------------
+
+    def kill(self, member: int) -> None:
+        """Stop ``member``'s directory replica answering (data plane
+        unaffected).  Idempotent."""
+        if member not in self.tables:
+            raise ClusterError(f"kill names unknown member {member}")
+        if member not in self.down:
+            self.down.add(member)
+            self.kills += 1
+
+    def live_replicas(self, fingerprint: int) -> List[int]:
+        """Preference-ordered replica set minus dead members."""
+        return [m for m in self.placer.replicas(fingerprint) if m not in self.down]
+
+    # ------------------------------------------------------------------
+    # the lookup + register + read-repair round
+    # ------------------------------------------------------------------
+
+    def lookup_register(
+        self, fingerprint: int, origin: int, new_holder: bool
+    ) -> LookupResult:
+        """One write block's directory round.
+
+        Consults the first ``required`` live replicas in preference
+        order; registers a fresh first-writer entry on a miss; repairs
+        divergent contacted replicas on a hit; and (when ``new_holder``)
+        counts one more logical block holding this content.  Returns
+        everything the driver needs to charge wire costs.
+        """
+        self.lookups += 1
+        res = LookupResult()
+        if new_holder:
+            self.live_counts[fingerprint] = (
+                self.live_counts.get(fingerprint, 0) + 1
+            )
+        live = self.live_replicas(fingerprint)
+        need = required(self.config.consistency, self.config.replication)
+        if not live:
+            # Every replica dead: miss-as-unique, nothing recorded.
+            self.unavailable_lookups += 1
+            res.unavailable = True
+            return res
+        if len(live) < need:
+            self.degraded_lookups += 1
+            res.degraded = True
+            need = len(live)
+        contacted = live[:need]
+        res.contacted = contacted
+        for m in contacted:
+            self.lookups_served[m] += 1
+        entries: List[Tuple[int, Optional[DirectoryEntry]]] = [
+            (m, self.tables[m].get(fingerprint)) for m in contacted
+        ]
+        present: List[Tuple[int, DirectoryEntry]] = [
+            (m, e) for m, e in entries if e is not None
+        ]
+        if present:
+            winner = min(present, key=lambda me: me[1].seq)[1]
+            res.writer = winner.writer
+            if winner.writer != origin:
+                res.remote_dup = True
+            # Read repair: contacted replicas whose copy is missing or
+            # lost the seq race re-converge to the winner.
+            stale = [m for m, e in entries if e is None or e.seq != winner.seq]
+            if stale:
+                self.read_repairs += 1
+                self.repair_pushes += len(stale)
+                res.repairs = stale
+                for m in stale:
+                    self.repairs_received[m] += 1
+                    self.tables[m][fingerprint] = DirectoryEntry(
+                        winner.writer, winner.seq, winner.refs
+                    )
+            if new_holder:
+                if res.remote_dup:
+                    self.remote_refs_registered += 1
+                for m in contacted:
+                    entry = self.tables[m].get(fingerprint)
+                    if entry is not None:
+                        entry.refs += 1
+        else:
+            # Directory miss: register origin as first writer on the
+            # contacted replicas (the uncontacted ones stay stale until
+            # a read repair finds them).
+            self._seq += 1
+            self.registrations += 1
+            res.registered = True
+            for m in contacted:
+                self.tables[m][fingerprint] = DirectoryEntry(
+                    origin, self._seq, 1
+                )
+        return res
+
+    # ------------------------------------------------------------------
+    # refcount decrements (consumed by the GC)
+    # ------------------------------------------------------------------
+
+    def note_overwrite(self, old_fingerprint: int) -> None:
+        """A logical block stopped holding ``old_fingerprint``: truth
+        count drops now, the replicated decrement is deferred to GC."""
+        count = self.live_counts.get(old_fingerprint, 0)
+        if count > 1:
+            self.live_counts[old_fingerprint] = count - 1
+        elif count == 1:
+            del self.live_counts[old_fingerprint]
+        self.decrement_intents.append(old_fingerprint)
+
+    @property
+    def pending_decrements(self) -> int:
+        """Intents enqueued and not yet consumed by a GC commit
+        (the GC owns the consumption cursor)."""
+        return len(self.decrement_intents)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def entries_by_member(self) -> Dict[str, int]:
+        return {
+            str(member): len(self.tables[member])
+            for member in sorted(self.tables)
+        }
+
+    def member_summary(self, member: int) -> Dict[str, object]:
+        """Per-node directory section for the run report."""
+        table = self.tables[member]
+        return {
+            "entries": len(table),
+            "refs": sum(table[fp].refs for fp in sorted(table)),
+            "lookups_served": self.lookups_served[member],
+            "repairs_received": self.repairs_received[member],
+            "down": member in self.down,
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Cluster-level directory section for the run report."""
+        return {
+            "replication": self.config.replication,
+            "consistency": self.config.consistency.value,
+            "lookups": self.lookups,
+            "registrations": self.registrations,
+            "read_repairs": self.read_repairs,
+            "repair_pushes": self.repair_pushes,
+            "degraded_lookups": self.degraded_lookups,
+            "unavailable_lookups": self.unavailable_lookups,
+            "remote_refs_registered": self.remote_refs_registered,
+            "entries": self.entries_by_member(),
+            "live_fingerprints": len(self.live_counts),
+            "down_members": sorted(self.down),
+            "kills": self.kills,
+        }

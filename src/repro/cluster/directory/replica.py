@@ -1,0 +1,71 @@
+"""R-way replica placement on the splitmix64 vnode ring.
+
+The replicated fingerprint directory stores every entry on the first
+``R`` *distinct* ring members clockwise from the fingerprint's hash --
+the classic consistent-hash preference list (Dynamo/Cassandra style,
+the casstor layout).  Placement is a pure function of the ring state:
+
+* ``replicas(router, fp, 1)[0] == router.route(fp)`` -- the primary is
+  exactly the sharded single-copy owner, which is what lets the R=1
+  directory path reproduce the legacy cluster bit-for-bit;
+* membership changes disrupt placement boundedly: removing a member
+  that is *not* in a fingerprint's replica set leaves that set
+  untouched (the exact-removal property, lifted from one owner to R),
+  and removing a member that *is* replaces it while every survivor
+  keeps its preference position;
+* the walk is pure integer arithmetic over frozen tokens -- identical
+  across processes, platforms and seeds.
+
+``tests/properties/test_prop_replicas.py`` pins these properties with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.router import FingerprintRouter
+from repro.errors import ClusterError
+
+
+def replicas(router: FingerprintRouter, fingerprint: int, r: int) -> List[int]:
+    """The ``r`` distinct members holding ``fingerprint``'s directory
+    entry, in preference (ring-walk) order.
+
+    With fewer than ``r`` ring members every member is returned; the
+    caller sees the effective replication factor as ``len(result)``.
+    """
+    if r < 1:
+        raise ClusterError(f"replication factor must be >= 1, got {r}")
+    return router.route_replicas(fingerprint, r)
+
+
+class ReplicaPlacer:
+    """A router bound to a fixed replication factor.
+
+    Thin convenience wrapper so the directory layer asks one object
+    "where does this fingerprint live" without re-threading ``r``
+    through every call site.
+    """
+
+    def __init__(self, router: FingerprintRouter, replication: int) -> None:
+        if replication < 1:
+            raise ClusterError(
+                f"replication factor must be >= 1, got {replication}"
+            )
+        self.router = router
+        self.replication = replication
+
+    def replicas(self, fingerprint: int) -> List[int]:
+        """Preference-ordered replica set for ``fingerprint``."""
+        return self.router.route_replicas(fingerprint, self.replication)
+
+    def primary(self, fingerprint: int) -> int:
+        """The first preference -- identical to ``router.route``."""
+        return self.router.route(fingerprint)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicaPlacer(replication={self.replication}, "
+            f"members={self.router.members})"
+        )

@@ -40,6 +40,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.sanitizer import PodSanitizer
 from repro.baselines.base import DedupScheme, PlannedIO
+from repro.cluster.directory.gc import MODE_ONLINE, GcJob, RefcountGc
+from repro.cluster.directory.quorum import DirectoryConfig, ReplicatedDirectory
 from repro.cluster.netmodel import NetworkFabric, NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.rebalance import RebalanceSpec, ShardMigrator
@@ -93,6 +95,12 @@ class ClusterConfig:
     verify_content:
         Run one end-to-end :class:`~repro.faults.oracle.ContentOracle`
         per node (observation only; raises on any wrong read).
+    directory:
+        The replicated fingerprint directory
+        (:class:`~repro.cluster.directory.quorum.DirectoryConfig`):
+        R-way replica placement, tunable consistency, read repair,
+        metadata-node kills and online refcount GC.  ``None`` keeps
+        the legacy single-copy sharded directory bit-identical.
     """
 
     vnodes: int = 64
@@ -101,6 +109,7 @@ class ClusterConfig:
     node_failure: Optional[NodeFailureSpec] = None
     fail_slow: Tuple[FailSlowSpec, ...] = ()
     verify_content: bool = False
+    directory: Optional[DirectoryConfig] = None
 
     def __post_init__(self) -> None:
         if self.vnodes <= 0:
@@ -234,12 +243,40 @@ def replay_cluster(
             raise ClusterError(
                 f"rebalance removes unknown member {rebalance.remove_node}"
             )
+    directory_cfg = cluster.directory
+    if directory_cfg is not None:
+        if rebalance is not None:
+            raise ConfigError(
+                "the replicated directory and shard rebalancing cannot be "
+                "combined yet (replica sets would race the migration)"
+            )
+        if directory_cfg.replication > nnodes:
+            raise ClusterError(
+                f"replication factor {directory_cfg.replication} exceeds the "
+                f"{nnodes}-node cluster"
+            )
+        if directory_cfg.kill is not None and directory_cfg.kill.node >= nnodes:
+            raise ClusterError(
+                f"kill-metadata-node names unknown node {directory_cfg.kill.node}"
+            )
+        if (
+            directory_cfg.gc is not None
+            and directory_cfg.gc.mode == MODE_ONLINE
+            and config.jobs is None
+        ):
+            raise ConfigError(
+                "online refcount GC runs as a leased job and needs "
+                "ReplayConfig.jobs (pass --jobs, or --gc implies it on the CLI)"
+            )
 
     # -- feature gates (each one must leave the plain N=1 path alone) --
     multi = len(traces) > 1
     multi_node = nnodes > 1
     net_active = multi_node or (rebalance is not None and rebalance.add_nodes > 0)
-    cluster_active = net_active or node_failure is not None or rebalance is not None
+    dir_active = directory_cfg is not None
+    cluster_active = (
+        net_active or node_failure is not None or rebalance is not None or dir_active
+    )
 
     # ------------------------------------------------------------------
     # build the nodes
@@ -337,6 +374,18 @@ def replay_cluster(
     shards: Dict[int, Dict[int, int]] = {n: {} for n in range(nnodes)}
     migration: Dict[str, Optional[ShardMigrator]] = {"migrator": None}
 
+    # -- replicated directory (None = legacy single-copy shards) -------
+    directory: Optional[ReplicatedDirectory] = None
+    refcount_gc: Optional[RefcountGc] = None
+    #: Per-node logical shadow (node-local lba -> fingerprint held) so
+    #: overwrites queue refcount-decrement intents for the old content.
+    block_content: Optional[List[Dict[int, int]]] = None
+    if directory_cfg is not None:
+        directory = ReplicatedDirectory(router, nnodes, directory_cfg)
+        block_content = [{} for _ in range(nnodes)]
+        if directory_cfg.gc is not None:
+            refcount_gc = RefcountGc(directory)
+
     requests, measured_flags = _merge_cluster_streams(traces, bases)
     for request in requests:
         sim.schedule_arrival(request.time, request)
@@ -385,6 +434,72 @@ def replay_cluster(
                     scrub_spec.interval,
                     not_before=scrub_spec.start,
                 )
+        gc_spec = directory_cfg.gc if directory_cfg is not None else None
+        if (
+            refcount_gc is not None
+            and gc_spec is not None
+            and gc_spec.mode == MODE_ONLINE
+        ):
+            # Online refcount GC as a leased job: the ledger needs a
+            # fixed total, so the job runs a fixed number of rounds
+            # sized to the trace horizon, each draining up to ``batch``
+            # decrement intents from the fenced cursor.
+            gc_horizon = requests[-1].time if requests else 0.0
+            gc_rounds = (
+                gc_spec.rounds
+                if gc_spec.rounds is not None
+                else max(
+                    1,
+                    int(max(0.0, gc_horizon - gc_spec.start) / gc_spec.interval)
+                    + 1,
+                )
+            )
+
+            def gc_send(links: Dict[Tuple[int, int], int]) -> float:
+                # Decrement pushes from each entry's coordinating
+                # replica to the others; sunk cost on a fenced step,
+                # exactly like migration sends.
+                done = sim.now
+                for src, dst in sorted(links):
+                    moved = links[(src, dst)]
+                    t = fabric.round_trip(
+                        sim.now, src, dst, moved * cluster.net.entry_bytes
+                    )
+                    if sampler is not None:
+                        sampler.note_rpc(
+                            sim.now,
+                            src,
+                            dst,
+                            moved * cluster.net.entry_bytes,
+                            fabric.last_service,
+                        )
+                    if obs.level >= TraceLevel.CHUNK:
+                        obs.emit(
+                            TraceLevel.CHUNK,
+                            sim.now,
+                            EventType.NET_RPC,
+                            src=src,
+                            dst=dst,
+                            bytes=moved * cluster.net.entry_bytes,
+                            queued=fabric.last_queue_wait,
+                            done=t,
+                        )
+                    if t > done:
+                        done = t
+                return done
+
+            jobs_runtime.submit(
+                "gc",
+                GcJob(
+                    refcount_gc,
+                    gc_spec.batch,
+                    gc_rounds,
+                    gc_spec.entry_cost,
+                    gc_send,
+                ),
+                gc_spec.interval,
+                not_before=gc_spec.start,
+            )
         jobs_runtime.start()
 
     run_name = traces[0].name if not multi else "+".join(t.name for t in traces)
@@ -488,6 +603,120 @@ def replay_cluster(
                 delay = done - now
         return delay, remote_lookups, remote_dups
 
+    def directory_lookup_cost(
+        node: ClusterNode, request: IORequest, now: float, root: int = -1
+    ) -> Tuple[float, int, int]:
+        """Consult the *replicated* directory for one write's blocks.
+
+        Same contract as :func:`remote_lookup_cost` (``(net_delay,
+        remote_lookups, remote_duplicate_blocks)``), but each
+        fingerprint contacts its first ``required`` live replicas,
+        overwrites queue refcount-decrement intents, and divergent
+        replicas get read-repair pushes (charged per link, span-traced
+        as ``directory.repair``).  At R=1 the contacted set is exactly
+        the legacy shard owner, so counts and wire arithmetic reduce
+        to the legacy path block for block.
+        """
+        assert request.fingerprints is not None
+        assert directory is not None and block_content is not None
+        shadow = block_content[node.node_id]
+        per_dst: Dict[int, int] = {}
+        repair_links: Dict[Tuple[int, int], int] = {}
+        remote_dups = 0
+        for i, fp in enumerate(request.fingerprints):
+            lba = request.lba + i
+            old = shadow.get(lba)
+            new_holder = old != fp
+            if old is not None and old != fp:
+                directory.note_overwrite(old)
+            shadow[lba] = fp
+            res = directory.lookup_register(fp, node.node_id, new_holder)
+            for m in res.contacted:
+                if m != node.node_id:
+                    per_dst[m] = per_dst.get(m, 0) + 1
+            for dst in res.repairs:
+                # The origin coordinates the repair push (Cassandra
+                # style): one directory entry per stale replica.
+                key = (node.node_id, dst)
+                repair_links[key] = repair_links.get(key, 0) + 1
+            if res.remote_dup:
+                remote_dups += 1
+        delay = 0.0
+        remote_lookups = 0
+        for dst in sorted(per_dst):
+            count = per_dst[dst]
+            remote_lookups += count
+            done = fabric.round_trip(
+                now, node.node_id, dst, count * cluster.net.lookup_bytes
+            )
+            if sampler is not None:
+                sampler.note_rpc(
+                    now,
+                    node.node_id,
+                    dst,
+                    count * cluster.net.lookup_bytes,
+                    fabric.last_service,
+                )
+            if tracer is not None and root > 0:
+                tracer.emit(
+                    now,
+                    done,
+                    "rpc.lookup",
+                    parent=root,
+                    req_id=request.req_id,
+                    node=node.node_id,
+                    dst=dst,
+                    lookups=count,
+                )
+            if obs.level >= TraceLevel.CHUNK:
+                obs.emit(
+                    TraceLevel.CHUNK,
+                    now,
+                    EventType.NET_RPC,
+                    src=node.node_id,
+                    dst=dst,
+                    bytes=count * cluster.net.lookup_bytes,
+                    queued=fabric.last_queue_wait,
+                    done=done,
+                )
+            if done - now > delay:
+                delay = done - now
+        for src, dst in sorted(repair_links):
+            count = repair_links[(src, dst)]
+            done = fabric.round_trip(
+                now, src, dst, count * cluster.net.entry_bytes
+            )
+            if sampler is not None:
+                sampler.note_rpc(
+                    now, src, dst, count * cluster.net.entry_bytes,
+                    fabric.last_service,
+                )
+            if tracer is not None and root > 0:
+                tracer.emit(
+                    now,
+                    done,
+                    "directory.repair",
+                    parent=root,
+                    req_id=request.req_id,
+                    node=src,
+                    dst=dst,
+                    entries=count,
+                )
+            if obs.level >= TraceLevel.CHUNK:
+                obs.emit(
+                    TraceLevel.CHUNK,
+                    now,
+                    EventType.NET_RPC,
+                    src=src,
+                    dst=dst,
+                    bytes=count * cluster.net.entry_bytes,
+                    queued=fabric.last_queue_wait,
+                    done=done,
+                )
+            if done - now > delay:
+                delay = done - now
+        return delay, remote_lookups, remote_dups
+
     def finish(
         request: IORequest,
         planned: PlannedIO,
@@ -575,6 +804,9 @@ def replay_cluster(
     # boundary -- the first arrival past its volume's warm-up prefix.
     boundary = {"writes": 0, "removed": 0, "taken": total_warmup == 0}
     arrivals = {"count": 0}
+    #: Stop-the-world GC window: arrivals stall until ``until`` while
+    #: the sweep runs (the casstor "cleanup time" the online GC beats).
+    stw_state: Dict[str, float] = {"until": 0.0, "stalled": 0.0, "processed": 0.0}
 
     def handle_request(request: IORequest, arrival: float) -> None:
         now = sim.now
@@ -617,8 +849,13 @@ def replay_cluster(
             else:
                 oracles[node.node_id].check_read(request, node.scheme)
         net_info: Tuple[float, int, int] = (0.0, 0, 0)
-        if net_active and request.is_write and request.fingerprints is not None:
-            net_info = remote_lookup_cost(node, request, now, root)
+        if request.is_write and request.fingerprints is not None and (
+            dir_active or net_active
+        ):
+            if dir_active:
+                net_info = directory_lookup_cost(node, request, now, root)
+            else:
+                net_info = remote_lookup_cost(node, request, now, root)
             node.remote_lookups += net_info[1]
             node.remote_duplicate_blocks += net_info[2]
             node.net_delay_total += net_info[0]
@@ -663,6 +900,12 @@ def replay_cluster(
             finish(request, planned, arrival, cross, net_info, root)
 
     def on_arrival(now: float, request: IORequest) -> None:
+        if stw_state["until"] > now:
+            # Foreground drained for the stop-the-world sweep; the
+            # stall is charged to response time (arrival kept).
+            stw_state["stalled"] += 1
+            sim.schedule_callback(stw_state["until"], handle_request, request, now)
+            return
         if admission is not None:
             # Per-tenant token bucket; the stall is charged to the
             # request's response time (arrival timestamp is kept).
@@ -804,6 +1047,62 @@ def replay_cluster(
             sim.schedule_callback(sim.now + spec.interval, rebuild_tick)
 
         sim.schedule_callback(spec.time, begin_node_failure)
+
+    # ------------------------------------------------------------------
+    # metadata-node kill + stop-the-world GC baseline
+    # ------------------------------------------------------------------
+    if directory is not None and directory_cfg is not None:
+        kill_spec = directory_cfg.kill
+        if kill_spec is not None:
+            kill = kill_spec
+
+            def do_kill() -> None:
+                assert directory is not None
+                directory.kill(kill.node)
+                if sampler is not None:
+                    sampler.note_activity(sim.now, "metadata_kill", 1.0)
+                if obs.level >= TraceLevel.SUMMARY:
+                    obs.emit(
+                        TraceLevel.SUMMARY,
+                        sim.now,
+                        EventType.FAULT_INJECT,
+                        kind="metadata_kill",
+                        detail=(
+                            f"node {kill.node} directory replica down "
+                            "(data plane unaffected)"
+                        ),
+                    )
+
+            sim.schedule_callback(kill.time, do_kill)
+        stw_spec = directory_cfg.gc
+        if (
+            refcount_gc is not None
+            and stw_spec is not None
+            and stw_spec.mode != MODE_ONLINE
+        ):
+            sweep_spec = stw_spec
+
+            def stw_sweep() -> None:
+                assert refcount_gc is not None
+                processed = refcount_gc.drain_all()
+                stall = processed * sweep_spec.entry_cost
+                stw_state["processed"] += processed
+                stw_state["until"] = sim.now + stall
+                if sampler is not None and stall > 0:
+                    sampler.annotate_interval("gc_stw", sim.now, sim.now + stall)
+                if obs.level >= TraceLevel.SUMMARY:
+                    obs.emit(
+                        TraceLevel.SUMMARY,
+                        sim.now,
+                        EventType.FAULT_INJECT,
+                        kind="gc_stw",
+                        detail=(
+                            f"stop-the-world gc: {processed} intents, "
+                            f"{stall:.6f}s foreground stall"
+                        ),
+                    )
+
+            sim.schedule_callback(sweep_spec.start, stw_sweep)
 
     # ------------------------------------------------------------------
     # membership change + paced shard migration
@@ -1013,6 +1312,8 @@ def replay_cluster(
                     "net_delay_total": node.net_delay_total,
                 }
             )
+            if directory is not None:
+                node_entry["directory"] = directory.member_summary(node.node_id)
             node_summaries.append(node_entry)
 
         net = cluster.net
@@ -1032,9 +1333,13 @@ def replay_cluster(
                 n.remote_duplicate_blocks for n in nodes
             ),
             "rebalance_misses": sum(n.rebalance_misses for n in nodes),
-            "shard_entries": {
-                str(member): len(shards[member]) for member in sorted(shards)
-            },
+            "shard_entries": (
+                directory.entries_by_member()
+                if directory is not None
+                else {
+                    str(member): len(shards[member]) for member in sorted(shards)
+                }
+            ),
         }
         migrator = migration["migrator"]
         if rebalance is not None:
@@ -1064,6 +1369,25 @@ def replay_cluster(
                     }
                 )
             cluster_stats["node_failure"] = nf_stats
+        if directory is not None and directory_cfg is not None:
+            dir_stats: Dict[str, Any] = dict(directory.summary())
+            if directory_cfg.kill is not None:
+                dir_stats["kill"] = {
+                    "node": directory_cfg.kill.node,
+                    "time": directory_cfg.kill.time,
+                }
+            if refcount_gc is not None and directory_cfg.gc is not None:
+                gc_stats: Dict[str, Any] = dict(refcount_gc.summary())
+                gc_stats["mode"] = directory_cfg.gc.mode
+                gc_stats["start"] = directory_cfg.gc.start
+                gc_stats["batch"] = directory_cfg.gc.batch
+                if directory_cfg.gc.mode != MODE_ONLINE:
+                    gc_stats["stw_stalled_requests"] = int(stw_state["stalled"])
+                    gc_stats["stw_processed_intents"] = int(
+                        stw_state["processed"]
+                    )
+                dir_stats["gc"] = gc_stats
+            cluster_stats["directory"] = dir_stats
         if oracles is not None:
             cluster_stats["oracle"] = [
                 {"node": node_id, **oracle.summary()}

@@ -27,7 +27,7 @@ bit-for-bit reproducible across seeds, processes and platforms.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.errors import ClusterError
 
@@ -130,6 +130,36 @@ class FingerprintRouter:
     def route_many(self, fingerprints: Sequence[int]) -> List[int]:
         """Vector form of :meth:`route` (preserves order)."""
         return [self.route(fp) for fp in fingerprints]
+
+    def route_replicas(self, fingerprint: int, count: int) -> List[int]:
+        """The first ``count`` *distinct* owners clockwise from the
+        fingerprint's ring position (the replica preference order).
+
+        ``route_replicas(fp, 1) == [route(fp)]`` by construction.  When
+        the ring has fewer than ``count`` members, every member is
+        returned (in preference order).  The walk inherits the ring's
+        membership properties: removing a member not in the returned
+        list cannot change it (its tokens were never reached before the
+        ``count``-th distinct owner), and removing a member that *is*
+        in it shifts only the suffix from that member on -- the
+        bounded-disruption property the replica placement layer
+        (:mod:`repro.cluster.directory.replica`) builds on.
+        """
+        if count < 1:
+            raise ClusterError(f"need at least one replica, got {count}")
+        h = mix64(fingerprint & MASK64)
+        n = len(self._tokens)
+        i = bisect_right(self._tokens, h) % n
+        out: List[int] = []
+        seen: Set[int] = set()
+        for k in range(n):
+            owner = self._owners[(i + k) % n]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
 
     # ------------------------------------------------------------------
 

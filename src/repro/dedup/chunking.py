@@ -55,6 +55,9 @@ __all__ = [
     "gear_hashes",
     "cut_points",
     "GEAR_TABLE",
+    "RABIN_TABLE",
+    "RABIN_MULTIPLIER",
+    "RABIN_WINDOW",
 ]
 
 _MASK64 = (1 << 64) - 1
@@ -91,6 +94,37 @@ GEAR_TABLE: Tuple[int, ...] = _make_gear_table()
 _GEAR_NP = np.asarray(GEAR_TABLE, dtype=np.uint64)
 
 
+def _make_rabin_table(seed: int = 0x504F44) -> Tuple[Tuple[int, ...], int]:
+    """Rabin polynomial table + multiplier from the *same* splitmix64
+    stream as the gear table: the first 256 draws are the gear table's
+    (burned here so the two tables share a seed yet never an entry),
+    the next 256 are the token polynomials, and one final draw (forced
+    odd, hence invertible mod 2^64) is the rolling multiplier."""
+    x = seed
+    for _ in range(256):
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    table = []
+    for _ in range(256):
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        table.append(_splitmix64(x))
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    return tuple(table), _splitmix64(x) | 1
+
+
+#: The Rabin token table and rolling multiplier (splitmix64 stream
+#: continuation past the gear table; multiplier forced odd).
+RABIN_TABLE, RABIN_MULTIPLIER = _make_rabin_table()
+
+#: Rabin window: block tokens contributing to each boundary decision.
+#: Finite memory is what makes cuts insert-invariant -- after WINDOW
+#: identical tokens the hash re-synchronises regardless of prefix.
+RABIN_WINDOW = 8
+
+#: ``RABIN_MULTIPLIER ** RABIN_WINDOW mod 2^64`` -- the coefficient of
+#: the token leaving the window.
+_RABIN_OUT_MULT = pow(RABIN_MULTIPLIER, RABIN_WINDOW, 1 << 64)
+
+
 @dataclass(frozen=True)
 class ChunkingConfig:
     """Content-defined chunking parameters, in 4 KB blocks.
@@ -103,6 +137,7 @@ class ChunkingConfig:
     min_blocks: int = 2
     avg_blocks: int = 4
     max_blocks: int = 16
+    algorithm: str = "gear"
 
     def __post_init__(self) -> None:
         if self.min_blocks < 1:
@@ -113,6 +148,11 @@ class ChunkingConfig:
             raise ConfigError("need min_blocks <= avg_blocks <= max_blocks")
         if self.avg_blocks & (self.avg_blocks - 1):
             raise ConfigError("avg_blocks must be a power of two")
+        if self.algorithm not in ("gear", "rabin"):
+            raise ConfigError(
+                f"chunking algorithm must be 'gear' or 'rabin', "
+                f"got {self.algorithm!r}"
+            )
 
     @property
     def mask(self) -> int:
@@ -134,6 +174,7 @@ class ChunkTransform:
         "_anchor",
         "_offset",
         "_since_cut",
+        "_window",
         "blocks_processed",
         "chunks_formed",
         "forced_cuts",
@@ -145,12 +186,16 @@ class ChunkTransform:
         self._anchor: Optional[int] = None
         self._offset = 0
         self._since_cut = 0
+        #: Rabin only: token values inside the rolling window.
+        self._window: List[int] = []
         self.blocks_processed = 0
         self.chunks_formed = 0
         self.forced_cuts = 0
 
     def transform(self, fingerprints: Tuple[int, ...]) -> Tuple[int, ...]:
         """Effective fingerprints for one write request's blocks."""
+        if self.config.algorithm == "rabin":
+            return self._transform_rabin(fingerprints)
         cfg = self.config
         mask = cfg.mask
         min_blocks = cfg.min_blocks
@@ -186,8 +231,55 @@ class ChunkTransform:
         self.blocks_processed += len(fingerprints)
         return tuple(out)
 
-    def stats(self) -> "dict[str, int]":
+    def _transform_rabin(self, fingerprints: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Rabin variant: a windowed multiplicative rolling hash over
+        the block tokens (``h = h*M + t_in - t_out*M^W mod 2^64``).
+        Same cut rules, anchors and encoding as the Gear path."""
+        cfg = self.config
+        mask = cfg.mask
+        min_blocks = cfg.min_blocks
+        max_blocks = cfg.max_blocks
+        table = RABIN_TABLE
+        mult = RABIN_MULTIPLIER
+        out_mult = _RABIN_OUT_MULT
+        h = self._hash
+        window = self._window
+        anchor = self._anchor
+        offset = self._offset
+        since = self._since_cut
+        out: List[int] = []
+        append = out.append
+        for fp in fingerprints:
+            if anchor is None:
+                anchor = fp
+                offset = 0
+            token = table[fp & 0xFF]
+            h = (h * mult + token) & _MASK64
+            window.append(token)
+            if len(window) > RABIN_WINDOW:
+                h = (h - window.pop(0) * out_mult) & _MASK64
+            append((anchor << OFFSET_BITS) | offset)
+            offset += 1
+            since += 1
+            if since >= max_blocks:
+                self.forced_cuts += 1
+                anchor = None
+                since = 0
+                self.chunks_formed += 1
+            elif since >= min_blocks and (h & mask) == 0:
+                anchor = None
+                since = 0
+                self.chunks_formed += 1
+        self._hash = h
+        self._anchor = anchor
+        self._offset = offset
+        self._since_cut = since
+        self.blocks_processed += len(fingerprints)
+        return tuple(out)
+
+    def stats(self) -> "dict[str, object]":
         return {
+            "algorithm": self.config.algorithm,
             "blocks_processed": self.blocks_processed,
             "chunks_formed": self.chunks_formed,
             "forced_cuts": self.forced_cuts,

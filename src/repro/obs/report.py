@@ -285,6 +285,17 @@ def render_run_report(report: Dict[str, Any]) -> str:
         nf = cluster.get("node_failure")
         if nf:
             crows += [[f"node_failure.{k}", _fmt_val(v)] for k, v in sorted(nf.items())]
+        directory = cluster.get("directory")
+        if directory:
+            gc = directory.get("gc")
+            crows += [
+                [f"directory.{k}", _fmt_val(v)]
+                for k, v in sorted(directory.items())
+                if k != "gc"
+            ]
+            if gc:
+                crows += [[f"directory.gc.{k}", _fmt_val(v)]
+                          for k, v in sorted(gc.items())]
         parts.append(render_table("cluster", ["field", "value"], crows))
 
     hists = report.get("histograms", {})

@@ -1,0 +1,345 @@
+"""Unit tests for the replicated fingerprint directory.
+
+Covers the quorum arithmetic, every :meth:`lookup_register` outcome
+(register / duplicate / read repair / degraded / unavailable), the
+overwrite -> decrement-intent -> GC pipeline with its fencing and
+journaling, and the leased :class:`GcJob` driving it.
+"""
+
+import pytest
+
+from repro.cluster.directory import (
+    Consistency,
+    DirectoryConfig,
+    GcJob,
+    GcSpec,
+    KillSpec,
+    RefcountGc,
+    ReplicatedDirectory,
+    required,
+)
+from repro.cluster.router import FingerprintRouter
+from repro.errors import ClusterError, ConfigError
+
+
+def make_directory(nnodes=3, replication=3, consistency=Consistency.QUORUM):
+    router = FingerprintRouter(list(range(nnodes)), vnodes=32)
+    config = DirectoryConfig(replication=replication, consistency=consistency)
+    return ReplicatedDirectory(router, nnodes, config)
+
+
+class TestConsistencyMath:
+    @pytest.mark.parametrize(
+        "level,r,want",
+        [
+            (Consistency.ONE, 1, 1),
+            (Consistency.ONE, 5, 1),
+            (Consistency.QUORUM, 1, 1),
+            (Consistency.QUORUM, 2, 2),
+            (Consistency.QUORUM, 3, 2),
+            (Consistency.QUORUM, 4, 3),
+            (Consistency.QUORUM, 5, 3),
+            (Consistency.ALL, 1, 1),
+            (Consistency.ALL, 4, 4),
+        ],
+    )
+    def test_required(self, level, r, want):
+        assert required(level, r) == want
+
+    def test_required_rejects_bad_replication(self):
+        with pytest.raises(ClusterError):
+            required(Consistency.QUORUM, 0)
+
+    def test_quorum_overlap(self):
+        """Any two quorums intersect -- the property that makes
+        read-repair sufficient for convergence."""
+        for r in range(1, 8):
+            q = required(Consistency.QUORUM, r)
+            assert 2 * q > r
+
+
+class TestConfigValidation:
+    def test_kill_spec_rejects_negatives(self):
+        with pytest.raises(ClusterError):
+            KillSpec(node=-1, time=0.0)
+        with pytest.raises(ClusterError):
+            KillSpec(node=0, time=-1.0)
+
+    def test_directory_config_rejects_bad_replication(self):
+        with pytest.raises(ClusterError):
+            DirectoryConfig(replication=0)
+
+    def test_directory_config_rejects_non_enum_consistency(self):
+        with pytest.raises(ClusterError):
+            DirectoryConfig(consistency="quorum")  # the string, not the enum
+
+    def test_replication_cannot_exceed_cluster(self):
+        with pytest.raises(ClusterError):
+            make_directory(nnodes=2, replication=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": -1.0},
+            {"interval": 0.0},
+            {"batch": 0},
+            {"rounds": 0},
+            {"entry_cost": -1e-6},
+            {"mode": "offline"},
+        ],
+    )
+    def test_gc_spec_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            GcSpec(**kwargs)
+
+
+class TestLookupRegister:
+    def test_miss_registers_on_contacted_quorum(self):
+        d = make_directory()
+        fp = 42
+        res = d.lookup_register(fp, origin=0, new_holder=True)
+        assert res.registered and res.writer is None and not res.remote_dup
+        assert res.contacted == d.placer.replicas(fp)[:2]  # quorum of 3
+        holders = [m for m in d.tables if fp in d.tables[m]]
+        assert sorted(holders) == sorted(res.contacted)
+        assert d.registrations == 1 and d.live_counts[fp] == 1
+
+    def test_duplicate_same_origin_not_remote(self):
+        d = make_directory()
+        fp = 42
+        first = d.lookup_register(fp, origin=0, new_holder=True)
+        res = d.lookup_register(fp, origin=0, new_holder=True)
+        assert not res.registered and not res.remote_dup
+        assert res.writer == 0
+        assert d.tables[first.contacted[0]][fp].refs == 2
+        assert d.live_counts[fp] == 2
+
+    def test_duplicate_other_origin_is_remote_reference(self):
+        d = make_directory()
+        fp = 42
+        d.lookup_register(fp, origin=0, new_holder=True)
+        res = d.lookup_register(fp, origin=1, new_holder=True)
+        assert res.remote_dup and res.writer == 0
+        assert d.remote_refs_registered == 1
+
+    def test_kill_shifts_window_and_triggers_read_repair(self):
+        d = make_directory()
+        fp = 42
+        first = d.lookup_register(fp, origin=0, new_holder=True)
+        stale = d.placer.replicas(fp)[2]  # uncontacted under quorum
+        assert fp not in d.tables[stale]
+        d.kill(first.contacted[0])
+        res = d.lookup_register(fp, origin=1, new_holder=True)
+        assert res.repairs == [stale]
+        assert d.read_repairs == 1 and d.repair_pushes == 1
+        assert d.repairs_received[stale] == 1
+        repaired = d.tables[stale][fp]
+        assert repaired.writer == 0  # winner: the true first writer
+        assert res.writer == 0 and res.remote_dup
+
+    def test_degraded_below_quorum_still_answers(self):
+        d = make_directory()
+        fp = 42
+        reps = d.placer.replicas(fp)
+        d.lookup_register(fp, origin=0, new_holder=True)
+        d.kill(reps[0])
+        d.kill(reps[1])
+        res = d.lookup_register(fp, origin=0, new_holder=True)
+        assert res.degraded and not res.unavailable
+        assert res.contacted == [reps[2]]
+        assert d.degraded_lookups == 1
+
+    def test_all_replicas_dead_is_miss_as_unique(self):
+        d = make_directory()
+        fp = 42
+        d.lookup_register(fp, origin=0, new_holder=True)
+        for m in d.placer.replicas(fp):
+            d.kill(m)
+        res = d.lookup_register(fp, origin=1, new_holder=True)
+        assert res.unavailable and res.writer is None
+        assert not res.registered  # nothing recorded anywhere
+        assert d.unavailable_lookups == 1
+        # the truth counter still advanced: the block does hold content
+        assert d.live_counts[fp] == 2
+
+    def test_kill_is_idempotent_and_validated(self):
+        d = make_directory()
+        d.kill(1)
+        d.kill(1)
+        assert d.kills == 1 and d.down == {1}
+        with pytest.raises(ClusterError):
+            d.kill(99)
+
+    def test_summary_shape(self):
+        d = make_directory()
+        d.lookup_register(7, origin=0, new_holder=True)
+        s = d.summary()
+        assert s["replication"] == 3 and s["consistency"] == "quorum"
+        assert s["registrations"] == 1 and s["lookups"] == 1
+        assert set(s["entries"]) == {"0", "1", "2"}
+        m = d.member_summary(0)
+        assert set(m) == {
+            "entries", "refs", "lookups_served", "repairs_received", "down",
+        }
+
+
+class TestRefcountGc:
+    def test_overwrite_queues_intent_and_drops_truth(self):
+        d = make_directory()
+        d.lookup_register(7, origin=0, new_holder=True)
+        d.note_overwrite(7)
+        assert 7 not in d.live_counts
+        assert d.pending_decrements == 1
+
+    def test_drain_reclaims_only_dead_content(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        d.lookup_register(7, origin=0, new_holder=True)
+        d.lookup_register(7, origin=1, new_holder=True)  # refs=2, live=2
+        d.note_overwrite(7)  # live=1
+        assert gc.drain_all() == 1
+        assert gc.decrements_applied == 1 and gc.reclaimed_blocks == 0
+        assert d.tables[d.placer.replicas(7)[0]][7].refs == 1
+        d.note_overwrite(7)  # live=0
+        assert gc.drain_all() == 1
+        assert gc.reclaimed_blocks == 1
+        assert all(7 not in d.tables[m] for m in d.tables)
+
+    def test_live_block_never_collected(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        d.lookup_register(7, origin=0, new_holder=True)
+        d.lookup_register(7, origin=1, new_holder=True)  # refs=2, live=2
+        d.note_overwrite(7)  # live=1, one honest intent
+        # A divergent double-queue (the failure GC must survive): refs
+        # would drain to zero while a live block still holds the content.
+        d.decrement_intents.append(7)
+        gc.drain_all()
+        assert gc.live_skips == 1 and gc.reclaimed_blocks == 0
+        assert 7 in d.tables[d.placer.replicas(7)[0]]  # entry survived
+
+    def test_orphan_decrement_counted(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        d.note_overwrite(999)  # fingerprint never registered
+        gc.drain_all()
+        assert gc.orphan_decrements == 1 and gc.decrements_applied == 0
+
+    def test_plan_commit_fencing(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        d.lookup_register(7, origin=0, new_holder=True)
+        d.note_overwrite(7)
+        with pytest.raises(ClusterError):
+            gc.plan_decrements(1, 4)  # stale plan cursor
+        fps, end = gc.plan_decrements(0, 4)
+        assert fps == [7] and end == 1
+        with pytest.raises(ClusterError):
+            gc.commit_decrements(1, 2)  # stale commit cursor
+        with pytest.raises(ClusterError):
+            gc.commit_decrements(0, 99)  # out of bounds
+        gc.commit_decrements(0, end)
+        assert gc.cursor == 1 and gc.pending == 0
+        with pytest.raises(ClusterError):
+            gc.commit_decrements(0, 1)  # replayed commit rejected
+
+    def test_plan_links_primary_pushes_to_peers(self):
+        d = make_directory()
+        fp = 7
+        links = RefcountGc(d).plan_links([fp, fp])
+        reps = d.placer.replicas(fp)
+        assert links == {(reps[0], reps[1]): 2, (reps[0], reps[2]): 2}
+        d.kill(reps[0])
+        links = RefcountGc(d).plan_links([fp])
+        assert links == {(reps[1], reps[2]): 1}
+
+    def test_journal_replay_reproduces_refcounts(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        for fp in (7, 8, 9):
+            d.lookup_register(fp, origin=0, new_holder=True)
+            d.lookup_register(fp, origin=1, new_holder=True)
+        gc.checkpoint()  # fold current view, then mutate past it
+        d.note_overwrite(7)
+        d.note_overwrite(8)
+        d.note_overwrite(8)  # 8 fully drains -> reclaimed
+        gc.drain_all()
+        mapping, replayed, torn = gc.journal.replay()
+        assert not torn and replayed == gc.journal.records_appended
+        assert mapping == gc.refcount_view()
+        assert 8 not in mapping and mapping[7] == 1
+
+    def test_summary_shape(self):
+        gc = RefcountGc(make_directory())
+        assert set(gc.summary()) == {
+            "decrements_applied",
+            "gc_reclaimed_blocks",
+            "gc_live_skips",
+            "gc_orphan_decrements",
+            "gc_pending_intents",
+            "gc_rounds",
+            "journal_records",
+            "journal_checkpoints",
+        }
+
+
+class TestGcJob:
+    def make_job(self, d, gc, batch=2, rounds=3):
+        self.sent = []
+
+        def send(links):
+            self.sent.append(dict(links))
+            return 1.0
+
+        return GcJob(gc, batch=batch, rounds=rounds, entry_cost=0.5, send=send)
+
+    def test_rounds_consume_batches(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        for fp in (7, 8, 9):
+            d.lookup_register(fp, origin=0, new_holder=True)
+            d.lookup_register(fp, origin=1, new_holder=True)
+            d.note_overwrite(fp)
+        job = self.make_job(d, gc, batch=2, rounds=3)
+        step = job.run_step(0.0)
+        assert step.span == (0, 1)
+        assert step.completion == max(1.0, 0.0 + 0.5 * 2)
+        assert gc.cursor == 0  # nothing applied before the commit
+        step.commit()
+        assert gc.cursor == 2 and job.rounds_done == 1
+        job.run_step(2.0).commit()  # second batch: the remaining intent
+        assert gc.cursor == 3 and gc.decrements_applied == 3
+        # third round finds the queue empty and completes instantly
+        step = job.run_step(3.0)
+        assert step.completion == 3.0
+        step.commit()
+        assert job.done() and job.progress() == 1.0
+        assert gc.rounds_run == 2  # empty round never touched the fence
+
+    def test_uncommitted_step_is_replannable(self):
+        """A lost lease discards the step; the next worker replans the
+        same batch from the unchanged cursor."""
+        d = make_directory()
+        gc = RefcountGc(d)
+        d.lookup_register(7, origin=0, new_holder=True)
+        d.note_overwrite(7)
+        job = self.make_job(d, gc)
+        job.run_step(0.0)  # planned, never committed
+        step = job.run_step(0.0)
+        step.commit()
+        assert gc.cursor == 1 and job.rounds_done == 1
+
+    def test_validation(self):
+        gc = RefcountGc(make_directory())
+        with pytest.raises(ClusterError):
+            GcJob(gc, batch=0, rounds=1, entry_cost=0.0, send=lambda l: 0.0)
+        with pytest.raises(ClusterError):
+            GcJob(gc, batch=1, rounds=0, entry_cost=0.0, send=lambda l: 0.0)
+
+    def test_summary_includes_round_progress(self):
+        d = make_directory()
+        gc = RefcountGc(d)
+        job = self.make_job(d, gc)
+        s = job.summary()
+        assert s["rounds_total"] == 3 and s["rounds_done"] == 0
+        assert s["gc_pending_intents"] == 0

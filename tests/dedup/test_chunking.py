@@ -12,6 +12,9 @@ from repro.dedup.chunking import (
     GEAR_TABLE,
     MAX_CHUNK_BLOCKS,
     OFFSET_BITS,
+    RABIN_MULTIPLIER,
+    RABIN_TABLE,
+    RABIN_WINDOW,
     ChunkingConfig,
     ChunkTransform,
     cut_points,
@@ -48,6 +51,20 @@ class TestConfig:
         # Deterministic: the table is part of the trace-compatibility
         # contract (changing it changes every CDC dedup decision).
         assert GEAR_TABLE[0] == gear_hashes(bytes([0]))[0]
+
+    def test_rabin_table_shape(self):
+        assert len(RABIN_TABLE) == 256
+        assert all(0 <= g <= _MASK64 for g in RABIN_TABLE)
+        # Same splitmix64 stream as the gear table, continued past it:
+        # the two tables must never share an entry.
+        assert not set(RABIN_TABLE) & set(GEAR_TABLE)
+        # The multiplier is odd (invertible mod 2^64), so the rolling
+        # hash never collapses.
+        assert RABIN_MULTIPLIER % 2 == 1
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigError):
+            ChunkingConfig(algorithm="buzhash")
 
 
 fp_streams = st.lists(
@@ -110,6 +127,93 @@ class TestTransform:
         out = t.transform(tuple([7] * 12))
         offsets = [eff & (MAX_CHUNK_BLOCKS - 1) for eff in out]
         assert offsets == [0, 1, 2, 3] * 3  # every chunk exactly max len
+
+
+class TestRabinTransform:
+    """The Rabin variant satisfies the same contract as the Gear path
+    (round-trip shape/determinism, framing and cut invariance) while
+    making different cut decisions."""
+
+    @given(stream=fp_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_shape_preserved_and_deterministic(self, stream):
+        a = ChunkTransform(ChunkingConfig(algorithm="rabin"))
+        b = ChunkTransform(ChunkingConfig(algorithm="rabin"))
+        for request in stream:
+            out_a = a.transform(tuple(request))
+            assert len(out_a) == len(request)
+            assert out_a == b.transform(tuple(request))
+        assert a.stats() == b.stats()
+        assert a.blocks_processed == sum(len(r) for r in stream)
+
+    @given(stream=fp_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_encoding_decomposes(self, stream):
+        cfg = ChunkingConfig(algorithm="rabin")
+        t = ChunkTransform(cfg)
+        flat = [fp for request in stream for fp in request]
+        out = [
+            eff for request in stream for eff in t.transform(tuple(request))
+        ]
+        prev_offset = None
+        for k, eff in enumerate(out):
+            anchor, offset = eff >> OFFSET_BITS, eff & (MAX_CHUNK_BLOCKS - 1)
+            assert offset < cfg.max_blocks
+            if offset == 0:
+                assert anchor == flat[k]
+            else:
+                assert prev_offset is not None and offset == prev_offset + 1
+            prev_offset = offset
+
+    def test_request_framing_does_not_move_cuts(self):
+        fps = tuple(range(100, 140))
+        whole = ChunkTransform(ChunkingConfig(algorithm="rabin")).transform(fps)
+        t = ChunkTransform(ChunkingConfig(algorithm="rabin"))
+        split = t.transform(fps[:7]) + t.transform(fps[7:23]) + t.transform(fps[23:])
+        assert split == whole
+
+    def test_forced_cut_at_max_blocks(self):
+        cfg = ChunkingConfig(min_blocks=4, avg_blocks=4, max_blocks=4,
+                             algorithm="rabin")
+        t = ChunkTransform(cfg)
+        out = t.transform(tuple([7] * 12))
+        offsets = [eff & (MAX_CHUNK_BLOCKS - 1) for eff in out]
+        assert offsets == [0, 1, 2, 3] * 3
+
+    def test_cut_invariance_after_insert(self):
+        """The windowed hash has finite memory (RABIN_WINDOW tokens):
+        an insert near the front perturbs boundaries only locally and
+        downstream cut decisions re-synchronise -- the property that
+        keeps duplicate detection alive across shifted streams."""
+        import random
+
+        rng = random.Random(7)
+        stream = [rng.getrandbits(64) for _ in range(3000)]
+        a = ChunkTransform(ChunkingConfig(algorithm="rabin")).transform(
+            tuple(stream)
+        )
+        b = ChunkTransform(ChunkingConfig(algorithm="rabin")).transform(
+            tuple(stream[:10] + [0xDEAD] + stream[10:])
+        )
+        anchors_a = [eff >> OFFSET_BITS for eff in a[-2000:]]
+        anchors_b = [eff >> OFFSET_BITS for eff in b[-2000:]]
+        assert anchors_a == anchors_b
+
+    def test_differs_from_gear(self):
+        """Same stream, different algorithm => different cut decisions
+        (the tables share a seed stream but no entries)."""
+        import random
+
+        rng = random.Random(11)
+        stream = tuple(rng.getrandbits(64) for _ in range(2000))
+        gear = ChunkTransform(ChunkingConfig()).transform(stream)
+        rabin = ChunkTransform(ChunkingConfig(algorithm="rabin")).transform(
+            stream
+        )
+        assert gear != rabin
+
+    def test_window_constant_sane(self):
+        assert 1 < RABIN_WINDOW <= 64
 
 
 class TestGearHashes:

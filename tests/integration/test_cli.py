@@ -115,3 +115,82 @@ class TestCommands:
         assert rc == 0
         assert (out / "figures.json").exists()
         assert (out / "fig8_overall_response.csv").exists()
+
+
+class TestDirectoryFlags:
+    """The replicated-directory and chunking flag parsers."""
+
+    def _args(self, extra):
+        return build_parser().parse_args(
+            ["run-cluster", "--trace", "web-vm", "--nodes", "3"] + extra
+        )
+
+    def test_no_flags_means_legacy_path(self):
+        from repro.cli import _directory_config
+
+        assert _directory_config(self._args([])) is None
+
+    def test_replication_and_consistency(self):
+        from repro.cli import _directory_config
+
+        cfg = _directory_config(
+            self._args(["--replication", "3", "--consistency", "all"])
+        )
+        assert cfg.replication == 3 and cfg.consistency.value == "all"
+        assert cfg.gc is None and cfg.kill is None
+
+    def test_gc_and_kill_imply_replication_one(self):
+        from repro.cli import _directory_config
+
+        cfg = _directory_config(
+            self._args(["--gc", "--kill-metadata-node", "1:10.5"])
+        )
+        assert cfg.replication == 1
+        assert cfg.gc.mode == "online"
+        assert cfg.kill.node == 1 and cfg.kill.time == 10.5
+
+    def test_gc_stw_mode(self):
+        from repro.cli import _directory_config
+
+        cfg = _directory_config(self._args(["--gc", "stw", "--gc-start", "5"]))
+        assert cfg.gc.mode == "stw" and cfg.gc.start == 5.0
+
+    def test_bad_kill_spec_rejected(self):
+        from repro.cli import _directory_config
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            _directory_config(self._args(["--kill-metadata-node", "one:ten"]))
+        with pytest.raises(ConfigError):
+            _directory_config(self._args(["--kill-metadata-node", "1"]))
+
+
+class TestChunkingFlag:
+    def _args(self, spec):
+        return build_parser().parse_args(
+            ["run", "--trace", "web-vm", "--scheme", "POD", "--chunking", spec]
+        )
+
+    def test_algorithm_names(self):
+        from repro.cli import _chunking_config
+
+        assert _chunking_config(self._args("gear")).algorithm == "gear"
+        assert _chunking_config(self._args("rabin")).algorithm == "rabin"
+
+    def test_bounds_with_algorithm_prefix(self):
+        from repro.cli import _chunking_config
+
+        cfg = _chunking_config(self._args("rabin:2:8:16"))
+        assert cfg.algorithm == "rabin"
+        assert (cfg.min_blocks, cfg.avg_blocks, cfg.max_blocks) == (2, 8, 16)
+        # bare bounds keep the gear default
+        assert _chunking_config(self._args("2:8:16")).algorithm == "gear"
+
+    def test_bad_specs_rejected(self):
+        from repro.cli import _chunking_config
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            _chunking_config(self._args("buzhash"))
+        with pytest.raises(ConfigError):
+            _chunking_config(self._args("rabin:2:8"))

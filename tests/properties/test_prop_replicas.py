@@ -1,0 +1,111 @@
+"""Property-based tests for R-way replica placement on the ring.
+
+The replicated directory's availability story rests on three
+structural properties of ``route_replicas`` / ``ReplicaPlacer``,
+checked here over random memberships and fingerprint populations:
+
+* **Distinctness and coverage** -- a replica set always holds exactly
+  ``min(R, N)`` *distinct* members, all of them ring members, with the
+  primary (``route``) first.
+* **Stability under unrelated change** -- adding a member never
+  disturbs a replica set the newcomer did not join: survivors keep
+  their relative order.
+* **Exact removal** -- removing a member rewrites only the replica
+  sets that member appeared in, and in those sets the survivors keep
+  their relative order (the replacement is appended by the clockwise
+  walk, never spliced into the middle arbitrarily).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.directory import ReplicaPlacer, replicas
+from repro.cluster.router import FingerprintRouter
+
+members = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=8, unique=True
+)
+fingerprints = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=200
+)
+vnodes = st.integers(min_value=8, max_value=64)
+replication = st.integers(min_value=1, max_value=4)
+
+
+def _survivor_order(seq, keep):
+    return [m for m in seq if m in keep]
+
+
+class TestReplicaProperties:
+    @given(members=members, fps=fingerprints, vnodes=vnodes, r=replication)
+    def test_distinct_members_primary_first(self, members, fps, vnodes, r):
+        router = FingerprintRouter(members, vnodes=vnodes)
+        for fp in fps:
+            rs = replicas(router, fp, r)
+            assert len(rs) == min(r, len(members))
+            assert len(set(rs)) == len(rs)
+            assert set(rs) <= set(members)
+            assert rs[0] == router.route(fp)
+
+    @given(members=members, fps=fingerprints, vnodes=vnodes, r=replication)
+    def test_r1_is_plain_routing(self, members, fps, vnodes, r):
+        router = FingerprintRouter(members, vnodes=vnodes)
+        del r
+        for fp in fps:
+            assert replicas(router, fp, 1) == [router.route(fp)]
+
+    @given(members=members, fps=fingerprints, vnodes=vnodes, r=replication)
+    def test_placer_agrees_with_free_function(self, members, fps, vnodes, r):
+        router = FingerprintRouter(members, vnodes=vnodes)
+        placer = ReplicaPlacer(router, r)
+        for fp in fps:
+            rs = placer.replicas(fp)
+            assert rs == replicas(router, fp, r)
+            assert placer.primary(fp) == rs[0]
+
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        vnodes=st.integers(min_value=32, max_value=64),
+        r=st.integers(min_value=2, max_value=3),
+    )
+    def test_add_member_keeps_untouched_sets_stable(self, n, vnodes, r):
+        fps = list(range(1024))
+        router = FingerprintRouter(list(range(n)), vnodes=vnodes)
+        before = {fp: replicas(router, fp, r) for fp in fps}
+        router.add_member(n)
+        for fp in fps:
+            after = replicas(router, fp, r)
+            if n not in after:
+                # The newcomer did not join this set: nothing changed.
+                assert after == before[fp]
+            else:
+                # It did: everyone else keeps their relative order.
+                keep = set(after) - {n}
+                assert _survivor_order(after, keep) == _survivor_order(
+                    before[fp], keep
+                )
+
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(min_value=3, max_value=8),
+        vnodes=st.integers(min_value=32, max_value=64),
+        r=st.integers(min_value=2, max_value=3),
+        victim_idx=st.integers(min_value=0, max_value=7),
+    )
+    def test_remove_member_moves_only_its_sets(self, n, vnodes, r, victim_idx):
+        fps = list(range(1024))
+        victim = victim_idx % n
+        router = FingerprintRouter(list(range(n)), vnodes=vnodes)
+        before = {fp: replicas(router, fp, r) for fp in fps}
+        router.remove_member(victim)
+        for fp in fps:
+            after = replicas(router, fp, r)
+            if victim not in before[fp]:
+                assert after == before[fp]
+            else:
+                keep = set(before[fp]) - {victim}
+                assert _survivor_order(after, keep) == _survivor_order(
+                    before[fp], keep
+                )
+                assert victim not in after
